@@ -1,0 +1,48 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates the data series behind one of the paper's
+evaluation figures (see DESIGN.md / EXPERIMENTS.md).  The corpora are scaled
+down (default ``scale=0.15`` of the paper's 2,491 evaluation images) so the
+whole harness runs in a few minutes; the experiment functions accept the
+full-size parameters when a faithful run is wanted.
+
+Each benchmark both reports timings through pytest-benchmark and writes the
+rendered series (the rows the paper plots) to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.features.datasets import build_imsi_like_dataset
+
+#: Scale of the benchmark corpus relative to the paper's evaluation set.
+BENCH_SCALE = 0.15
+
+#: Random seed shared by all benchmark corpora and query streams.
+BENCH_SEED = 2001  # the paper's publication year
+
+RESULTS_DIRECTORY = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    """The shared benchmark corpus (about 15% of the paper's size)."""
+    return build_imsi_like_dataset(scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    """Directory the rendered figure series are written to."""
+    os.makedirs(RESULTS_DIRECTORY, exist_ok=True)
+    return RESULTS_DIRECTORY
+
+
+def write_series(results_dir: str, name: str, text: str) -> None:
+    """Write a rendered series to ``benchmarks/results/<name>.txt`` and echo it."""
+    path = os.path.join(results_dir, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"\n[{name}]\n{text}\n")

@@ -1,0 +1,74 @@
+"""Ablation: storage scaling with the dimensionality of the query space.
+
+The paper claims (Sections 1 and 6) that the Simplex Tree's storage
+requirements scale linearly with the dimensionality of the query space, so
+even sophisticated (high-dimensional) query spaces remain affordable.  The
+benchmark trains FeedbackBypass on corpora with increasingly fine histogram
+layouts (8, 16 and 32 bins -> D = 7, 15, 31; N = 2D) and reports the
+estimated storage per stored query — which should grow proportionally to D,
+not quadratically.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED, write_series
+from repro.core.analysis import storage_estimate
+from repro.evaluation.reporting import format_series_table
+from repro.evaluation.session import InteractiveSession, SessionConfig
+from repro.features.datasets import build_imsi_like_dataset
+from repro.utils.rng import derive_seed, ensure_rng
+
+HISTOGRAM_LAYOUTS = ((4, 2), (4, 4), (8, 4))  # 8, 16 and 32 bins
+N_QUERIES = 150
+K = 30
+
+
+def run_experiment():
+    measurements = []
+    for n_hue_bins, n_saturation_bins in HISTOGRAM_LAYOUTS:
+        dataset = build_imsi_like_dataset(
+            scale=0.1,
+            n_hue_bins=n_hue_bins,
+            n_saturation_bins=n_saturation_bins,
+            seed=BENCH_SEED,
+        )
+        session = InteractiveSession.for_dataset(dataset, SessionConfig(k=K, epsilon=0.05))
+        rng = ensure_rng(derive_seed(BENCH_SEED, "dimensionality", n_hue_bins, n_saturation_bins))
+        session.run_stream(dataset.sample_query_indices(N_QUERIES, rng))
+
+        report = storage_estimate(session.bypass.tree)
+        measurements.append(
+            {
+                "n_bins": n_hue_bins * n_saturation_bins,
+                "dimension": session.bypass.query_dimension,
+                "stored": report.n_stored_points,
+                "bytes_per_point": report.bytes_per_stored_point,
+                "total_kib": report.total_bytes / 1024.0,
+                "depth": session.bypass.tree.depth(),
+            }
+        )
+    return measurements
+
+
+def test_ablation_dimensionality(benchmark, results_dir):
+    measurements = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        [m["n_bins"], m["dimension"], m["stored"], m["bytes_per_point"], m["total_kib"], m["depth"]]
+        for m in measurements
+    ]
+    text = "Storage vs. query-space dimensionality\n" + format_series_table(
+        ["bins", "D", "stored points", "bytes / stored point", "total KiB", "depth"], rows
+    )
+    write_series(results_dir, "ablation_dimensionality", text)
+
+    for m in measurements:
+        benchmark.extra_info[f"bytes_per_point_D{m['dimension']}"] = float(m["bytes_per_point"])
+
+    # Shape check: per-point storage grows roughly linearly with D.  Going
+    # from D = 7 to D = 31 (a 4.4x increase) must stay well below the ~20x a
+    # quadratic dependence would produce.
+    dims = np.array([m["dimension"] for m in measurements], dtype=float)
+    per_point = np.array([m["bytes_per_point"] for m in measurements])
+    growth = per_point[-1] / per_point[0]
+    dimension_growth = dims[-1] / dims[0]
+    assert growth <= 2.5 * dimension_growth

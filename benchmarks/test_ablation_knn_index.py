@@ -1,0 +1,97 @@
+"""Ablation: the k-NN substrate (linear scan vs. VP-tree vs. M-tree).
+
+The paper treats the access method as an exchangeable component (it cites
+X-trees and M-trees).  This benchmark verifies that the three engines return
+identical neighbourhoods on the benchmark corpus and compares their query
+throughput and — for the M-tree — the number of distance computations a
+search needs, which is the cost model metric index papers report.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED, write_series
+from repro.database.collection import FeatureCollection
+from repro.database.knn import LinearScanIndex
+from repro.database.mtree import MTreeIndex
+from repro.database.vptree import VPTreeIndex
+from repro.distances.minkowski import euclidean
+from repro.evaluation.reporting import format_series_table
+from repro.features.normalization import drop_last_bin
+from repro.utils.rng import derive_seed, ensure_rng
+
+K = 50
+N_QUERIES = 100
+
+
+def run_experiment(dataset):
+    collection = FeatureCollection(
+        drop_last_bin(dataset.features), labels=[record.category for record in dataset.records]
+    )
+    distance = euclidean(collection.dimension)
+    engines = {
+        "linear-scan": LinearScanIndex(collection),
+        "vp-tree": VPTreeIndex(collection, distance, seed=BENCH_SEED),
+        "m-tree": MTreeIndex(collection, distance, node_capacity=16, seed=BENCH_SEED),
+    }
+    rng = ensure_rng(derive_seed(BENCH_SEED, "knn_ablation"))
+    query_indices = rng.integers(0, collection.size, size=N_QUERIES)
+    queries = collection.vectors[query_indices]
+
+    measurements = []
+    reference_distances = None
+    for name, engine in engines.items():
+        mtree_computations_before = engines["m-tree"].distance_computations if name == "m-tree" else None
+        start = time.perf_counter()
+        all_distances = []
+        for query in queries:
+            if name == "linear-scan":
+                result = engine.search(query, K, distance)
+            else:
+                result = engine.search(query, K)
+            all_distances.append(result.distances())
+        elapsed = time.perf_counter() - start
+        all_distances = np.vstack(all_distances)
+        if reference_distances is None:
+            reference_distances = all_distances
+        agreement = bool(np.allclose(all_distances, reference_distances, atol=1e-9))
+        record = {
+            "engine": name,
+            "queries_per_second": N_QUERIES / elapsed,
+            "agrees_with_scan": agreement,
+        }
+        if name == "m-tree":
+            used = engines["m-tree"].distance_computations - mtree_computations_before
+            record["distance_computations_per_query"] = used / N_QUERIES
+        measurements.append(record)
+    return measurements, collection.size
+
+
+def test_ablation_knn_index(benchmark, bench_dataset, results_dir):
+    measurements, corpus_size = benchmark.pedantic(
+        run_experiment, args=(bench_dataset,), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            m["engine"],
+            m["queries_per_second"],
+            str(m["agrees_with_scan"]),
+            m.get("distance_computations_per_query", float("nan")),
+        ]
+        for m in measurements
+    ]
+    text = f"k-NN substrate ablation (corpus = {corpus_size} vectors, k = {K})\n" + format_series_table(
+        ["engine", "queries/s", "matches scan", "distance comps / query"], rows
+    )
+    write_series(results_dir, "ablation_knn_index", text)
+
+    for m in measurements:
+        benchmark.extra_info[f"qps_{m['engine']}"] = float(m["queries_per_second"])
+
+    # Correctness: all engines return the same neighbourhood distances.
+    assert all(m["agrees_with_scan"] for m in measurements)
+    # The M-tree's pruning must beat the trivial bound of one distance
+    # computation per object.
+    mtree = next(m for m in measurements if m["engine"] == "m-tree")
+    assert mtree["distance_computations_per_query"] < corpus_size

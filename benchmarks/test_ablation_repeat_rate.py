@@ -1,0 +1,58 @@
+"""Ablation: query repetition rate (the "already-seen" regime).
+
+The paper motivates FeedbackBypass with queries that recur across sessions:
+for an already-seen query the prediction equals the stored optimal
+parameters and the feedback loop can be skipped outright.  The uniform query
+stream of the evaluation rarely repeats a query, so this benchmark sweeps a
+repeated-query workload and measures how the FeedbackBypass advantage over
+Default grows with the repetition rate.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED, write_series
+from repro.evaluation.reporting import format_series_table
+from repro.evaluation.workloads import repeat_rate_benefit
+
+REPEAT_RATES = (0.0, 0.25, 0.5, 0.75)
+N_QUERIES = 200
+K = 30
+
+
+def run_experiment(dataset):
+    return repeat_rate_benefit(
+        dataset,
+        repeat_rates=REPEAT_RATES,
+        n_queries=N_QUERIES,
+        k=K,
+        epsilon=0.05,
+        seed=BENCH_SEED,
+    )
+
+
+def test_ablation_repeat_rate(benchmark, bench_dataset, results_dir):
+    result = benchmark.pedantic(run_experiment, args=(bench_dataset,), rounds=1, iterations=1)
+    rows = [
+        [float(rate), default, bypass, seen, iterations]
+        for rate, default, bypass, seen, iterations in zip(
+            result.repeat_rates,
+            result.default_precision,
+            result.bypass_precision,
+            result.already_seen_precision,
+            result.average_loop_iterations,
+        )
+    ]
+    text = "Query-repetition ablation\n" + format_series_table(
+        ["repeat rate", "Pr(Default)", "Pr(Bypass)", "Pr(AlreadySeen)", "avg loop iterations"], rows
+    )
+    write_series(results_dir, "ablation_repeat_rate", text)
+
+    advantage = result.bypass_precision - result.default_precision
+    for rate, value in zip(result.repeat_rates, advantage):
+        benchmark.extra_info[f"bypass_advantage_rate_{rate}"] = float(value)
+
+    # Shape checks: the bypass advantage with heavy repetition is at least as
+    # large as with no repetition, and it approaches the AlreadySeen ceiling.
+    assert advantage[-1] >= advantage[0] - 0.05
+    ceiling_gap = result.already_seen_precision - result.bypass_precision
+    assert ceiling_gap[-1] <= ceiling_gap[0] + 0.05

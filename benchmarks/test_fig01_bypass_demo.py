@@ -1,0 +1,65 @@
+"""Figure 1: qualitative demonstration of bypassing the feedback loop.
+
+The paper's opening figure shows a query whose default top-5 results contain
+no image of the query's category, while the results computed with the
+parameters predicted by FeedbackBypass contain 4 relevant images.  This
+benchmark reproduces the aggregate version of that comparison: over a set of
+fresh queries, how many of the top-5 results are relevant under default
+vs. predicted parameters.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED, write_series
+from repro.core.oqp import OptimalQueryParameters
+from repro.evaluation.reporting import format_series_table
+from repro.evaluation.session import InteractiveSession, SessionConfig
+from repro.utils.rng import derive_seed, ensure_rng
+
+TOP_K = 5
+N_TRAINING_QUERIES = 300
+N_EVALUATION_QUERIES = 60
+
+
+def run_experiment(dataset):
+    config = SessionConfig(k=30, epsilon=0.05)
+    session = InteractiveSession.for_dataset(dataset, config)
+    train_rng = ensure_rng(derive_seed(BENCH_SEED, "fig1_train"))
+    session.run_stream(dataset.sample_query_indices(N_TRAINING_QUERIES, train_rng))
+
+    eval_rng = ensure_rng(derive_seed(BENCH_SEED, "fig1_eval"))
+    evaluation = dataset.sample_query_indices(N_EVALUATION_QUERIES, eval_rng)
+    dimension = session.collection.dimension
+    default_parameters = OptimalQueryParameters.default(dimension)
+
+    default_hits = []
+    bypass_hits = []
+    for query_index in evaluation:
+        query_index = int(query_index)
+        predicted = session.bypass.mopt(session.collection.vector(query_index))
+        default_metrics = session.evaluate_first_round(query_index, default_parameters, k=TOP_K)
+        bypass_metrics = session.evaluate_first_round(query_index, predicted, k=TOP_K)
+        default_hits.append(default_metrics.precision * TOP_K)
+        bypass_hits.append(bypass_metrics.precision * TOP_K)
+    return np.asarray(default_hits), np.asarray(bypass_hits)
+
+
+def test_fig01_bypass_demo(benchmark, bench_dataset, results_dir):
+    default_hits, bypass_hits = benchmark.pedantic(
+        run_experiment, args=(bench_dataset,), rounds=1, iterations=1
+    )
+    rows = [
+        ["Default", float(default_hits.mean()), float((default_hits == 0).mean())],
+        ["FeedbackBypass", float(bypass_hits.mean()), float((bypass_hits == 0).mean())],
+    ]
+    text = "Top-5 relevant results per strategy (Figure 1, aggregate)\n" + format_series_table(
+        ["strategy", f"avg relevant in top {TOP_K}", "fraction of queries with 0 relevant"], rows
+    )
+    write_series(results_dir, "fig01_bypass_demo", text)
+
+    benchmark.extra_info["default_avg_hits"] = float(default_hits.mean())
+    benchmark.extra_info["bypass_avg_hits"] = float(bypass_hits.mean())
+
+    # Shape check: predicted parameters retrieve at least as many relevant
+    # results in the top 5 as the default parameters, on average.
+    assert bypass_hits.mean() >= default_hits.mean()

@@ -1,0 +1,46 @@
+"""Figure 10: precision and precision gain vs. number of processed queries.
+
+The paper's Figure 10 (a) plots average precision of the Default,
+FeedbackBypass and AlreadySeen strategies at k = 50 as a function of the
+number of queries; Figure 10 (b) plots the precision gain over Default.
+Expected shape: Default stays flat, AlreadySeen sits well above it from the
+start, and FeedbackBypass climbs from the Default level towards the
+AlreadySeen ceiling as the Simplex Tree learns the query mapping.
+"""
+
+from benchmarks.conftest import BENCH_SEED, write_series
+from repro.evaluation.experiments import learning_curve
+from repro.evaluation.reporting import render_learning_curve
+
+N_QUERIES = 400
+CHECKPOINT_EVERY = 50
+K = 50
+
+
+def run_experiment(dataset):
+    return learning_curve(
+        dataset,
+        k=K,
+        n_queries=N_QUERIES,
+        checkpoint_every=CHECKPOINT_EVERY,
+        epsilon=0.05,
+        seed=BENCH_SEED,
+    )
+
+
+def test_fig10_learning_curve(benchmark, bench_dataset, results_dir):
+    result = benchmark.pedantic(run_experiment, args=(bench_dataset,), rounds=1, iterations=1)
+    write_series(results_dir, "fig10_learning_curve", render_learning_curve(result))
+
+    bypass_gain, seen_gain = result.precision_gains()
+    benchmark.extra_info["final_bypass_gain_pct"] = float(bypass_gain[-1])
+    benchmark.extra_info["final_seen_gain_pct"] = float(seen_gain[-1])
+    benchmark.extra_info["stored_queries"] = result.session.bypass.n_stored_queries
+
+    # Shape checks (the paper's qualitative claims).
+    assert result.already_seen_precision.mean() > result.default_precision.mean()
+    assert result.bypass_precision[-1] >= result.default_precision[-1]
+    # The bypass gain over the last third of the stream exceeds the gain over
+    # the first third: the module keeps learning.
+    third = len(bypass_gain) // 3
+    assert bypass_gain[-third:].mean() >= bypass_gain[:third].mean()

@@ -1,0 +1,42 @@
+"""Figure 11: precision, recall and the P-R curve after training, k = 10..80.
+
+The paper trains FeedbackBypass with 1000 queries at k = 50 and then reports
+precision (a), recall (b) and precision-vs-recall (c) for result-set sizes
+between 10 and 80.  Expected shape: for every k the ordering
+Default <= FeedbackBypass <= AlreadySeen holds; precision decreases and
+recall increases with k.
+"""
+
+from benchmarks.conftest import BENCH_SEED, write_series
+from repro.evaluation.experiments import k_sweep
+from repro.evaluation.reporting import render_k_sweep
+
+K_VALUES = (10, 20, 30, 40, 50, 60, 70, 80)
+
+
+def run_experiment(dataset):
+    return k_sweep(
+        dataset,
+        training_k=50,
+        n_training_queries=300,
+        n_evaluation_queries=60,
+        k_values=K_VALUES,
+        epsilon=0.05,
+        seed=BENCH_SEED,
+    )
+
+
+def test_fig11_k_sweep(benchmark, bench_dataset, results_dir):
+    result = benchmark.pedantic(run_experiment, args=(bench_dataset,), rounds=1, iterations=1)
+    write_series(results_dir, "fig11_k_sweep", render_k_sweep(result))
+
+    benchmark.extra_info["bypass_precision_at_k50"] = float(result.bypass_precision[4])
+    benchmark.extra_info["default_precision_at_k50"] = float(result.default_precision[4])
+
+    # Shape checks.
+    assert (result.already_seen_precision >= result.default_precision - 1e-9).all()
+    assert result.bypass_precision.mean() >= result.default_precision.mean()
+    # Recall is non-decreasing in k for every strategy (more results can only
+    # contain more relevant objects).
+    assert (result.default_recall[1:] >= result.default_recall[:-1] - 1e-9).all()
+    assert (result.already_seen_recall[1:] >= result.already_seen_recall[:-1] - 1e-9).all()

@@ -1,0 +1,64 @@
+"""Figure 12: FeedbackBypass learning curves for k = 20, 50, 80.
+
+The paper plots precision (a) and recall (b) of the FeedbackBypass strategy
+against the number of processed queries, one curve per value of k.  Expected
+shape: every curve rises with the number of queries; precision is higher for
+smaller k while recall is higher for larger k.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED, write_series
+from repro.evaluation.experiments import learning_curve
+from repro.evaluation.reporting import format_series_table
+
+K_VALUES = (20, 50, 80)
+N_QUERIES = 250
+CHECKPOINT_EVERY = 50
+
+
+def run_experiment(dataset):
+    return {
+        k: learning_curve(
+            dataset,
+            k=k,
+            n_queries=N_QUERIES,
+            checkpoint_every=CHECKPOINT_EVERY,
+            epsilon=0.05,
+            seed=BENCH_SEED + k,
+        )
+        for k in K_VALUES
+    }
+
+
+def _render(curves) -> str:
+    checkpoints = curves[K_VALUES[0]].checkpoints
+    header = ["queries"]
+    for k in K_VALUES:
+        header += [f"Pr(k={k})", f"Re(k={k})"]
+    rows = []
+    for position, queries in enumerate(checkpoints):
+        row = [int(queries)]
+        for k in K_VALUES:
+            row += [
+                float(curves[k].bypass_precision[position]),
+                float(curves[k].bypass_recall[position]),
+            ]
+        rows.append(row)
+    return "FeedbackBypass learning per k (Figure 12)\n" + format_series_table(header, rows)
+
+
+def test_fig12_per_k_learning(benchmark, bench_dataset, results_dir):
+    curves = benchmark.pedantic(run_experiment, args=(bench_dataset,), rounds=1, iterations=1)
+    write_series(results_dir, "fig12_per_k_learning", _render(curves))
+
+    for k, curve in curves.items():
+        benchmark.extra_info[f"final_bypass_precision_k{k}"] = float(curve.bypass_precision[-1])
+
+    # Shape checks: recall grows with k (more retrieved objects reach more of
+    # the category), and each curve's late-stream precision is at least its
+    # early-stream precision (learning).
+    final_recalls = [curves[k].bypass_recall.mean() for k in K_VALUES]
+    assert final_recalls == sorted(final_recalls)
+    for curve in curves.values():
+        assert curve.bypass_precision[-1] >= curve.bypass_precision[0] - 0.05

@@ -1,0 +1,37 @@
+"""Figure 14: per-category precision and recall of the three strategies.
+
+The paper separates the Figure-10 measurements by query category and
+observes that FeedbackBypass helps wherever feedback itself helps (a visible
+gap between Default and AlreadySeen) — most clearly for the largest category
+("Mammal") — and cannot help where feedback gains little.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED, write_series
+from repro.evaluation.experiments import category_robustness
+from repro.evaluation.reporting import render_category_robustness
+
+N_QUERIES = 400
+K = 50
+
+
+def run_experiment(dataset):
+    return category_robustness(dataset, k=K, n_queries=N_QUERIES, epsilon=0.05, seed=BENCH_SEED)
+
+
+def test_fig14_category_robustness(benchmark, bench_dataset, results_dir):
+    result = benchmark.pedantic(run_experiment, args=(bench_dataset,), rounds=1, iterations=1)
+    write_series(results_dir, "fig14_category_robustness", render_category_robustness(result))
+
+    for position, category in enumerate(result.categories):
+        benchmark.extra_info[f"bypass_precision_{category}"] = float(result.bypass_precision[position])
+
+    # Shape checks: all seven evaluation categories are covered, AlreadySeen
+    # dominates Default in every category, and the bypass improvement is
+    # positive for the majority of categories (it may vanish where feedback
+    # has no headroom, as the paper notes for "TreeLeaf" / "Fish").
+    assert len(result.categories) == 7
+    assert np.all(result.already_seen_precision >= result.default_precision - 1e-9)
+    improvements = result.bypass_precision - result.default_precision
+    assert (improvements > 0).sum() >= len(result.categories) // 2

@@ -1,0 +1,43 @@
+"""Figure 16: average number of simplices traversed vs. tree depth.
+
+The paper shows both quantities growing logarithmically with the number of
+processed queries, with the average traversal length staying clearly below
+the depth — lookups are fast even as the tree grows.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED, write_series
+from repro.evaluation.experiments import tree_growth
+from repro.evaluation.reporting import render_tree_growth
+
+N_QUERIES = 400
+CHECKPOINT_EVERY = 50
+
+
+def run_experiment(dataset):
+    return tree_growth(
+        dataset,
+        k=50,
+        n_queries=N_QUERIES,
+        checkpoint_every=CHECKPOINT_EVERY,
+        epsilon=0.05,
+        n_probe_points=150,
+        seed=BENCH_SEED,
+    )
+
+
+def test_fig16_tree_depth(benchmark, bench_dataset, results_dir):
+    result = benchmark.pedantic(run_experiment, args=(bench_dataset,), rounds=1, iterations=1)
+    write_series(results_dir, "fig16_tree_depth", render_tree_growth(result))
+
+    benchmark.extra_info["final_depth"] = int(result.depth[-1])
+    benchmark.extra_info["final_average_traversal"] = float(result.average_traversal[-1])
+    benchmark.extra_info["final_stored_points"] = int(result.stored_points[-1])
+
+    # Shape checks: depth is non-decreasing, the average traversal stays below
+    # the worst case, and growth is sub-linear (logarithmic in the paper): the
+    # depth is far smaller than the number of stored points.
+    assert np.all(np.diff(result.depth) >= 0)
+    assert np.all(result.average_traversal <= result.depth + 1)
+    assert result.depth[-1] < result.stored_points[-1] / 2

@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Adds ``src/`` to ``sys.path`` so the test and benchmark suites run even when
+the package has not been installed (e.g. on an offline machine where
+``pip install -e .`` cannot fetch the ``wheel`` build dependency).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

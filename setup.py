@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The pyproject.toml metadata is authoritative; this shim exists so that
+``pip install -e .`` works on environments whose setuptools lacks the
+``wheel`` package required by the PEP 517 editable path (e.g. fully offline
+machines).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,94 @@
+"""Reproduction of *FeedbackBypass: A New Approach to Interactive Similarity
+Query Processing* (Bartolini, Ciaccia, Waas — VLDB 2001).
+
+The package is organised as the paper's system plus every substrate it
+depends on:
+
+* :mod:`repro.core` — FeedbackBypass and the Simplex Tree (the contribution),
+* :mod:`repro.geometry` — simplices, barycentric coordinates, triangulation,
+* :mod:`repro.wavelets` — Haar / lifting-scheme wavelets,
+* :mod:`repro.distances` — parameterised distance functions,
+* :mod:`repro.features` — the synthetic IMSI-like corpus and HSV histograms,
+* :mod:`repro.database` — k-NN query processing (scan, VP-tree, M-tree),
+* :mod:`repro.feedback` — relevance-feedback engines and the feedback loop,
+* :mod:`repro.evaluation` — metrics, the simulated user and the experiments
+  reproducing the paper's figures.
+
+Quickstart::
+
+    from repro import build_imsi_like_dataset, InteractiveSession, SessionConfig
+
+    dataset = build_imsi_like_dataset(scale=0.1, seed=7)
+    session = InteractiveSession.for_dataset(dataset, SessionConfig(k=20))
+    outcome = session.run_query(query_index=0)
+    print(outcome.bypass_precision, outcome.default_precision)
+"""
+
+from repro.core import (
+    FeedbackBypass,
+    OptimalQueryParameters,
+    SimplexTree,
+    bypass_for_histograms,
+    bypass_for_points,
+    bypass_for_unit_cube,
+    load_simplex_tree,
+    save_simplex_tree,
+)
+from repro.database import (
+    FeatureCollection,
+    LinearScanIndex,
+    MTreeIndex,
+    Query,
+    ResultSet,
+    RetrievalEngine,
+    VPTreeIndex,
+)
+from repro.distances import (
+    HierarchicalDistance,
+    MahalanobisDistance,
+    MinkowskiDistance,
+    WeightedEuclideanDistance,
+)
+from repro.features import ImageDataset, build_imsi_like_dataset
+from repro.feedback import FeedbackEngine, ReweightingRule
+from repro.evaluation import (
+    InteractiveSession,
+    SessionConfig,
+    SimulatedUser,
+    precision,
+    recall,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "FeedbackBypass",
+    "OptimalQueryParameters",
+    "SimplexTree",
+    "bypass_for_histograms",
+    "bypass_for_points",
+    "bypass_for_unit_cube",
+    "load_simplex_tree",
+    "save_simplex_tree",
+    "FeatureCollection",
+    "LinearScanIndex",
+    "MTreeIndex",
+    "Query",
+    "ResultSet",
+    "RetrievalEngine",
+    "VPTreeIndex",
+    "HierarchicalDistance",
+    "MahalanobisDistance",
+    "MinkowskiDistance",
+    "WeightedEuclideanDistance",
+    "ImageDataset",
+    "build_imsi_like_dataset",
+    "FeedbackEngine",
+    "ReweightingRule",
+    "InteractiveSession",
+    "SessionConfig",
+    "SimulatedUser",
+    "precision",
+    "recall",
+    "__version__",
+]

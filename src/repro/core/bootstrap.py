@@ -1,0 +1,75 @@
+"""Root-simplex bootstrapping for the common query domains.
+
+Section 4.1 of the paper gives two recipes for the initial simplex ``S_0``:
+the ``(0,…,0), (D,0,…,0), …`` construction for ``[0,1]^D`` and the standard
+simplex for normalised histograms with a dropped bin.  These helpers build a
+ready-to-use :class:`~repro.core.bypass.FeedbackBypass` for either case, plus
+a data-driven variant for arbitrary feature clouds.
+"""
+
+from __future__ import annotations
+
+from repro.core.bypass import FeedbackBypass
+from repro.geometry.bounding import (
+    bounding_simplex_for_points,
+    standard_simplex_vertices,
+    unit_cube_root_vertices,
+)
+from repro.utils.validation import check_dimension
+
+
+def bypass_for_histograms(
+    n_bins: int,
+    *,
+    epsilon: float = 0.0,
+    margin: float = 1e-6,
+    weight_dimension: int | None = None,
+) -> FeedbackBypass:
+    """FeedbackBypass for normalised histograms with ``n_bins`` bins.
+
+    Dropping the last bin embeds the histograms into the standard simplex of
+    dimension ``D = n_bins - 1`` (Example 1 of the paper: 32 bins give a
+    mapping from R^31 to R^62).  A tiny ``margin`` inflates the root simplex
+    so histograms lying exactly on the boundary (e.g. all mass in one bin)
+    stay strictly inside.
+    """
+    n_bins = check_dimension(n_bins, "n_bins", minimum=2)
+    dimension = n_bins - 1
+    vertices = standard_simplex_vertices(dimension, margin=margin)
+    return FeedbackBypass(
+        vertices, dimension, weight_dimension=weight_dimension, epsilon=epsilon
+    )
+
+
+def bypass_for_unit_cube(
+    dimension: int,
+    *,
+    epsilon: float = 0.0,
+    margin: float = 1e-6,
+    weight_dimension: int | None = None,
+) -> FeedbackBypass:
+    """FeedbackBypass for feature vectors normalised to ``[0, 1]^D``."""
+    dimension = check_dimension(dimension, "dimension")
+    vertices = unit_cube_root_vertices(dimension, margin=margin)
+    return FeedbackBypass(
+        vertices, dimension, weight_dimension=weight_dimension, epsilon=epsilon
+    )
+
+
+def bypass_for_points(
+    points,
+    *,
+    epsilon: float = 0.0,
+    margin: float = 0.1,
+    weight_dimension: int | None = None,
+) -> FeedbackBypass:
+    """FeedbackBypass whose root simplex covers the given point cloud.
+
+    Useful when the query domain is an arbitrary feature space; queries far
+    outside the covered region fall back to default-parameter predictions.
+    """
+    vertices = bounding_simplex_for_points(points, margin=margin)
+    dimension = vertices.shape[1]
+    return FeedbackBypass(
+        vertices, dimension, weight_dimension=weight_dimension, epsilon=epsilon
+    )

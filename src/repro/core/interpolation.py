@@ -1,0 +1,73 @@
+"""Wavelet (unbalanced Haar) interpolation of OQPs inside a simplex.
+
+Section 4.2 of the paper defines the prediction for a query ``q`` as the
+solution ``v̂_i`` of a determinant equation over the enclosing simplex — the
+implicit form of the hyperplane through the D+1 points
+``(s_j, m_i(s_j))``.  Evaluating that hyperplane at ``q`` is exactly the
+barycentric interpolation of the vertex values, which is how it is computed
+here (each of the N payload components independently, as in the paper).
+
+:func:`interpolate_payloads_determinant` keeps the literal determinant
+formulation for cross-checking; the two agree to numerical precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.barycentric import barycentric_coordinates
+from repro.utils.validation import ValidationError, as_float_matrix, as_float_vector
+
+
+def interpolate_payloads(vertices, payloads, point) -> np.ndarray:
+    """Interpolate the vertex ``payloads`` at ``point``.
+
+    Parameters
+    ----------
+    vertices:
+        ``(D+1, D)`` vertices of the enclosing simplex.
+    payloads:
+        ``(D+1, N)`` payload vectors (the OQPs stored at each vertex).
+    point:
+        The query point.
+
+    Returns
+    -------
+    numpy.ndarray
+        The length-N interpolated payload.
+    """
+    vertices = as_float_matrix(vertices, name="vertices")
+    payloads = as_float_matrix(payloads, name="payloads")
+    if payloads.shape[0] != vertices.shape[0]:
+        raise ValidationError("payloads must provide one row per vertex")
+    point = as_float_vector(point, name="point", dim=vertices.shape[1])
+    weights = barycentric_coordinates(vertices, point, check=False)
+    return weights @ payloads
+
+
+def interpolate_payloads_determinant(vertices, payloads, point) -> np.ndarray:
+    """Literal determinant formulation of the paper's interpolation.
+
+    For each payload component ``i`` the prediction ``v̂_i`` satisfies
+
+        | q - s_1        v̂_i - v_i(s_1)      |
+        | s_2 - s_1      v_i(s_2) - v_i(s_1) |  = 0
+        | ...                                |
+
+    i.e. the point ``(q, v̂_i)`` lies on the hyperplane spanned by the lifted
+    vertices.  Solving the linear system gives the same value as
+    :func:`interpolate_payloads`; this function exists as an executable
+    specification and for the equivalence test.
+    """
+    vertices = as_float_matrix(vertices, name="vertices")
+    payloads = as_float_matrix(payloads, name="payloads")
+    if payloads.shape[0] != vertices.shape[0]:
+        raise ValidationError("payloads must provide one row per vertex")
+    point = as_float_vector(point, name="point", dim=vertices.shape[1])
+
+    # Express q - s_1 in the basis of edge vectors; the same coefficients
+    # applied to the payload differences give v̂ - v(s_1).
+    edges = (vertices[1:] - vertices[0]).T
+    coefficients = np.linalg.solve(edges, point - vertices[0])
+    payload_deltas = payloads[1:] - payloads[0]
+    return payloads[0] + coefficients @ payload_deltas

@@ -1,0 +1,323 @@
+"""The Simplex Tree (Section 4 of the paper).
+
+The tree organises the query domain ``Q ⊆ R^D`` as an incrementally refined
+triangulation whose vertices are the query points for which feedback has been
+collected.  Every vertex carries a payload vector in ``R^N`` (the OQPs); a
+prediction for a new query is the linear (unbalanced Haar) interpolation of
+the payloads of the enclosing leaf simplex; an insertion splits that leaf
+into up to D+1 children — but only if the prediction was off by more than the
+threshold ε, which is how the structure's size tracks the complexity of the
+optimal query mapping instead of the number of queries.
+
+The class is generic over the payload: it maps points of R^D to vectors of
+R^N without knowing that those vectors happen to be ``(Δ, W)`` pairs.  The
+:class:`~repro.core.bypass.FeedbackBypass` facade adds that interpretation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.interpolation import interpolate_payloads
+from repro.geometry.simplex import Simplex
+from repro.geometry.triangulation import IncrementalTriangulation, TriangulationNode
+from repro.utils.validation import (
+    ValidationError,
+    as_float_matrix,
+    as_float_vector,
+    check_dimension,
+    check_positive,
+)
+
+
+@dataclass
+class TreeStatistics:
+    """Operation counters and structural measurements of a Simplex Tree.
+
+    The Figure 16 experiment reports ``average traversal length`` (simplices
+    visited per lookup) against the tree depth; both are tracked here.
+    """
+
+    n_lookups: int = 0
+    n_predictions: int = 0
+    n_inserts: int = 0
+    n_updates: int = 0
+    n_rejected_inserts: int = 0
+    total_traversed: int = 0
+
+    @property
+    def average_traversal_length(self) -> float:
+        """Average number of simplices visited per lookup (0 when unused)."""
+        if self.n_lookups == 0:
+            return 0.0
+        return self.total_traversed / self.n_lookups
+
+    def snapshot(self) -> dict[str, float]:
+        """Return the counters as a plain dictionary (for reporting)."""
+        return {
+            "n_lookups": self.n_lookups,
+            "n_predictions": self.n_predictions,
+            "n_inserts": self.n_inserts,
+            "n_updates": self.n_updates,
+            "n_rejected_inserts": self.n_rejected_inserts,
+            "average_traversal_length": self.average_traversal_length,
+        }
+
+
+@dataclass(frozen=True)
+class InsertOutcome:
+    """What an insert call did: stored a new vertex, updated one, or skipped."""
+
+    action: str  # "inserted", "updated" or "skipped"
+    prediction_error: float
+
+    @property
+    def stored(self) -> bool:
+        """True when the call changed the tree (insert or update)."""
+        return self.action in ("inserted", "updated")
+
+
+class SimplexTree:
+    """Wavelet-based index from query points to payload vectors.
+
+    Parameters
+    ----------
+    root_vertices:
+        ``(D+1, D)`` vertices of the root simplex ``S_0`` covering the query
+        domain.
+    value_dimension:
+        Length N of the payload vectors.
+    default_value:
+        Payload assigned to the synthetic root vertices; an empty tree
+        predicts exactly this value everywhere (for FeedbackBypass: the
+        default query parameters).  Defaults to the zero vector.
+    epsilon:
+        Insert threshold ε: a point is only stored when the prediction error
+        ``max_i |value_i - prediction_i|`` exceeds ε (Section 4.2).
+    tolerance:
+        Geometric tolerance for containment / degeneracy tests and for
+        recognising an already-stored query point.
+    """
+
+    def __init__(
+        self,
+        root_vertices,
+        value_dimension: int,
+        *,
+        default_value=None,
+        epsilon: float = 0.0,
+        tolerance: float = 1e-9,
+    ) -> None:
+        root_vertices = as_float_matrix(root_vertices, name="root_vertices")
+        self._value_dimension = check_dimension(value_dimension, "value_dimension")
+        self._epsilon = check_positive(epsilon, name="epsilon", strict=False)
+        self._tolerance = check_positive(tolerance, name="tolerance")
+        self._triangulation = IncrementalTriangulation(root_vertices, tolerance=tolerance)
+
+        if default_value is None:
+            default_value = np.zeros(self._value_dimension, dtype=np.float64)
+        self._default_value = as_float_vector(
+            default_value, name="default_value", dim=self._value_dimension
+        ).copy()
+
+        # Payloads are stored per vertex, keyed by a rounded coordinate tuple
+        # so that vertices shared between adjacent simplices share a payload.
+        self._payloads: dict[tuple[float, ...], np.ndarray] = {}
+        for vertex in root_vertices:
+            self._payloads[self._key(vertex)] = self._default_value.copy()
+
+        self.statistics = TreeStatistics()
+        # Ordered log of (point, payload, action) used by persistence to
+        # reproduce the exact tree.
+        self._journal: list[tuple[np.ndarray, np.ndarray, str]] = []
+
+    # ------------------------------------------------------------------ #
+    # Small helpers
+    # ------------------------------------------------------------------ #
+    def _key(self, point: np.ndarray) -> tuple[float, ...]:
+        return tuple(np.round(np.asarray(point, dtype=np.float64), 12))
+
+    def _payload_for(self, vertex: np.ndarray) -> np.ndarray:
+        key = self._key(vertex)
+        payload = self._payloads.get(key)
+        if payload is None:
+            # Should not happen: every vertex either is a root corner or was
+            # inserted together with its payload.
+            raise ValidationError("internal error: vertex without payload")
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def dimension(self) -> int:
+        """Dimensionality D of the query domain."""
+        return self._triangulation.dimension
+
+    @property
+    def value_dimension(self) -> int:
+        """Dimensionality N of the payload vectors."""
+        return self._value_dimension
+
+    @property
+    def epsilon(self) -> float:
+        """The insert threshold ε."""
+        return self._epsilon
+
+    @property
+    def default_value(self) -> np.ndarray:
+        """Payload of the synthetic root vertices (copy)."""
+        return self._default_value.copy()
+
+    @property
+    def root_simplex(self) -> Simplex:
+        """The root simplex ``S_0``."""
+        return self._triangulation.root.simplex
+
+    @property
+    def n_stored_points(self) -> int:
+        """Number of feedback points stored as vertices (root corners excluded)."""
+        return self._triangulation.n_points
+
+    @property
+    def n_simplices(self) -> int:
+        """Total number of simplices in the tree."""
+        return self._triangulation.n_simplices
+
+    def depth(self) -> int:
+        """Maximum leaf depth of the tree."""
+        return self._triangulation.depth()
+
+    @property
+    def journal(self) -> list[tuple[np.ndarray, np.ndarray, str]]:
+        """The ordered insert/update log (copies), used by persistence."""
+        return [(point.copy(), payload.copy(), action) for point, payload, action in self._journal]
+
+    # ------------------------------------------------------------------ #
+    # Lookup / Predict
+    # ------------------------------------------------------------------ #
+    def contains(self, point) -> bool:
+        """True when ``point`` lies inside the root simplex (i.e. is predictable)."""
+        point = as_float_vector(point, name="point", dim=self.dimension)
+        return self.root_simplex.contains(point, tolerance=self._tolerance)
+
+    def lookup(self, point) -> tuple[TriangulationNode, int]:
+        """Return the leaf node whose simplex contains ``point`` and the path length.
+
+        Mirrors ``SimplexTree::Lookup`` in Figure 8 of the paper; the path
+        length feeds the Figure 16 statistics.
+        """
+        point = as_float_vector(point, name="point", dim=self.dimension)
+        leaf, visited = self._triangulation.locate(point)
+        self.statistics.n_lookups += 1
+        self.statistics.total_traversed += visited
+        return leaf, visited
+
+    def predict(self, point) -> np.ndarray:
+        """Predict the payload at ``point`` (``SimplexTree::Predict`` in the paper).
+
+        The prediction interpolates the payloads stored at the vertices of
+        the enclosing leaf simplex; for a point outside the root simplex the
+        default payload is returned (the system then simply behaves as if no
+        feedback history existed for that query).
+        """
+        point = as_float_vector(point, name="point", dim=self.dimension)
+        self.statistics.n_predictions += 1
+        if not self.contains(point):
+            return self._default_value.copy()
+        leaf, _ = self.lookup(point)
+        vertices = leaf.simplex.vertices
+        payloads = np.vstack([self._payload_for(vertex) for vertex in vertices])
+        return interpolate_payloads(vertices, payloads, point)
+
+    # ------------------------------------------------------------------ #
+    # Insert
+    # ------------------------------------------------------------------ #
+    def insert(self, point, value, *, force: bool = False) -> InsertOutcome:
+        """Store the payload ``value`` for ``point`` (``SimplexTree::Insert``).
+
+        The point is stored only when the current prediction misses ``value``
+        by more than ε in some component (or ``force=True``).  If the point
+        coincides with an already-stored vertex its payload is overwritten —
+        the "already seen query" case, whose prediction then becomes exact.
+
+        Returns an :class:`InsertOutcome` describing what happened.
+        """
+        point = as_float_vector(point, name="point", dim=self.dimension)
+        value = as_float_vector(value, name="value", dim=self._value_dimension)
+        if not self.contains(point):
+            raise ValidationError("cannot insert a point outside the root simplex")
+
+        prediction = self.predict(point)
+        error = float(np.max(np.abs(value - prediction)))
+
+        key = self._key(point)
+        if key in self._payloads:
+            # Already-seen query: refresh its OQPs, no geometric change.
+            self._payloads[key] = value.copy()
+            self.statistics.n_updates += 1
+            self._journal.append((point.copy(), value.copy(), "updated"))
+            return InsertOutcome(action="updated", prediction_error=error)
+
+        if not force and error <= self._epsilon:
+            self.statistics.n_rejected_inserts += 1
+            return InsertOutcome(action="skipped", prediction_error=error)
+
+        try:
+            self._triangulation.insert(point)
+        except ValidationError:
+            # The point is geometrically indistinguishable from an existing
+            # vertex (within tolerance) even though its rounded key differs:
+            # treat it as an update of the closest vertex.
+            nearest_key = min(
+                self._payloads,
+                key=lambda candidate: float(np.max(np.abs(np.asarray(candidate) - point))),
+            )
+            self._payloads[nearest_key] = value.copy()
+            self.statistics.n_updates += 1
+            self._journal.append((point.copy(), value.copy(), "updated"))
+            return InsertOutcome(action="updated", prediction_error=error)
+
+        self._payloads[key] = value.copy()
+        self.statistics.n_inserts += 1
+        self._journal.append((point.copy(), value.copy(), "inserted"))
+        return InsertOutcome(action="inserted", prediction_error=error)
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    def stored_points(self) -> np.ndarray:
+        """Return the stored feedback points, shape ``(n_stored_points, D)``."""
+        return self._triangulation.points
+
+    def stored_payload(self, point) -> np.ndarray:
+        """Return the payload stored exactly at ``point`` (error if absent)."""
+        point = as_float_vector(point, name="point", dim=self.dimension)
+        key = self._key(point)
+        if key not in self._payloads:
+            raise ValidationError("no payload stored at this point")
+        return self._payloads[key].copy()
+
+    def leaf_count(self) -> int:
+        """Number of leaf simplices."""
+        return len(self._triangulation.leaves())
+
+    def traversal_profile(self, points) -> tuple[float, int]:
+        """Return (average simplices traversed, tree depth) over ``points``.
+
+        This is the measurement behind Figure 16; it does not perturb the
+        operation counters used elsewhere.
+        """
+        points = as_float_matrix(points, name="points", shape=(None, self.dimension))
+        saved = (self.statistics.n_lookups, self.statistics.total_traversed)
+        visits = []
+        for point in points:
+            if not self.contains(point):
+                continue
+            _, visited = self._triangulation.locate(point)
+            visits.append(visited)
+        self.statistics.n_lookups, self.statistics.total_traversed = saved
+        average = float(np.mean(visits)) if visits else 0.0
+        return average, self.depth()

@@ -1,0 +1,34 @@
+"""Similarity-database substrate.
+
+The paper treats the underlying database as a k-nearest-neighbour service
+over high-dimensional feature vectors, typically implemented with a metric /
+spatial index (it cites X-trees and M-trees).  This subpackage provides that
+service:
+
+* :mod:`repro.database.collection` — the feature collection (vectors plus
+  category labels),
+* :mod:`repro.database.query` — query and result value objects,
+* :mod:`repro.database.knn` — exhaustive-scan k-NN (the reference engine),
+* :mod:`repro.database.vptree` — a vantage-point tree metric index,
+* :mod:`repro.database.mtree` — an M-tree metric index (Ciaccia et al.),
+* :mod:`repro.database.engine` — the retrieval engine tying a collection, an
+  index and a parameterised distance function together.
+"""
+
+from repro.database.collection import FeatureCollection
+from repro.database.engine import RetrievalEngine
+from repro.database.knn import LinearScanIndex
+from repro.database.mtree import MTreeIndex
+from repro.database.query import Query, ResultItem, ResultSet
+from repro.database.vptree import VPTreeIndex
+
+__all__ = [
+    "FeatureCollection",
+    "RetrievalEngine",
+    "LinearScanIndex",
+    "MTreeIndex",
+    "Query",
+    "ResultItem",
+    "ResultSet",
+    "VPTreeIndex",
+]

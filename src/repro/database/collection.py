@@ -1,0 +1,106 @@
+"""The feature collection: vectors, labels and bulk access.
+
+A :class:`FeatureCollection` is the minimal database abstraction the rest of
+the library needs — a dense matrix of feature vectors with optional string
+labels (the image categories of the evaluation corpus) and convenience
+constructors from an :class:`~repro.features.datasets.ImageDataset`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, as_float_matrix, as_float_vector
+
+
+class FeatureCollection:
+    """An immutable collection of feature vectors with optional labels."""
+
+    def __init__(self, vectors, labels=None) -> None:
+        vectors = as_float_matrix(vectors, name="vectors")
+        if vectors.shape[0] == 0:
+            raise ValidationError("a collection must contain at least one vector")
+        self._vectors = vectors.copy()
+        self._vectors.setflags(write=False)
+        if labels is None:
+            self._labels: tuple[str, ...] | None = None
+        else:
+            labels = tuple(str(label) for label in labels)
+            if len(labels) != vectors.shape[0]:
+                raise ValidationError("labels must have one entry per vector")
+            self._labels = labels
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_image_dataset(cls, dataset, *, embed: bool = False) -> "FeatureCollection":
+        """Build a collection from an :class:`~repro.features.datasets.ImageDataset`.
+
+        Parameters
+        ----------
+        dataset:
+            The image dataset.
+        embed:
+            When true, drop the last histogram bin so the vectors live in the
+            D = n_bins - 1 query domain used by the Simplex Tree.
+        """
+        from repro.features.normalization import drop_last_bin
+
+        vectors = dataset.features
+        if embed:
+            vectors = drop_last_bin(vectors)
+        labels = [record.category for record in dataset.records]
+        return cls(vectors, labels=labels)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of vectors in the collection."""
+        return int(self._vectors.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the feature vectors."""
+        return int(self._vectors.shape[1])
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The full (read-only) feature matrix."""
+        return self._vectors
+
+    @property
+    def labels(self) -> tuple[str, ...] | None:
+        """Per-vector labels, or ``None`` when the collection is unlabelled."""
+        return self._labels
+
+    def vector(self, index: int) -> np.ndarray:
+        """Return a copy of vector ``index``."""
+        if not 0 <= index < self.size:
+            raise ValidationError(f"index {index} out of range [0, {self.size})")
+        return self._vectors[index].copy()
+
+    def label(self, index: int) -> str:
+        """Return the label of vector ``index`` (requires a labelled collection)."""
+        if self._labels is None:
+            raise ValidationError("this collection has no labels")
+        if not 0 <= index < self.size:
+            raise ValidationError(f"index {index} out of range [0, {self.size})")
+        return self._labels[index]
+
+    def indices_with_label(self, label: str) -> np.ndarray:
+        """Return the indices of every vector carrying ``label``."""
+        if self._labels is None:
+            raise ValidationError("this collection has no labels")
+        return np.asarray(
+            [index for index, value in enumerate(self._labels) if value == label], dtype=np.intp
+        )
+
+    def __len__(self) -> int:
+        return self.size
+
+    def validate_query_point(self, point) -> np.ndarray:
+        """Validate a query point against the collection's dimensionality."""
+        return as_float_vector(point, name="query point", dim=self.dimension)

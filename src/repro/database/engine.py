@@ -1,0 +1,132 @@
+"""The retrieval engine: query processing over a feature collection.
+
+The engine is the "Query/Result" box of Figure 4 in the paper: given a query
+point, a result-set size ``k`` and a (possibly feedback-adjusted) distance
+function, it returns the ``k`` closest database objects.  It owns
+
+* the :class:`~repro.database.collection.FeatureCollection`,
+* the default distance function (unweighted Euclidean in the experiments),
+* a linear-scan engine that handles arbitrary per-query distances, and
+* optionally a metric index (VP-tree or M-tree) that accelerates queries
+  which still use the default distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.database.collection import FeatureCollection
+from repro.database.knn import LinearScanIndex
+from repro.database.query import Query, ResultSet
+from repro.distances.base import DistanceFunction
+from repro.distances.weighted_euclidean import WeightedEuclideanDistance
+from repro.utils.validation import ValidationError
+
+
+class RetrievalEngine:
+    """k-NN query processing with pluggable distance functions.
+
+    Parameters
+    ----------
+    collection:
+        The indexed feature collection.
+    default_distance:
+        Distance used when a query does not override it; defaults to the
+        unweighted Euclidean distance (the paper's default).
+    metric_index:
+        Optional pre-built metric index (:class:`~repro.database.vptree.VPTreeIndex`
+        or :class:`~repro.database.mtree.MTreeIndex`).  It is only consulted
+        when the query runs under the exact distance object the index was
+        built for; every other query falls back to the linear scan.
+    """
+
+    def __init__(
+        self,
+        collection: FeatureCollection,
+        default_distance: DistanceFunction | None = None,
+        metric_index=None,
+    ) -> None:
+        self._collection = collection
+        if default_distance is None:
+            default_distance = WeightedEuclideanDistance.default(collection.dimension)
+        if default_distance.dimension != collection.dimension:
+            raise ValidationError("default distance dimensionality does not match the collection")
+        self._default_distance = default_distance
+        self._scan = LinearScanIndex(collection)
+        if metric_index is not None and metric_index.collection is not collection:
+            raise ValidationError("metric index was built for a different collection")
+        self._metric_index = metric_index
+        self._n_searches = 0
+        self._n_objects_retrieved = 0
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def collection(self) -> FeatureCollection:
+        """The underlying feature collection."""
+        return self._collection
+
+    @property
+    def default_distance(self) -> DistanceFunction:
+        """The distance used when none is supplied with the query."""
+        return self._default_distance
+
+    @property
+    def n_searches(self) -> int:
+        """Number of k-NN searches executed so far."""
+        return self._n_searches
+
+    @property
+    def n_objects_retrieved(self) -> int:
+        """Total number of objects returned over all searches.
+
+        The Saved-Objects efficiency metric of Section 5.3 is a difference of
+        this counter between two strategies.
+        """
+        return self._n_objects_retrieved
+
+    def reset_counters(self) -> None:
+        """Reset the search / retrieved-object counters."""
+        self._n_searches = 0
+        self._n_objects_retrieved = 0
+
+    # ------------------------------------------------------------------ #
+    # Query processing
+    # ------------------------------------------------------------------ #
+    def search(self, query_point, k: int, distance: DistanceFunction | None = None) -> ResultSet:
+        """Return the ``k`` objects closest to ``query_point``.
+
+        When ``distance`` is omitted the default distance applies and the
+        metric index (if any) is used; a caller-supplied distance always runs
+        through the exact linear scan because feedback may have changed its
+        parameters arbitrarily.
+        """
+        if distance is None:
+            distance = self._default_distance
+        if self._metric_index is not None and distance is self._metric_index.distance:
+            result = self._metric_index.search(query_point, k)
+        else:
+            result = self._scan.search(query_point, k, distance)
+        self._n_searches += 1
+        self._n_objects_retrieved += len(result)
+        return result
+
+    def execute(self, query: Query, distance: DistanceFunction | None = None) -> ResultSet:
+        """Execute a :class:`~repro.database.query.Query` object."""
+        return self.search(query.point, query.k, distance=distance)
+
+    def search_with_parameters(self, query_point, k: int, delta, weights) -> ResultSet:
+        """Search with explicit query-parameter overrides.
+
+        ``delta`` shifts the query point (``q_opt = q + Δ``) and ``weights``
+        parameterises the weighted Euclidean distance — exactly how the
+        optimal query parameters stored by FeedbackBypass are applied.
+        """
+        query_point = self._collection.validate_query_point(query_point)
+        delta = np.asarray(delta, dtype=np.float64)
+        if delta.shape != query_point.shape:
+            raise ValidationError("delta must have the same shape as the query point")
+        weights = np.asarray(weights, dtype=np.float64)
+        distance = WeightedEuclideanDistance(self._collection.dimension, weights=np.clip(weights, 0.0, None))
+        return self.search(query_point + delta, k, distance=distance)

@@ -1,0 +1,61 @@
+"""Exhaustive-scan k-nearest-neighbour search.
+
+The linear scan is the reference k-NN engine: it is exact by construction and
+fast in practice for the corpus sizes of the evaluation (a few thousand
+vectors x 31 dimensions fit comfortably in a single vectorised distance
+computation).  The metric indexes (:mod:`repro.database.vptree`,
+:mod:`repro.database.mtree`) are validated against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.database.collection import FeatureCollection
+from repro.database.query import ResultSet
+from repro.distances.base import DistanceFunction
+from repro.utils.validation import ValidationError, check_dimension
+
+
+class LinearScanIndex:
+    """Exact k-NN by scanning every vector.
+
+    Unlike the metric indexes, the linear scan supports *any* distance
+    function, including ones whose parameters change between queries — which
+    is exactly what happens inside a feedback loop.  It is therefore the
+    engine the interactive sessions use.
+    """
+
+    def __init__(self, collection: FeatureCollection) -> None:
+        self._collection = collection
+
+    @property
+    def collection(self) -> FeatureCollection:
+        """The indexed collection."""
+        return self._collection
+
+    def search(self, query_point, k: int, distance: DistanceFunction) -> ResultSet:
+        """Return the ``k`` vectors closest to ``query_point`` under ``distance``."""
+        k = check_dimension(k, "k")
+        query_point = self._collection.validate_query_point(query_point)
+        if distance.dimension != self._collection.dimension:
+            raise ValidationError(
+                "distance dimensionality does not match the collection "
+                f"({distance.dimension} vs {self._collection.dimension})"
+            )
+        k = min(k, self._collection.size)
+        distances = distance.distances_to(query_point, self._collection.vectors)
+        # argpartition gives the k smallest in O(n); sort only those k.
+        candidate = np.argpartition(distances, k - 1)[:k]
+        order = candidate[np.argsort(distances[candidate], kind="stable")]
+        return ResultSet.from_arrays(order, distances[order])
+
+    def range_search(self, query_point, radius: float, distance: DistanceFunction) -> ResultSet:
+        """Return every vector within ``radius`` of ``query_point``."""
+        query_point = self._collection.validate_query_point(query_point)
+        if radius < 0:
+            raise ValidationError("radius must be non-negative")
+        distances = distance.distances_to(query_point, self._collection.vectors)
+        hits = np.flatnonzero(distances <= radius)
+        order = hits[np.argsort(distances[hits], kind="stable")]
+        return ResultSet.from_arrays(order, distances[order])

@@ -1,0 +1,106 @@
+"""Query and result value objects.
+
+Following Section 2 of the paper, a query is a pair ``Q = (q, k)``: a query
+point and a limit on the number of results.  A result set is the list of the
+``k`` database objects closest to ``q`` under the current distance function,
+ordered by increasing distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, as_float_vector, check_dimension
+
+
+@dataclass(frozen=True)
+class Query:
+    """An initial user query ``(q, k)``.
+
+    Attributes
+    ----------
+    point:
+        The query point in feature space.
+    k:
+        Number of results requested.
+    """
+
+    point: np.ndarray
+    k: int
+
+    def __post_init__(self) -> None:
+        point = as_float_vector(self.point, name="query point")
+        point.setflags(write=False)
+        object.__setattr__(self, "point", point)
+        object.__setattr__(self, "k", check_dimension(self.k, "k"))
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the query point."""
+        return int(self.point.shape[0])
+
+
+@dataclass(frozen=True)
+class ResultItem:
+    """One retrieved object: its collection index and its distance to the query."""
+
+    index: int
+    distance: float
+
+
+@dataclass(frozen=True)
+class ResultSet:
+    """An ordered list of retrieved objects.
+
+    The items are sorted by non-decreasing distance; ties keep the order the
+    index produced, so two engines returning the same distances compare equal
+    through :meth:`indices`.
+    """
+
+    items: tuple[ResultItem, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        items = tuple(self.items)
+        distances = [item.distance for item in items]
+        if any(b < a - 1e-12 for a, b in zip(distances, distances[1:])):
+            raise ValidationError("result items must be sorted by non-decreasing distance")
+        object.__setattr__(self, "items", items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __getitem__(self, position: int) -> ResultItem:
+        return self.items[position]
+
+    def indices(self) -> np.ndarray:
+        """Return the retrieved collection indices, in rank order."""
+        return np.asarray([item.index for item in self.items], dtype=np.intp)
+
+    def distances(self) -> np.ndarray:
+        """Return the distances, in rank order."""
+        return np.asarray([item.distance for item in self.items], dtype=np.float64)
+
+    def same_objects(self, other: "ResultSet") -> bool:
+        """True when both result sets contain the same objects in the same order.
+
+        This is the convergence test of the feedback loop: iteration stops
+        when the result list no longer changes (Section 5).
+        """
+        return len(self) == len(other) and bool(np.array_equal(self.indices(), other.indices()))
+
+    @classmethod
+    def from_arrays(cls, indices, distances) -> "ResultSet":
+        """Build a result set from parallel index / distance arrays."""
+        indices = np.asarray(indices, dtype=np.intp)
+        distances = np.asarray(distances, dtype=np.float64)
+        if indices.shape != distances.shape:
+            raise ValidationError("indices and distances must have the same shape")
+        items = tuple(
+            ResultItem(index=int(i), distance=float(d)) for i, d in zip(indices, distances)
+        )
+        return cls(items=items)

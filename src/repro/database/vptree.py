@@ -1,0 +1,147 @@
+"""Vantage-point tree: a simple exact metric index.
+
+A VP-tree partitions the data by distance to a randomly chosen vantage point:
+objects closer than the median go to the inner subtree, the rest to the
+outer subtree.  k-NN search descends the tree and prunes subtrees that cannot
+contain anything closer than the current k-th best, using the triangle
+inequality.  The index is built for a *fixed* metric; it serves as the
+light-weight counterpart to the M-tree and as a cross-check for the linear
+scan.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.database.collection import FeatureCollection
+from repro.database.query import ResultSet
+from repro.distances.base import DistanceFunction
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import ValidationError, check_dimension
+
+
+@dataclass
+class _VPNode:
+    vantage_index: int
+    radius: float
+    inner: "_VPNode | None"
+    outer: "_VPNode | None"
+    bucket: np.ndarray | None  # leaf bucket of collection indices (vantage included)
+
+
+class VPTreeIndex:
+    """Exact k-NN via a vantage-point tree built for a fixed metric."""
+
+    def __init__(
+        self,
+        collection: FeatureCollection,
+        distance: DistanceFunction,
+        *,
+        leaf_size: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if distance.dimension != collection.dimension:
+            raise ValidationError("distance dimensionality does not match the collection")
+        if leaf_size < 1:
+            raise ValidationError("leaf_size must be >= 1")
+        self._collection = collection
+        self._distance = distance
+        self._leaf_size = int(leaf_size)
+        self._rng = ensure_rng(seed)
+        indices = np.arange(collection.size, dtype=np.intp)
+        self._root = self._build(indices)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _build(self, indices: np.ndarray) -> _VPNode | None:
+        if indices.size == 0:
+            return None
+        if indices.size <= self._leaf_size:
+            return _VPNode(vantage_index=int(indices[0]), radius=0.0, inner=None, outer=None, bucket=indices)
+        position = int(self._rng.integers(0, indices.size))
+        vantage = int(indices[position])
+        rest = np.delete(indices, position)
+        vantage_vector = self._collection.vectors[vantage]
+        distances = self._distance.distances_to(vantage_vector, self._collection.vectors[rest])
+        radius = float(np.median(distances))
+        inner_mask = distances <= radius
+        inner = self._build(rest[inner_mask])
+        outer = self._build(rest[~inner_mask])
+        return _VPNode(vantage_index=vantage, radius=radius, inner=inner, outer=outer, bucket=None)
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    @property
+    def collection(self) -> FeatureCollection:
+        """The indexed collection."""
+        return self._collection
+
+    @property
+    def distance(self) -> DistanceFunction:
+        """The metric the tree was built for."""
+        return self._distance
+
+    def search(self, query_point, k: int, distance: DistanceFunction | None = None) -> ResultSet:
+        """Return the ``k`` nearest neighbours of ``query_point``.
+
+        ``distance`` may be omitted (the build metric is used); passing a
+        different metric raises, because the tree's pruning bounds would be
+        invalid.
+        """
+        k = check_dimension(k, "k")
+        if distance is not None and distance is not self._distance:
+            raise ValidationError("a VP-tree can only be searched with the metric it was built for")
+        query_point = self._collection.validate_query_point(query_point)
+        k = min(k, self._collection.size)
+
+        # Max-heap of (-distance, index) holding the current k best.
+        heap: list[tuple[float, int]] = []
+        self._search_node(self._root, query_point, k, heap)
+        best = sorted(((-negative, index) for negative, index in heap))
+        indices = [index for _, index in best]
+        distances = [dist for dist, _ in best]
+        return ResultSet.from_arrays(indices, distances)
+
+    def _search_node(self, node: _VPNode | None, query_point: np.ndarray, k: int, heap: list) -> None:
+        if node is None:
+            return
+        if node.bucket is not None:
+            vectors = self._collection.vectors[node.bucket]
+            distances = self._distance.distances_to(query_point, vectors)
+            for index, dist in zip(node.bucket, distances):
+                self._offer(heap, k, float(dist), int(index))
+            return
+
+        vantage_vector = self._collection.vectors[node.vantage_index]
+        vantage_distance = self._distance.distance(query_point, vantage_vector)
+        self._offer(heap, k, float(vantage_distance), int(node.vantage_index))
+
+        threshold = self._current_bound(heap, k)
+        if vantage_distance <= node.radius:
+            first, second = node.inner, node.outer
+        else:
+            first, second = node.outer, node.inner
+        self._search_node(first, query_point, k, heap)
+        threshold = self._current_bound(heap, k)
+        # The second subtree can only contain closer objects when the query
+        # ball of radius ``threshold`` crosses the vantage sphere.
+        if abs(vantage_distance - node.radius) <= threshold:
+            self._search_node(second, query_point, k, heap)
+
+    @staticmethod
+    def _offer(heap: list, k: int, distance: float, index: int) -> None:
+        if len(heap) < k:
+            heapq.heappush(heap, (-distance, index))
+        elif distance < -heap[0][0]:
+            heapq.heapreplace(heap, (-distance, index))
+
+    @staticmethod
+    def _current_bound(heap: list, k: int) -> float:
+        if len(heap) < k:
+            return float("inf")
+        return -heap[0][0]

@@ -1,0 +1,70 @@
+"""Abstract interface shared by every distance function in the library."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.validation import as_float_matrix, as_float_vector
+
+
+class DistanceFunction(abc.ABC):
+    """A parameterised distance on R^D.
+
+    Concrete subclasses implement the point-to-point distance and the
+    vectorised point-to-matrix form used by the k-NN engines.  The
+    ``parameters`` / ``with_parameters`` pair exposes the distance's free
+    parameters as a flat vector, which is what relevance feedback adjusts and
+    what FeedbackBypass stores in the Simplex Tree.
+    """
+
+    def __init__(self, dimension: int) -> None:
+        self._dimension = int(dimension)
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality D of the feature space."""
+        return self._dimension
+
+    # ------------------------------------------------------------------ #
+    # Parameter interface
+    # ------------------------------------------------------------------ #
+    @property
+    @abc.abstractmethod
+    def n_parameters(self) -> int:
+        """Number of free parameters P of this distance class."""
+
+    @abc.abstractmethod
+    def parameters(self) -> np.ndarray:
+        """Return the current parameter vector (length ``n_parameters``)."""
+
+    @abc.abstractmethod
+    def with_parameters(self, parameters) -> "DistanceFunction":
+        """Return a new distance of the same class with the given parameters."""
+
+    # ------------------------------------------------------------------ #
+    # Distance computation
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def distance(self, first, second) -> float:
+        """Distance between two points."""
+
+    @abc.abstractmethod
+    def distances_to(self, query, points) -> np.ndarray:
+        """Distances from ``query`` to every row of ``points`` (vectorised)."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def _validate_point(self, point, name: str = "point") -> np.ndarray:
+        return as_float_vector(point, name=name, dim=self._dimension)
+
+    def _validate_points(self, points, name: str = "points") -> np.ndarray:
+        return as_float_matrix(points, name=name, shape=(None, self._dimension))
+
+    def __call__(self, first, second) -> float:
+        return self.distance(first, second)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(dimension={self._dimension})"

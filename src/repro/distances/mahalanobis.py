@@ -1,0 +1,93 @@
+"""Quadratic (Mahalanobis-style) distances.
+
+``d^2(p, q; W) = (p - q)^T W (p - q)`` with a symmetric positive
+semi-definite matrix ``W`` — a "rotated" weighted Euclidean norm whose
+iso-distance surfaces are arbitrarily oriented ellipsoids (Section 2).  The
+paper's experiments do not use it (too many parameters for k <= 80 good
+matches) but MindReader-style feedback does, so both the distance and the
+full-matrix update are part of the substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances.base import DistanceFunction
+from repro.utils.validation import ValidationError, as_float_matrix
+
+
+def _symmetrize(matrix: np.ndarray) -> np.ndarray:
+    return (matrix + matrix.T) / 2.0
+
+
+class MahalanobisDistance(DistanceFunction):
+    """Quadratic distance parameterised by a symmetric PSD matrix."""
+
+    def __init__(self, dimension: int, matrix=None, *, validate_psd: bool = True) -> None:
+        super().__init__(dimension)
+        if matrix is None:
+            matrix = np.eye(dimension, dtype=np.float64)
+        matrix = as_float_matrix(matrix, name="matrix", shape=(dimension, dimension))
+        matrix = _symmetrize(matrix)
+        if validate_psd:
+            eigenvalues = np.linalg.eigvalsh(matrix)
+            if eigenvalues.min() < -1e-8 * max(1.0, abs(eigenvalues.max())):
+                raise ValidationError("matrix must be positive semi-definite")
+        self._matrix = matrix
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The quadratic-form matrix (copy)."""
+        return self._matrix.copy()
+
+    @classmethod
+    def from_covariance(cls, covariance, *, ridge: float = 1e-6) -> "MahalanobisDistance":
+        """Build the distance whose matrix is the (ridge-regularised) inverse covariance."""
+        covariance = as_float_matrix(covariance, name="covariance")
+        if covariance.shape[0] != covariance.shape[1]:
+            raise ValidationError("covariance must be square")
+        dimension = covariance.shape[0]
+        regularised = _symmetrize(covariance) + ridge * np.eye(dimension)
+        return cls(dimension, matrix=np.linalg.inv(regularised))
+
+    # ------------------------------------------------------------------ #
+    # Parameter interface
+    # ------------------------------------------------------------------ #
+    @property
+    def n_parameters(self) -> int:
+        # Upper triangle including the diagonal: D * (D + 1) / 2 free values,
+        # matching the paper's count of 31 * 32 / 2 = 496 for D = 31.
+        return self.dimension * (self.dimension + 1) // 2
+
+    def parameters(self) -> np.ndarray:
+        indices = np.triu_indices(self.dimension)
+        return self._matrix[indices].copy()
+
+    def with_parameters(self, parameters) -> "MahalanobisDistance":
+        parameters = np.asarray(parameters, dtype=np.float64)
+        if parameters.shape != (self.n_parameters,):
+            raise ValidationError(
+                f"expected {self.n_parameters} parameters, got shape {parameters.shape}"
+            )
+        matrix = np.zeros((self.dimension, self.dimension), dtype=np.float64)
+        indices = np.triu_indices(self.dimension)
+        matrix[indices] = parameters
+        matrix = matrix + np.triu(matrix, k=1).T
+        return MahalanobisDistance(self.dimension, matrix=matrix, validate_psd=False)
+
+    # ------------------------------------------------------------------ #
+    # Distance computation
+    # ------------------------------------------------------------------ #
+    def distance(self, first, second) -> float:
+        first = self._validate_point(first, "first")
+        second = self._validate_point(second, "second")
+        delta = first - second
+        value = float(delta @ self._matrix @ delta)
+        return float(np.sqrt(max(value, 0.0)))
+
+    def distances_to(self, query, points) -> np.ndarray:
+        query = self._validate_point(query, "query")
+        points = self._validate_points(points)
+        deltas = points - query
+        values = np.einsum("ij,jk,ik->i", deltas, self._matrix, deltas)
+        return np.sqrt(np.clip(values, 0.0, None))

@@ -1,0 +1,85 @@
+"""Minkowski (L_p) distances, optionally weighted.
+
+``p = 1`` gives the Manhattan (city-block) distance and ``p = 2`` the
+Euclidean distance, the two examples named in Section 2 of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances.base import DistanceFunction
+from repro.utils.validation import ValidationError, as_float_vector, check_positive
+
+
+class MinkowskiDistance(DistanceFunction):
+    """Weighted L_p distance ``(sum_i w_i |x_i - y_i|^p)^(1/p)``.
+
+    Parameters
+    ----------
+    dimension:
+        Feature-space dimensionality D.
+    order:
+        The exponent ``p`` (>= 1).
+    weights:
+        Optional per-coordinate weights (default: all ones).
+    """
+
+    def __init__(self, dimension: int, order: float = 2.0, weights=None) -> None:
+        super().__init__(dimension)
+        self._order = check_positive(float(order), name="order")
+        if self._order < 1.0:
+            raise ValidationError(f"order must be >= 1 for a metric, got {self._order}")
+        if weights is None:
+            weights = np.ones(dimension, dtype=np.float64)
+        self._weights = as_float_vector(weights, name="weights", dim=dimension)
+        if np.any(self._weights < 0):
+            raise ValidationError("weights must be non-negative")
+
+    @property
+    def order(self) -> float:
+        """The L_p exponent."""
+        return self._order
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Per-coordinate weights (copy)."""
+        return self._weights.copy()
+
+    # ------------------------------------------------------------------ #
+    # Parameter interface
+    # ------------------------------------------------------------------ #
+    @property
+    def n_parameters(self) -> int:
+        return self.dimension
+
+    def parameters(self) -> np.ndarray:
+        return self._weights.copy()
+
+    def with_parameters(self, parameters) -> "MinkowskiDistance":
+        return MinkowskiDistance(self.dimension, order=self._order, weights=parameters)
+
+    # ------------------------------------------------------------------ #
+    # Distance computation
+    # ------------------------------------------------------------------ #
+    def distance(self, first, second) -> float:
+        first = self._validate_point(first, "first")
+        second = self._validate_point(second, "second")
+        deltas = np.abs(first - second)
+        return float(np.power(np.sum(self._weights * np.power(deltas, self._order)), 1.0 / self._order))
+
+    def distances_to(self, query, points) -> np.ndarray:
+        query = self._validate_point(query, "query")
+        points = self._validate_points(points)
+        deltas = np.abs(points - query)
+        return np.power(np.sum(self._weights * np.power(deltas, self._order), axis=1), 1.0 / self._order)
+
+
+def euclidean(dimension: int) -> MinkowskiDistance:
+    """Unweighted Euclidean distance on R^D (the paper's default)."""
+    return MinkowskiDistance(dimension, order=2.0)
+
+
+def cityblock(dimension: int) -> MinkowskiDistance:
+    """Unweighted Manhattan (L1) distance on R^D."""
+    return MinkowskiDistance(dimension, order=1.0)

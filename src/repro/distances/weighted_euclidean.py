@@ -1,0 +1,74 @@
+"""The weighted Euclidean distance of Equation 1.
+
+This is the retrieval model the paper's experiments use: 32-bin colour
+histograms compared with ``L2W(p, q; W) = (sum_i w_i (p_i - q_i)^2)^(1/2)``,
+where the weight vector ``W`` is what the re-weighting feedback strategy
+adjusts and FeedbackBypass predicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances.base import DistanceFunction
+from repro.utils.validation import ValidationError, as_float_vector
+
+
+class WeightedEuclideanDistance(DistanceFunction):
+    """Weighted Euclidean distance with non-negative per-coordinate weights."""
+
+    def __init__(self, dimension: int, weights=None) -> None:
+        super().__init__(dimension)
+        if weights is None:
+            weights = np.ones(dimension, dtype=np.float64)
+        self._weights = as_float_vector(weights, name="weights", dim=dimension)
+        if np.any(self._weights < 0):
+            raise ValidationError("weights must be non-negative")
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Per-coordinate weights (copy)."""
+        return self._weights.copy()
+
+    @classmethod
+    def default(cls, dimension: int) -> "WeightedEuclideanDistance":
+        """The default (unweighted) Euclidean distance used before any feedback."""
+        return cls(dimension)
+
+    def is_default(self, tolerance: float = 1e-12) -> bool:
+        """True when every weight equals one (i.e. plain Euclidean)."""
+        return bool(np.allclose(self._weights, 1.0, atol=tolerance))
+
+    # ------------------------------------------------------------------ #
+    # Parameter interface
+    # ------------------------------------------------------------------ #
+    @property
+    def n_parameters(self) -> int:
+        return self.dimension
+
+    def parameters(self) -> np.ndarray:
+        return self._weights.copy()
+
+    def with_parameters(self, parameters) -> "WeightedEuclideanDistance":
+        return WeightedEuclideanDistance(self.dimension, weights=parameters)
+
+    # ------------------------------------------------------------------ #
+    # Distance computation
+    # ------------------------------------------------------------------ #
+    def distance(self, first, second) -> float:
+        first = self._validate_point(first, "first")
+        second = self._validate_point(second, "second")
+        deltas = first - second
+        return float(np.sqrt(np.sum(self._weights * deltas * deltas)))
+
+    def distances_to(self, query, points) -> np.ndarray:
+        query = self._validate_point(query, "query")
+        points = self._validate_points(points)
+        deltas = points - query
+        return np.sqrt(np.sum(self._weights * deltas * deltas, axis=1))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"WeightedEuclideanDistance(dimension={self.dimension}, "
+            f"default={self.is_default()})"
+        )

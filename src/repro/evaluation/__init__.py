@@ -1,0 +1,94 @@
+"""Evaluation harness: metrics, the simulated user, sessions and experiments.
+
+This subpackage reproduces Section 5 of the paper:
+
+* :mod:`repro.evaluation.metrics` — precision, recall, precision gain,
+* :mod:`repro.evaluation.simulated_user` — the category-oracle judge used to
+  automate the feedback loops,
+* :mod:`repro.evaluation.session` — the interactive session combining the
+  retrieval engine, the feedback engine and FeedbackBypass, evaluating the
+  Default / FeedbackBypass / AlreadySeen strategies per query,
+* :mod:`repro.evaluation.experiments` — the figure-level experiments
+  (learning curves, k sweeps, per-category robustness, tree growth),
+* :mod:`repro.evaluation.efficiency` — the Saved-Cycles / Saved-Objects
+  experiment,
+* :mod:`repro.evaluation.reporting` — plain-text rendering of experiment
+  results (the series the paper plots).
+"""
+
+from repro.evaluation.metrics import (
+    average_precision_recall,
+    precision,
+    precision_gain,
+    recall,
+)
+from repro.evaluation.session import (
+    InteractiveSession,
+    QueryOutcome,
+    SessionConfig,
+    StrategyMetrics,
+)
+from repro.evaluation.simulated_user import SimulatedUser
+from repro.evaluation.experiments import (
+    CategoryRobustnessResult,
+    KSweepResult,
+    LearningCurveResult,
+    TrainingTransferResult,
+    TreeGrowthResult,
+    category_robustness,
+    k_sweep,
+    learning_curve,
+    training_k_transfer,
+    tree_growth,
+)
+from repro.evaluation.efficiency import EfficiencyResult, saved_cycles_experiment
+from repro.evaluation.workloads import (
+    RepeatRateBenefitResult,
+    category_skewed_workload,
+    repeat_rate_benefit,
+    repeated_query_workload,
+    uniform_workload,
+)
+from repro.evaluation.reporting import (
+    format_series_table,
+    render_category_robustness,
+    render_efficiency,
+    render_k_sweep,
+    render_learning_curve,
+    render_tree_growth,
+)
+
+__all__ = [
+    "average_precision_recall",
+    "precision",
+    "precision_gain",
+    "recall",
+    "InteractiveSession",
+    "QueryOutcome",
+    "SessionConfig",
+    "StrategyMetrics",
+    "SimulatedUser",
+    "CategoryRobustnessResult",
+    "KSweepResult",
+    "LearningCurveResult",
+    "TrainingTransferResult",
+    "TreeGrowthResult",
+    "category_robustness",
+    "k_sweep",
+    "learning_curve",
+    "training_k_transfer",
+    "tree_growth",
+    "EfficiencyResult",
+    "saved_cycles_experiment",
+    "RepeatRateBenefitResult",
+    "category_skewed_workload",
+    "repeat_rate_benefit",
+    "repeated_query_workload",
+    "uniform_workload",
+    "format_series_table",
+    "render_category_robustness",
+    "render_efficiency",
+    "render_k_sweep",
+    "render_learning_curve",
+    "render_tree_growth",
+]

@@ -1,0 +1,71 @@
+"""Classical retrieval-effectiveness metrics.
+
+For a query with ``k`` retrieved objects (Section 5):
+
+* precision = (# retrieved relevant objects) / k,
+* recall    = (# retrieved relevant objects) / (# relevant objects in the
+  database, i.e. the size of the query's category),
+* precision gain of strategy X = (Pr(X) / Pr(Default) - 1) * 100.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.database.query import ResultSet
+from repro.utils.validation import ValidationError, check_dimension
+
+
+def _count_relevant(results: ResultSet, result_categories, query_category: str) -> int:
+    if len(results) != len(result_categories):
+        raise ValidationError("result_categories must have one entry per result")
+    return sum(1 for category in result_categories if category == query_category)
+
+
+def precision(results: ResultSet, result_categories, query_category: str) -> float:
+    """Fraction of retrieved objects that are relevant.
+
+    The denominator is the number of objects actually retrieved (<= k), which
+    matches the paper's definition since the engine always returns exactly
+    ``k`` objects when the database holds at least ``k``.
+    """
+    if len(results) == 0:
+        return 0.0
+    relevant = _count_relevant(results, result_categories, query_category)
+    return relevant / len(results)
+
+
+def recall(results: ResultSet, result_categories, query_category: str, category_size: int) -> float:
+    """Fraction of the relevant objects that were retrieved."""
+    category_size = check_dimension(category_size, "category_size")
+    relevant = _count_relevant(results, result_categories, query_category)
+    return relevant / category_size
+
+
+def precision_gain(strategy_precision: float, default_precision: float) -> float:
+    """Relative precision gain over the Default strategy, in percent.
+
+    ``PrGain = (Pr(strategy) / Pr(Default) - 1) * 100`` (Section 5.1).  When
+    the Default precision is zero the gain is defined as zero if the strategy
+    is also zero and infinity otherwise.
+    """
+    if default_precision < 0 or strategy_precision < 0:
+        raise ValidationError("precisions must be non-negative")
+    if default_precision == 0.0:
+        return 0.0 if strategy_precision == 0.0 else float("inf")
+    return (strategy_precision / default_precision - 1.0) * 100.0
+
+
+def average_precision_recall(pairs) -> tuple[float, float]:
+    """Average a sequence of ``(precision, recall)`` pairs.
+
+    Returns ``(0.0, 0.0)`` for an empty sequence, which keeps learning-curve
+    checkpoints well defined before any query has been processed.
+    """
+    pairs = list(pairs)
+    if not pairs:
+        return 0.0, 0.0
+    array = np.asarray(pairs, dtype=np.float64)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise ValidationError("pairs must be a sequence of (precision, recall) tuples")
+    return float(array[:, 0].mean()), float(array[:, 1].mean())

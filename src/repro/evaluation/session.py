@@ -1,0 +1,333 @@
+"""The interactive retrieval session.
+
+:class:`InteractiveSession` wires together every subsystem exactly as
+Figure 4 of the paper does: the retrieval engine answers k-NN queries, the
+simulated user provides relevance judgments, the feedback engine iterates the
+loop, and FeedbackBypass predicts parameters before the loop and stores the
+converged parameters afterwards.
+
+For every processed query the session evaluates the three strategies the
+paper compares:
+
+* **Default** — first-round results with the user's query point and the
+  unweighted Euclidean distance,
+* **FeedbackBypass** — first-round results with the parameters predicted by
+  the (so far trained) Simplex Tree; the prediction is taken *before* the
+  query's own feedback is inserted, so it always refers to a new query,
+* **AlreadySeen** — first-round results with the parameters the feedback
+  loop converges to for this very query, i.e. the upper bound the prediction
+  approaches for repeated queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bootstrap import bypass_for_histograms
+from repro.core.bypass import FeedbackBypass
+from repro.core.oqp import OptimalQueryParameters
+from repro.database.collection import FeatureCollection
+from repro.database.engine import RetrievalEngine
+from repro.database.query import ResultSet
+from repro.evaluation.metrics import precision, recall
+from repro.evaluation.simulated_user import SimulatedUser
+from repro.features.datasets import ImageDataset
+from repro.features.normalization import drop_last_bin
+from repro.feedback.engine import FeedbackEngine, FeedbackLoopResult
+from repro.feedback.reweighting import ReweightingRule
+from repro.utils.validation import ValidationError, check_dimension, check_positive
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Knobs of an interactive session.
+
+    Attributes
+    ----------
+    k:
+        Result-set size used both for feedback and for evaluation (the paper
+        uses 50 by default and never exceeds 80).
+    epsilon:
+        Insert threshold ε of the Simplex Tree.
+    reweighting_rule:
+        Re-weighting rule of the feedback loop.
+    move_query_point:
+        Whether the loop applies query-point movement.
+    max_iterations:
+        Iteration budget of the feedback loop.
+    measure_bypass_loop:
+        When true, the session additionally runs the feedback loop *starting
+        from the predicted parameters* for every query, which is needed for
+        the Saved-Cycles efficiency metric but doubles the work.
+    """
+
+    k: int = 50
+    epsilon: float = 0.05
+    reweighting_rule: ReweightingRule = ReweightingRule.OPTIMAL
+    move_query_point: bool = True
+    max_iterations: int = 10
+    measure_bypass_loop: bool = False
+
+    def __post_init__(self) -> None:
+        check_dimension(self.k, "k")
+        check_positive(self.epsilon, name="epsilon", strict=False)
+        check_dimension(self.max_iterations, "max_iterations")
+
+
+@dataclass(frozen=True)
+class StrategyMetrics:
+    """Precision and recall of one strategy for one query."""
+
+    precision: float
+    recall: float
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Everything measured while processing one query.
+
+    Attributes
+    ----------
+    query_index:
+        Index of the query image in the dataset / collection.
+    category:
+        The query's category.
+    default, bypass, already_seen:
+        First-round metrics of the three strategies.
+    loop_iterations_default:
+        Feedback iterations needed when the loop starts from the default
+        parameters.
+    loop_iterations_bypass:
+        Feedback iterations needed when the loop starts from the predicted
+        parameters (``None`` unless ``measure_bypass_loop`` is enabled).
+    inserted:
+        Whether the query's converged parameters were stored in the tree
+        ("inserted" / "updated" / "skipped" / "none" when no feedback signal
+        was available).
+    prediction_was_default:
+        True when the prediction used for the Bypass strategy was still the
+        default parameters (e.g. for the very first queries).
+    """
+
+    query_index: int
+    category: str
+    default: StrategyMetrics
+    bypass: StrategyMetrics
+    already_seen: StrategyMetrics
+    loop_iterations_default: int
+    loop_iterations_bypass: int | None
+    inserted: str
+    prediction_was_default: bool
+
+    @property
+    def default_precision(self) -> float:
+        """Shortcut to the Default strategy's precision."""
+        return self.default.precision
+
+    @property
+    def bypass_precision(self) -> float:
+        """Shortcut to the FeedbackBypass strategy's precision."""
+        return self.bypass.precision
+
+    @property
+    def already_seen_precision(self) -> float:
+        """Shortcut to the AlreadySeen strategy's precision."""
+        return self.already_seen.precision
+
+
+class InteractiveSession:
+    """Interactive retrieval enriched with FeedbackBypass (Figure 4).
+
+    Most users construct it through :meth:`for_dataset`, which builds the
+    embedded feature collection, the retrieval and feedback engines, the
+    simulated user and a fresh FeedbackBypass instance in one call.
+    """
+
+    def __init__(
+        self,
+        collection: FeatureCollection,
+        user: SimulatedUser,
+        bypass: FeedbackBypass,
+        config: SessionConfig,
+        *,
+        query_vectors: np.ndarray | None = None,
+    ) -> None:
+        if collection.labels is None:
+            raise ValidationError("the session requires a labelled collection")
+        if bypass.query_dimension != collection.dimension:
+            raise ValidationError("FeedbackBypass dimensionality does not match the collection")
+        self._collection = collection
+        self._engine = RetrievalEngine(collection)
+        self._user = user
+        self._bypass = bypass
+        self._config = config
+        self._feedback = FeedbackEngine(
+            self._engine,
+            reweighting_rule=config.reweighting_rule,
+            move_query_point=config.move_query_point,
+            max_iterations=config.max_iterations,
+        )
+        # Query vectors default to the collection vectors themselves (the
+        # paper samples query images from the database).
+        self._query_vectors = collection.vectors if query_vectors is None else query_vectors
+        self._outcomes: list[QueryOutcome] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_dataset(cls, dataset: ImageDataset, config: SessionConfig | None = None) -> "InteractiveSession":
+        """Build a session for an :class:`~repro.features.datasets.ImageDataset`.
+
+        Histograms are embedded into the standard simplex by dropping the
+        last bin, the Simplex Tree is rooted on that simplex, and the
+        simulated user judges by the dataset's category labels.
+        """
+        if config is None:
+            config = SessionConfig()
+        embedded = drop_last_bin(dataset.features)
+        labels = [record.category for record in dataset.records]
+        collection = FeatureCollection(embedded, labels=labels)
+        user = SimulatedUser(collection)
+        bypass = bypass_for_histograms(dataset.n_bins, epsilon=config.epsilon)
+        return cls(collection, user, bypass, config)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def collection(self) -> FeatureCollection:
+        """The embedded, labelled feature collection."""
+        return self._collection
+
+    @property
+    def retrieval_engine(self) -> RetrievalEngine:
+        """The k-NN engine."""
+        return self._engine
+
+    @property
+    def feedback_engine(self) -> FeedbackEngine:
+        """The feedback-loop controller."""
+        return self._feedback
+
+    @property
+    def bypass(self) -> FeedbackBypass:
+        """The FeedbackBypass module being trained."""
+        return self._bypass
+
+    @property
+    def user(self) -> SimulatedUser:
+        """The simulated user."""
+        return self._user
+
+    @property
+    def config(self) -> SessionConfig:
+        """The session configuration."""
+        return self._config
+
+    @property
+    def outcomes(self) -> list[QueryOutcome]:
+        """Outcomes of every processed query, in processing order."""
+        return list(self._outcomes)
+
+    # ------------------------------------------------------------------ #
+    # Measurement helpers
+    # ------------------------------------------------------------------ #
+    def _metrics_for(self, results: ResultSet, category: str) -> StrategyMetrics:
+        categories = self._user.categories_of(results)
+        relevant_total = self._user.relevant_count(category)
+        return StrategyMetrics(
+            precision=precision(results, categories, category),
+            recall=recall(results, categories, category, relevant_total),
+        )
+
+    def evaluate_first_round(
+        self, query_index: int, parameters: OptimalQueryParameters, *, k: int | None = None
+    ) -> StrategyMetrics:
+        """Metrics of a single (first-round) search under the given parameters."""
+        k = self._config.k if k is None else check_dimension(k, "k")
+        query_point = self._query_vectors[query_index]
+        category = self._collection.label(query_index)
+        results = self._engine.search_with_parameters(
+            query_point, k, delta=parameters.delta, weights=parameters.weights
+        )
+        return self._metrics_for(results, category)
+
+    def run_feedback_loop(
+        self, query_index: int, parameters: OptimalQueryParameters, *, k: int | None = None
+    ) -> FeedbackLoopResult:
+        """Run the feedback loop for a query, starting from ``parameters``."""
+        k = self._config.k if k is None else check_dimension(k, "k")
+        query_point = self._query_vectors[query_index]
+        judge = self._user.judge_for_query(query_index)
+        return self._feedback.run_loop(
+            query_point,
+            k,
+            judge,
+            initial_delta=parameters.delta,
+            initial_weights=parameters.weights,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Query processing
+    # ------------------------------------------------------------------ #
+    def run_query(self, query_index: int) -> QueryOutcome:
+        """Process one query end-to-end and train the bypass with its outcome."""
+        query_point = self._query_vectors[query_index]
+        category = self._collection.label(query_index)
+        dimension = self._collection.dimension
+        default_parameters = OptimalQueryParameters.default(dimension)
+
+        # Strategy 1: Default first round.
+        default_metrics = self.evaluate_first_round(query_index, default_parameters)
+
+        # Strategy 2: FeedbackBypass prediction (before inserting this query).
+        predicted = self._bypass.mopt(query_point)
+        prediction_was_default = predicted.is_default(tolerance=1e-9)
+        bypass_metrics = self.evaluate_first_round(query_index, predicted)
+
+        # Run the feedback loop from the default start to obtain this query's
+        # optimal parameters (the paper's automated loop).
+        loop_default = self.run_feedback_loop(query_index, default_parameters)
+        optimal = OptimalQueryParameters(
+            delta=loop_default.final_state.query_point - query_point,
+            weights=loop_default.final_state.weights,
+        )
+
+        # Strategy 3: AlreadySeen — first round under the optimal parameters.
+        already_seen_metrics = self._metrics_for(loop_default.final_results, category)
+
+        # Optionally measure how many iterations remain when starting from
+        # the prediction (Saved-Cycles).
+        loop_iterations_bypass: int | None = None
+        if self._config.measure_bypass_loop:
+            loop_bypass = self.run_feedback_loop(query_index, predicted)
+            loop_iterations_bypass = loop_bypass.iterations
+
+        # Store the optimal parameters, unless the loop produced no feedback
+        # signal at all (no relevant results ever appeared).
+        if loop_default.iterations == 0 and optimal.is_default():
+            inserted = "none"
+        else:
+            outcome = self._bypass.insert(query_point, optimal)
+            inserted = outcome.action
+
+        outcome_record = QueryOutcome(
+            query_index=int(query_index),
+            category=category,
+            default=default_metrics,
+            bypass=bypass_metrics,
+            already_seen=already_seen_metrics,
+            loop_iterations_default=loop_default.iterations,
+            loop_iterations_bypass=loop_iterations_bypass,
+            inserted=inserted,
+            prediction_was_default=prediction_was_default,
+        )
+        self._outcomes.append(outcome_record)
+        return outcome_record
+
+    def run_stream(self, query_indices) -> list[QueryOutcome]:
+        """Process a stream of queries, training the bypass incrementally."""
+        return [self.run_query(int(index)) for index in np.asarray(query_indices, dtype=np.intp)]

@@ -1,0 +1,75 @@
+"""The category-oracle simulated user.
+
+Section 5 of the paper automates the feedback loop: "for each query image,
+any image in the same category was considered a good match whereas all other
+images were considered bad matches, regardless of their color similarity".
+:class:`SimulatedUser` is exactly that judge, bound to a labelled feature
+collection, and doubles as the source of ground truth for precision and
+recall.
+"""
+
+from __future__ import annotations
+
+from repro.database.collection import FeatureCollection
+from repro.database.query import ResultSet
+from repro.feedback.scores import (
+    RelevanceJudgment,
+    RelevanceScale,
+    score_results_by_category,
+)
+from repro.utils.validation import ValidationError
+
+
+class SimulatedUser:
+    """Judges results by category membership.
+
+    Parameters
+    ----------
+    collection:
+        A labelled feature collection (labels are the image categories).
+    scale:
+        Relevance-score scale; the experiments use binary scores.
+    """
+
+    def __init__(
+        self, collection: FeatureCollection, *, scale: RelevanceScale = RelevanceScale.BINARY
+    ) -> None:
+        if collection.labels is None:
+            raise ValidationError("the simulated user requires a labelled collection")
+        self._collection = collection
+        self._scale = scale
+
+    @property
+    def collection(self) -> FeatureCollection:
+        """The labelled collection the user judges against."""
+        return self._collection
+
+    def categories_of(self, results: ResultSet) -> list[str]:
+        """Return the category label of every result object."""
+        return [self._collection.label(item.index) for item in results]
+
+    def judge(self, results: ResultSet, query_category: str) -> list[RelevanceJudgment]:
+        """Score a result list for a query of the given category."""
+        return score_results_by_category(
+            results, self.categories_of(results), query_category, scale=self._scale
+        )
+
+    def judge_for_query(self, query_index: int):
+        """Return a judge callable bound to the category of image ``query_index``.
+
+        The returned callable has the signature the feedback engine expects
+        (``ResultSet -> list[RelevanceJudgment]``).
+        """
+        query_category = self._collection.label(query_index)
+
+        def _judge(results: ResultSet) -> list[RelevanceJudgment]:
+            return self.judge(results, query_category)
+
+        return _judge
+
+    def relevant_count(self, query_category: str) -> int:
+        """Number of relevant objects in the database for a category."""
+        count = int(self._collection.indices_with_label(query_category).shape[0])
+        if count == 0:
+            raise ValidationError(f"no objects labelled {query_category!r} in the collection")
+        return count

@@ -1,0 +1,182 @@
+"""Synthetic colour images with category-structured content.
+
+The IMSI corpus used in the paper is proprietary, so the experiments run on a
+synthetic stand-in that preserves the property the evaluation depends on:
+categories are *conceptual* — their members share some colour structure
+("signature" themes) but differ wildly otherwise, so a default Euclidean
+search retrieves few category members while feedback-learned weights (and the
+query mapping built from them) retrieve many more.
+
+A :class:`ColorTheme` is a small Gaussian blob in hue/saturation/value space.
+A :class:`CategorySpec` owns a pool of signature themes; every image drawn
+from the category mixes a random subset of those themes with random
+"distractor" themes shared by the whole corpus, at a random signature/noise
+ratio.  :class:`SyntheticImageGenerator` turns a spec into actual RGB pixel
+arrays, exercising the full RGB -> HSV -> histogram extraction path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.features.hsv import hsv_to_rgb
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import ValidationError, check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class ColorTheme:
+    """A Gaussian colour blob in HSV space.
+
+    Attributes
+    ----------
+    hue, saturation, value:
+        Centre of the blob, each in ``[0, 1]``.
+    spread:
+        Standard deviation applied to all three channels when sampling
+        pixels from the theme.
+    """
+
+    hue: float
+    saturation: float
+    value: float = 0.8
+    spread: float = 0.05
+
+    def __post_init__(self) -> None:
+        check_in_range(self.hue, 0.0, 1.0, name="hue")
+        check_in_range(self.saturation, 0.0, 1.0, name="saturation")
+        check_in_range(self.value, 0.0, 1.0, name="value")
+        check_positive(self.spread, name="spread")
+
+    def sample_hsv(self, n_pixels: int, rng) -> np.ndarray:
+        """Sample ``n_pixels`` HSV pixels from the theme."""
+        rng = ensure_rng(rng)
+        centre = np.array([self.hue, self.saturation, self.value])
+        samples = rng.normal(loc=centre, scale=self.spread, size=(n_pixels, 3))
+        # Hue is circular: wrap instead of clipping so red-ish themes do not
+        # pile up at 0.  Saturation and value simply clip.
+        samples[:, 0] = np.mod(samples[:, 0], 1.0)
+        samples[:, 1:] = np.clip(samples[:, 1:], 0.0, 1.0)
+        return samples
+
+
+@dataclass(frozen=True)
+class CategorySpec:
+    """Colour profile of a semantic category.
+
+    Attributes
+    ----------
+    name:
+        Category label ("Bird", "Fish", ...).
+    signature_themes:
+        Pool of themes characteristic for the category.  Each image uses a
+        random subset, so two images of the same category may share only part
+        of their colour content (the paper's "hard conceptual queries").
+    themes_per_image:
+        How many signature themes an individual image mixes.
+    signature_fraction_range:
+        Range of the fraction of pixels drawn from signature themes; the rest
+        comes from corpus-wide distractor themes.
+    """
+
+    name: str
+    signature_themes: tuple[ColorTheme, ...]
+    themes_per_image: tuple[int, int] = (1, 3)
+    signature_fraction_range: tuple[float, float] = (0.25, 0.60)
+
+    def __post_init__(self) -> None:
+        if not self.signature_themes:
+            raise ValidationError(f"category {self.name!r} needs at least one signature theme")
+        low, high = self.themes_per_image
+        if not (1 <= low <= high):
+            raise ValidationError("themes_per_image must satisfy 1 <= low <= high")
+        frac_low, frac_high = self.signature_fraction_range
+        check_in_range(frac_low, 0.0, 1.0, name="signature_fraction low")
+        check_in_range(frac_high, 0.0, 1.0, name="signature_fraction high")
+        if frac_low > frac_high:
+            raise ValidationError("signature_fraction_range must be (low, high) with low <= high")
+
+
+def default_distractor_themes() -> tuple[ColorTheme, ...]:
+    """Corpus-wide distractor themes: background colours any photo may contain."""
+    return (
+        ColorTheme(hue=0.58, saturation=0.15, value=0.85, spread=0.08),  # pale sky
+        ColorTheme(hue=0.12, saturation=0.25, value=0.55, spread=0.10),  # dull earth
+        ColorTheme(hue=0.33, saturation=0.20, value=0.45, spread=0.10),  # dark foliage
+        ColorTheme(hue=0.05, saturation=0.10, value=0.90, spread=0.08),  # overexposed white
+        ColorTheme(hue=0.80, saturation=0.10, value=0.30, spread=0.10),  # shadow
+        ColorTheme(hue=0.95, saturation=0.35, value=0.60, spread=0.10),  # brick / skin tones
+    )
+
+
+@dataclass
+class SyntheticImageGenerator:
+    """Generates RGB images and pixel samples for a :class:`CategorySpec`.
+
+    Parameters
+    ----------
+    image_size:
+        Side length of the (square) generated images.
+    distractor_themes:
+        Corpus-wide themes mixed into every image; defaults to
+        :func:`default_distractor_themes`.
+    """
+
+    image_size: int = 32
+    distractor_themes: tuple[ColorTheme, ...] = field(default_factory=default_distractor_themes)
+
+    def __post_init__(self) -> None:
+        if self.image_size < 2:
+            raise ValidationError("image_size must be at least 2")
+        if not self.distractor_themes:
+            raise ValidationError("at least one distractor theme is required")
+
+    # ------------------------------------------------------------------ #
+    # Pixel sampling
+    # ------------------------------------------------------------------ #
+    def sample_hsv_pixels(self, spec: CategorySpec, n_pixels: int, rng) -> np.ndarray:
+        """Sample ``n_pixels`` HSV pixels for one image of category ``spec``."""
+        rng = ensure_rng(rng)
+        low, high = spec.themes_per_image
+        n_themes = int(rng.integers(low, high + 1))
+        n_themes = min(n_themes, len(spec.signature_themes))
+        theme_indices = rng.choice(len(spec.signature_themes), size=n_themes, replace=False)
+        themes = [spec.signature_themes[i] for i in theme_indices]
+
+        frac_low, frac_high = spec.signature_fraction_range
+        signature_fraction = float(rng.uniform(frac_low, frac_high))
+        n_signature = int(round(signature_fraction * n_pixels))
+        n_noise = n_pixels - n_signature
+
+        blocks: list[np.ndarray] = []
+        if n_signature > 0:
+            # Split the signature pixels over the chosen themes with random
+            # proportions so no two images of a category look alike.
+            proportions = rng.dirichlet(np.ones(len(themes)))
+            counts = np.floor(proportions * n_signature).astype(int)
+            counts[0] += n_signature - counts.sum()
+            for theme, count in zip(themes, counts):
+                if count > 0:
+                    blocks.append(theme.sample_hsv(count, rng))
+        if n_noise > 0:
+            noise_theme_indices = rng.integers(0, len(self.distractor_themes), size=n_noise)
+            for index in np.unique(noise_theme_indices):
+                count = int(np.sum(noise_theme_indices == index))
+                blocks.append(self.distractor_themes[index].sample_hsv(count, rng))
+
+        pixels = np.vstack(blocks)
+        rng.shuffle(pixels, axis=0)
+        return pixels
+
+    # ------------------------------------------------------------------ #
+    # Image rendering
+    # ------------------------------------------------------------------ #
+    def render_rgb_image(self, spec: CategorySpec, rng) -> np.ndarray:
+        """Render one RGB image (``image_size x image_size x 3``, values in [0, 1])."""
+        rng = ensure_rng(rng)
+        n_pixels = self.image_size * self.image_size
+        hsv_pixels = self.sample_hsv_pixels(spec, n_pixels, rng)
+        rgb_pixels = hsv_to_rgb(hsv_pixels)
+        return rgb_pixels.reshape(self.image_size, self.image_size, 3)

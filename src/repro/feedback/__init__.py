@@ -1,0 +1,48 @@
+"""Relevance-feedback engines.
+
+Section 2 of the paper surveys the two basic strategies every interactive
+retrieval system combines:
+
+* **query-point movement** — move the query towards the good matches
+  (Rocchio's formula; the score-weighted average that Ishikawa et al. proved
+  optimal, Equation 2), and
+* **re-weighting** — adjust the importance of individual feature components
+  (the MARS ``1/σ`` heuristic and the provably optimal ``1/σ²`` rule), plus
+  the MindReader full-matrix update for quadratic distances and the
+  Rui–Huang hierarchical update.
+
+:mod:`repro.feedback.engine` assembles the strategies into the feedback loop
+of Figure 5: evaluate, collect scores, compute new query parameters, repeat
+until the result list stabilises.  FeedbackBypass sits *next to* this loop —
+it predicts good starting parameters and stores the parameters the loop
+converges to.
+"""
+
+from repro.feedback.scores import RelevanceJudgment, RelevanceScale, score_results_by_category
+from repro.feedback.query_point_movement import optimal_query_point, rocchio_update
+from repro.feedback.reweighting import (
+    ReweightingRule,
+    mars_weights,
+    optimal_weights,
+    reweight,
+)
+from repro.feedback.mindreader import mindreader_matrix_update
+from repro.feedback.hierarchical import hierarchical_update
+from repro.feedback.engine import FeedbackEngine, FeedbackLoopResult, FeedbackState
+
+__all__ = [
+    "RelevanceJudgment",
+    "RelevanceScale",
+    "score_results_by_category",
+    "optimal_query_point",
+    "rocchio_update",
+    "ReweightingRule",
+    "mars_weights",
+    "optimal_weights",
+    "reweight",
+    "mindreader_matrix_update",
+    "hierarchical_update",
+    "FeedbackEngine",
+    "FeedbackLoopResult",
+    "FeedbackState",
+]

@@ -1,0 +1,234 @@
+"""The feedback-loop controller.
+
+:class:`FeedbackEngine` implements the interaction pattern of Figures 4 and 5
+in the paper: execute the query, collect relevance judgments, compute a new
+query point and new distance weights, and repeat until the result list stops
+changing (or an iteration budget runs out).  The judge is a callable so the
+same engine serves both real interactive use and the category-oracle
+simulation of the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.database.engine import RetrievalEngine
+from repro.database.query import ResultSet
+from repro.distances.parameters import default_weight_vector, pack_oqp_vector
+from repro.feedback.query_point_movement import optimal_query_point
+from repro.feedback.reweighting import ReweightingRule, reweight
+from repro.feedback.scores import RelevanceJudgment, scores_vector
+from repro.utils.validation import ValidationError, as_float_vector, check_dimension
+
+#: A judge maps a result set to one relevance judgment per result.
+Judge = Callable[[ResultSet], list[RelevanceJudgment]]
+
+
+@dataclass(frozen=True)
+class FeedbackState:
+    """The query parameters in force at one point of the loop."""
+
+    query_point: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        query_point = as_float_vector(self.query_point, name="query_point")
+        weights = as_float_vector(self.weights, name="weights")
+        query_point.setflags(write=False)
+        weights.setflags(write=False)
+        object.__setattr__(self, "query_point", query_point)
+        object.__setattr__(self, "weights", weights)
+
+    def oqp_vector(self, original_query_point) -> np.ndarray:
+        """Pack this state as an OQP vector relative to ``original_query_point``.
+
+        The offset ``Δ = q_state - q_original`` and the weights are
+        concatenated — exactly the value FeedbackBypass stores per query.
+        """
+        original = as_float_vector(
+            original_query_point, name="original_query_point", dim=self.query_point.shape[0]
+        )
+        return pack_oqp_vector(self.query_point - original, self.weights)
+
+
+@dataclass(frozen=True)
+class FeedbackLoopResult:
+    """Everything the loop produced for one query.
+
+    Attributes
+    ----------
+    initial_state, final_state:
+        Query parameters before and after the loop.
+    initial_results, final_results:
+        Result sets of the first and of the last search.
+    iterations:
+        Number of *feedback* iterations, i.e. additional searches beyond the
+        first one.  This is the quantity the Saved-Cycles metric compares.
+    converged:
+        True when the loop stopped because the result list stabilised (rather
+        than because the iteration budget or the feedback signal ran out).
+    """
+
+    initial_state: FeedbackState
+    final_state: FeedbackState
+    initial_results: ResultSet
+    final_results: ResultSet
+    iterations: int
+    converged: bool
+
+
+class FeedbackEngine:
+    """Runs relevance-feedback loops on top of a retrieval engine.
+
+    Parameters
+    ----------
+    retrieval_engine:
+        The k-NN engine queries run against.
+    reweighting_rule:
+        Which re-weighting rule the loop applies (default: the optimal
+        ``1/σ²`` rule).
+    move_query_point:
+        Whether to apply query-point movement (Equation 2).  Disabling it
+        gives a re-weighting-only system, used by the strategy ablation.
+    max_iterations:
+        Upper bound on feedback iterations per query; the paper's loops
+        converge in a handful of iterations, the bound only guards against
+        oscillation.
+    variance_floor:
+        Floor on per-component variance inside the re-weighting rules.
+    """
+
+    def __init__(
+        self,
+        retrieval_engine: RetrievalEngine,
+        *,
+        reweighting_rule: ReweightingRule = ReweightingRule.OPTIMAL,
+        move_query_point: bool = True,
+        max_iterations: int = 10,
+        variance_floor: float = 1e-6,
+    ) -> None:
+        self._engine = retrieval_engine
+        self._rule = reweighting_rule
+        self._move_query_point = bool(move_query_point)
+        self._max_iterations = check_dimension(max_iterations, "max_iterations")
+        self._variance_floor = float(variance_floor)
+
+    @property
+    def retrieval_engine(self) -> RetrievalEngine:
+        """The underlying retrieval engine."""
+        return self._engine
+
+    @property
+    def reweighting_rule(self) -> ReweightingRule:
+        """The configured re-weighting rule."""
+        return self._rule
+
+    # ------------------------------------------------------------------ #
+    # Single feedback step
+    # ------------------------------------------------------------------ #
+    def compute_new_state(
+        self, state: FeedbackState, judgments: list[RelevanceJudgment]
+    ) -> FeedbackState:
+        """Compute the next query parameters from one round of judgments.
+
+        When no result was judged relevant there is no signal to exploit and
+        the state is returned unchanged (the loop will then terminate).
+        """
+        relevant = [j for j in judgments if j.is_relevant]
+        if not relevant:
+            return state
+        good_vectors = np.vstack(
+            [self._engine.collection.vectors[j.index] for j in relevant]
+        )
+        good_scores = scores_vector(relevant)
+
+        if self._move_query_point:
+            new_point = optimal_query_point(good_vectors, good_scores)
+        else:
+            new_point = np.asarray(state.query_point, dtype=np.float64).copy()
+        new_weights = reweight(
+            good_vectors,
+            good_scores,
+            rule=self._rule,
+            current_weights=state.weights,
+            variance_floor=self._variance_floor,
+        )
+        return FeedbackState(query_point=new_point, weights=new_weights)
+
+    # ------------------------------------------------------------------ #
+    # Full loop
+    # ------------------------------------------------------------------ #
+    def run_loop(
+        self,
+        query_point,
+        k: int,
+        judge: Judge,
+        *,
+        initial_delta=None,
+        initial_weights=None,
+    ) -> FeedbackLoopResult:
+        """Run the feedback loop for one query.
+
+        Parameters
+        ----------
+        query_point:
+            The user's query point ``q``.
+        k:
+            Result-set size.
+        judge:
+            Callable producing relevance judgments for a result set.
+        initial_delta, initial_weights:
+            Starting query parameters.  ``None`` means the defaults (no
+            offset, unweighted Euclidean); FeedbackBypass passes its
+            predictions here.
+        """
+        k = check_dimension(k, "k")
+        dimension = self._engine.collection.dimension
+        query_point = as_float_vector(query_point, name="query_point", dim=dimension)
+        if initial_delta is None:
+            initial_delta = np.zeros(dimension, dtype=np.float64)
+        initial_delta = as_float_vector(initial_delta, name="initial_delta", dim=dimension)
+        if initial_weights is None:
+            initial_weights = default_weight_vector(dimension)
+        initial_weights = as_float_vector(initial_weights, name="initial_weights", dim=dimension)
+        if np.any(initial_weights < 0):
+            raise ValidationError("initial_weights must be non-negative")
+
+        state = FeedbackState(query_point=query_point + initial_delta, weights=initial_weights)
+        initial_state = state
+        results = self._engine.search_with_parameters(
+            query_point, k, delta=initial_delta, weights=initial_weights
+        )
+        initial_results = results
+
+        iterations = 0
+        converged = False
+        for _ in range(self._max_iterations):
+            judgments = judge(results)
+            new_state = self.compute_new_state(state, judgments)
+            if new_state is state:
+                # No relevant results: nothing to learn from, stop here.
+                break
+            new_results = self._engine.search_with_parameters(
+                query_point, k, delta=new_state.query_point - query_point, weights=new_state.weights
+            )
+            iterations += 1
+            if new_results.same_objects(results):
+                state = new_state
+                results = new_results
+                converged = True
+                break
+            state = new_state
+            results = new_results
+
+        return FeedbackLoopResult(
+            initial_state=initial_state,
+            final_state=state,
+            initial_results=initial_results,
+            final_results=results,
+            iterations=iterations,
+            converged=converged,
+        )

@@ -1,0 +1,82 @@
+"""Rui–Huang hierarchical feedback update.
+
+In the hierarchical similarity model ([RH00]) each *feature* (a contiguous
+group of components) has its own intra-feature weights plus one inter-feature
+weight.  Feedback updates both levels:
+
+* intra-feature weights follow the optimal ``1/σ²`` rule applied inside the
+  feature, and
+* the inter-feature weight of feature ``f`` is inversely proportional to the
+  total distance the good matches have from the query under that feature
+  alone — features that already rank the good matches close to the query are
+  trusted more.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances.hierarchical import FeatureGroup, HierarchicalDistance
+from repro.distances.parameters import normalize_weights
+from repro.distances.weighted_euclidean import WeightedEuclideanDistance
+from repro.feedback.reweighting import optimal_weights
+from repro.utils.validation import ValidationError, as_float_matrix, as_float_vector
+
+
+def hierarchical_update(
+    distance: HierarchicalDistance,
+    query_point,
+    good_vectors,
+    scores=None,
+    *,
+    variance_floor: float = 1e-6,
+    distance_floor: float = 1e-6,
+) -> HierarchicalDistance:
+    """Return a new :class:`HierarchicalDistance` updated from feedback.
+
+    Parameters
+    ----------
+    distance:
+        The current hierarchical distance (defines the feature groups).
+    query_point:
+        The current query point (needed for the inter-feature update).
+    good_vectors:
+        ``(n_good, D)`` matrix of positively judged result vectors.
+    scores:
+        Optional positive scores (default: all ones).
+    """
+    good_vectors = as_float_matrix(good_vectors, name="good_vectors")
+    query_point = as_float_vector(query_point, name="query_point", dim=distance.dimension)
+    if good_vectors.shape[1] != distance.dimension:
+        raise ValidationError("good_vectors must match the distance dimensionality")
+    if good_vectors.shape[0] == 0:
+        raise ValidationError("at least one good result is required")
+    if scores is None:
+        scores = np.ones(good_vectors.shape[0], dtype=np.float64)
+    scores = as_float_vector(scores, name="scores", dim=good_vectors.shape[0])
+
+    groups: list[FeatureGroup] = distance.groups
+    component_weights = np.empty(distance.dimension, dtype=np.float64)
+    feature_scores = np.empty(len(groups), dtype=np.float64)
+
+    for position, group in enumerate(groups):
+        block = good_vectors[:, group.slice()]
+        component_weights[group.slice()] = optimal_weights(
+            block, scores, variance_floor=variance_floor
+        )
+        # Inter-feature update: total (score-weighted) distance of the good
+        # matches from the query under this feature alone, using the *new*
+        # intra-feature weights.
+        sub_distance = WeightedEuclideanDistance(
+            group.dimension, weights=component_weights[group.slice()]
+        )
+        distances = sub_distance.distances_to(query_point[group.slice()], block)
+        feature_scores[position] = float((scores * distances).sum())
+
+    feature_weights = normalize_weights(1.0 / np.maximum(feature_scores, distance_floor))
+    return HierarchicalDistance(
+        distance.dimension,
+        groups,
+        feature_weights=feature_weights,
+        component_weights=component_weights,
+    )

@@ -1,0 +1,69 @@
+"""MindReader-style full-matrix (quadratic distance) feedback.
+
+Ishikawa, Subramanya and Faloutsos ([ISF98]) showed that with positive
+feedback and a quadratic distance ``(p - q)^T W (p - q)`` the optimal update
+sets ``W ∝ C⁻¹``, the inverse of the score-weighted covariance matrix of the
+good results (normalised so that ``det(W) = 1``).  When there are fewer good
+results than dimensions the covariance is singular; the standard remedy —
+also noted by Rui & Huang ([RH00]) — is to regularise the covariance (a
+ridge on its diagonal) or to fall back to its diagonal, both of which are
+supported here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, as_float_matrix, as_float_vector
+
+
+def mindreader_matrix_update(
+    good_vectors,
+    scores=None,
+    *,
+    ridge: float = 1e-4,
+    diagonal_fallback: bool = True,
+) -> np.ndarray:
+    """Return the optimal quadratic-form matrix for the given good results.
+
+    Parameters
+    ----------
+    good_vectors:
+        ``(n_good, D)`` matrix of positively judged result vectors.
+    scores:
+        Optional positive scores (default: all ones).
+    ridge:
+        Ridge added to the covariance diagonal before inversion.
+    diagonal_fallback:
+        When true and the number of good results is at most the
+        dimensionality, only the diagonal of the covariance is used (the
+        full matrix would be dominated by noise), reproducing the fallback
+        discussed in [RH00].
+    """
+    good_vectors = as_float_matrix(good_vectors, name="good_vectors")
+    n_good, dimension = good_vectors.shape
+    if n_good == 0:
+        raise ValidationError("at least one good result is required")
+    if scores is None:
+        scores = np.ones(n_good, dtype=np.float64)
+    scores = as_float_vector(scores, name="scores", dim=n_good)
+    if np.any(scores < 0) or scores.sum() <= 0:
+        raise ValidationError("scores must be non-negative with a positive sum")
+
+    total = scores.sum()
+    mean = (scores[:, None] * good_vectors).sum(axis=0) / total
+    centred = good_vectors - mean
+    covariance = (scores[:, None] * centred).T @ centred / total
+
+    if diagonal_fallback and n_good <= dimension:
+        covariance = np.diag(np.diag(covariance))
+    covariance = covariance + ridge * np.eye(dimension)
+
+    matrix = np.linalg.inv(covariance)
+    # Normalise so det(W) = 1: the scale of W does not change the ranking,
+    # and fixing the determinant is the convention used in MindReader.
+    sign, logdet = np.linalg.slogdet(matrix)
+    if sign <= 0:
+        raise ValidationError("covariance inversion produced a non-positive-definite matrix")
+    matrix = matrix * np.exp(-logdet / dimension)
+    return (matrix + matrix.T) / 2.0

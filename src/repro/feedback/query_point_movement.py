@@ -1,0 +1,78 @@
+"""Query-point-movement feedback.
+
+Two implementations are provided:
+
+* :func:`rocchio_update` — Rocchio's classical formula, moving the query
+  towards the centroid of the good results and away from the centroid of the
+  bad results, and
+* :func:`optimal_query_point` — the score-weighted average of the good
+  results that Ishikawa et al. proved optimal for positive feedback
+  (Equation 2 in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, as_float_matrix, as_float_vector
+
+
+def optimal_query_point(good_vectors, scores=None) -> np.ndarray:
+    """The optimal query point: the score-weighted average of the good results.
+
+    Parameters
+    ----------
+    good_vectors:
+        ``(n_good, D)`` matrix of positively judged result vectors.
+    scores:
+        Optional positive scores (default: all ones, i.e. binary feedback).
+
+    Implements ``q' = (sum_j score_j * p_j) / (sum_j score_j)`` — Equation 2.
+    """
+    good_vectors = as_float_matrix(good_vectors, name="good_vectors")
+    if good_vectors.shape[0] == 0:
+        raise ValidationError("at least one good result is required")
+    if scores is None:
+        scores = np.ones(good_vectors.shape[0], dtype=np.float64)
+    scores = as_float_vector(scores, name="scores", dim=good_vectors.shape[0])
+    if np.any(scores < 0):
+        raise ValidationError("scores must be non-negative")
+    total = scores.sum()
+    if total <= 0:
+        raise ValidationError("at least one score must be positive")
+    return (scores[:, None] * good_vectors).sum(axis=0) / total
+
+
+def rocchio_update(
+    query_point,
+    good_vectors,
+    bad_vectors=None,
+    *,
+    alpha: float = 1.0,
+    beta: float = 0.75,
+    gamma: float = 0.25,
+) -> np.ndarray:
+    """Rocchio's query-point update.
+
+    ``q' = alpha * q + beta * centroid(good) - gamma * centroid(bad)``.
+
+    The defaults follow the classical document-retrieval setting cited by the
+    paper ([Sal88]).  ``bad_vectors`` may be ``None`` or empty, in which case
+    the negative term vanishes.
+    """
+    query_point = as_float_vector(query_point, name="query_point")
+    good_vectors = as_float_matrix(good_vectors, name="good_vectors")
+    if good_vectors.shape[1] != query_point.shape[0]:
+        raise ValidationError("good_vectors must match the query dimensionality")
+    if good_vectors.shape[0] == 0:
+        raise ValidationError("at least one good result is required")
+
+    updated = alpha * query_point + beta * good_vectors.mean(axis=0)
+    if bad_vectors is not None:
+        bad_vectors = np.asarray(bad_vectors, dtype=np.float64)
+        if bad_vectors.size:
+            bad_vectors = as_float_matrix(bad_vectors, name="bad_vectors")
+            if bad_vectors.shape[1] != query_point.shape[0]:
+                raise ValidationError("bad_vectors must match the query dimensionality")
+            updated = updated - gamma * bad_vectors.mean(axis=0)
+    return updated

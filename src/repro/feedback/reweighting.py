@@ -1,0 +1,90 @@
+"""Re-weighting feedback for weighted Euclidean distances.
+
+The weight of feature component ``i`` is derived from the spread of the good
+results along that component:
+
+* MARS heuristic ([RHOM98]): ``w_i = 1 / σ_i``,
+* optimal rule ([ISF98]):     ``w_i ∝ 1 / σ_i²``.
+
+Components on which the good matches agree (small σ) become important;
+components on which they scatter become irrelevant.  Both rules need a guard
+against zero variance (all good matches identical along a component), which
+is handled with a variance floor, and both are normalised afterwards so the
+overall scale of the distance stays fixed (see
+:func:`repro.distances.parameters.normalize_weights`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.distances.parameters import normalize_weights
+from repro.utils.validation import ValidationError, as_float_matrix, as_float_vector
+
+
+class ReweightingRule(enum.Enum):
+    """Which re-weighting rule to apply."""
+
+    MARS = "mars"          # w_i = 1 / sigma_i
+    OPTIMAL = "optimal"    # w_i = 1 / sigma_i^2
+    NONE = "none"          # keep the current weights (query-point movement only)
+
+
+def _component_std(good_vectors: np.ndarray, scores: np.ndarray, floor: float) -> np.ndarray:
+    """Score-weighted standard deviation of the good results per component."""
+    total = scores.sum()
+    mean = (scores[:, None] * good_vectors).sum(axis=0) / total
+    variance = (scores[:, None] * (good_vectors - mean) ** 2).sum(axis=0) / total
+    return np.sqrt(np.maximum(variance, floor))
+
+
+def mars_weights(good_vectors, scores=None, *, variance_floor: float = 1e-6) -> np.ndarray:
+    """MARS re-weighting: ``w_i = 1 / σ_i`` (normalised to geometric mean 1)."""
+    good_vectors = as_float_matrix(good_vectors, name="good_vectors")
+    if good_vectors.shape[0] == 0:
+        raise ValidationError("at least one good result is required")
+    if scores is None:
+        scores = np.ones(good_vectors.shape[0], dtype=np.float64)
+    scores = as_float_vector(scores, name="scores", dim=good_vectors.shape[0])
+    sigma = _component_std(good_vectors, scores, variance_floor)
+    return normalize_weights(1.0 / sigma)
+
+
+def optimal_weights(good_vectors, scores=None, *, variance_floor: float = 1e-6) -> np.ndarray:
+    """Optimal re-weighting: ``w_i ∝ 1 / σ_i²`` (normalised to geometric mean 1)."""
+    good_vectors = as_float_matrix(good_vectors, name="good_vectors")
+    if good_vectors.shape[0] == 0:
+        raise ValidationError("at least one good result is required")
+    if scores is None:
+        scores = np.ones(good_vectors.shape[0], dtype=np.float64)
+    scores = as_float_vector(scores, name="scores", dim=good_vectors.shape[0])
+    sigma = _component_std(good_vectors, scores, variance_floor)
+    return normalize_weights(1.0 / (sigma * sigma))
+
+
+def reweight(
+    good_vectors,
+    scores=None,
+    *,
+    rule: ReweightingRule = ReweightingRule.OPTIMAL,
+    current_weights=None,
+    variance_floor: float = 1e-6,
+) -> np.ndarray:
+    """Apply the selected re-weighting rule.
+
+    With ``rule=NONE`` the current weights are returned unchanged (all ones
+    when no current weights are given), which models a system that only moves
+    the query point.
+    """
+    good_vectors = as_float_matrix(good_vectors, name="good_vectors")
+    if rule is ReweightingRule.NONE:
+        if current_weights is None:
+            return np.ones(good_vectors.shape[1], dtype=np.float64)
+        return as_float_vector(current_weights, name="current_weights", dim=good_vectors.shape[1]).copy()
+    if rule is ReweightingRule.MARS:
+        return mars_weights(good_vectors, scores, variance_floor=variance_floor)
+    if rule is ReweightingRule.OPTIMAL:
+        return optimal_weights(good_vectors, scores, variance_floor=variance_floor)
+    raise ValidationError(f"unsupported re-weighting rule {rule!r}")  # pragma: no cover

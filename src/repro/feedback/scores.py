@@ -1,0 +1,90 @@
+"""Relevance scores and judgments.
+
+The paper discusses binary ("good" / "bad", with unmarked objects neutral),
+graded and continuous score levels.  :class:`RelevanceScale` captures those
+options; :func:`score_results_by_category` implements the automated judge of
+the experiments, which marks a result good exactly when it belongs to the
+query's category.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.database.query import ResultSet
+from repro.utils.validation import ValidationError
+
+
+class RelevanceScale(enum.Enum):
+    """Supported relevance-score scales."""
+
+    BINARY = "binary"          # good = 1, bad = 0 (neutral objects omitted)
+    GRADED = "graded"          # integer grades, e.g. 0..3
+    CONTINUOUS = "continuous"  # arbitrary non-negative scores
+
+
+@dataclass(frozen=True)
+class RelevanceJudgment:
+    """The user's evaluation of one result object."""
+
+    index: int
+    score: float
+
+    def __post_init__(self) -> None:
+        if self.score < 0:
+            raise ValidationError("relevance scores must be non-negative")
+
+    @property
+    def is_relevant(self) -> bool:
+        """True when the object received a positive score."""
+        return self.score > 0
+
+
+def score_results_by_category(
+    results: ResultSet,
+    result_categories: list[str],
+    query_category: str,
+    *,
+    scale: RelevanceScale = RelevanceScale.BINARY,
+    graded_levels: int = 3,
+) -> list[RelevanceJudgment]:
+    """Score a result list with the category oracle used in the experiments.
+
+    Every result in the query's category receives a positive score, everything
+    else a zero score.  With the graded scale, relevant objects earn a score
+    that decays with their rank (front-of-list relevant results count more),
+    which mirrors how real users weight what they see first.
+    """
+    if len(results) != len(result_categories):
+        raise ValidationError("result_categories must have one entry per result")
+    judgments: list[RelevanceJudgment] = []
+    n_results = len(results)
+    for rank, (item, category) in enumerate(zip(results, result_categories)):
+        relevant = category == query_category
+        if scale is RelevanceScale.BINARY:
+            score = 1.0 if relevant else 0.0
+        elif scale is RelevanceScale.GRADED:
+            if relevant:
+                level = graded_levels - int(rank * graded_levels / max(n_results, 1))
+                score = float(max(level, 1))
+            else:
+                score = 0.0
+        elif scale is RelevanceScale.CONTINUOUS:
+            score = float(1.0 - rank / max(n_results, 1)) if relevant else 0.0
+        else:  # pragma: no cover - exhaustive enum
+            raise ValidationError(f"unsupported scale {scale!r}")
+        judgments.append(RelevanceJudgment(index=item.index, score=score))
+    return judgments
+
+
+def relevant_indices(judgments: list[RelevanceJudgment]) -> np.ndarray:
+    """Return the indices of all positively scored objects."""
+    return np.asarray([j.index for j in judgments if j.is_relevant], dtype=np.intp)
+
+
+def scores_vector(judgments: list[RelevanceJudgment]) -> np.ndarray:
+    """Return the scores as an array aligned with the judgment order."""
+    return np.asarray([j.score for j in judgments], dtype=np.float64)

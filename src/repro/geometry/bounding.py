@@ -1,0 +1,89 @@
+"""Root (bounding) simplices that cover the query domain.
+
+The Simplex Tree needs an initial simplex ``S_0`` with ``Q ⊆ S_0`` (Section
+4.1 of the paper).  Two canonical constructions are provided:
+
+* :func:`unit_cube_root_vertices` — covers ``[0, 1]^D`` with the vertices
+  ``(0,…,0), (D,0,…,0), …, (0,…,0,D)`` exactly as suggested in the paper;
+* :func:`standard_simplex_vertices` — the standard simplex, which *is* the
+  query domain once normalised histograms drop their last bin;
+* :func:`bounding_simplex_for_points` — a data-driven cover for arbitrary
+  point clouds (used when features are not histograms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import as_float_matrix, check_dimension, check_positive
+
+
+def unit_cube_root_vertices(dimension: int, *, scale: float = 1.0, margin: float = 0.0) -> np.ndarray:
+    """Return root-simplex vertices covering ``[0, scale]^D``.
+
+    The construction places one vertex at the origin and one vertex at
+    ``D * scale`` along each axis; the resulting simplex
+    ``{x : x_i >= 0, sum_i x_i <= D * scale}`` contains the cube.  A
+    ``margin`` > 0 inflates the simplex slightly so that points exactly on the
+    cube boundary remain strictly inside.
+    """
+    dimension = check_dimension(dimension)
+    scale = check_positive(scale, name="scale")
+    margin = check_positive(margin, name="margin", strict=False)
+    reach = dimension * scale * (1.0 + margin)
+    vertices = np.zeros((dimension + 1, dimension), dtype=np.float64)
+    origin_shift = -margin * scale
+    vertices[0, :] = origin_shift
+    for axis in range(dimension):
+        vertices[axis + 1, :] = origin_shift
+        vertices[axis + 1, axis] = reach
+    return vertices
+
+
+def standard_simplex_vertices(dimension: int, *, margin: float = 0.0) -> np.ndarray:
+    """Return the vertices of the standard simplex in R^D.
+
+    The standard simplex ``{x : x_i >= 0, sum_i x_i <= 1}`` is exactly the
+    query domain of normalised histograms once the last bin is dropped
+    (Section 4.1).  ``margin`` > 0 inflates it to keep boundary histograms
+    (e.g. an image whose colour mass falls entirely into dropped bins)
+    strictly inside.
+    """
+    dimension = check_dimension(dimension)
+    margin = check_positive(margin, name="margin", strict=False)
+    vertices = np.zeros((dimension + 1, dimension), dtype=np.float64)
+    vertices[0, :] = -margin
+    for axis in range(dimension):
+        vertices[axis + 1, :] = -margin
+        vertices[axis + 1, axis] = 1.0 + dimension * margin
+    return vertices
+
+
+def bounding_simplex_for_points(points, *, margin: float = 0.1) -> np.ndarray:
+    """Return vertices of a simplex containing every row of ``points``.
+
+    The cover is built by translating and scaling the unit-cube construction
+    to the axis-aligned bounding box of the data, inflated by ``margin``
+    (relative to each side length).  It is used when the query domain is an
+    arbitrary feature space rather than a normalised histogram.
+    """
+    points = as_float_matrix(points, name="points")
+    margin = check_positive(margin, name="margin", strict=False)
+    dimension = points.shape[1]
+    low = points.min(axis=0)
+    high = points.max(axis=0)
+    side = high - low
+    # Axes along which the data is (nearly) constant still need a positive
+    # extent, otherwise the cover would be degenerate; use a floor
+    # proportional to the largest extent (or 1.0 for a single point).
+    floor = max(float(side.max()) * 1e-3, 1e-6) if side.max() > 0 else 1.0
+    side = np.maximum(side, floor)
+    low = low - margin * side
+    side = side * (1.0 + 2.0 * margin)
+
+    vertices = np.zeros((dimension + 1, dimension), dtype=np.float64)
+    vertices[0] = low
+    for axis in range(dimension):
+        vertices[axis + 1] = low
+        vertices[axis + 1, axis] = low[axis] + dimension * side[axis]
+    return vertices

@@ -1,0 +1,58 @@
+"""Geometric predicates: containment, volume and degeneracy tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.barycentric import barycentric_coordinates
+
+#: Default tolerance used by containment / degeneracy predicates.  Points on
+#: shared faces of adjacent simplices are accepted by both; the Simplex Tree
+#: resolves the tie by descending into the first accepting child, which is the
+#: behaviour the paper sketches (footnote 3, Section 4.2).
+DEFAULT_TOLERANCE = 1e-9
+
+
+def simplex_volume(vertices) -> float:
+    """Return the (unsigned) D-dimensional volume of a simplex.
+
+    ``volume = |det(edge matrix)| / D!``.  A zero volume means the vertices
+    are affinely dependent, i.e. the simplex is degenerate.
+    """
+    vertices = np.asarray(vertices, dtype=np.float64)
+    dim = vertices.shape[1]
+    edges = vertices[1:] - vertices[0]
+    if edges.shape[0] != dim:
+        raise ValueError(f"expected {dim + 1} vertices for a simplex in R^{dim}")
+    sign, logdet = np.linalg.slogdet(edges)
+    if sign == 0:
+        return 0.0
+    return math.exp(logdet) / math.factorial(dim)
+
+
+def is_degenerate(vertices, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """Return True when the simplex has (numerically) zero volume.
+
+    The test is performed on the edge matrix' singular values rather than the
+    raw volume so that it stays meaningful in high dimension, where D! makes
+    the absolute volume astronomically small even for healthy simplices.
+    """
+    vertices = np.asarray(vertices, dtype=np.float64)
+    edges = vertices[1:] - vertices[0]
+    if edges.shape[0] != edges.shape[1]:
+        return True
+    singular_values = np.linalg.svd(edges, compute_uv=False)
+    if singular_values[0] == 0.0:
+        return True
+    return bool(singular_values[-1] / singular_values[0] < tolerance)
+
+
+def contains_point(vertices, point, tolerance: float = 1e-9) -> bool:
+    """Return True when ``point`` lies inside (or on the boundary of) the simplex."""
+    try:
+        weights = barycentric_coordinates(vertices, point, check=False)
+    except np.linalg.LinAlgError:
+        return False
+    return bool(np.all(weights >= -tolerance) and np.all(weights <= 1.0 + tolerance))

@@ -1,0 +1,162 @@
+"""Incremental triangulation of the query domain.
+
+This is the purely geometric core of the Simplex Tree: starting from a root
+simplex that covers the domain, every inserted point splits its enclosing
+leaf simplex into (up to) D+1 children (Section 4.1 of the paper).  The class
+here tracks only geometry — which simplices exist, which are leaves, which
+points were inserted — while :class:`repro.core.simplex_tree.SimplexTree`
+adds the OQP payloads and the wavelet interpolation on top.
+
+Keeping the triangulation separate makes it independently testable: the key
+invariants (leaves partition the root, every inserted point is a vertex,
+leaf count grows by at most D per insert) are properties of this class alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.simplex import Simplex
+from repro.utils.validation import ValidationError, as_float_vector
+
+
+@dataclass
+class TriangulationNode:
+    """A node of the triangulation hierarchy."""
+
+    simplex: Simplex
+    depth: int
+    children: list["TriangulationNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has not been split."""
+        return not self.children
+
+
+class IncrementalTriangulation:
+    """Hierarchical triangulation driven by point insertions.
+
+    Parameters
+    ----------
+    root_vertices:
+        ``(D+1, D)`` array with the vertices of the root simplex ``S_0``.
+    tolerance:
+        Numerical tolerance used by containment and degeneracy tests.
+    """
+
+    def __init__(self, root_vertices, *, tolerance: float = 1e-9) -> None:
+        self._root = TriangulationNode(Simplex(root_vertices), depth=0)
+        self._tolerance = float(tolerance)
+        self._points: list[np.ndarray] = []
+        self._n_simplices = 1
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the triangulated space."""
+        return self._root.simplex.dimension
+
+    @property
+    def root(self) -> TriangulationNode:
+        """The root node."""
+        return self._root
+
+    @property
+    def n_points(self) -> int:
+        """Number of successfully inserted points."""
+        return len(self._points)
+
+    @property
+    def n_simplices(self) -> int:
+        """Total number of simplices (inner nodes + leaves) ever created."""
+        return self._n_simplices
+
+    @property
+    def points(self) -> np.ndarray:
+        """Array of inserted points, shape ``(n_points, D)``."""
+        if not self._points:
+            return np.zeros((0, self.dimension), dtype=np.float64)
+        return np.vstack(self._points)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def locate(self, point) -> tuple[TriangulationNode, int]:
+        """Return the leaf node containing ``point`` and the number of nodes visited.
+
+        Raises
+        ------
+        ValidationError
+            If ``point`` lies outside the root simplex.
+        """
+        point = as_float_vector(point, name="point", dim=self.dimension)
+        if not self._root.simplex.contains(point, tolerance=self._tolerance):
+            raise ValidationError("point lies outside the root simplex")
+        node = self._root
+        visited = 1
+        while not node.is_leaf:
+            next_node = None
+            for child in node.children:
+                if child.simplex.contains(point, tolerance=self._tolerance):
+                    next_node = child
+                    break
+            if next_node is None:
+                # Numerical corner case: the point sits on a face shared by
+                # children but each strict test rejected it.  Fall back to the
+                # child whose most-negative barycentric coordinate is largest.
+                next_node = max(
+                    node.children,
+                    key=lambda child: float(np.min(child.simplex.barycentric_coordinates(point))),
+                )
+            node = next_node
+            visited += 1
+        return node, visited
+
+    def leaves(self) -> list[TriangulationNode]:
+        """Return every leaf node (depth-first order)."""
+        result: list[TriangulationNode] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                result.append(node)
+            else:
+                stack.extend(reversed(node.children))
+        return result
+
+    def depth(self) -> int:
+        """Return the maximum leaf depth (root alone has depth 0)."""
+        best = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                best = max(best, node.depth)
+            else:
+                stack.extend(node.children)
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, point) -> TriangulationNode:
+        """Insert ``point``, splitting its enclosing leaf.
+
+        Returns the (former) leaf node that was split.  Raises
+        :class:`ValidationError` when the point is outside the root simplex or
+        coincides with an existing vertex (in which case no split is needed).
+        """
+        point = as_float_vector(point, name="point", dim=self.dimension)
+        leaf, _ = self.locate(point)
+        children = leaf.simplex.split(point, tolerance=self._tolerance)
+        leaf.children = [
+            TriangulationNode(simplex, depth=leaf.depth + 1) for simplex in children
+        ]
+        self._n_simplices += len(children)
+        self._points.append(point.copy())
+        return leaf

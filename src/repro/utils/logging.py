@@ -1,0 +1,28 @@
+"""Minimal logging helpers.
+
+The experiment harness prints progress through this module so that library
+code never writes to stdout directly (tests and benchmarks can silence it).
+"""
+
+from __future__ import annotations
+
+import logging
+
+_LOGGER_NAME = "repro"
+
+
+def get_logger(child: str | None = None) -> logging.Logger:
+    """Return the library logger, optionally a named child logger."""
+    name = _LOGGER_NAME if child is None else f"{_LOGGER_NAME}.{child}"
+    return logging.getLogger(name)
+
+
+def configure_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a basic stream handler to the library logger (idempotent)."""
+    logger = logging.getLogger(_LOGGER_NAME)
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
+        logger.addHandler(handler)
+    return logger

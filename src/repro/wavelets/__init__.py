@@ -1,0 +1,52 @@
+"""Wavelet substrate.
+
+The paper frames the Simplex Tree as a *wavelet-based* data structure: the
+piecewise-linear interpolation over an adaptively refined triangulation is an
+unbalanced Haar / lifting-scheme representation of the optimal query mapping.
+This subpackage provides the classical machinery that framing rests on:
+
+* :mod:`repro.wavelets.haar` — orthonormal Haar analysis / synthesis for 1-D
+  and 2-D signals,
+* :mod:`repro.wavelets.lifting` — the lifting-scheme formulation
+  (split / predict / update), including the *unbalanced* Haar transform on
+  irregularly spaced samples,
+* :mod:`repro.wavelets.thresholding` — coefficient thresholding, the standard
+  way to trade storage for accuracy (the ε-threshold of Simplex-Tree inserts
+  plays the same role at the data-structure level).
+"""
+
+from repro.wavelets.haar import (
+    haar_decompose,
+    haar_decompose_2d,
+    haar_reconstruct,
+    haar_reconstruct_2d,
+)
+from repro.wavelets.lifting import (
+    LiftingStep,
+    lifting_haar_forward,
+    lifting_haar_inverse,
+    unbalanced_haar_forward,
+    unbalanced_haar_inverse,
+)
+from repro.wavelets.thresholding import (
+    compress_signal,
+    hard_threshold,
+    keep_largest,
+    reconstruction_error,
+)
+
+__all__ = [
+    "haar_decompose",
+    "haar_decompose_2d",
+    "haar_reconstruct",
+    "haar_reconstruct_2d",
+    "LiftingStep",
+    "lifting_haar_forward",
+    "lifting_haar_inverse",
+    "unbalanced_haar_forward",
+    "unbalanced_haar_inverse",
+    "compress_signal",
+    "hard_threshold",
+    "keep_largest",
+    "reconstruction_error",
+]

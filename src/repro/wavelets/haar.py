@@ -1,0 +1,141 @@
+"""Orthonormal Haar wavelet transform for 1-D and 2-D signals.
+
+The implementation follows the textbook multi-resolution analysis: at each
+level the signal is split into pairwise averages (the approximation) and
+pairwise differences (the detail), both scaled by ``1/sqrt(2)`` so that the
+transform is orthonormal and therefore preserves the L2 norm (Parseval).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, as_float_matrix, as_float_vector
+
+_SQRT2 = np.sqrt(2.0)
+
+
+def _require_power_of_two(length: int, name: str) -> None:
+    if length < 1 or (length & (length - 1)) != 0:
+        raise ValidationError(f"{name} length must be a positive power of two, got {length}")
+
+
+def haar_decompose(signal, levels: int | None = None) -> list[np.ndarray]:
+    """Decompose ``signal`` into Haar coefficients.
+
+    Parameters
+    ----------
+    signal:
+        1-D array whose length is a power of two.
+    levels:
+        Number of decomposition levels; defaults to the maximum
+        (``log2(len(signal))``).
+
+    Returns
+    -------
+    list of numpy.ndarray
+        ``[approximation, detail_coarsest, ..., detail_finest]`` — the same
+        layout used by :func:`haar_reconstruct`.
+    """
+    signal = as_float_vector(signal, name="signal")
+    _require_power_of_two(signal.shape[0], "signal")
+    max_levels = int(np.log2(signal.shape[0]))
+    if levels is None:
+        levels = max_levels
+    if not 0 <= levels <= max_levels:
+        raise ValidationError(f"levels must be in [0, {max_levels}], got {levels}")
+
+    details: list[np.ndarray] = []
+    approx = signal.copy()
+    for _ in range(levels):
+        evens = approx[0::2]
+        odds = approx[1::2]
+        detail = (evens - odds) / _SQRT2
+        approx = (evens + odds) / _SQRT2
+        details.append(detail)
+    return [approx] + details[::-1]
+
+
+def haar_reconstruct(coefficients: list[np.ndarray]) -> np.ndarray:
+    """Invert :func:`haar_decompose`."""
+    if not coefficients:
+        raise ValidationError("coefficients must not be empty")
+    approx = as_float_vector(coefficients[0], name="approximation")
+    for level, detail in enumerate(coefficients[1:], start=1):
+        detail = as_float_vector(detail, name=f"detail level {level}")
+        if detail.shape[0] != approx.shape[0]:
+            raise ValidationError(
+                "detail coefficients do not match the approximation length "
+                f"({detail.shape[0]} vs {approx.shape[0]})"
+            )
+        evens = (approx + detail) / _SQRT2
+        odds = (approx - detail) / _SQRT2
+        approx = np.empty(2 * approx.shape[0], dtype=np.float64)
+        approx[0::2] = evens
+        approx[1::2] = odds
+    return approx
+
+
+def haar_decompose_2d(image, levels: int = 1) -> dict[str, np.ndarray]:
+    """One- or multi-level 2-D Haar decomposition of a square image.
+
+    Returns a dictionary with the approximation (``"LL"``) and the detail
+    bands per level (``"LH<l>"``, ``"HL<l>"``, ``"HH<l>"``).
+    """
+    image = as_float_matrix(image, name="image")
+    rows, cols = image.shape
+    _require_power_of_two(rows, "image rows")
+    _require_power_of_two(cols, "image columns")
+    max_levels = int(min(np.log2(rows), np.log2(cols)))
+    if not 1 <= levels <= max_levels:
+        raise ValidationError(f"levels must be in [1, {max_levels}], got {levels}")
+
+    bands: dict[str, np.ndarray] = {}
+    approx = image.copy()
+    for level in range(1, levels + 1):
+        # Transform rows.
+        evens = approx[:, 0::2]
+        odds = approx[:, 1::2]
+        low = (evens + odds) / _SQRT2
+        high = (evens - odds) / _SQRT2
+        # Transform columns of each half.
+        def _columns(block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            top = block[0::2, :]
+            bottom = block[1::2, :]
+            return (top + bottom) / _SQRT2, (top - bottom) / _SQRT2
+
+        low_low, low_high = _columns(low)
+        high_low, high_high = _columns(high)
+        bands[f"LH{level}"] = low_high
+        bands[f"HL{level}"] = high_low
+        bands[f"HH{level}"] = high_high
+        approx = low_low
+    bands["LL"] = approx
+    bands["levels"] = np.array([levels])
+    return bands
+
+
+def haar_reconstruct_2d(bands: dict[str, np.ndarray]) -> np.ndarray:
+    """Invert :func:`haar_decompose_2d`."""
+    if "LL" not in bands or "levels" not in bands:
+        raise ValidationError("bands must contain 'LL' and 'levels'")
+    levels = int(np.asarray(bands["levels"]).ravel()[0])
+    approx = np.asarray(bands["LL"], dtype=np.float64)
+    for level in range(levels, 0, -1):
+        low_high = np.asarray(bands[f"LH{level}"], dtype=np.float64)
+        high_low = np.asarray(bands[f"HL{level}"], dtype=np.float64)
+        high_high = np.asarray(bands[f"HH{level}"], dtype=np.float64)
+
+        def _merge_columns(top: np.ndarray, bottom: np.ndarray) -> np.ndarray:
+            merged = np.empty((top.shape[0] * 2, top.shape[1]), dtype=np.float64)
+            merged[0::2, :] = (top + bottom) / _SQRT2
+            merged[1::2, :] = (top - bottom) / _SQRT2
+            return merged
+
+        low = _merge_columns(approx, low_high)
+        high = _merge_columns(high_low, high_high)
+        merged = np.empty((low.shape[0], low.shape[1] * 2), dtype=np.float64)
+        merged[:, 0::2] = (low + high) / _SQRT2
+        merged[:, 1::2] = (low - high) / _SQRT2
+        approx = merged
+    return approx

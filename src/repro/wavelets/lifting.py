@@ -1,0 +1,203 @@
+"""Lifting-scheme wavelets, including the unbalanced Haar transform.
+
+The lifting scheme (Sweldens, cited by the paper) constructs wavelets in
+three steps — *split*, *predict*, *update* — and works on irregularly spaced
+samples, which is exactly the situation of the Simplex Tree: the stored query
+points are wherever user feedback happened to land.  The *unbalanced* Haar
+transform implemented here keeps the averaging weights proportional to the
+interval lengths, so the coarse coefficients remain true local means even on
+an irregular grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, as_float_vector
+
+
+@dataclass(frozen=True)
+class LiftingStep:
+    """One level of a lifting decomposition.
+
+    Attributes
+    ----------
+    approximation:
+        Coarse (scaling) coefficients after this level.
+    detail:
+        Detail (wavelet) coefficients produced by this level.
+    weights:
+        Interval weights associated with the coarse coefficients (used by the
+        unbalanced transform; all ones for the classical transform).
+    """
+
+    approximation: np.ndarray
+    detail: np.ndarray
+    weights: np.ndarray
+
+
+def lifting_haar_forward(signal, levels: int | None = None) -> list[LiftingStep]:
+    """Classical Haar transform expressed through lifting.
+
+    Split the signal into even/odd samples, predict each odd sample by its
+    even neighbour (detail = odd − even) and update the even samples so that
+    the coarse signal preserves the mean (even + detail/2).
+    """
+    signal = as_float_vector(signal, name="signal")
+    n = signal.shape[0]
+    if n < 1:
+        raise ValidationError("signal must not be empty")
+    if levels is None:
+        levels = 0
+        length = n
+        while length >= 2:
+            levels += 1
+            length = (length + 1) // 2
+
+    steps: list[LiftingStep] = []
+    approx = signal.copy()
+    weights = np.ones_like(approx)
+    for _ in range(levels):
+        if approx.shape[0] < 2:
+            break
+        evens = approx[0::2]
+        odds = approx[1::2]
+        # Odd-length tails keep their last even sample unchanged.
+        paired = min(evens.shape[0], odds.shape[0])
+        detail = odds[:paired] - evens[:paired]
+        coarse = evens.copy()
+        coarse[:paired] = evens[:paired] + detail / 2.0
+        new_weights = weights[0::2].copy()
+        new_weights[:paired] = weights[0::2][:paired] + weights[1::2][:paired]
+        steps.append(LiftingStep(approximation=coarse, detail=detail, weights=new_weights))
+        approx = coarse
+        weights = new_weights
+    return steps
+
+
+def lifting_haar_inverse(signal_length: int, steps: list[LiftingStep]) -> np.ndarray:
+    """Invert :func:`lifting_haar_forward` back to the original samples."""
+    if not steps:
+        raise ValidationError("steps must not be empty")
+    approx = np.asarray(steps[-1].approximation, dtype=np.float64).copy()
+    for step in reversed(steps):
+        detail = np.asarray(step.detail, dtype=np.float64)
+        paired = detail.shape[0]
+        evens = approx.copy()
+        evens[:paired] = approx[:paired] - detail / 2.0
+        odds = detail + evens[:paired]
+        length = evens.shape[0] + odds.shape[0]
+        merged = np.empty(length, dtype=np.float64)
+        merged[0::2] = evens
+        merged[1::2] = odds
+        approx = merged
+    if approx.shape[0] != signal_length:
+        raise ValidationError(
+            f"reconstructed length {approx.shape[0]} does not match requested {signal_length}"
+        )
+    return approx
+
+
+def unbalanced_haar_forward(positions, values) -> list[LiftingStep]:
+    """Unbalanced Haar transform of samples ``values`` at ``positions``.
+
+    Neighbouring samples are merged pairwise; each coarse coefficient is the
+    *length-weighted* mean of its children and each detail coefficient the
+    difference of the children.  Because the weights follow the sample
+    spacing, the transform is exact for piecewise-constant functions on the
+    irregular grid — the 0-th order analogue of the piecewise-linear
+    interpolation the Simplex Tree performs in higher dimension.
+    """
+    positions = as_float_vector(positions, name="positions")
+    values = as_float_vector(values, name="values", dim=positions.shape[0])
+    if positions.shape[0] < 1:
+        raise ValidationError("at least one sample is required")
+    if np.any(np.diff(positions) <= 0):
+        raise ValidationError("positions must be strictly increasing")
+
+    # Initial weights: the length of the interval each sample represents.
+    if positions.shape[0] == 1:
+        weights = np.ones(1, dtype=np.float64)
+    else:
+        gaps = np.diff(positions)
+        weights = np.empty_like(positions)
+        weights[0] = gaps[0]
+        weights[-1] = gaps[-1]
+        if positions.shape[0] > 2:
+            weights[1:-1] = (gaps[:-1] + gaps[1:]) / 2.0
+
+    steps: list[LiftingStep] = []
+    approx = values.copy()
+    while approx.shape[0] >= 2:
+        evens = approx[0::2]
+        odds = approx[1::2]
+        even_weights = weights[0::2]
+        odd_weights = weights[1::2]
+        paired = min(evens.shape[0], odds.shape[0])
+
+        merged_weights = even_weights.copy()
+        merged_weights[:paired] = even_weights[:paired] + odd_weights[:paired]
+        coarse = evens.copy()
+        coarse[:paired] = (
+            even_weights[:paired] * evens[:paired] + odd_weights[:paired] * odds[:paired]
+        ) / merged_weights[:paired]
+        detail = odds[:paired] - evens[:paired]
+
+        steps.append(LiftingStep(approximation=coarse, detail=detail, weights=merged_weights))
+        approx = coarse
+        weights = merged_weights
+    return steps
+
+
+def unbalanced_haar_inverse(positions, steps: list[LiftingStep]) -> np.ndarray:
+    """Invert :func:`unbalanced_haar_forward`, returning the original values."""
+    positions = as_float_vector(positions, name="positions")
+    if not steps:
+        if positions.shape[0] != 1:
+            raise ValidationError("empty steps only valid for a single sample")
+        raise ValidationError("steps must not be empty for more than one sample")
+
+    # Rebuild the weight pyramid bottom-up so the inverse can undo the
+    # weighted averages level by level.
+    if positions.shape[0] == 1:
+        base_weights = np.ones(1, dtype=np.float64)
+    else:
+        gaps = np.diff(positions)
+        base_weights = np.empty_like(positions)
+        base_weights[0] = gaps[0]
+        base_weights[-1] = gaps[-1]
+        if positions.shape[0] > 2:
+            base_weights[1:-1] = (gaps[:-1] + gaps[1:]) / 2.0
+
+    weight_levels = [base_weights]
+    for step in steps[:-1]:
+        weight_levels.append(step.weights)
+
+    approx = np.asarray(steps[-1].approximation, dtype=np.float64).copy()
+    for step, weights in zip(reversed(steps), reversed(weight_levels)):
+        detail = np.asarray(step.detail, dtype=np.float64)
+        paired = detail.shape[0]
+        even_weights = weights[0::2]
+        odd_weights = weights[1::2]
+        merged_weights = even_weights.copy()
+        merged_weights[:paired] = even_weights[:paired] + odd_weights[:paired]
+
+        evens = approx.copy()
+        odds = np.empty(paired, dtype=np.float64)
+        # coarse = (we*e + wo*o) / (we+wo), detail = o - e
+        #   =>  e = coarse - wo/(we+wo) * detail,  o = detail + e
+        evens[:paired] = approx[:paired] - odd_weights[:paired] / merged_weights[:paired] * detail
+        odds = detail + evens[:paired]
+
+        length = evens.shape[0] + odds.shape[0]
+        merged = np.empty(length, dtype=np.float64)
+        merged[0::2] = evens
+        merged[1::2] = odds
+        approx = merged
+    if approx.shape[0] != positions.shape[0]:
+        raise ValidationError(
+            f"reconstructed length {approx.shape[0]} does not match positions ({positions.shape[0]})"
+        )
+    return approx

@@ -1,0 +1,80 @@
+"""Coefficient thresholding: trading storage for accuracy.
+
+Simplex-Tree inserts are gated by an ε-threshold on the prediction error;
+this module provides the analogous machinery for classical wavelet
+representations, which the ablation benchmarks use to relate the two views.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, as_float_vector, check_positive
+from repro.wavelets.haar import haar_decompose, haar_reconstruct
+
+
+def hard_threshold(coefficients: list[np.ndarray], threshold: float) -> list[np.ndarray]:
+    """Zero every detail coefficient whose magnitude is below ``threshold``.
+
+    The approximation band (first element) is always kept so that the overall
+    mean of the signal survives compression.
+    """
+    threshold = check_positive(threshold, name="threshold", strict=False)
+    if not coefficients:
+        raise ValidationError("coefficients must not be empty")
+    result = [np.asarray(coefficients[0], dtype=np.float64).copy()]
+    for band in coefficients[1:]:
+        band = np.asarray(band, dtype=np.float64).copy()
+        band[np.abs(band) < threshold] = 0.0
+        result.append(band)
+    return result
+
+
+def keep_largest(coefficients: list[np.ndarray], count: int) -> list[np.ndarray]:
+    """Keep only the ``count`` largest-magnitude detail coefficients."""
+    if count < 0:
+        raise ValidationError(f"count must be >= 0, got {count}")
+    if not coefficients:
+        raise ValidationError("coefficients must not be empty")
+    details = [np.asarray(band, dtype=np.float64).copy() for band in coefficients[1:]]
+    flattened = np.concatenate([band.ravel() for band in details]) if details else np.array([])
+    if flattened.size > count:
+        cutoff = np.sort(np.abs(flattened))[::-1][count - 1] if count > 0 else np.inf
+        kept = 0
+        for band in details:
+            mask = np.abs(band) >= cutoff
+            # Resolve ties so exactly ``count`` coefficients survive.
+            for index in np.flatnonzero(mask):
+                if kept >= count:
+                    mask[index] = False
+                else:
+                    kept += 1
+            band[~mask] = 0.0
+    return [np.asarray(coefficients[0], dtype=np.float64).copy()] + details
+
+
+def reconstruction_error(signal, coefficients: list[np.ndarray]) -> float:
+    """Return the maximum absolute reconstruction error of ``coefficients``."""
+    signal = as_float_vector(signal, name="signal")
+    reconstructed = haar_reconstruct(coefficients)
+    if reconstructed.shape[0] != signal.shape[0]:
+        raise ValidationError("coefficient layout does not match the signal length")
+    return float(np.max(np.abs(signal - reconstructed)))
+
+
+def compress_signal(signal, threshold: float) -> tuple[list[np.ndarray], float, float]:
+    """Compress ``signal`` with a hard threshold.
+
+    Returns ``(coefficients, retained_fraction, max_error)`` where
+    ``retained_fraction`` is the share of non-zero detail coefficients after
+    thresholding.  The benchmark for the ε ablation reports the same
+    storage-vs-accuracy trade-off for the Simplex Tree.
+    """
+    signal = as_float_vector(signal, name="signal")
+    coefficients = haar_decompose(signal)
+    thresholded = hard_threshold(coefficients, threshold)
+    n_details = sum(band.size for band in thresholded[1:])
+    n_nonzero = sum(int(np.count_nonzero(band)) for band in thresholded[1:])
+    retained = 1.0 if n_details == 0 else n_nonzero / n_details
+    error = reconstruction_error(signal, thresholded)
+    return thresholded, retained, error

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite.
+
+The corpora used here are deliberately small (a handful of images per
+category, 16-bin histograms where possible) so the full suite stays fast
+while still exercising the real code paths end-to-end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.database.collection import FeatureCollection
+from repro.evaluation.session import InteractiveSession, SessionConfig
+from repro.features.datasets import build_imsi_like_dataset
+from repro.features.normalization import drop_last_bin
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A deterministic random generator for ad-hoc sampling inside tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A very small corpus with 16-bin histograms (D = 15 query space)."""
+    return build_imsi_like_dataset(
+        scale=0.03, n_hue_bins=4, n_saturation_bins=4, pixels_per_image=200, seed=101
+    )
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small corpus with the paper's 32-bin histograms (D = 31 query space)."""
+    return build_imsi_like_dataset(scale=0.04, pixels_per_image=200, seed=202)
+
+
+@pytest.fixture(scope="session")
+def tiny_collection(tiny_dataset) -> FeatureCollection:
+    """Embedded (last bin dropped), labelled collection of the tiny corpus."""
+    embedded = drop_last_bin(tiny_dataset.features)
+    labels = [record.category for record in tiny_dataset.records]
+    return FeatureCollection(embedded, labels=labels)
+
+
+@pytest.fixture()
+def tiny_session(tiny_dataset) -> InteractiveSession:
+    """A fresh interactive session over the tiny corpus (k = 10)."""
+    config = SessionConfig(k=10, epsilon=0.05, max_iterations=6)
+    return InteractiveSession.for_dataset(tiny_dataset, config)
+
+
+@pytest.fixture(scope="session")
+def trained_session(tiny_dataset) -> InteractiveSession:
+    """A session already trained on 60 queries (shared, read-mostly)."""
+    config = SessionConfig(k=10, epsilon=0.05, max_iterations=6)
+    session = InteractiveSession.for_dataset(tiny_dataset, config)
+    sampler = np.random.default_rng(7)
+    session.run_stream(tiny_dataset.sample_query_indices(60, sampler))
+    return session

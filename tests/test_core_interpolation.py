@@ -1,0 +1,83 @@
+"""Tests for repro.core.interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.core.interpolation import interpolate_payloads, interpolate_payloads_determinant
+from repro.utils.validation import ValidationError
+
+
+TRIANGLE = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+PAYLOADS = np.array([[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]])
+
+
+class TestInterpolatePayloads:
+    def test_vertex_returns_stored_payload(self):
+        for position in range(3):
+            np.testing.assert_allclose(
+                interpolate_payloads(TRIANGLE, PAYLOADS, TRIANGLE[position]),
+                PAYLOADS[position],
+                atol=1e-12,
+            )
+
+    def test_centroid_returns_mean_payload(self):
+        np.testing.assert_allclose(
+            interpolate_payloads(TRIANGLE, PAYLOADS, TRIANGLE.mean(axis=0)),
+            PAYLOADS.mean(axis=0),
+            atol=1e-12,
+        )
+
+    def test_linear_function_reproduced_exactly(self):
+        # payload(x, y) = [3x - y + 2, x + 4y] is affine, so interpolation is exact.
+        def linear(point):
+            return np.array([3 * point[0] - point[1] + 2.0, point[0] + 4 * point[1]])
+
+        payloads = np.vstack([linear(vertex) for vertex in TRIANGLE])
+        for point in ([0.2, 0.3], [0.5, 0.1], [0.05, 0.9]):
+            np.testing.assert_allclose(
+                interpolate_payloads(TRIANGLE, payloads, point), linear(np.asarray(point)), atol=1e-12
+            )
+
+    def test_higher_dimension(self):
+        rng = np.random.default_rng(0)
+        dimension = 7
+        vertices = rng.random((dimension + 1, dimension))
+        matrix = rng.random((dimension, 3))
+        offset = rng.random(3)
+        payloads = vertices @ matrix + offset
+        point = vertices.mean(axis=0)
+        np.testing.assert_allclose(
+            interpolate_payloads(vertices, payloads, point), point @ matrix + offset, atol=1e-9
+        )
+
+    def test_rejects_payload_count_mismatch(self):
+        with pytest.raises(ValidationError):
+            interpolate_payloads(TRIANGLE, PAYLOADS[:2], [0.2, 0.2])
+
+    def test_rejects_point_dimension_mismatch(self):
+        with pytest.raises(ValidationError):
+            interpolate_payloads(TRIANGLE, PAYLOADS, [0.2, 0.2, 0.2])
+
+
+class TestDeterminantFormulation:
+    def test_agrees_with_barycentric_form(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            dimension = int(rng.integers(2, 6))
+            vertices = rng.random((dimension + 1, dimension))
+            payloads = rng.random((dimension + 1, 4))
+            point = rng.dirichlet(np.ones(dimension + 1)) @ vertices
+            np.testing.assert_allclose(
+                interpolate_payloads(vertices, payloads, point),
+                interpolate_payloads_determinant(vertices, payloads, point),
+                atol=1e-9,
+            )
+
+    def test_vertex_values(self):
+        np.testing.assert_allclose(
+            interpolate_payloads_determinant(TRIANGLE, PAYLOADS, TRIANGLE[1]), PAYLOADS[1], atol=1e-12
+        )
+
+    def test_rejects_payload_count_mismatch(self):
+        with pytest.raises(ValidationError):
+            interpolate_payloads_determinant(TRIANGLE, PAYLOADS[:2], [0.2, 0.2])

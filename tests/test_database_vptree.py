@@ -1,0 +1,90 @@
+"""Tests for repro.database.vptree."""
+
+import numpy as np
+import pytest
+
+from repro.database.collection import FeatureCollection
+from repro.database.knn import LinearScanIndex
+from repro.database.vptree import VPTreeIndex
+from repro.distances.minkowski import cityblock, euclidean
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def random_collection() -> FeatureCollection:
+    rng = np.random.default_rng(42)
+    return FeatureCollection(rng.random((200, 6)))
+
+
+class TestVPTreeCorrectness:
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_matches_linear_scan(self, random_collection, k):
+        distance = euclidean(6)
+        tree = VPTreeIndex(random_collection, distance, seed=1)
+        scan = LinearScanIndex(random_collection)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            query = rng.random(6)
+            tree_result = tree.search(query, k)
+            scan_result = scan.search(query, k, distance)
+            np.testing.assert_allclose(
+                tree_result.distances(), scan_result.distances(), atol=1e-10
+            )
+
+    def test_manhattan_metric(self, random_collection):
+        distance = cityblock(6)
+        tree = VPTreeIndex(random_collection, distance, seed=2)
+        scan = LinearScanIndex(random_collection)
+        query = np.full(6, 0.5)
+        np.testing.assert_allclose(
+            tree.search(query, 10).distances(),
+            scan.search(query, 10, distance).distances(),
+            atol=1e-10,
+        )
+
+    def test_k_exceeding_collection_size(self, random_collection):
+        tree = VPTreeIndex(random_collection, euclidean(6))
+        assert len(tree.search(np.zeros(6), 10_000)) == random_collection.size
+
+    def test_exact_match_found(self, random_collection):
+        tree = VPTreeIndex(random_collection, euclidean(6))
+        target = random_collection.vector(17)
+        results = tree.search(target, 1)
+        assert results[0].distance == pytest.approx(0.0)
+
+    def test_small_leaf_size(self, random_collection):
+        distance = euclidean(6)
+        tree = VPTreeIndex(random_collection, distance, leaf_size=1, seed=3)
+        scan = LinearScanIndex(random_collection)
+        query = np.full(6, 0.25)
+        np.testing.assert_allclose(
+            tree.search(query, 15).distances(),
+            scan.search(query, 15, distance).distances(),
+            atol=1e-10,
+        )
+
+
+class TestVPTreeValidation:
+    def test_rejects_dimension_mismatch(self, random_collection):
+        with pytest.raises(ValidationError):
+            VPTreeIndex(random_collection, euclidean(3))
+
+    def test_rejects_search_with_other_metric(self, random_collection):
+        tree = VPTreeIndex(random_collection, euclidean(6))
+        with pytest.raises(ValidationError):
+            tree.search(np.zeros(6), 5, distance=cityblock(6))
+
+    def test_rejects_bad_leaf_size(self, random_collection):
+        with pytest.raises(ValidationError):
+            VPTreeIndex(random_collection, euclidean(6), leaf_size=0)
+
+    def test_rejects_invalid_k(self, random_collection):
+        tree = VPTreeIndex(random_collection, euclidean(6))
+        with pytest.raises(ValidationError):
+            tree.search(np.zeros(6), 0)
+
+    def test_single_point_collection(self):
+        collection = FeatureCollection(np.array([[0.5, 0.5]]))
+        tree = VPTreeIndex(collection, euclidean(2))
+        results = tree.search([0.0, 0.0], 3)
+        assert len(results) == 1

@@ -1,0 +1,161 @@
+"""Tests for repro.distances.cbir."""
+
+import numpy as np
+import pytest
+
+from repro.distances.cbir import (
+    CosineDistance,
+    HistogramIntersectionDistance,
+    QuadraticFormHistogramDistance,
+    hsv_bin_similarity_matrix,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestCosineDistance:
+    def test_identical_vectors_have_zero_distance(self):
+        distance = CosineDistance(4)
+        vector = np.array([0.1, 0.2, 0.3, 0.4])
+        assert distance.distance(vector, vector) == pytest.approx(0.0, abs=1e-12)
+
+    def test_scaling_invariance(self):
+        distance = CosineDistance(3)
+        first = np.array([1.0, 2.0, 3.0])
+        assert distance.distance(first, 5.0 * first) == pytest.approx(0.0, abs=1e-12)
+
+    def test_orthogonal_vectors(self):
+        distance = CosineDistance(2)
+        assert distance.distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_zero_vector_gets_maximum_distance(self):
+        distance = CosineDistance(3)
+        assert distance.distance(np.zeros(3), np.ones(3)) == pytest.approx(1.0)
+
+    def test_weights_change_the_angle(self):
+        unweighted = CosineDistance(2)
+        weighted = CosineDistance(2, weights=[10.0, 0.1])
+        first, second = np.array([1.0, 0.2]), np.array([1.0, 0.8])
+        assert weighted.distance(first, second) < unweighted.distance(first, second)
+
+    def test_vectorised_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        distance = CosineDistance(5, weights=rng.random(5) + 0.1)
+        query = rng.random(5)
+        points = rng.random((15, 5))
+        batch = distance.distances_to(query, points)
+        for row, point in enumerate(points):
+            assert batch[row] == pytest.approx(distance.distance(query, point))
+
+    def test_parameter_roundtrip(self):
+        distance = CosineDistance(3, weights=[1.0, 2.0, 3.0])
+        rebuilt = distance.with_parameters(distance.parameters())
+        np.testing.assert_allclose(rebuilt.weights, distance.weights)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValidationError):
+            CosineDistance(2, weights=[-1.0, 1.0])
+
+
+class TestHistogramIntersection:
+    def test_identical_histograms_have_zero_distance(self):
+        distance = HistogramIntersectionDistance(4)
+        histogram = np.array([0.25, 0.25, 0.25, 0.25])
+        assert distance.distance(histogram, histogram) == pytest.approx(0.0)
+
+    def test_disjoint_histograms_have_distance_one(self):
+        distance = HistogramIntersectionDistance(4)
+        first = np.array([0.5, 0.5, 0.0, 0.0])
+        second = np.array([0.0, 0.0, 0.5, 0.5])
+        assert distance.distance(first, second) == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        distance = HistogramIntersectionDistance(2)
+        assert distance.distance([0.7, 0.3], [0.4, 0.6]) == pytest.approx(1.0 - (0.4 + 0.3))
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        distance = HistogramIntersectionDistance(6)
+        first, second = rng.dirichlet(np.ones(6)), rng.dirichlet(np.ones(6))
+        assert distance.distance(first, second) == pytest.approx(distance.distance(second, first))
+
+    def test_vectorised_matches_scalar(self):
+        rng = np.random.default_rng(2)
+        distance = HistogramIntersectionDistance(8)
+        query = rng.dirichlet(np.ones(8))
+        points = rng.dirichlet(np.ones(8), size=10)
+        batch = distance.distances_to(query, points)
+        for row, point in enumerate(points):
+            assert batch[row] == pytest.approx(distance.distance(query, point))
+
+    def test_parameter_roundtrip(self):
+        distance = HistogramIntersectionDistance(3, weights=[1.0, 0.5, 2.0])
+        rebuilt = distance.with_parameters(distance.parameters())
+        np.testing.assert_allclose(rebuilt.weights, distance.weights)
+
+
+class TestHsvSimilarityMatrix:
+    def test_shape_and_symmetry(self):
+        matrix = hsv_bin_similarity_matrix(8, 4)
+        assert matrix.shape == (32, 32)
+        np.testing.assert_allclose(matrix, matrix.T)
+
+    def test_diagonal_is_maximal(self):
+        matrix = hsv_bin_similarity_matrix(8, 4)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+        assert matrix.max() == pytest.approx(1.0)
+
+    def test_hue_circularity(self):
+        # First and last hue bins (same saturation bin) are close on the hue
+        # circle, so their similarity exceeds that of opposite hues.
+        matrix = hsv_bin_similarity_matrix(8, 4)
+        same_saturation_first = 0 * 4 + 0
+        same_saturation_last = 7 * 4 + 0
+        opposite_hue = 4 * 4 + 0
+        assert matrix[same_saturation_first, same_saturation_last] > matrix[same_saturation_first, opposite_hue]
+
+    def test_rejects_invalid_layout(self):
+        with pytest.raises(ValidationError):
+            hsv_bin_similarity_matrix(0, 4)
+
+
+class TestQuadraticFormHistogramDistance:
+    def test_identity_matrix_matches_euclidean(self):
+        distance = QuadraticFormHistogramDistance(4, np.eye(4))
+        first = np.array([0.4, 0.3, 0.2, 0.1])
+        second = np.array([0.1, 0.2, 0.3, 0.4])
+        assert distance.distance(first, second) == pytest.approx(float(np.linalg.norm(first - second)))
+
+    def test_cross_bin_similarity_reduces_distance(self):
+        # Moving mass to a *similar* bin should cost less than moving it to a
+        # dissimilar bin.
+        matrix = hsv_bin_similarity_matrix(8, 4)
+        distance = QuadraticFormHistogramDistance(32, matrix)
+        base = np.zeros(32)
+        base[0] = 1.0
+        to_similar = np.zeros(32)
+        to_similar[1] = 1.0  # same hue, adjacent saturation bin
+        to_dissimilar = np.zeros(32)
+        to_dissimilar[16] = 1.0  # opposite hue
+        assert distance.distance(base, to_similar) < distance.distance(base, to_dissimilar)
+
+    def test_for_hsv_layout_constructor(self):
+        distance = QuadraticFormHistogramDistance.for_hsv_layout()
+        assert distance.dimension == 32
+        assert distance.distance(np.full(32, 1 / 32), np.full(32, 1 / 32)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_vectorised_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        distance = QuadraticFormHistogramDistance.for_hsv_layout(4, 2)
+        query = rng.dirichlet(np.ones(8))
+        points = rng.dirichlet(np.ones(8), size=12)
+        batch = distance.distances_to(query, points)
+        for row, point in enumerate(points):
+            assert batch[row] == pytest.approx(distance.distance(query, point))
+
+    def test_parameter_count(self):
+        assert QuadraticFormHistogramDistance.for_hsv_layout(4, 2).n_parameters == 8 * 9 // 2
+
+    def test_rejects_indefinite_matrix(self):
+        indefinite = np.array([[1.0, 0.0], [0.0, -2.0]])
+        with pytest.raises(ValidationError):
+            QuadraticFormHistogramDistance(2, indefinite)

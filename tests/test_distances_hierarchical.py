@@ -1,0 +1,90 @@
+"""Tests for repro.distances.hierarchical."""
+
+import numpy as np
+import pytest
+
+from repro.distances.hierarchical import FeatureGroup, HierarchicalDistance
+from repro.distances.weighted_euclidean import WeightedEuclideanDistance
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture()
+def groups() -> list[FeatureGroup]:
+    return [FeatureGroup("color", 0, 4), FeatureGroup("texture", 4, 6)]
+
+
+class TestFeatureGroup:
+    def test_dimension(self):
+        assert FeatureGroup("color", 0, 4).dimension == 4
+
+    def test_slice(self):
+        vector = np.arange(6)
+        np.testing.assert_array_equal(vector[FeatureGroup("texture", 4, 6).slice()], [4, 5])
+
+
+class TestConstruction:
+    def test_requires_partition(self):
+        with pytest.raises(ValidationError):
+            HierarchicalDistance(6, [FeatureGroup("a", 0, 3), FeatureGroup("b", 4, 6)])
+
+    def test_requires_full_coverage(self):
+        with pytest.raises(ValidationError):
+            HierarchicalDistance(8, [FeatureGroup("a", 0, 3), FeatureGroup("b", 3, 6)])
+
+    def test_requires_groups(self):
+        with pytest.raises(ValidationError):
+            HierarchicalDistance(4, [])
+
+    def test_rejects_negative_weights(self, groups):
+        with pytest.raises(ValidationError):
+            HierarchicalDistance(6, groups, feature_weights=[-1.0, 1.0])
+
+
+class TestDistanceComputation:
+    def test_single_group_matches_weighted_euclidean(self):
+        group = [FeatureGroup("all", 0, 5)]
+        rng = np.random.default_rng(0)
+        weights = rng.random(5) + 0.1
+        hierarchical = HierarchicalDistance(5, group, component_weights=weights)
+        reference = WeightedEuclideanDistance(5, weights=weights)
+        first, second = rng.random(5), rng.random(5)
+        assert hierarchical.distance(first, second) == pytest.approx(reference.distance(first, second))
+
+    def test_feature_weights_scale_contributions(self, groups):
+        rng = np.random.default_rng(1)
+        first, second = rng.random(6), rng.random(6)
+        balanced = HierarchicalDistance(6, groups)
+        color_only = HierarchicalDistance(6, groups, feature_weights=[1.0, 0.0])
+        assert color_only.distance(first, second) <= balanced.distance(first, second)
+
+    def test_vectorised_matches_scalar(self, groups):
+        rng = np.random.default_rng(2)
+        distance = HierarchicalDistance(
+            6, groups, feature_weights=[0.7, 1.3], component_weights=rng.random(6) + 0.1
+        )
+        query = rng.random(6)
+        points = rng.random((12, 6))
+        batch = distance.distances_to(query, points)
+        for row, point in enumerate(points):
+            assert batch[row] == pytest.approx(distance.distance(query, point))
+
+    def test_identity_and_symmetry(self, groups):
+        distance = HierarchicalDistance(6, groups)
+        rng = np.random.default_rng(3)
+        first, second = rng.random(6), rng.random(6)
+        assert distance.distance(first, first) == pytest.approx(0.0)
+        assert distance.distance(first, second) == pytest.approx(distance.distance(second, first))
+
+
+class TestParameters:
+    def test_parameter_count(self, groups):
+        assert HierarchicalDistance(6, groups).n_parameters == 6 + 2
+
+    def test_parameter_roundtrip(self, groups):
+        rng = np.random.default_rng(4)
+        distance = HierarchicalDistance(
+            6, groups, feature_weights=rng.random(2) + 0.1, component_weights=rng.random(6) + 0.1
+        )
+        rebuilt = distance.with_parameters(distance.parameters())
+        np.testing.assert_allclose(rebuilt.feature_weights, distance.feature_weights)
+        np.testing.assert_allclose(rebuilt.component_weights, distance.component_weights)

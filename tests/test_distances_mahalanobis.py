@@ -1,0 +1,86 @@
+"""Tests for repro.distances.mahalanobis."""
+
+import numpy as np
+import pytest
+
+from repro.distances.mahalanobis import MahalanobisDistance
+from repro.distances.minkowski import euclidean
+from repro.utils.validation import ValidationError
+
+
+class TestConstruction:
+    def test_identity_matrix_matches_euclidean(self):
+        rng = np.random.default_rng(0)
+        first, second = rng.random(5), rng.random(5)
+        assert MahalanobisDistance(5).distance(first, second) == pytest.approx(
+            euclidean(5).distance(first, second)
+        )
+
+    def test_matrix_is_symmetrised(self):
+        matrix = np.array([[2.0, 1.0], [0.0, 2.0]])
+        distance = MahalanobisDistance(2, matrix=matrix)
+        stored = distance.matrix
+        np.testing.assert_allclose(stored, stored.T)
+
+    def test_rejects_non_psd(self):
+        with pytest.raises(ValidationError):
+            MahalanobisDistance(2, matrix=np.array([[1.0, 0.0], [0.0, -1.0]]))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValidationError):
+            MahalanobisDistance(3, matrix=np.eye(2))
+
+    def test_from_covariance(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(size=(200, 3)) @ np.diag([1.0, 2.0, 0.5])
+        covariance = np.cov(samples, rowvar=False)
+        distance = MahalanobisDistance.from_covariance(covariance)
+        assert distance.dimension == 3
+        # Direction of large variance should yield *smaller* distances.
+        along_wide = distance.distance(np.zeros(3), np.array([0.0, 1.0, 0.0]))
+        along_narrow = distance.distance(np.zeros(3), np.array([0.0, 0.0, 1.0]))
+        assert along_wide < along_narrow
+
+
+class TestDistanceComputation:
+    def test_diagonal_matrix_equals_weighted_euclidean(self):
+        weights = np.array([1.0, 4.0, 9.0])
+        distance = MahalanobisDistance(3, matrix=np.diag(weights))
+        value = distance.distance(np.zeros(3), np.ones(3))
+        assert value == pytest.approx(np.sqrt(weights.sum()))
+
+    def test_vectorised_matches_scalar(self):
+        rng = np.random.default_rng(2)
+        basis = rng.normal(size=(4, 4))
+        matrix = basis @ basis.T + 0.1 * np.eye(4)
+        distance = MahalanobisDistance(4, matrix=matrix)
+        query = rng.random(4)
+        points = rng.random((15, 4))
+        batch = distance.distances_to(query, points)
+        for row, point in enumerate(points):
+            assert batch[row] == pytest.approx(distance.distance(query, point))
+
+    def test_symmetry_and_identity(self):
+        rng = np.random.default_rng(3)
+        basis = rng.normal(size=(3, 3))
+        distance = MahalanobisDistance(3, matrix=basis @ basis.T + 0.1 * np.eye(3))
+        first, second = rng.random(3), rng.random(3)
+        assert distance.distance(first, second) == pytest.approx(distance.distance(second, first))
+        assert distance.distance(first, first) == pytest.approx(0.0)
+
+
+class TestParameters:
+    def test_parameter_count_matches_paper(self):
+        # 31 x 32 / 2 = 496 independent parameters for D = 31 (Section 5).
+        assert MahalanobisDistance(31).n_parameters == 496
+
+    def test_parameter_roundtrip(self):
+        rng = np.random.default_rng(4)
+        basis = rng.normal(size=(3, 3))
+        distance = MahalanobisDistance(3, matrix=basis @ basis.T + 0.1 * np.eye(3))
+        rebuilt = distance.with_parameters(distance.parameters())
+        np.testing.assert_allclose(rebuilt.matrix, distance.matrix, atol=1e-12)
+
+    def test_with_parameters_rejects_wrong_length(self):
+        with pytest.raises(ValidationError):
+            MahalanobisDistance(3).with_parameters(np.zeros(5))

@@ -1,0 +1,170 @@
+"""Tests for repro.evaluation.experiments.
+
+The experiments are exercised at a very small scale (tiny corpus, few
+queries): the goal here is to verify result shapes, internal consistency and
+the qualitative invariants (AlreadySeen >= Default on average, tree growth
+statistics well formed), not to reproduce the paper's figures — that is the
+benchmark harness' job.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.experiments import (
+    category_robustness,
+    k_sweep,
+    learning_curve,
+    training_k_transfer,
+    tree_growth,
+)
+from repro.evaluation.session import InteractiveSession, SessionConfig
+
+
+@pytest.fixture(scope="module")
+def curve(tiny_dataset):
+    return learning_curve(
+        tiny_dataset, k=10, n_queries=40, checkpoint_every=10, epsilon=0.05, seed=3
+    )
+
+
+class TestLearningCurve:
+    def test_checkpoint_layout(self, curve):
+        np.testing.assert_array_equal(curve.checkpoints, [10, 20, 30, 40])
+        assert curve.default_precision.shape == (4,)
+        assert curve.bypass_recall.shape == (4,)
+
+    def test_metrics_in_unit_interval(self, curve):
+        for series in (
+            curve.default_precision,
+            curve.bypass_precision,
+            curve.already_seen_precision,
+            curve.default_recall,
+            curve.bypass_recall,
+            curve.already_seen_recall,
+        ):
+            assert np.all(series >= 0.0) and np.all(series <= 1.0)
+
+    def test_already_seen_dominates_default(self, curve):
+        assert curve.already_seen_precision.mean() >= curve.default_precision.mean()
+
+    def test_precision_gains_computed(self, curve):
+        bypass_gain, seen_gain = curve.precision_gains()
+        assert bypass_gain.shape == curve.checkpoints.shape
+        assert np.all(np.isfinite(seen_gain))
+
+    def test_session_is_exposed_and_trained(self, curve):
+        assert isinstance(curve.session, InteractiveSession)
+        assert len(curve.session.outcomes) == 40
+
+    def test_existing_session_can_be_reused(self, tiny_dataset):
+        config = SessionConfig(k=10, epsilon=0.05)
+        session = InteractiveSession.for_dataset(tiny_dataset, config)
+        result = learning_curve(
+            tiny_dataset, n_queries=10, checkpoint_every=5, session=session, seed=1
+        )
+        assert result.session is session
+        assert len(session.outcomes) == 10
+
+
+class TestKSweep:
+    def test_shapes_and_ranges(self, tiny_dataset):
+        result = k_sweep(
+            tiny_dataset,
+            training_k=10,
+            n_training_queries=20,
+            n_evaluation_queries=8,
+            k_values=(5, 10, 20),
+            seed=2,
+        )
+        np.testing.assert_array_equal(result.k_values, [5, 10, 20])
+        for series in (result.default_precision, result.bypass_precision, result.already_seen_precision):
+            assert series.shape == (3,)
+            assert np.all((series >= 0.0) & (series <= 1.0))
+
+    def test_recall_grows_with_k(self, tiny_dataset):
+        result = k_sweep(
+            tiny_dataset,
+            training_k=10,
+            n_training_queries=15,
+            n_evaluation_queries=10,
+            k_values=(5, 20),
+            seed=4,
+        )
+        # Retrieving more objects can only find more relevant ones.
+        assert result.default_recall[1] >= result.default_recall[0] - 1e-9
+        assert result.already_seen_recall[1] >= result.already_seen_recall[0] - 1e-9
+
+    def test_pretrained_session_reused(self, trained_session, tiny_dataset):
+        result = k_sweep(
+            tiny_dataset,
+            k_values=(5, 10),
+            n_evaluation_queries=6,
+            session=trained_session,
+            seed=5,
+        )
+        assert result.k_values.shape == (2,)
+
+
+class TestTrainingKTransfer:
+    def test_matrix_shape(self, tiny_dataset):
+        result = training_k_transfer(
+            tiny_dataset,
+            training_k_values=(5, 10),
+            evaluation_sizes=(5, 10, 15),
+            n_training_queries=15,
+            n_evaluation_queries=6,
+            seed=6,
+        )
+        assert result.precision.shape == (2, 3)
+        assert result.recall.shape == (2, 3)
+        assert np.all((result.precision >= 0.0) & (result.precision <= 1.0))
+
+    def test_axes_recorded(self, tiny_dataset):
+        result = training_k_transfer(
+            tiny_dataset,
+            training_k_values=(5,),
+            evaluation_sizes=(5, 10),
+            n_training_queries=10,
+            n_evaluation_queries=5,
+            seed=7,
+        )
+        np.testing.assert_array_equal(result.training_k_values, [5])
+        np.testing.assert_array_equal(result.evaluation_sizes, [5, 10])
+
+
+class TestCategoryRobustness:
+    def test_uses_existing_outcomes(self, trained_session):
+        result = category_robustness(None, outcomes=trained_session.outcomes)
+        assert len(result.categories) >= 1
+        assert result.query_counts.sum() == len(trained_session.outcomes)
+
+    def test_per_category_metrics_in_range(self, trained_session):
+        result = category_robustness(None, outcomes=trained_session.outcomes)
+        for series in (result.default_precision, result.bypass_precision, result.already_seen_precision):
+            assert np.all((series >= 0.0) & (series <= 1.0))
+
+    def test_runs_fresh_stream_when_no_outcomes(self, tiny_dataset):
+        result = category_robustness(tiny_dataset, k=10, n_queries=15, seed=8)
+        assert result.query_counts.sum() == 15
+
+    def test_rejects_empty_outcomes(self):
+        with pytest.raises(Exception):
+            category_robustness(None, outcomes=[])
+
+
+class TestTreeGrowth:
+    def test_series_shapes_and_monotonicity(self, tiny_dataset):
+        result = tree_growth(
+            tiny_dataset, k=10, n_queries=30, checkpoint_every=10, n_probe_points=20, seed=9
+        )
+        assert result.checkpoints.shape == result.depth.shape == result.average_traversal.shape
+        # Depth and stored points never decrease as more queries arrive.
+        assert np.all(np.diff(result.depth) >= 0)
+        assert np.all(np.diff(result.stored_points) >= 0)
+
+    def test_average_traversal_bounded_by_depth(self, tiny_dataset):
+        result = tree_growth(
+            tiny_dataset, k=10, n_queries=20, checkpoint_every=10, n_probe_points=15, seed=10
+        )
+        assert np.all(result.average_traversal <= result.depth + 1 + 1e-9)
+        assert np.all(result.average_traversal >= 1.0)

@@ -1,0 +1,58 @@
+"""Tests for repro.evaluation.simulated_user."""
+
+import numpy as np
+import pytest
+
+from repro.database.collection import FeatureCollection
+from repro.database.query import ResultSet
+from repro.evaluation.simulated_user import SimulatedUser
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture()
+def collection() -> FeatureCollection:
+    vectors = np.arange(12, dtype=float).reshape(6, 2) / 12.0
+    labels = ["Bird", "Bird", "Fish", "Fish", "Mammal", "Bird"]
+    return FeatureCollection(vectors, labels=labels)
+
+
+@pytest.fixture()
+def user(collection) -> SimulatedUser:
+    return SimulatedUser(collection)
+
+
+class TestSimulatedUser:
+    def test_requires_labels(self):
+        unlabelled = FeatureCollection(np.zeros((3, 2)))
+        with pytest.raises(ValidationError):
+            SimulatedUser(unlabelled)
+
+    def test_categories_of_results(self, user):
+        results = ResultSet.from_arrays([0, 2, 4], [0.0, 0.1, 0.2])
+        assert user.categories_of(results) == ["Bird", "Fish", "Mammal"]
+
+    def test_judge_marks_same_category_good(self, user):
+        results = ResultSet.from_arrays([0, 2, 5], [0.0, 0.1, 0.2])
+        judgments = user.judge(results, "Bird")
+        assert [j.score for j in judgments] == [1.0, 0.0, 1.0]
+
+    def test_judge_for_query_binds_category(self, user):
+        judge = user.judge_for_query(2)  # a Fish image
+        results = ResultSet.from_arrays([2, 3, 0], [0.0, 0.1, 0.2])
+        judgments = judge(results)
+        assert [j.is_relevant for j in judgments] == [True, True, False]
+
+    def test_relevant_count(self, user):
+        assert user.relevant_count("Bird") == 3
+        assert user.relevant_count("Mammal") == 1
+
+    def test_relevant_count_unknown_category(self, user):
+        with pytest.raises(ValidationError):
+            user.relevant_count("Dinosaur")
+
+    def test_judgments_align_with_dataset(self, tiny_collection):
+        user = SimulatedUser(tiny_collection)
+        results = ResultSet.from_arrays([0, 1, 2], [0.0, 0.1, 0.2])
+        category = tiny_collection.label(0)
+        judgments = user.judge(results, category)
+        assert judgments[0].is_relevant  # the query object itself is relevant

@@ -1,0 +1,75 @@
+"""Tests for repro.features.hsv."""
+
+import numpy as np
+import pytest
+
+from repro.features.hsv import hsv_to_rgb, rgb_to_hsv
+from repro.utils.validation import ValidationError
+
+
+class TestRgbToHsv:
+    def test_pure_red(self):
+        hsv = rgb_to_hsv(np.array([1.0, 0.0, 0.0]))
+        np.testing.assert_allclose(hsv, [0.0, 1.0, 1.0], atol=1e-12)
+
+    def test_pure_green(self):
+        hsv = rgb_to_hsv(np.array([0.0, 1.0, 0.0]))
+        np.testing.assert_allclose(hsv, [1.0 / 3.0, 1.0, 1.0], atol=1e-12)
+
+    def test_pure_blue(self):
+        hsv = rgb_to_hsv(np.array([0.0, 0.0, 1.0]))
+        np.testing.assert_allclose(hsv, [2.0 / 3.0, 1.0, 1.0], atol=1e-12)
+
+    def test_white_has_zero_saturation(self):
+        hsv = rgb_to_hsv(np.array([1.0, 1.0, 1.0]))
+        assert hsv[1] == pytest.approx(0.0)
+        assert hsv[2] == pytest.approx(1.0)
+
+    def test_black(self):
+        hsv = rgb_to_hsv(np.array([0.0, 0.0, 0.0]))
+        np.testing.assert_allclose(hsv, [0.0, 0.0, 0.0])
+
+    def test_grey_has_zero_saturation(self):
+        hsv = rgb_to_hsv(np.array([0.5, 0.5, 0.5]))
+        assert hsv[1] == pytest.approx(0.0)
+        assert hsv[2] == pytest.approx(0.5)
+
+    def test_output_in_unit_range(self):
+        rng = np.random.default_rng(0)
+        hsv = rgb_to_hsv(rng.random((100, 3)))
+        assert np.all(hsv >= 0.0) and np.all(hsv <= 1.0)
+
+    def test_image_shape_preserved(self):
+        rng = np.random.default_rng(1)
+        image = rng.random((8, 8, 3))
+        assert rgb_to_hsv(image).shape == (8, 8, 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            rgb_to_hsv(np.array([1.5, 0.0, 0.0]))
+
+    def test_rejects_wrong_channel_count(self):
+        with pytest.raises(ValidationError):
+            rgb_to_hsv(np.zeros((4, 4)))
+
+
+class TestHsvToRgb:
+    def test_roundtrip_random_colors(self):
+        rng = np.random.default_rng(2)
+        rgb = rng.random((200, 3))
+        np.testing.assert_allclose(hsv_to_rgb(rgb_to_hsv(rgb)), rgb, atol=1e-9)
+
+    def test_roundtrip_saturated_colors(self):
+        colors = np.array(
+            [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [1.0, 1.0, 0.0], [0.0, 1.0, 1.0]]
+        )
+        np.testing.assert_allclose(hsv_to_rgb(rgb_to_hsv(colors)), colors, atol=1e-9)
+
+    def test_zero_saturation_gives_grey(self):
+        rgb = hsv_to_rgb(np.array([0.37, 0.0, 0.6]))
+        np.testing.assert_allclose(rgb, [0.6, 0.6, 0.6], atol=1e-12)
+
+    def test_output_in_unit_range(self):
+        rng = np.random.default_rng(3)
+        rgb = hsv_to_rgb(rng.random((100, 3)))
+        assert np.all(rgb >= 0.0) and np.all(rgb <= 1.0)

@@ -1,0 +1,69 @@
+"""Tests for repro.features.normalization."""
+
+import numpy as np
+import pytest
+
+from repro.features.normalization import drop_last_bin, normalize_histogram, restore_last_bin
+from repro.utils.validation import ValidationError
+
+
+class TestNormalizeHistogram:
+    def test_scales_to_unit_sum(self):
+        histogram = normalize_histogram([2.0, 2.0, 4.0])
+        np.testing.assert_allclose(histogram, [0.25, 0.25, 0.5])
+
+    def test_already_normalised_is_unchanged(self):
+        histogram = np.array([0.3, 0.7])
+        np.testing.assert_allclose(normalize_histogram(histogram), histogram)
+
+    def test_rejects_negative_bins(self):
+        with pytest.raises(ValidationError):
+            normalize_histogram([-1.0, 2.0])
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValidationError):
+            normalize_histogram([0.0, 0.0])
+
+    def test_clips_tiny_negative_noise(self):
+        histogram = normalize_histogram([1.0, -1e-15, 1.0])
+        assert np.all(histogram >= 0.0)
+
+
+class TestDropRestoreLastBin:
+    def test_vector_roundtrip(self):
+        histogram = np.array([0.1, 0.2, 0.3, 0.4])
+        np.testing.assert_allclose(restore_last_bin(drop_last_bin(histogram)), histogram, atol=1e-12)
+
+    def test_matrix_roundtrip(self):
+        rng = np.random.default_rng(0)
+        histograms = rng.dirichlet(np.ones(8), size=20)
+        np.testing.assert_allclose(restore_last_bin(drop_last_bin(histograms)), histograms, atol=1e-12)
+
+    def test_embedding_dimension(self):
+        rng = np.random.default_rng(1)
+        histograms = rng.dirichlet(np.ones(32), size=5)
+        assert drop_last_bin(histograms).shape == (5, 31)
+
+    def test_embedded_point_is_in_standard_simplex(self):
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            embedded = drop_last_bin(rng.dirichlet(np.ones(6)))
+            assert np.all(embedded >= 0.0)
+            assert embedded.sum() <= 1.0 + 1e-12
+
+    def test_all_mass_in_last_bin_maps_to_origin(self):
+        histogram = np.array([0.0, 0.0, 1.0])
+        np.testing.assert_allclose(drop_last_bin(histogram), [0.0, 0.0])
+
+    def test_restore_rejects_oversum(self):
+        with pytest.raises(ValidationError):
+            restore_last_bin(np.array([0.8, 0.5]))
+
+    def test_drop_rejects_single_bin(self):
+        with pytest.raises(ValidationError):
+            drop_last_bin(np.array([1.0]))
+
+    def test_restore_clips_rounding_noise(self):
+        embedded = np.array([0.6, 0.4 + 1e-12])
+        restored = restore_last_bin(embedded)
+        assert restored[-1] == pytest.approx(0.0, abs=1e-9)

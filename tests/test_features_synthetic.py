@@ -1,0 +1,114 @@
+"""Tests for repro.features.synthetic_images."""
+
+import numpy as np
+import pytest
+
+from repro.features.histogram import histogram_from_hsv_pixels
+from repro.features.synthetic_images import (
+    CategorySpec,
+    ColorTheme,
+    SyntheticImageGenerator,
+    default_distractor_themes,
+)
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture()
+def blue_spec() -> CategorySpec:
+    return CategorySpec(
+        name="BlueThings",
+        signature_themes=(ColorTheme(hue=0.6, saturation=0.8, value=0.7, spread=0.02),),
+        themes_per_image=(1, 1),
+        signature_fraction_range=(0.8, 0.9),
+    )
+
+
+class TestColorTheme:
+    def test_samples_have_valid_ranges(self):
+        theme = ColorTheme(hue=0.5, saturation=0.5, value=0.5, spread=0.2)
+        samples = theme.sample_hsv(500, np.random.default_rng(0))
+        assert samples.shape == (500, 3)
+        assert np.all(samples >= 0.0) and np.all(samples <= 1.0)
+
+    def test_samples_cluster_around_centre(self):
+        theme = ColorTheme(hue=0.5, saturation=0.5, value=0.5, spread=0.01)
+        samples = theme.sample_hsv(500, np.random.default_rng(1))
+        np.testing.assert_allclose(samples.mean(axis=0), [0.5, 0.5, 0.5], atol=0.01)
+
+    def test_hue_wraps_instead_of_clipping(self):
+        theme = ColorTheme(hue=0.01, saturation=0.5, value=0.5, spread=0.05)
+        samples = theme.sample_hsv(2000, np.random.default_rng(2))
+        # With wrapping, a near-zero hue theme produces values near both 0 and 1.
+        assert samples[:, 0].max() > 0.9
+
+    def test_rejects_out_of_range_centre(self):
+        with pytest.raises(ValidationError):
+            ColorTheme(hue=1.5, saturation=0.5)
+
+    def test_rejects_non_positive_spread(self):
+        with pytest.raises(ValidationError):
+            ColorTheme(hue=0.5, saturation=0.5, spread=0.0)
+
+
+class TestCategorySpec:
+    def test_requires_themes(self):
+        with pytest.raises(ValidationError):
+            CategorySpec(name="Empty", signature_themes=())
+
+    def test_rejects_bad_theme_range(self):
+        with pytest.raises(ValidationError):
+            CategorySpec(
+                name="Bad",
+                signature_themes=(ColorTheme(hue=0.5, saturation=0.5),),
+                themes_per_image=(3, 1),
+            )
+
+    def test_rejects_bad_fraction_range(self):
+        with pytest.raises(ValidationError):
+            CategorySpec(
+                name="Bad",
+                signature_themes=(ColorTheme(hue=0.5, saturation=0.5),),
+                signature_fraction_range=(0.9, 0.2),
+            )
+
+
+class TestSyntheticImageGenerator:
+    def test_pixel_sampling_shape(self, blue_spec):
+        generator = SyntheticImageGenerator()
+        pixels = generator.sample_hsv_pixels(blue_spec, 300, np.random.default_rng(0))
+        assert pixels.shape == (300, 3)
+        assert np.all(pixels >= 0.0) and np.all(pixels <= 1.0)
+
+    def test_signature_dominates_histogram(self, blue_spec):
+        generator = SyntheticImageGenerator()
+        pixels = generator.sample_hsv_pixels(blue_spec, 2000, np.random.default_rng(1))
+        histogram = histogram_from_hsv_pixels(pixels)
+        # The blue theme is hue ~0.6, saturation ~0.8 -> hue bin 4, sat bin 3 -> flat index 19.
+        assert histogram[19] > 0.5
+
+    def test_rendered_image_shape_and_range(self, blue_spec):
+        generator = SyntheticImageGenerator(image_size=16)
+        image = generator.render_rgb_image(blue_spec, np.random.default_rng(2))
+        assert image.shape == (16, 16, 3)
+        assert np.all(image >= 0.0) and np.all(image <= 1.0)
+
+    def test_same_seed_reproduces_image(self, blue_spec):
+        generator = SyntheticImageGenerator(image_size=8)
+        first = generator.render_rgb_image(blue_spec, np.random.default_rng(3))
+        second = generator.render_rgb_image(blue_spec, np.random.default_rng(3))
+        np.testing.assert_allclose(first, second)
+
+    def test_different_images_per_category_differ(self, blue_spec):
+        generator = SyntheticImageGenerator(image_size=8)
+        rng = np.random.default_rng(4)
+        first = generator.render_rgb_image(blue_spec, rng)
+        second = generator.render_rgb_image(blue_spec, rng)
+        assert not np.allclose(first, second)
+
+    def test_rejects_tiny_image_size(self):
+        with pytest.raises(ValidationError):
+            SyntheticImageGenerator(image_size=1)
+
+    def test_default_distractors_are_valid_themes(self):
+        for theme in default_distractor_themes():
+            assert isinstance(theme, ColorTheme)

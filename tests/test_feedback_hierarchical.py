@@ -1,0 +1,79 @@
+"""Tests for repro.feedback.hierarchical."""
+
+import numpy as np
+import pytest
+
+from repro.distances.hierarchical import FeatureGroup, HierarchicalDistance
+from repro.feedback.hierarchical import hierarchical_update
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture()
+def groups() -> list[FeatureGroup]:
+    return [FeatureGroup("color", 0, 3), FeatureGroup("texture", 3, 6)]
+
+
+@pytest.fixture()
+def distance(groups) -> HierarchicalDistance:
+    return HierarchicalDistance(6, groups)
+
+
+@pytest.fixture()
+def good_results() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    # The "color" feature of the good results clusters tightly around the
+    # query; the "texture" feature is essentially random.
+    color = rng.normal(loc=0.5, scale=0.02, size=(40, 3))
+    texture = rng.random((40, 3))
+    return np.hstack([color, texture])
+
+
+class TestHierarchicalUpdate:
+    def test_returns_new_distance(self, distance, good_results):
+        updated = hierarchical_update(distance, np.full(6, 0.5), good_results)
+        assert isinstance(updated, HierarchicalDistance)
+        assert updated is not distance
+
+    def test_informative_feature_gains_weight(self, distance, good_results):
+        updated = hierarchical_update(distance, np.full(6, 0.5), good_results)
+        color_weight, texture_weight = updated.feature_weights
+        assert color_weight > texture_weight
+
+    def test_component_weights_follow_optimal_rule(self, distance, good_results):
+        updated = hierarchical_update(distance, np.full(6, 0.5), good_results)
+        # Inside the texture feature no component is special, inside the
+        # colour feature every component is tight: colour components carry
+        # larger weights than texture components on average.
+        assert updated.component_weights[:3].mean() > updated.component_weights[3:].mean()
+
+    def test_groups_preserved(self, distance, good_results, groups):
+        updated = hierarchical_update(distance, np.full(6, 0.5), good_results)
+        assert [group.name for group in updated.groups] == [group.name for group in groups]
+
+    def test_updated_distance_ranks_good_results_closer(self, distance, good_results):
+        rng = np.random.default_rng(1)
+        query = np.full(6, 0.5)
+        updated = hierarchical_update(distance, query, good_results)
+        random_points = rng.random((40, 6))
+        original_gap = distance.distances_to(query, good_results).mean() - distance.distances_to(
+            query, random_points
+        ).mean()
+        updated_gap = updated.distances_to(query, good_results).mean() - updated.distances_to(
+            query, random_points
+        ).mean()
+        # After the update the good results should be (relatively) closer.
+        assert updated_gap < original_gap
+
+    def test_scores_are_honoured(self, distance, good_results):
+        scores = np.linspace(0.1, 1.0, good_results.shape[0])
+        uniform = hierarchical_update(distance, np.full(6, 0.5), good_results)
+        weighted = hierarchical_update(distance, np.full(6, 0.5), good_results, scores)
+        assert not np.allclose(uniform.parameters(), weighted.parameters())
+
+    def test_requires_good_results(self, distance):
+        with pytest.raises(ValidationError):
+            hierarchical_update(distance, np.full(6, 0.5), np.zeros((0, 6)))
+
+    def test_dimension_mismatch_rejected(self, distance):
+        with pytest.raises(ValidationError):
+            hierarchical_update(distance, np.full(6, 0.5), np.ones((5, 4)))

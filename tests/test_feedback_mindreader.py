@@ -1,0 +1,68 @@
+"""Tests for repro.feedback.mindreader."""
+
+import numpy as np
+import pytest
+
+from repro.distances.mahalanobis import MahalanobisDistance
+from repro.feedback.mindreader import mindreader_matrix_update
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture()
+def correlated_good_results() -> np.ndarray:
+    rng = np.random.default_rng(1)
+    base = rng.normal(size=(200, 1))
+    noise = rng.normal(scale=0.1, size=(200, 2))
+    # Two strongly correlated components plus one independent component.
+    return np.column_stack([base[:, 0], base[:, 0] + noise[:, 0], rng.normal(size=200)])
+
+
+class TestMindreaderUpdate:
+    def test_determinant_is_one(self, correlated_good_results):
+        matrix = mindreader_matrix_update(correlated_good_results, diagonal_fallback=False)
+        assert np.linalg.det(matrix) == pytest.approx(1.0, rel=1e-6)
+
+    def test_matrix_is_symmetric_positive_definite(self, correlated_good_results):
+        matrix = mindreader_matrix_update(correlated_good_results, diagonal_fallback=False)
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-12)
+        assert np.all(np.linalg.eigvalsh(matrix) > 0)
+
+    def test_usable_as_mahalanobis_parameter(self, correlated_good_results):
+        matrix = mindreader_matrix_update(correlated_good_results, diagonal_fallback=False)
+        distance = MahalanobisDistance(3, matrix=matrix)
+        assert distance.distance(np.zeros(3), np.ones(3)) > 0
+
+    def test_captures_correlation(self, correlated_good_results):
+        matrix = mindreader_matrix_update(correlated_good_results, diagonal_fallback=False)
+        # Correlated components produce a clearly non-zero off-diagonal term.
+        assert abs(matrix[0, 1]) > 0.1
+        # The independent component stays (almost) uncorrelated.
+        assert abs(matrix[0, 2]) < abs(matrix[0, 1])
+
+    def test_distance_shrinks_along_good_spread(self, correlated_good_results):
+        matrix = mindreader_matrix_update(correlated_good_results, diagonal_fallback=False)
+        distance = MahalanobisDistance(3, matrix=matrix)
+        centre = correlated_good_results.mean(axis=0)
+        along_spread = centre + np.array([1.0, 1.0, 0.0])  # direction of high variance
+        against_spread = centre + np.array([1.0, -1.0, 0.0])  # direction of low variance
+        assert distance.distance(centre, along_spread) < distance.distance(centre, against_spread)
+
+    def test_diagonal_fallback_for_few_samples(self):
+        good = np.array([[0.1, 0.2, 0.3], [0.2, 0.1, 0.4]])
+        matrix = mindreader_matrix_update(good, diagonal_fallback=True)
+        off_diagonal = matrix - np.diag(np.diag(matrix))
+        np.testing.assert_allclose(off_diagonal, 0.0, atol=1e-12)
+
+    def test_scores_shift_the_centre(self, correlated_good_results):
+        uniform = mindreader_matrix_update(correlated_good_results, diagonal_fallback=False)
+        scores = np.linspace(0.01, 1.0, correlated_good_results.shape[0])
+        weighted = mindreader_matrix_update(correlated_good_results, scores, diagonal_fallback=False)
+        assert not np.allclose(uniform, weighted)
+
+    def test_requires_good_results(self):
+        with pytest.raises(ValidationError):
+            mindreader_matrix_update(np.zeros((0, 3)))
+
+    def test_rejects_negative_scores(self):
+        with pytest.raises(ValidationError):
+            mindreader_matrix_update(np.ones((3, 2)), np.array([1.0, -1.0, 1.0]))

@@ -1,0 +1,84 @@
+"""Tests for repro.feedback.query_point_movement."""
+
+import numpy as np
+import pytest
+
+from repro.feedback.query_point_movement import optimal_query_point, rocchio_update
+from repro.utils.validation import ValidationError
+
+
+class TestOptimalQueryPoint:
+    def test_unweighted_is_mean(self):
+        good = np.array([[0.0, 0.0], [2.0, 4.0]])
+        np.testing.assert_allclose(optimal_query_point(good), [1.0, 2.0])
+
+    def test_equation_two_weighted_average(self):
+        good = np.array([[0.0, 0.0], [1.0, 1.0]])
+        scores = np.array([1.0, 3.0])
+        np.testing.assert_allclose(optimal_query_point(good, scores), [0.75, 0.75])
+
+    def test_single_good_result(self):
+        good = np.array([[0.3, 0.7]])
+        np.testing.assert_allclose(optimal_query_point(good), [0.3, 0.7])
+
+    def test_zero_scored_results_ignored(self):
+        good = np.array([[0.0, 0.0], [10.0, 10.0]])
+        scores = np.array([1.0, 0.0])
+        np.testing.assert_allclose(optimal_query_point(good, scores), [0.0, 0.0])
+
+    def test_result_in_convex_hull(self):
+        rng = np.random.default_rng(0)
+        good = rng.random((10, 4))
+        scores = rng.random(10)
+        point = optimal_query_point(good, scores)
+        assert np.all(point >= good.min(axis=0) - 1e-12)
+        assert np.all(point <= good.max(axis=0) + 1e-12)
+
+    def test_requires_good_results(self):
+        with pytest.raises(ValidationError):
+            optimal_query_point(np.zeros((0, 3)))
+
+    def test_rejects_all_zero_scores(self):
+        with pytest.raises(ValidationError):
+            optimal_query_point(np.ones((2, 2)), np.zeros(2))
+
+    def test_rejects_negative_scores(self):
+        with pytest.raises(ValidationError):
+            optimal_query_point(np.ones((2, 2)), np.array([1.0, -1.0]))
+
+
+class TestRocchio:
+    def test_moves_towards_good_centroid(self):
+        query = np.zeros(2)
+        good = np.array([[1.0, 1.0], [1.0, 1.0]])
+        updated = rocchio_update(query, good, alpha=1.0, beta=1.0, gamma=0.0)
+        np.testing.assert_allclose(updated, [1.0, 1.0])
+
+    def test_moves_away_from_bad_centroid(self):
+        query = np.zeros(2)
+        good = np.array([[0.0, 0.0]])
+        bad = np.array([[1.0, 0.0]])
+        updated = rocchio_update(query, good, bad, alpha=1.0, beta=0.0, gamma=1.0)
+        assert updated[0] < 0.0
+
+    def test_default_coefficients(self):
+        query = np.array([1.0, 1.0])
+        good = np.array([[2.0, 2.0]])
+        bad = np.array([[0.0, 0.0]])
+        updated = rocchio_update(query, good, bad)
+        np.testing.assert_allclose(updated, 1.0 * query + 0.75 * np.array([2.0, 2.0]))
+
+    def test_empty_bad_set_is_ignored(self):
+        query = np.zeros(3)
+        good = np.ones((2, 3))
+        with_none = rocchio_update(query, good, None)
+        with_empty = rocchio_update(query, good, np.zeros((0, 3)))
+        np.testing.assert_allclose(with_none, with_empty)
+
+    def test_requires_good_results(self):
+        with pytest.raises(ValidationError):
+            rocchio_update(np.zeros(2), np.zeros((0, 2)))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            rocchio_update(np.zeros(2), np.ones((1, 3)))

@@ -1,0 +1,99 @@
+"""Tests for repro.feedback.reweighting."""
+
+import numpy as np
+import pytest
+
+from repro.feedback.reweighting import (
+    ReweightingRule,
+    mars_weights,
+    optimal_weights,
+    reweight,
+)
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture()
+def anisotropic_good_results() -> np.ndarray:
+    # Component 0: tightly clustered (informative); component 1: scattered.
+    rng = np.random.default_rng(0)
+    tight = rng.normal(loc=0.5, scale=0.01, size=50)
+    loose = rng.normal(loc=0.5, scale=0.3, size=50)
+    return np.column_stack([tight, loose])
+
+
+class TestOptimalWeights:
+    def test_tight_component_gets_larger_weight(self, anisotropic_good_results):
+        weights = optimal_weights(anisotropic_good_results)
+        assert weights[0] > weights[1]
+
+    def test_geometric_mean_is_one(self, anisotropic_good_results):
+        weights = optimal_weights(anisotropic_good_results)
+        assert np.exp(np.mean(np.log(weights))) == pytest.approx(1.0)
+
+    def test_inverse_variance_ratio(self, anisotropic_good_results):
+        # w_i ∝ 1/σ_i² means the weight ratio equals the inverse variance ratio.
+        weights = optimal_weights(anisotropic_good_results, variance_floor=0.0)
+        variances = anisotropic_good_results.var(axis=0)
+        expected_ratio = variances[1] / variances[0]
+        assert weights[0] / weights[1] == pytest.approx(expected_ratio, rel=1e-6)
+
+    def test_scores_change_weights(self, anisotropic_good_results):
+        uniform = optimal_weights(anisotropic_good_results)
+        scores = np.linspace(0.1, 1.0, anisotropic_good_results.shape[0])
+        weighted = optimal_weights(anisotropic_good_results, scores)
+        assert not np.allclose(uniform, weighted)
+
+    def test_zero_variance_component_handled(self):
+        good = np.array([[0.5, 0.1], [0.5, 0.9], [0.5, 0.4]])
+        weights = optimal_weights(good)
+        assert np.all(np.isfinite(weights))
+        assert weights[0] > weights[1]
+
+    def test_requires_good_results(self):
+        with pytest.raises(ValidationError):
+            optimal_weights(np.zeros((0, 3)))
+
+
+class TestMarsWeights:
+    def test_tight_component_gets_larger_weight(self, anisotropic_good_results):
+        weights = mars_weights(anisotropic_good_results)
+        assert weights[0] > weights[1]
+
+    def test_mars_is_less_aggressive_than_optimal(self, anisotropic_good_results):
+        # 1/σ spreads weights less than 1/σ²: the ratio between the largest
+        # and the smallest weight is smaller.
+        mars = mars_weights(anisotropic_good_results)
+        optimal = optimal_weights(anisotropic_good_results)
+        assert mars.max() / mars.min() < optimal.max() / optimal.min()
+
+    def test_inverse_std_ratio(self, anisotropic_good_results):
+        weights = mars_weights(anisotropic_good_results, variance_floor=0.0)
+        stds = anisotropic_good_results.std(axis=0)
+        assert weights[0] / weights[1] == pytest.approx(stds[1] / stds[0], rel=1e-6)
+
+
+class TestReweightDispatch:
+    def test_rule_none_returns_current_weights(self, anisotropic_good_results):
+        current = np.array([2.0, 3.0])
+        weights = reweight(anisotropic_good_results, rule=ReweightingRule.NONE, current_weights=current)
+        np.testing.assert_allclose(weights, current)
+
+    def test_rule_none_defaults_to_ones(self, anisotropic_good_results):
+        weights = reweight(anisotropic_good_results, rule=ReweightingRule.NONE)
+        np.testing.assert_allclose(weights, np.ones(2))
+
+    def test_rule_optimal_dispatch(self, anisotropic_good_results):
+        np.testing.assert_allclose(
+            reweight(anisotropic_good_results, rule=ReweightingRule.OPTIMAL),
+            optimal_weights(anisotropic_good_results),
+        )
+
+    def test_rule_mars_dispatch(self, anisotropic_good_results):
+        np.testing.assert_allclose(
+            reweight(anisotropic_good_results, rule=ReweightingRule.MARS),
+            mars_weights(anisotropic_good_results),
+        )
+
+    def test_weights_are_non_negative(self, anisotropic_good_results):
+        for rule in (ReweightingRule.MARS, ReweightingRule.OPTIMAL):
+            assert np.all(reweight(anisotropic_good_results, rule=rule) >= 0.0)

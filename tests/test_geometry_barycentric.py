@@ -1,0 +1,105 @@
+"""Tests for repro.geometry.barycentric."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.barycentric import (
+    barycentric_coordinates,
+    barycentric_interpolate,
+    cartesian_from_barycentric,
+)
+from repro.utils.validation import ValidationError
+
+
+TRIANGLE = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+
+
+class TestBarycentricCoordinates:
+    def test_vertex_gets_unit_coordinate(self):
+        for position in range(3):
+            weights = barycentric_coordinates(TRIANGLE, TRIANGLE[position])
+            expected = np.zeros(3)
+            expected[position] = 1.0
+            np.testing.assert_allclose(weights, expected, atol=1e-12)
+
+    def test_centroid_gets_equal_coordinates(self):
+        centroid = TRIANGLE.mean(axis=0)
+        weights = barycentric_coordinates(TRIANGLE, centroid)
+        np.testing.assert_allclose(weights, np.full(3, 1.0 / 3.0), atol=1e-12)
+
+    def test_coordinates_sum_to_one(self):
+        point = np.array([0.2, 0.3])
+        weights = barycentric_coordinates(TRIANGLE, point)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_outside_point_has_negative_coordinate(self):
+        weights = barycentric_coordinates(TRIANGLE, np.array([-0.5, -0.5]))
+        assert weights.min() < 0
+
+    def test_reconstruction(self):
+        point = np.array([0.25, 0.4])
+        weights = barycentric_coordinates(TRIANGLE, point)
+        np.testing.assert_allclose(weights @ TRIANGLE, point, atol=1e-12)
+
+    def test_higher_dimension(self):
+        rng = np.random.default_rng(0)
+        dimension = 5
+        vertices = rng.random((dimension + 1, dimension))
+        point = vertices.mean(axis=0)
+        weights = barycentric_coordinates(vertices, point)
+        assert weights.sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(weights @ vertices, point, atol=1e-10)
+
+    def test_rejects_wrong_vertex_count(self):
+        with pytest.raises(ValidationError):
+            barycentric_coordinates(np.zeros((3, 3)), np.zeros(3))
+
+    def test_rejects_wrong_point_dimension(self):
+        with pytest.raises(ValidationError):
+            barycentric_coordinates(TRIANGLE, np.zeros(3))
+
+    def test_degenerate_simplex_raises_linalg_error(self):
+        degenerate = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        with pytest.raises(np.linalg.LinAlgError):
+            barycentric_coordinates(degenerate, np.array([0.5, 0.5]))
+
+
+class TestCartesianFromBarycentric:
+    def test_roundtrip(self):
+        point = np.array([0.1, 0.7])
+        weights = barycentric_coordinates(TRIANGLE, point)
+        np.testing.assert_allclose(cartesian_from_barycentric(TRIANGLE, weights), point, atol=1e-12)
+
+    def test_vertex_weights(self):
+        weights = np.array([0.0, 1.0, 0.0])
+        np.testing.assert_allclose(cartesian_from_barycentric(TRIANGLE, weights), TRIANGLE[1])
+
+    def test_rejects_wrong_weight_count(self):
+        with pytest.raises(ValidationError):
+            cartesian_from_barycentric(TRIANGLE, np.array([0.5, 0.5]))
+
+
+class TestBarycentricInterpolate:
+    def test_scalar_values_linear_function(self):
+        # f(x, y) = 2x + 3y + 1 is linear, so interpolation is exact.
+        values = np.array([1.0, 3.0, 4.0])  # f at the triangle's vertices
+        point = np.array([0.3, 0.4])
+        expected = 2 * 0.3 + 3 * 0.4 + 1
+        assert barycentric_interpolate(TRIANGLE, values, point) == pytest.approx(expected)
+
+    def test_vector_values(self):
+        values = np.array([[0.0, 1.0], [1.0, 1.0], [0.0, 2.0]])
+        point = TRIANGLE.mean(axis=0)
+        np.testing.assert_allclose(
+            barycentric_interpolate(TRIANGLE, values, point), values.mean(axis=0), atol=1e-12
+        )
+
+    def test_vertex_returns_vertex_value(self):
+        values = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        np.testing.assert_allclose(
+            barycentric_interpolate(TRIANGLE, values, TRIANGLE[2]), values[2], atol=1e-12
+        )
+
+    def test_rejects_mismatched_values(self):
+        with pytest.raises(ValidationError):
+            barycentric_interpolate(TRIANGLE, np.zeros((2, 2)), np.array([0.2, 0.2]))

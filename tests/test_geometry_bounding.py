@@ -1,0 +1,96 @@
+"""Tests for repro.geometry.bounding."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.bounding import (
+    bounding_simplex_for_points,
+    standard_simplex_vertices,
+    unit_cube_root_vertices,
+)
+from repro.geometry.predicates import contains_point, is_degenerate
+from repro.utils.validation import ValidationError
+
+
+class TestUnitCubeRoot:
+    @pytest.mark.parametrize("dimension", [1, 2, 3, 8])
+    def test_covers_cube_corners(self, dimension):
+        vertices = unit_cube_root_vertices(dimension)
+        for corner_bits in range(2 ** min(dimension, 6)):
+            corner = np.array([(corner_bits >> i) & 1 for i in range(dimension)], dtype=float)
+            assert contains_point(vertices, corner, tolerance=1e-9)
+
+    def test_covers_random_cube_points(self):
+        rng = np.random.default_rng(0)
+        vertices = unit_cube_root_vertices(6)
+        for _ in range(100):
+            assert contains_point(vertices, rng.random(6))
+
+    def test_not_degenerate(self):
+        assert not is_degenerate(unit_cube_root_vertices(5))
+
+    def test_margin_keeps_boundary_strictly_inside(self):
+        vertices = unit_cube_root_vertices(3, margin=0.01)
+        weights_corner = np.ones(3)
+        assert contains_point(vertices, weights_corner, tolerance=0.0)
+
+    def test_scale(self):
+        vertices = unit_cube_root_vertices(2, scale=10.0)
+        assert contains_point(vertices, np.array([9.0, 9.0]))
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValidationError):
+            unit_cube_root_vertices(0)
+
+
+class TestStandardSimplex:
+    def test_contains_normalised_histograms(self):
+        rng = np.random.default_rng(1)
+        vertices = standard_simplex_vertices(7)
+        for _ in range(100):
+            histogram = rng.dirichlet(np.ones(8))
+            assert contains_point(vertices, histogram[:-1], tolerance=1e-9)
+
+    def test_contains_degenerate_histogram(self):
+        # All mass in the dropped bin: the embedded point is the origin.
+        vertices = standard_simplex_vertices(4, margin=1e-6)
+        assert contains_point(vertices, np.zeros(4), tolerance=0.0)
+
+    def test_contains_single_bin_histogram(self):
+        vertices = standard_simplex_vertices(4, margin=1e-6)
+        point = np.zeros(4)
+        point[2] = 1.0
+        assert contains_point(vertices, point, tolerance=0.0)
+
+    def test_vertex_layout(self):
+        vertices = standard_simplex_vertices(3)
+        np.testing.assert_allclose(vertices[0], np.zeros(3))
+        np.testing.assert_allclose(vertices[1:], np.eye(3))
+
+    def test_not_degenerate(self):
+        assert not is_degenerate(standard_simplex_vertices(10))
+
+
+class TestBoundingSimplexForPoints:
+    def test_covers_all_points(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(50, 4)) * 3.0 + 1.0
+        vertices = bounding_simplex_for_points(points)
+        for point in points:
+            assert contains_point(vertices, point, tolerance=1e-9)
+
+    def test_single_point(self):
+        vertices = bounding_simplex_for_points(np.array([[1.0, 2.0]]))
+        assert contains_point(vertices, np.array([1.0, 2.0]))
+
+    def test_not_degenerate_for_flat_data(self):
+        # Points constant along one axis still get a full-dimensional cover.
+        points = np.array([[0.0, 5.0], [1.0, 5.0], [2.0, 5.0]])
+        vertices = bounding_simplex_for_points(points)
+        assert not is_degenerate(vertices)
+        for point in points:
+            assert contains_point(vertices, point, tolerance=1e-9)
+
+    def test_rejects_vector_input(self):
+        with pytest.raises(ValidationError):
+            bounding_simplex_for_points(np.array([1.0, 2.0]))

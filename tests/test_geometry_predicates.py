@@ -1,0 +1,80 @@
+"""Tests for repro.geometry.predicates."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.predicates import contains_point, is_degenerate, simplex_volume
+
+
+TRIANGLE = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+
+
+class TestSimplexVolume:
+    def test_unit_right_triangle(self):
+        assert simplex_volume(TRIANGLE) == pytest.approx(0.5)
+
+    def test_scaling_by_factor(self):
+        assert simplex_volume(TRIANGLE * 2.0) == pytest.approx(2.0)
+
+    def test_translation_invariance(self):
+        shifted = TRIANGLE + np.array([5.0, -3.0])
+        assert simplex_volume(shifted) == pytest.approx(simplex_volume(TRIANGLE))
+
+    def test_unit_simplex_3d(self):
+        vertices = np.vstack([np.zeros(3), np.eye(3)])
+        assert simplex_volume(vertices) == pytest.approx(1.0 / math.factorial(3))
+
+    def test_degenerate_is_zero(self):
+        degenerate = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        assert simplex_volume(degenerate) == pytest.approx(0.0)
+
+    def test_wrong_vertex_count_raises(self):
+        with pytest.raises(ValueError):
+            simplex_volume(np.zeros((3, 3)))
+
+
+class TestIsDegenerate:
+    def test_healthy_triangle(self):
+        assert not is_degenerate(TRIANGLE)
+
+    def test_collinear_points(self):
+        assert is_degenerate(np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]]))
+
+    def test_repeated_vertex(self):
+        assert is_degenerate(np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 0.0]]))
+
+    def test_nearly_degenerate_with_tolerance(self):
+        nearly = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 1e-12]])
+        assert is_degenerate(nearly, tolerance=1e-9)
+        assert not is_degenerate(nearly, tolerance=1e-15)
+
+    def test_wrong_shape_is_degenerate(self):
+        assert is_degenerate(np.zeros((3, 3)))
+
+    def test_high_dimensional_healthy_simplex(self):
+        dimension = 20
+        vertices = np.vstack([np.zeros(dimension), np.eye(dimension)])
+        assert not is_degenerate(vertices)
+
+
+class TestContainsPoint:
+    def test_interior_point(self):
+        assert contains_point(TRIANGLE, np.array([0.2, 0.2]))
+
+    def test_vertex_is_contained(self):
+        assert contains_point(TRIANGLE, TRIANGLE[0])
+
+    def test_edge_point_is_contained(self):
+        assert contains_point(TRIANGLE, np.array([0.5, 0.0]))
+
+    def test_outside_point(self):
+        assert not contains_point(TRIANGLE, np.array([1.0, 1.0]))
+
+    def test_just_outside_within_tolerance(self):
+        assert contains_point(TRIANGLE, np.array([-1e-12, 0.1]), tolerance=1e-9)
+
+    def test_degenerate_simplex_contains_nothing(self):
+        degenerate = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        assert not contains_point(degenerate, np.array([0.5, 0.5]))

@@ -1,0 +1,36 @@
+"""Tests for repro.utils.logging."""
+
+import logging
+
+from repro.utils.logging import configure_logging, get_logger
+
+
+class TestGetLogger:
+    def test_root_library_logger(self):
+        assert get_logger().name == "repro"
+
+    def test_child_logger(self):
+        assert get_logger("evaluation").name == "repro.evaluation"
+
+    def test_same_name_returns_same_logger(self):
+        assert get_logger("core") is get_logger("core")
+
+
+class TestConfigureLogging:
+    def test_attaches_single_handler(self):
+        logger = configure_logging()
+        first_count = len(logger.handlers)
+        configure_logging()
+        assert len(logger.handlers) == first_count  # idempotent
+
+    def test_sets_level(self):
+        logger = configure_logging(level=logging.DEBUG)
+        assert logger.level == logging.DEBUG
+        configure_logging(level=logging.INFO)
+        assert logger.level == logging.INFO
+
+    def test_messages_propagate_to_handler(self, caplog):
+        logger = get_logger("test-module")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            logger.warning("simplex split produced %d children", 3)
+        assert "simplex split produced 3 children" in caplog.text

@@ -1,0 +1,46 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+
+from repro.utils.rng import derive_seed, ensure_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seed_gives_deterministic_stream(self):
+        first = ensure_rng(42).random(5)
+        second = ensure_rng(42).random(5)
+        np.testing.assert_allclose(first, second)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_generator_passes_through_unchanged(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "corpus") == derive_seed(7, "corpus")
+
+    def test_labels_change_seed(self):
+        assert derive_seed(7, "corpus") != derive_seed(7, "queries")
+
+    def test_base_seed_changes_seed(self):
+        assert derive_seed(7, "corpus") != derive_seed(8, "corpus")
+
+    def test_multiple_labels(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "a", "c")
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_result_is_non_negative_int(self):
+        seed = derive_seed(3, "x")
+        assert isinstance(seed, int)
+        assert seed >= 0
+
+    def test_usable_as_numpy_seed(self):
+        generator = ensure_rng(derive_seed(11, "stream"))
+        assert generator.random() >= 0.0

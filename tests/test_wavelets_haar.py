@@ -1,0 +1,110 @@
+"""Tests for repro.wavelets.haar."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import ValidationError
+from repro.wavelets.haar import (
+    haar_decompose,
+    haar_decompose_2d,
+    haar_reconstruct,
+    haar_reconstruct_2d,
+)
+
+
+class TestHaarDecompose:
+    def test_constant_signal_has_zero_details(self):
+        coefficients = haar_decompose(np.full(8, 3.0))
+        for band in coefficients[1:]:
+            np.testing.assert_allclose(band, 0.0, atol=1e-12)
+
+    def test_full_decomposition_leaves_single_approximation(self):
+        coefficients = haar_decompose(np.arange(16, dtype=float))
+        assert coefficients[0].shape == (1,)
+
+    def test_energy_preservation(self):
+        rng = np.random.default_rng(0)
+        signal = rng.normal(size=32)
+        coefficients = haar_decompose(signal)
+        energy = sum(float(np.sum(band**2)) for band in coefficients)
+        assert energy == pytest.approx(float(np.sum(signal**2)))
+
+    def test_level_zero_returns_signal(self):
+        signal = np.arange(8, dtype=float)
+        coefficients = haar_decompose(signal, levels=0)
+        assert len(coefficients) == 1
+        np.testing.assert_allclose(coefficients[0], signal)
+
+    def test_partial_levels(self):
+        coefficients = haar_decompose(np.arange(16, dtype=float), levels=2)
+        assert coefficients[0].shape == (4,)
+        assert len(coefficients) == 3
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValidationError):
+            haar_decompose(np.arange(6, dtype=float))
+
+    def test_rejects_too_many_levels(self):
+        with pytest.raises(ValidationError):
+            haar_decompose(np.arange(8, dtype=float), levels=4)
+
+    def test_single_step_average_and_difference(self):
+        coefficients = haar_decompose(np.array([1.0, 3.0]), levels=1)
+        assert coefficients[0][0] == pytest.approx(4.0 / np.sqrt(2.0))
+        assert coefficients[1][0] == pytest.approx(-2.0 / np.sqrt(2.0))
+
+
+class TestHaarReconstruct:
+    @pytest.mark.parametrize("length", [2, 4, 8, 64])
+    def test_roundtrip(self, length):
+        rng = np.random.default_rng(length)
+        signal = rng.normal(size=length)
+        np.testing.assert_allclose(haar_reconstruct(haar_decompose(signal)), signal, atol=1e-10)
+
+    def test_roundtrip_partial_levels(self):
+        signal = np.random.default_rng(1).normal(size=32)
+        np.testing.assert_allclose(
+            haar_reconstruct(haar_decompose(signal, levels=3)), signal, atol=1e-10
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            haar_reconstruct([])
+
+    def test_rejects_mismatched_bands(self):
+        with pytest.raises(ValidationError):
+            haar_reconstruct([np.zeros(2), np.zeros(3)])
+
+
+class TestHaar2D:
+    def test_roundtrip_single_level(self):
+        rng = np.random.default_rng(2)
+        image = rng.normal(size=(8, 8))
+        bands = haar_decompose_2d(image, levels=1)
+        np.testing.assert_allclose(haar_reconstruct_2d(bands), image, atol=1e-10)
+
+    def test_roundtrip_multi_level(self):
+        rng = np.random.default_rng(3)
+        image = rng.normal(size=(16, 16))
+        bands = haar_decompose_2d(image, levels=3)
+        np.testing.assert_allclose(haar_reconstruct_2d(bands), image, atol=1e-10)
+
+    def test_constant_image_details_vanish(self):
+        bands = haar_decompose_2d(np.full((8, 8), 2.5), levels=2)
+        for name, band in bands.items():
+            if name not in ("LL", "levels"):
+                np.testing.assert_allclose(band, 0.0, atol=1e-12)
+
+    def test_band_shapes(self):
+        bands = haar_decompose_2d(np.zeros((8, 8)), levels=2)
+        assert bands["LH1"].shape == (4, 4)
+        assert bands["HH2"].shape == (2, 2)
+        assert bands["LL"].shape == (2, 2)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValidationError):
+            haar_decompose_2d(np.zeros((6, 8)))
+
+    def test_rejects_missing_bands_on_reconstruct(self):
+        with pytest.raises(ValidationError):
+            haar_reconstruct_2d({"LL": np.zeros((2, 2))})

@@ -1,0 +1,92 @@
+"""Tests for repro.wavelets.lifting."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import ValidationError
+from repro.wavelets.lifting import (
+    lifting_haar_forward,
+    lifting_haar_inverse,
+    unbalanced_haar_forward,
+    unbalanced_haar_inverse,
+)
+
+
+class TestLiftingHaar:
+    @pytest.mark.parametrize("length", [2, 3, 7, 8, 16, 33])
+    def test_roundtrip_any_length(self, length):
+        rng = np.random.default_rng(length)
+        signal = rng.normal(size=length)
+        steps = lifting_haar_forward(signal)
+        np.testing.assert_allclose(lifting_haar_inverse(length, steps), signal, atol=1e-10)
+
+    def test_constant_signal_zero_details(self):
+        steps = lifting_haar_forward(np.full(8, 1.5))
+        for step in steps:
+            np.testing.assert_allclose(step.detail, 0.0, atol=1e-12)
+
+    def test_coarse_mean_preserved(self):
+        signal = np.array([2.0, 4.0, 6.0, 8.0])
+        steps = lifting_haar_forward(signal)
+        assert steps[-1].approximation[0] == pytest.approx(signal.mean())
+
+    def test_detail_is_pairwise_difference(self):
+        steps = lifting_haar_forward(np.array([1.0, 4.0]), levels=1)
+        assert steps[0].detail[0] == pytest.approx(3.0)
+
+    def test_inverse_rejects_empty_steps(self):
+        with pytest.raises(ValidationError):
+            lifting_haar_inverse(4, [])
+
+    def test_rejects_empty_signal(self):
+        with pytest.raises(ValidationError):
+            lifting_haar_forward(np.array([]))
+
+
+class TestUnbalancedHaar:
+    def test_roundtrip_irregular_grid(self):
+        rng = np.random.default_rng(5)
+        positions = np.sort(rng.random(17)) * 10.0
+        positions += np.arange(17) * 1e-3  # guarantee strictly increasing
+        values = rng.normal(size=17)
+        steps = unbalanced_haar_forward(positions, values)
+        np.testing.assert_allclose(unbalanced_haar_inverse(positions, steps), values, atol=1e-9)
+
+    @pytest.mark.parametrize("length", [2, 5, 9, 16])
+    def test_roundtrip_various_lengths(self, length):
+        rng = np.random.default_rng(length)
+        positions = np.cumsum(rng.random(length) + 0.1)
+        values = rng.normal(size=length)
+        steps = unbalanced_haar_forward(positions, values)
+        np.testing.assert_allclose(unbalanced_haar_inverse(positions, steps), values, atol=1e-9)
+
+    def test_constant_function_zero_details(self):
+        positions = np.array([0.0, 0.5, 0.6, 3.0])
+        steps = unbalanced_haar_forward(positions, np.full(4, 2.0))
+        for step in steps:
+            np.testing.assert_allclose(step.detail, 0.0, atol=1e-12)
+
+    def test_coarsest_coefficient_is_weighted_mean(self):
+        positions = np.array([0.0, 1.0, 3.0, 7.0])
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        steps = unbalanced_haar_forward(positions, values)
+        # The coarsest approximation must be a convex combination of values,
+        # hence lie within their range.
+        coarse = steps[-1].approximation[0]
+        assert values.min() <= coarse <= values.max()
+
+    def test_weights_track_interval_lengths(self):
+        positions = np.array([0.0, 1.0, 2.0, 10.0])
+        values = np.zeros(4)
+        steps = unbalanced_haar_forward(positions, values)
+        # Total weight is conserved across levels.
+        totals = [float(step.weights.sum()) for step in steps]
+        assert totals[0] == pytest.approx(totals[-1])
+
+    def test_rejects_non_increasing_positions(self):
+        with pytest.raises(ValidationError):
+            unbalanced_haar_forward(np.array([0.0, 0.0, 1.0]), np.zeros(3))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            unbalanced_haar_forward(np.array([0.0, 1.0]), np.zeros(3))

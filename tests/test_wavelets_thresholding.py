@@ -1,0 +1,105 @@
+"""Tests for repro.wavelets.thresholding."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import ValidationError
+from repro.wavelets.haar import haar_decompose, haar_reconstruct
+from repro.wavelets.thresholding import (
+    compress_signal,
+    hard_threshold,
+    keep_largest,
+    reconstruction_error,
+)
+
+
+@pytest.fixture()
+def noisy_step_signal() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    signal = np.concatenate([np.zeros(16), np.ones(16)])
+    return signal + rng.normal(scale=0.01, size=32)
+
+
+class TestHardThreshold:
+    def test_zero_threshold_keeps_everything(self, noisy_step_signal):
+        coefficients = haar_decompose(noisy_step_signal)
+        thresholded = hard_threshold(coefficients, 0.0)
+        for original, kept in zip(coefficients, thresholded):
+            np.testing.assert_allclose(original, kept)
+
+    def test_large_threshold_zeroes_details(self, noisy_step_signal):
+        coefficients = haar_decompose(noisy_step_signal)
+        thresholded = hard_threshold(coefficients, 1e9)
+        for band in thresholded[1:]:
+            np.testing.assert_allclose(band, 0.0)
+
+    def test_approximation_band_is_preserved(self, noisy_step_signal):
+        coefficients = haar_decompose(noisy_step_signal)
+        thresholded = hard_threshold(coefficients, 1e9)
+        np.testing.assert_allclose(thresholded[0], coefficients[0])
+
+    def test_rejects_negative_threshold(self, noisy_step_signal):
+        with pytest.raises(ValidationError):
+            hard_threshold(haar_decompose(noisy_step_signal), -1.0)
+
+    def test_rejects_empty_coefficients(self):
+        with pytest.raises(ValidationError):
+            hard_threshold([], 0.1)
+
+
+class TestKeepLargest:
+    def test_keep_all(self, noisy_step_signal):
+        coefficients = haar_decompose(noisy_step_signal)
+        total_details = sum(band.size for band in coefficients[1:])
+        kept = keep_largest(coefficients, total_details)
+        np.testing.assert_allclose(haar_reconstruct(kept), noisy_step_signal, atol=1e-10)
+
+    def test_keep_zero_gives_flat_reconstruction(self, noisy_step_signal):
+        coefficients = haar_decompose(noisy_step_signal)
+        kept = keep_largest(coefficients, 0)
+        reconstructed = haar_reconstruct(kept)
+        np.testing.assert_allclose(reconstructed, reconstructed.mean(), atol=1e-9)
+
+    def test_exact_count_is_kept(self, noisy_step_signal):
+        coefficients = haar_decompose(noisy_step_signal)
+        kept = keep_largest(coefficients, 5)
+        nonzero = sum(int(np.count_nonzero(band)) for band in kept[1:])
+        assert nonzero == 5
+
+    def test_step_signal_needs_one_coefficient(self):
+        signal = np.concatenate([np.zeros(16), np.ones(16)])
+        kept = keep_largest(haar_decompose(signal), 1)
+        np.testing.assert_allclose(haar_reconstruct(kept), signal, atol=1e-10)
+
+    def test_rejects_negative_count(self, noisy_step_signal):
+        with pytest.raises(ValidationError):
+            keep_largest(haar_decompose(noisy_step_signal), -1)
+
+
+class TestCompression:
+    def test_reconstruction_error_zero_without_thresholding(self, noisy_step_signal):
+        coefficients = haar_decompose(noisy_step_signal)
+        assert reconstruction_error(noisy_step_signal, coefficients) == pytest.approx(0.0, abs=1e-10)
+
+    def test_error_grows_with_threshold(self, noisy_step_signal):
+        _, _, small_error = compress_signal(noisy_step_signal, 0.005)
+        _, _, large_error = compress_signal(noisy_step_signal, 0.5)
+        assert large_error >= small_error
+
+    def test_retained_fraction_shrinks_with_threshold(self, noisy_step_signal):
+        _, retained_small, _ = compress_signal(noisy_step_signal, 0.001)
+        _, retained_large, _ = compress_signal(noisy_step_signal, 0.5)
+        assert retained_large <= retained_small
+
+    def test_compression_of_smooth_signal_is_cheap(self):
+        # A piecewise-constant signal compresses to very few coefficients
+        # with negligible error - the same storage/accuracy trade-off the
+        # Simplex Tree's epsilon provides for the query mapping.
+        signal = np.repeat([1.0, 4.0], 16)
+        _, retained, error = compress_signal(signal, 0.01)
+        assert retained < 0.1
+        assert error < 0.01
+
+    def test_reconstruction_error_shape_mismatch(self, noisy_step_signal):
+        with pytest.raises(ValidationError):
+            reconstruction_error(noisy_step_signal[:16], haar_decompose(noisy_step_signal))
