@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: the exact command CI and builders must pass.
+#
+# Runs the full test suite (unit tests, property tests, and the benchmark
+# harness collected from benchmarks/) from the repository root with the
+# src/ layout on the import path. Extra arguments are forwarded to pytest,
+# e.g. `scripts/verify.sh tests/test_database_batch.py -k linear`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q "$@"

@@ -14,6 +14,39 @@ depends on:
 * :mod:`repro.evaluation` — metrics, the simulated user and the experiments
   reproducing the paper's figures.
 
+Architecture: the batch-first query pipeline
+--------------------------------------------
+
+Every runtime layer exposes a batched form alongside its single-query form.
+Through the feedback layer the two are contractually equivalent — batching
+changes throughput, never results; the evaluation layer's session batching
+additionally models *simultaneous arrival* (see below):
+
+* **distances** — :class:`~repro.distances.base.DistanceFunction` computes
+  both ``distances_to(query, points)`` (1×N) and ``pairwise(queries,
+  points)`` ((Q, N) matrix form, vectorised per family).
+* **database** — every k-NN engine implements the
+  :class:`~repro.database.index.KNNIndex` protocol: ``search`` /
+  ``search_batch`` / ``supports(distance)``, with ties on equal distance
+  always broken by ascending collection index so any two conforming engines
+  return byte-identical :class:`~repro.database.query.ResultSet`\\ s.  The
+  :class:`~repro.database.engine.RetrievalEngine` dispatches on ``supports``
+  capability (counting ``index_hits`` / ``scan_fallbacks`` in ``stats()``)
+  and serves whole batches through ``run_batch``.
+* **core** — :meth:`SimplexTree.predict_batch` walks many points with
+  shared traversal bookkeeping; :class:`FeedbackBypass` layers
+  ``mopt_batch`` / ``insert_batch`` on top with journaling intact.
+* **feedback** — :class:`~repro.feedback.engine.FeedbackEngine` computes
+  scores and reweighting over the full result set in matrix form.
+* **evaluation** — :class:`~repro.evaluation.session.InteractiveSession`
+  runs the Default and Bypass first-round arms of a workload through
+  ``run_batch``, and :mod:`repro.evaluation.throughput` measures the
+  batch-vs-loop queries/sec gain.  Unlike the layers above, session
+  batching is *semantically* a modelling choice: every query in a batch is
+  predicted from the tree state at batch start (a group of simultaneous
+  users, none seeing the others' feedback), so outcomes can differ from
+  running the same queries one at a time.
+
 Quickstart::
 
     from repro import build_imsi_like_dataset, InteractiveSession, SessionConfig
@@ -22,6 +55,9 @@ Quickstart::
     session = InteractiveSession.for_dataset(dataset, SessionConfig(k=20))
     outcome = session.run_query(query_index=0)
     print(outcome.bypass_precision, outcome.default_precision)
+
+    # Batched: first rounds of a whole query stream in matrix form.
+    outcomes = session.run_batch([1, 2, 3, 4])
 """
 
 from repro.core import (
@@ -36,6 +72,7 @@ from repro.core import (
 )
 from repro.database import (
     FeatureCollection,
+    KNNIndex,
     LinearScanIndex,
     MTreeIndex,
     Query,
@@ -71,6 +108,7 @@ __all__ = [
     "load_simplex_tree",
     "save_simplex_tree",
     "FeatureCollection",
+    "KNNIndex",
     "LinearScanIndex",
     "MTreeIndex",
     "Query",

@@ -129,6 +129,21 @@ class FeedbackBypass:
         vector = self._tree.predict(query_point)
         return OptimalQueryParameters.from_vector(vector, self._query_dimension)
 
+    def mopt_batch(self, query_points) -> list[OptimalQueryParameters]:
+        """Predict the optimal query parameters for a whole query batch.
+
+        Equivalent to ``[self.mopt(q) for q in query_points]`` but routed
+        through :meth:`SimplexTree.predict_batch`, which shares the traversal
+        bookkeeping across the batch — this is how the first round of a
+        multi-user workload obtains all its predictions in one call.
+        """
+        query_points = np.asarray(query_points, dtype=np.float64)
+        vectors = self._tree.predict_batch(query_points)
+        return [
+            OptimalQueryParameters.from_vector(vector, self._query_dimension)
+            for vector in vectors
+        ]
+
     def insert(self, query_point, parameters: OptimalQueryParameters) -> InsertOutcome:
         """Store the parameters a feedback loop converged to for ``query_point``.
 
@@ -142,6 +157,22 @@ class FeedbackBypass:
         if parameters.weight_dimension != self._weight_dimension:
             raise ValidationError("parameter weight dimensionality does not match this instance")
         return self._tree.insert(query_point, parameters.to_vector())
+
+    def insert_batch(self, query_points, parameters: list[OptimalQueryParameters]) -> list[InsertOutcome]:
+        """Store converged parameters for many queries, in order.
+
+        Insertions are applied sequentially — each one refines the
+        triangulation the next prediction is gated against, and the tree's
+        journal (which persistence replays) must stay an ordered log — so
+        this is a convenience wrapper, not a bulk-load shortcut.
+        """
+        query_points = np.asarray(query_points, dtype=np.float64)
+        if query_points.ndim != 2 or query_points.shape[0] != len(parameters):
+            raise ValidationError("insert_batch needs one parameter object per query point")
+        return [
+            self.insert(query_point, parameter)
+            for query_point, parameter in zip(query_points, parameters)
+        ]
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -174,6 +205,21 @@ class FeedbackBypass:
         """Return ``(delta, weights)`` arrays ready for the retrieval engine."""
         prediction = self.mopt(query_point)
         return prediction.delta.copy(), prediction.weights.copy()
+
+    def predict_for_engine_batch(
+        self, query_points
+    ) -> tuple[list[OptimalQueryParameters], np.ndarray, np.ndarray]:
+        """Return ``(predictions, deltas, weights)`` for a query batch.
+
+        The stacked ``deltas`` / ``weights`` rows feed straight into
+        :meth:`~repro.database.engine.RetrievalEngine.search_batch_with_parameters`;
+        the prediction objects stay available for per-query bookkeeping
+        (journaling, default detection).
+        """
+        predictions = self.mopt_batch(query_points)
+        deltas = np.vstack([prediction.delta for prediction in predictions])
+        weights = np.vstack([prediction.weights for prediction in predictions])
+        return predictions, deltas, weights
 
     def statistics(self) -> dict[str, float]:
         """Return the tree's operation counters plus structural measurements."""

@@ -232,6 +232,43 @@ class SimplexTree:
         payloads = np.vstack([self._payload_for(vertex) for vertex in vertices])
         return interpolate_payloads(vertices, payloads, point)
 
+    def predict_batch(self, points) -> np.ndarray:
+        """Predict the payloads for every row of ``points`` at once.
+
+        Equivalent to ``np.vstack([self.predict(p) for p in points])`` —
+        including the statistics counters — but with the traversal
+        bookkeeping shared across the batch: points are first located, then
+        grouped by enclosing leaf, so the vertex-payload gathering (the
+        dictionary lookups and stacking that dominate a single ``predict``)
+        happens once per distinct leaf instead of once per point.
+        """
+        points = as_float_matrix(points, name="points", shape=(None, self.dimension))
+        predictions = np.empty((points.shape[0], self._value_dimension), dtype=np.float64)
+        self.statistics.n_predictions += points.shape[0]
+
+        # Locate every point, bucketing rows by their enclosing leaf.
+        rows_by_leaf: dict[int, list[int]] = {}
+        leaves: dict[int, TriangulationNode] = {}
+        for row, point in enumerate(points):
+            if not self.root_simplex.contains(point, tolerance=self._tolerance):
+                predictions[row] = self._default_value
+                continue
+            leaf, visited = self._triangulation.locate(point)
+            self.statistics.n_lookups += 1
+            self.statistics.total_traversed += visited
+            rows_by_leaf.setdefault(id(leaf), []).append(row)
+            leaves[id(leaf)] = leaf
+
+        # Interpolate per leaf: the vertex payload matrix is built once and
+        # reused for every point that landed in the same simplex.
+        for key, rows in rows_by_leaf.items():
+            leaf = leaves[key]
+            vertices = leaf.simplex.vertices
+            payloads = np.vstack([self._payload_for(vertex) for vertex in vertices])
+            for row in rows:
+                predictions[row] = interpolate_payloads(vertices, payloads, points[row])
+        return predictions
+
     # ------------------------------------------------------------------ #
     # Insert
     # ------------------------------------------------------------------ #

@@ -8,15 +8,19 @@ service:
 * :mod:`repro.database.collection` — the feature collection (vectors plus
   category labels),
 * :mod:`repro.database.query` — query and result value objects,
+* :mod:`repro.database.index` — the :class:`KNNIndex` protocol (single and
+  batch search, capability negotiation, deterministic tie-breaking),
 * :mod:`repro.database.knn` — exhaustive-scan k-NN (the reference engine),
 * :mod:`repro.database.vptree` — a vantage-point tree metric index,
 * :mod:`repro.database.mtree` — an M-tree metric index (Ciaccia et al.),
 * :mod:`repro.database.engine` — the retrieval engine tying a collection, an
-  index and a parameterised distance function together.
+  index and a parameterised distance function together, with batched entry
+  points for multi-user workloads.
 """
 
 from repro.database.collection import FeatureCollection
 from repro.database.engine import RetrievalEngine
+from repro.database.index import KNNIndex, NeighborHeap, k_smallest
 from repro.database.knn import LinearScanIndex
 from repro.database.mtree import MTreeIndex
 from repro.database.query import Query, ResultItem, ResultSet
@@ -25,6 +29,9 @@ from repro.database.vptree import VPTreeIndex
 __all__ = [
     "FeatureCollection",
     "RetrievalEngine",
+    "KNNIndex",
+    "NeighborHeap",
+    "k_smallest",
     "LinearScanIndex",
     "MTreeIndex",
     "Query",

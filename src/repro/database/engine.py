@@ -8,7 +8,20 @@ function, it returns the ``k`` closest database objects.  It owns
 * the default distance function (unweighted Euclidean in the experiments),
 * a linear-scan engine that handles arbitrary per-query distances, and
 * optionally a metric index (VP-tree or M-tree) that accelerates queries
-  which still use the default distance.
+  whose distance the index reports through
+  :meth:`~repro.database.index.KNNIndex.supports`.
+
+Dispatch is capability-driven: every candidate engine implements the
+:class:`~repro.database.index.KNNIndex` protocol, the retrieval engine asks
+``supports(distance)`` and falls back to the exact linear scan otherwise.
+Each decision is counted (``index_hits`` / ``scan_fallbacks``) so silent
+fallbacks show up in :meth:`RetrievalEngine.stats`.
+
+The batch entry points (:meth:`RetrievalEngine.search_batch`,
+:meth:`RetrievalEngine.run_batch`,
+:meth:`RetrievalEngine.search_batch_with_parameters`) answer many queries per
+call; for the linear scan that means one pairwise distance matrix instead of
+Q row scans, which is where the multi-user throughput comes from.
 """
 
 from __future__ import annotations
@@ -16,11 +29,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.database.collection import FeatureCollection
+from repro.database.index import KNNIndex, candidate_pool, k_smallest
 from repro.database.knn import LinearScanIndex
 from repro.database.query import Query, ResultSet
 from repro.distances.base import DistanceFunction
-from repro.distances.weighted_euclidean import WeightedEuclideanDistance
-from repro.utils.validation import ValidationError
+from repro.distances.weighted_euclidean import (
+    WeightedEuclideanDistance,
+    pairwise_per_query_weights,
+)
+from repro.utils.validation import ValidationError, as_float_matrix, check_dimension
 
 
 class RetrievalEngine:
@@ -35,16 +52,16 @@ class RetrievalEngine:
         unweighted Euclidean distance (the paper's default).
     metric_index:
         Optional pre-built metric index (:class:`~repro.database.vptree.VPTreeIndex`
-        or :class:`~repro.database.mtree.MTreeIndex`).  It is only consulted
-        when the query runs under the exact distance object the index was
-        built for; every other query falls back to the linear scan.
+        or :class:`~repro.database.mtree.MTreeIndex`).  It is consulted for
+        every query whose distance it ``supports``; every other query falls
+        back to the linear scan (counted in :meth:`stats`).
     """
 
     def __init__(
         self,
         collection: FeatureCollection,
         default_distance: DistanceFunction | None = None,
-        metric_index=None,
+        metric_index: KNNIndex | None = None,
     ) -> None:
         self._collection = collection
         if default_distance is None:
@@ -58,6 +75,9 @@ class RetrievalEngine:
         self._metric_index = metric_index
         self._n_searches = 0
         self._n_objects_retrieved = 0
+        self._n_batches = 0
+        self._index_hits = 0
+        self._scan_fallbacks = 0
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -86,10 +106,57 @@ class RetrievalEngine:
         """
         return self._n_objects_retrieved
 
+    @property
+    def index_hits(self) -> int:
+        """Number of searches served by the metric index."""
+        return self._index_hits
+
+    @property
+    def scan_fallbacks(self) -> int:
+        """Number of searches that fell back to the exact linear scan."""
+        return self._scan_fallbacks
+
+    def stats(self) -> dict[str, int]:
+        """Dispatch and volume counters of this engine.
+
+        ``scan_fallbacks`` in particular surfaces what used to happen
+        silently: a metric index that cannot serve a feedback-adjusted
+        distance sends the query through the exhaustive scan.
+        """
+        return {
+            "n_searches": self._n_searches,
+            "n_batches": self._n_batches,
+            "n_objects_retrieved": self._n_objects_retrieved,
+            "index_hits": self._index_hits,
+            "scan_fallbacks": self._scan_fallbacks,
+        }
+
     def reset_counters(self) -> None:
-        """Reset the search / retrieved-object counters."""
+        """Reset the search / retrieved-object / dispatch counters."""
         self._n_searches = 0
         self._n_objects_retrieved = 0
+        self._n_batches = 0
+        self._index_hits = 0
+        self._scan_fallbacks = 0
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def _select_engine(self, distance: DistanceFunction, count: int = 1) -> KNNIndex:
+        """Pick the engine for ``distance``, counting ``count`` decisions.
+
+        Batch dispatch counts one decision per query so batch and loop
+        report identical statistics.
+        """
+        if self._metric_index is not None and self._metric_index.supports(distance):
+            self._index_hits += count
+            return self._metric_index
+        self._scan_fallbacks += count
+        return self._scan
+
+    def _account(self, results: list[ResultSet]) -> None:
+        self._n_searches += len(results)
+        self._n_objects_retrieved += sum(len(result) for result in results)
 
     # ------------------------------------------------------------------ #
     # Query processing
@@ -97,24 +164,69 @@ class RetrievalEngine:
     def search(self, query_point, k: int, distance: DistanceFunction | None = None) -> ResultSet:
         """Return the ``k`` objects closest to ``query_point``.
 
-        When ``distance`` is omitted the default distance applies and the
-        metric index (if any) is used; a caller-supplied distance always runs
-        through the exact linear scan because feedback may have changed its
-        parameters arbitrarily.
+        When ``distance`` is omitted the default distance applies.  The
+        metric index serves the query whenever it supports the distance;
+        otherwise the exact linear scan answers it (feedback may have changed
+        the distance parameters arbitrarily).
         """
         if distance is None:
             distance = self._default_distance
-        if self._metric_index is not None and distance is self._metric_index.distance:
-            result = self._metric_index.search(query_point, k)
+        engine = self._select_engine(distance)
+        if engine is self._scan:
+            result = engine.search(query_point, k, distance)
         else:
-            result = self._scan.search(query_point, k, distance)
-        self._n_searches += 1
-        self._n_objects_retrieved += len(result)
+            result = engine.search(query_point, k)
+        self._account([result])
         return result
+
+    def search_batch(
+        self, query_points, k: int, distance: DistanceFunction | None = None
+    ) -> list[ResultSet]:
+        """Return the ``k`` nearest neighbours of every row of ``query_points``.
+
+        Equivalent to ``[self.search(q, k, distance) for q in query_points]``
+        but dispatched once: the selected engine answers the whole batch
+        (one pairwise matrix for the linear scan).  The dispatch counters
+        count one decision per query so batch and loop report identically.
+        """
+        if distance is None:
+            distance = self._default_distance
+        query_points = as_float_matrix(
+            query_points, name="query_points", shape=(None, self._collection.dimension)
+        )
+        engine = self._select_engine(distance, count=query_points.shape[0])
+        if engine is self._scan:
+            results = engine.search_batch(query_points, k, distance)
+        else:
+            results = engine.search_batch(query_points, k)
+        self._n_batches += 1
+        self._account(results)
+        return results
 
     def execute(self, query: Query, distance: DistanceFunction | None = None) -> ResultSet:
         """Execute a :class:`~repro.database.query.Query` object."""
         return self.search(query.point, query.k, distance=distance)
+
+    def run_batch(
+        self, queries: list[Query], distance: DistanceFunction | None = None
+    ) -> list[ResultSet]:
+        """Execute a batch of :class:`~repro.database.query.Query` objects.
+
+        Queries are grouped by their ``k`` (preserving input order in the
+        returned list) and each group runs through :meth:`search_batch`, so a
+        homogeneous multi-user batch costs one matrix computation.
+        """
+        if not queries:
+            return []
+        groups: dict[int, list[int]] = {}
+        for position, query in enumerate(queries):
+            groups.setdefault(query.k, []).append(position)
+        results: list[ResultSet | None] = [None] * len(queries)
+        for k, positions in groups.items():
+            points = np.vstack([queries[position].point for position in positions])
+            for position, result in zip(positions, self.search_batch(points, k, distance)):
+                results[position] = result
+        return results
 
     def search_with_parameters(self, query_point, k: int, delta, weights) -> ResultSet:
         """Search with explicit query-parameter overrides.
@@ -130,3 +242,37 @@ class RetrievalEngine:
         weights = np.asarray(weights, dtype=np.float64)
         distance = WeightedEuclideanDistance(self._collection.dimension, weights=np.clip(weights, 0.0, None))
         return self.search(query_point + delta, k, distance=distance)
+
+    def search_batch_with_parameters(self, query_points, k: int, deltas, weights) -> list[ResultSet]:
+        """Batched :meth:`search_with_parameters`: one (Δ, W) row per query.
+
+        This is the FeedbackBypass first-round arm of a workload: every query
+        carries its own predicted offset and weight vector, so no single
+        distance object covers the batch.  The whole batch is still answered
+        with matrix algebra — an approximate per-query-weight distance matrix
+        selects candidates, which are then re-evaluated exactly — and the
+        results match the per-query method byte for byte.
+        """
+        k = check_dimension(k, "k")
+        dimension = self._collection.dimension
+        query_points = as_float_matrix(query_points, name="query_points", shape=(None, dimension))
+        n_queries = query_points.shape[0]
+        deltas = as_float_matrix(deltas, name="deltas", shape=(n_queries, dimension))
+        weights = np.clip(as_float_matrix(weights, name="weights", shape=(n_queries, None)), 0.0, None)
+
+        shifted = query_points + deltas
+        vectors = self._collection.vectors
+        effective_k = min(k, self._collection.size)
+        approximate = pairwise_per_query_weights(shifted, weights, vectors)
+
+        results: list[ResultSet] = []
+        for query_point, weight_row, row in zip(shifted, weights, approximate):
+            distance = WeightedEuclideanDistance(dimension, weights=weight_row)
+            candidates = candidate_pool(row, effective_k)
+            exact = distance.distances_to(query_point, vectors[candidates])
+            indices, ordered = k_smallest(exact, effective_k, labels=candidates)
+            results.append(ResultSet.from_arrays(indices, ordered))
+        self._scan_fallbacks += n_queries
+        self._n_batches += 1
+        self._account(results)
+        return results

@@ -1,0 +1,176 @@
+"""The k-NN index protocol and shared selection machinery.
+
+Every k-NN engine in the library (linear scan, VP-tree, M-tree) implements
+the :class:`KNNIndex` contract:
+
+* ``search(query_point, k, distance=None)`` — one query, one
+  :class:`~repro.database.query.ResultSet`,
+* ``search_batch(query_points, k, distance=None)`` — many queries at once;
+  the contract guarantees the result equals ``[search(q, k) for q in
+  query_points]`` element for element,
+* ``supports(distance)`` — whether the index can serve a query under the
+  given distance function (metric trees are built for one fixed metric, the
+  linear scan serves any distance of matching dimensionality).
+
+The retrieval engine dispatches on ``supports`` instead of poking at index
+internals, and the batch form lets the whole first round of a multi-user
+workload run as a handful of matrix operations.
+
+Determinism on ties is part of the contract: equal distances are broken by
+ascending collection index, so any two conforming engines — and the batch
+and single-query paths of the same engine — return byte-identical result
+sets.  :func:`k_smallest` and :class:`NeighborHeap` implement that rule for
+array-based and heap-based engines respectively.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+
+import numpy as np
+
+from repro.database.query import ResultSet
+from repro.distances.base import DistanceFunction
+from repro.utils.validation import ValidationError, as_float_matrix, check_dimension
+
+
+def k_smallest(distances: np.ndarray, k: int, labels: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Return the ``k`` smallest entries of ``distances``, ties broken by label.
+
+    Parameters
+    ----------
+    distances:
+        1-D array of distances.
+    k:
+        Number of entries wanted (clamped to the array length).
+    labels:
+        Optional array mapping positions to collection indices; defaults to
+        ``arange(len(distances))``.  Ties on distance are broken by ascending
+        label, which is what makes every engine's result sets comparable.
+
+    Returns
+    -------
+    (labels, distances):
+        Parallel arrays of the selected entries in (distance, label) order.
+    """
+    n = int(distances.shape[0])
+    k = min(k, n)
+    if k == n:
+        candidate = np.arange(n, dtype=np.intp)
+    else:
+        # argpartition finds *a* set of k smallest in O(n); widening to every
+        # entry within the k-th distance makes the tie-break deterministic.
+        candidate = np.argpartition(distances, k - 1)[:k]
+        threshold = distances[candidate].max()
+        candidate = np.flatnonzero(distances <= threshold)
+    candidate_labels = candidate if labels is None else np.asarray(labels, dtype=np.intp)[candidate]
+    order = np.lexsort((candidate_labels, distances[candidate]))[:k]
+    return candidate_labels[order], distances[candidate[order]]
+
+
+def candidate_pool(approximate_row: np.ndarray, k: int, *, margin: float | None = None) -> np.ndarray:
+    """Candidate positions for an exact top-``k`` from approximate distances.
+
+    Used by batch engines that compute the full distance matrix with a fast
+    but approximate expansion (see
+    :meth:`~repro.distances.base.DistanceFunction.pairwise_matches_rowwise`):
+    every position whose approximate distance lies within ``margin`` of the
+    approximate k-th distance is a candidate; re-evaluating only those
+    candidates exactly reproduces the exact top-``k`` as long as the
+    approximation error stays below ``margin``.  The default margin
+    (``1e-6`` of the row's distance scale) exceeds the error of the centred
+    Gram expansions by several orders of magnitude.
+    """
+    n = int(approximate_row.shape[0])
+    k = min(k, n)
+    if margin is None:
+        margin = 1e-6 * max(1.0, float(approximate_row.max()))
+    if k == n:
+        return np.arange(n, dtype=np.intp)
+    partition = np.argpartition(approximate_row, k - 1)[:k]
+    threshold = float(approximate_row[partition].max()) + margin
+    return np.flatnonzero(approximate_row <= threshold)
+
+
+class NeighborHeap:
+    """Bounded max-heap keeping the ``k`` nearest (distance, index) pairs.
+
+    Ties on distance are broken by ascending index — the same rule as
+    :func:`k_smallest` — so tree-based engines agree with the linear scan
+    even when several objects sit at exactly the same distance.
+    """
+
+    __slots__ = ("_k", "_heap")
+
+    def __init__(self, k: int) -> None:
+        self._k = check_dimension(k, "k")
+        # Entries are (-distance, -index): the heap root is the current worst
+        # neighbour (largest distance, largest index among equals).
+        self._heap: list[tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def offer(self, distance: float, index: int) -> None:
+        """Consider one (distance, index) pair for the neighbour set."""
+        if len(self._heap) < self._k:
+            heapq.heappush(self._heap, (-distance, -index))
+            return
+        worst_distance, worst_index = -self._heap[0][0], -self._heap[0][1]
+        if distance < worst_distance or (distance == worst_distance and index < worst_index):
+            heapq.heapreplace(self._heap, (-distance, -index))
+
+    def bound(self) -> float:
+        """Current pruning bound: the k-th best distance (inf while filling)."""
+        if len(self._heap) < self._k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def sorted_items(self) -> list[tuple[float, int]]:
+        """The neighbour set as (distance, index) pairs in rank order."""
+        return sorted((-negative_d, -negative_i) for negative_d, negative_i in self._heap)
+
+    def result_set(self) -> ResultSet:
+        """Materialise the neighbour set as a :class:`ResultSet`."""
+        items = self.sorted_items()
+        return ResultSet.from_arrays(
+            [index for _, index in items], [distance for distance, _ in items]
+        )
+
+
+class KNNIndex(abc.ABC):
+    """Abstract base class of every k-NN engine (the index protocol)."""
+
+    @property
+    @abc.abstractmethod
+    def collection(self):
+        """The indexed :class:`~repro.database.collection.FeatureCollection`."""
+
+    @abc.abstractmethod
+    def search(self, query_point, k: int, distance: DistanceFunction | None = None) -> ResultSet:
+        """Return the ``k`` nearest neighbours of one query point."""
+
+    @abc.abstractmethod
+    def supports(self, distance: DistanceFunction) -> bool:
+        """True when this index can serve queries under ``distance``."""
+
+    def search_batch(
+        self, query_points, k: int, distance: DistanceFunction | None = None
+    ) -> list[ResultSet]:
+        """Return the ``k`` nearest neighbours of every query row.
+
+        Equivalent to ``[self.search(q, k, distance) for q in query_points]``;
+        subclasses override it where the whole batch can be answered with
+        shared matrix computations.
+        """
+        query_points = as_float_matrix(
+            query_points, name="query_points", shape=(None, self.collection.dimension)
+        )
+        return [self.search(query_point, k, distance) for query_point in query_points]
+
+    def _check_supports(self, distance: DistanceFunction) -> None:
+        if not self.supports(distance):
+            raise ValidationError(
+                f"{type(self).__name__} cannot serve queries under {distance!r}"
+            )

@@ -5,6 +5,11 @@ fast in practice for the corpus sizes of the evaluation (a few thousand
 vectors x 31 dimensions fit comfortably in a single vectorised distance
 computation).  The metric indexes (:mod:`repro.database.vptree`,
 :mod:`repro.database.mtree`) are validated against it.
+
+Its :meth:`LinearScanIndex.search_batch` answers a whole query batch with one
+pairwise distance matrix (a few BLAS calls for the weighted Euclidean family)
+followed by a row-wise top-k selection — the batch-first hot path of the
+retrieval engine.
 """
 
 from __future__ import annotations
@@ -12,12 +17,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.database.collection import FeatureCollection
+from repro.database.index import KNNIndex, candidate_pool, k_smallest
 from repro.database.query import ResultSet
 from repro.distances.base import DistanceFunction
-from repro.utils.validation import ValidationError, check_dimension
+from repro.utils.validation import ValidationError, as_float_matrix, check_dimension
 
 
-class LinearScanIndex:
+class LinearScanIndex(KNNIndex):
     """Exact k-NN by scanning every vector.
 
     Unlike the metric indexes, the linear scan supports *any* distance
@@ -34,21 +40,62 @@ class LinearScanIndex:
         """The indexed collection."""
         return self._collection
 
-    def search(self, query_point, k: int, distance: DistanceFunction) -> ResultSet:
-        """Return the ``k`` vectors closest to ``query_point`` under ``distance``."""
-        k = check_dimension(k, "k")
-        query_point = self._collection.validate_query_point(query_point)
+    def supports(self, distance: DistanceFunction) -> bool:
+        """The scan serves any distance of matching dimensionality."""
+        return distance.dimension == self._collection.dimension
+
+    def _check_distance(self, distance: DistanceFunction) -> None:
         if distance.dimension != self._collection.dimension:
             raise ValidationError(
                 "distance dimensionality does not match the collection "
                 f"({distance.dimension} vs {self._collection.dimension})"
             )
+
+    def search(self, query_point, k: int, distance: DistanceFunction = None) -> ResultSet:
+        """Return the ``k`` vectors closest to ``query_point`` under ``distance``."""
+        k = check_dimension(k, "k")
+        if distance is None:
+            raise ValidationError("the linear scan needs an explicit distance function")
+        query_point = self._collection.validate_query_point(query_point)
+        self._check_distance(distance)
         k = min(k, self._collection.size)
         distances = distance.distances_to(query_point, self._collection.vectors)
-        # argpartition gives the k smallest in O(n); sort only those k.
-        candidate = np.argpartition(distances, k - 1)[:k]
-        order = candidate[np.argsort(distances[candidate], kind="stable")]
-        return ResultSet.from_arrays(order, distances[order])
+        indices, ordered = k_smallest(distances, k)
+        return ResultSet.from_arrays(indices, ordered)
+
+    def search_batch(
+        self, query_points, k: int, distance: DistanceFunction = None
+    ) -> list[ResultSet]:
+        """Answer every query row with one pairwise matrix + row-wise top-k.
+
+        The result is byte-identical to ``[search(q, k, distance) for q in
+        query_points]``: when the distance's matrix form is an approximate
+        expansion, the per-row candidates are re-evaluated through the exact
+        row-wise computation before the final selection.
+        """
+        k = check_dimension(k, "k")
+        if distance is None:
+            raise ValidationError("the linear scan needs an explicit distance function")
+        query_points = as_float_matrix(
+            query_points, name="query_points", shape=(None, self._collection.dimension)
+        )
+        self._check_distance(distance)
+        k = min(k, self._collection.size)
+        vectors = self._collection.vectors
+        matrix = distance.pairwise(query_points, vectors)
+
+        results: list[ResultSet] = []
+        if distance.pairwise_matches_rowwise:
+            for row in matrix:
+                indices, ordered = k_smallest(row, k)
+                results.append(ResultSet.from_arrays(indices, ordered))
+        else:
+            for query_point, row in zip(query_points, matrix):
+                candidates = candidate_pool(row, k)
+                exact = distance.distances_to(query_point, vectors[candidates])
+                indices, ordered = k_smallest(exact, k, labels=candidates)
+                results.append(ResultSet.from_arrays(indices, ordered))
+        return results
 
     def range_search(self, query_point, radius: float, distance: DistanceFunction) -> ResultSet:
         """Return every vector within ``radius`` of ``query_point``."""
@@ -57,5 +104,5 @@ class LinearScanIndex:
             raise ValidationError("radius must be non-negative")
         distances = distance.distances_to(query_point, self._collection.vectors)
         hits = np.flatnonzero(distances <= radius)
-        order = hits[np.argsort(distances[hits], kind="stable")]
+        order = hits[np.lexsort((hits, distances[hits]))]
         return ResultSet.from_arrays(order, distances[order])

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.database.collection import FeatureCollection
+from repro.database.index import KNNIndex, NeighborHeap
 from repro.database.query import ResultSet
 from repro.distances.base import DistanceFunction
 from repro.utils.rng import ensure_rng
@@ -59,7 +60,7 @@ class _Node:
     parent_entry: _RoutingEntry | None = None
 
 
-class MTreeIndex:
+class MTreeIndex(KNNIndex):
     """Exact k-NN via a dynamically built M-tree.
 
     Parameters
@@ -310,12 +311,21 @@ class MTreeIndex:
     # ------------------------------------------------------------------ #
     # k-NN search
     # ------------------------------------------------------------------ #
+    def supports(self, distance: DistanceFunction) -> bool:
+        """An M-tree only serves the metric it was built for.
+
+        Its covering radii and parent distances were computed under that
+        metric; any other distance invalidates both pruning rules.
+        """
+        return distance is self._distance
+
     def search(self, query_point, k: int, distance: DistanceFunction | None = None) -> ResultSet:
         """Return the ``k`` nearest neighbours of ``query_point``.
 
         ``distance`` may be omitted; passing a different metric than the one
         the tree was built for raises, because the pruning bounds would not
-        hold.
+        hold.  Ties on distance are broken by ascending collection index,
+        matching the linear scan.
         """
         k = check_dimension(k, "k")
         if distance is not None and distance is not self._distance:
@@ -326,14 +336,11 @@ class MTreeIndex:
         counter = itertools.count()
         # Priority queue of (lower bound, tiebreak, node, distance from query to parent pivot).
         pending: list[tuple[float, int, _Node, float | None]] = [(0.0, next(counter), self._root, None)]
-        best: list[tuple[float, int]] = []  # max-heap via negated distances
-
-        def current_bound() -> float:
-            return float("inf") if len(best) < k else -best[0][0]
+        best = NeighborHeap(k)
 
         while pending:
             lower_bound, _, node, query_parent_distance = heapq.heappop(pending)
-            if lower_bound > current_bound():
+            if lower_bound > best.bound():
                 break
             if node.is_leaf:
                 for entry in node.entries:
@@ -342,28 +349,22 @@ class MTreeIndex:
                     # without computing its distance.
                     if (
                         query_parent_distance is not None
-                        and abs(query_parent_distance - entry.distance_to_parent) > current_bound()
+                        and abs(query_parent_distance - entry.distance_to_parent) > best.bound()
                     ):
                         continue
                     dist = self._dist_to_point(query_point, entry.object_index)
-                    if len(best) < k:
-                        heapq.heappush(best, (-dist, entry.object_index))
-                    elif dist < -best[0][0]:
-                        heapq.heapreplace(best, (-dist, entry.object_index))
+                    best.offer(dist, entry.object_index)
             else:
                 for entry in node.entries:
                     if (
                         query_parent_distance is not None
                         and abs(query_parent_distance - entry.distance_to_parent)
-                        > current_bound() + entry.covering_radius
+                        > best.bound() + entry.covering_radius
                     ):
                         continue
                     pivot_distance = self._dist_to_point(query_point, entry.pivot_index)
                     child_bound = max(pivot_distance - entry.covering_radius, 0.0)
-                    if child_bound <= current_bound():
+                    if child_bound <= best.bound():
                         heapq.heappush(pending, (child_bound, next(counter), entry.child, pivot_distance))
 
-        ordered = sorted(((-negative, index) for negative, index in best))
-        indices = [index for _, index in ordered]
-        distances = [dist for dist, _ in ordered]
-        return ResultSet.from_arrays(indices, distances)
+        return best.result_set()

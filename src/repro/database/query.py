@@ -8,7 +8,7 @@ ordered by increasing distance.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -50,26 +50,50 @@ class ResultItem:
     distance: float
 
 
-@dataclass(frozen=True)
 class ResultSet:
     """An ordered list of retrieved objects.
 
     The items are sorted by non-decreasing distance; ties keep the order the
     index produced, so two engines returning the same distances compare equal
     through :meth:`indices`.
+
+    Internally the set is array-backed — the batch query pipeline creates
+    thousands of result sets per second, so construction from parallel
+    arrays (:meth:`from_arrays`) is O(validation) and the
+    :class:`ResultItem` views are only materialised when someone iterates.
     """
 
-    items: tuple[ResultItem, ...] = field(default_factory=tuple)
+    __slots__ = ("_indices", "_distances", "_items")
 
-    def __post_init__(self) -> None:
-        items = tuple(self.items)
-        distances = [item.distance for item in items]
-        if any(b < a - 1e-12 for a, b in zip(distances, distances[1:])):
+    def __init__(self, items=()) -> None:
+        items = tuple(items)
+        indices = np.asarray([item.index for item in items], dtype=np.intp)
+        distances = np.asarray([item.distance for item in items], dtype=np.float64)
+        self._initialise(indices, distances, items)
+
+    def _initialise(
+        self, indices: np.ndarray, distances: np.ndarray, items: tuple[ResultItem, ...] | None
+    ) -> None:
+        if distances.shape[0] > 1 and bool(np.any(np.diff(distances) < -1e-12)):
             raise ValidationError("result items must be sorted by non-decreasing distance")
-        object.__setattr__(self, "items", items)
+        indices.setflags(write=False)
+        distances.setflags(write=False)
+        self._indices = indices
+        self._distances = distances
+        self._items = items
+
+    @property
+    def items(self) -> tuple[ResultItem, ...]:
+        """The results as :class:`ResultItem` objects (materialised lazily)."""
+        if self._items is None:
+            self._items = tuple(
+                ResultItem(index=int(index), distance=float(distance))
+                for index, distance in zip(self._indices, self._distances)
+            )
+        return self._items
 
     def __len__(self) -> int:
-        return len(self.items)
+        return int(self._indices.shape[0])
 
     def __iter__(self):
         return iter(self.items)
@@ -77,13 +101,27 @@ class ResultSet:
     def __getitem__(self, position: int) -> ResultItem:
         return self.items[position]
 
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return bool(
+            np.array_equal(self._indices, other._indices)
+            and np.array_equal(self._distances, other._distances)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._indices.tobytes(), self._distances.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ResultSet(n={len(self)})"
+
     def indices(self) -> np.ndarray:
-        """Return the retrieved collection indices, in rank order."""
-        return np.asarray([item.index for item in self.items], dtype=np.intp)
+        """Return the retrieved collection indices, in rank order (read-only)."""
+        return self._indices
 
     def distances(self) -> np.ndarray:
-        """Return the distances, in rank order."""
-        return np.asarray([item.distance for item in self.items], dtype=np.float64)
+        """Return the distances, in rank order (read-only)."""
+        return self._distances
 
     def same_objects(self, other: "ResultSet") -> bool:
         """True when both result sets contain the same objects in the same order.
@@ -91,16 +129,15 @@ class ResultSet:
         This is the convergence test of the feedback loop: iteration stops
         when the result list no longer changes (Section 5).
         """
-        return len(self) == len(other) and bool(np.array_equal(self.indices(), other.indices()))
+        return len(self) == len(other) and bool(np.array_equal(self._indices, other._indices))
 
     @classmethod
     def from_arrays(cls, indices, distances) -> "ResultSet":
         """Build a result set from parallel index / distance arrays."""
-        indices = np.asarray(indices, dtype=np.intp)
-        distances = np.asarray(distances, dtype=np.float64)
-        if indices.shape != distances.shape:
-            raise ValidationError("indices and distances must have the same shape")
-        items = tuple(
-            ResultItem(index=int(i), distance=float(d)) for i, d in zip(indices, distances)
-        )
-        return cls(items=items)
+        indices = np.array(indices, dtype=np.intp)
+        distances = np.array(distances, dtype=np.float64)
+        if indices.shape != distances.shape or indices.ndim != 1:
+            raise ValidationError("indices and distances must be parallel 1-D arrays")
+        instance = cls.__new__(cls)
+        instance._initialise(indices, distances, None)
+        return instance

@@ -11,12 +11,12 @@ scan.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.database.collection import FeatureCollection
+from repro.database.index import KNNIndex, NeighborHeap
 from repro.database.query import ResultSet
 from repro.distances.base import DistanceFunction
 from repro.utils.rng import ensure_rng
@@ -32,7 +32,7 @@ class _VPNode:
     bucket: np.ndarray | None  # leaf bucket of collection indices (vantage included)
 
 
-class VPTreeIndex:
+class VPTreeIndex(KNNIndex):
     """Exact k-NN via a vantage-point tree built for a fixed metric."""
 
     def __init__(
@@ -86,12 +86,22 @@ class VPTreeIndex:
         """The metric the tree was built for."""
         return self._distance
 
+    def supports(self, distance: DistanceFunction) -> bool:
+        """A VP-tree only serves the metric it was built for.
+
+        The pruning bounds rely on the triangle inequality of that specific
+        metric instance; feedback-adjusted distances must fall back to the
+        linear scan.
+        """
+        return distance is self._distance
+
     def search(self, query_point, k: int, distance: DistanceFunction | None = None) -> ResultSet:
         """Return the ``k`` nearest neighbours of ``query_point``.
 
         ``distance`` may be omitted (the build metric is used); passing a
         different metric raises, because the tree's pruning bounds would be
-        invalid.
+        invalid.  Ties on distance are broken by ascending collection index,
+        matching the linear scan.
         """
         k = check_dimension(k, "k")
         if distance is not None and distance is not self._distance:
@@ -99,49 +109,30 @@ class VPTreeIndex:
         query_point = self._collection.validate_query_point(query_point)
         k = min(k, self._collection.size)
 
-        # Max-heap of (-distance, index) holding the current k best.
-        heap: list[tuple[float, int]] = []
-        self._search_node(self._root, query_point, k, heap)
-        best = sorted(((-negative, index) for negative, index in heap))
-        indices = [index for _, index in best]
-        distances = [dist for dist, _ in best]
-        return ResultSet.from_arrays(indices, distances)
+        heap = NeighborHeap(k)
+        self._search_node(self._root, query_point, heap)
+        return heap.result_set()
 
-    def _search_node(self, node: _VPNode | None, query_point: np.ndarray, k: int, heap: list) -> None:
+    def _search_node(self, node: _VPNode | None, query_point: np.ndarray, heap: NeighborHeap) -> None:
         if node is None:
             return
         if node.bucket is not None:
             vectors = self._collection.vectors[node.bucket]
             distances = self._distance.distances_to(query_point, vectors)
             for index, dist in zip(node.bucket, distances):
-                self._offer(heap, k, float(dist), int(index))
+                heap.offer(float(dist), int(index))
             return
 
         vantage_vector = self._collection.vectors[node.vantage_index]
         vantage_distance = self._distance.distance(query_point, vantage_vector)
-        self._offer(heap, k, float(vantage_distance), int(node.vantage_index))
+        heap.offer(float(vantage_distance), int(node.vantage_index))
 
-        threshold = self._current_bound(heap, k)
         if vantage_distance <= node.radius:
             first, second = node.inner, node.outer
         else:
             first, second = node.outer, node.inner
-        self._search_node(first, query_point, k, heap)
-        threshold = self._current_bound(heap, k)
+        self._search_node(first, query_point, heap)
         # The second subtree can only contain closer objects when the query
-        # ball of radius ``threshold`` crosses the vantage sphere.
-        if abs(vantage_distance - node.radius) <= threshold:
-            self._search_node(second, query_point, k, heap)
-
-    @staticmethod
-    def _offer(heap: list, k: int, distance: float, index: int) -> None:
-        if len(heap) < k:
-            heapq.heappush(heap, (-distance, index))
-        elif distance < -heap[0][0]:
-            heapq.heapreplace(heap, (-distance, index))
-
-    @staticmethod
-    def _current_bound(heap: list, k: int) -> float:
-        if len(heap) < k:
-            return float("inf")
-        return -heap[0][0]
+        # ball of the current k-th best radius crosses the vantage sphere.
+        if abs(vantage_distance - node.radius) <= heap.bound():
+            self._search_node(second, query_point, heap)

@@ -55,6 +55,47 @@ class DistanceFunction(abc.ABC):
         """Distances from ``query`` to every row of ``points`` (vectorised)."""
 
     # ------------------------------------------------------------------ #
+    # Batch (matrix-form) distance computation
+    # ------------------------------------------------------------------ #
+    @property
+    def pairwise_matches_rowwise(self) -> bool:
+        """True when :meth:`pairwise` reproduces :meth:`distances_to` bit-for-bit.
+
+        Subclasses that accelerate :meth:`pairwise` with algebraic
+        reformulations (e.g. the Gram-matrix expansion of the weighted
+        Euclidean distance) return ``False``; consumers that need exact
+        row-wise values (the batch k-NN engines) then re-evaluate the final
+        candidates through :meth:`distances_to`.
+        """
+        return True
+
+    def pairwise(self, queries, points) -> np.ndarray:
+        """Distance matrix between every query row and every point row.
+
+        Parameters
+        ----------
+        queries:
+            ``(Q, D)`` matrix of query points.
+        points:
+            ``(N, D)`` matrix of database points.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(Q, N)`` matrix with ``result[i, j] = d(queries[i], points[j])``.
+
+        The base implementation evaluates one :meth:`distances_to` row per
+        query; subclasses override it with a fully vectorised matrix form
+        where the mathematics allows one.
+        """
+        queries = self._validate_points(queries, name="queries")
+        points = self._validate_points(points)
+        matrix = np.empty((queries.shape[0], points.shape[0]), dtype=np.float64)
+        for row, query in enumerate(queries):
+            matrix[row] = self.distances_to(query, points)
+        return matrix
+
+    # ------------------------------------------------------------------ #
     # Shared helpers
     # ------------------------------------------------------------------ #
     def _validate_point(self, point, name: str = "point") -> np.ndarray:

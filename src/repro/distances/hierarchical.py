@@ -162,3 +162,22 @@ class HierarchicalDistance(DistanceFunction):
         for group, weight, sub in zip(self._groups, self._feature_weights, self._sub_distances):
             totals += weight * sub.distances_to(query[group.slice()], points[:, group.slice()])
         return totals
+
+    @property
+    def pairwise_matches_rowwise(self) -> bool:
+        # The per-feature sub-distances use the (approximate) Gram expansion.
+        return False
+
+    def pairwise(self, queries, points) -> np.ndarray:
+        """Matrix form: the weighted sum of the per-feature pairwise matrices.
+
+        The loop over feature groups is inherent to the model (each group has
+        its own sub-distance); everything inside a group is the fully
+        vectorised weighted-Euclidean matrix form.
+        """
+        queries = self._validate_points(queries, name="queries")
+        points = self._validate_points(points)
+        totals = np.zeros((queries.shape[0], points.shape[0]), dtype=np.float64)
+        for group, weight, sub in zip(self._groups, self._feature_weights, self._sub_distances):
+            totals += weight * sub.pairwise(queries[:, group.slice()], points[:, group.slice()])
+        return totals

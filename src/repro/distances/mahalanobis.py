@@ -91,3 +91,25 @@ class MahalanobisDistance(DistanceFunction):
         deltas = points - query
         values = np.einsum("ij,jk,ik->i", deltas, self._matrix, deltas)
         return np.sqrt(np.clip(values, 0.0, None))
+
+    @property
+    def pairwise_matches_rowwise(self) -> bool:
+        return False
+
+    def pairwise(self, queries, points) -> np.ndarray:
+        """Matrix form via the bilinear expansion ``d² = qᵀWq + pᵀWp - 2 qᵀWp``.
+
+        ``W`` is applied once per side (two matrix products) instead of once
+        per (query, point) pair.  The expansion differs from the row-wise
+        einsum in the last bits, so ``pairwise_matches_rowwise`` is ``False``.
+        """
+        queries = self._validate_points(queries, name="queries")
+        points = self._validate_points(points)
+        center = points.mean(axis=0)
+        queries = queries - center
+        points = points - center
+        transformed_queries = queries @ self._matrix
+        query_norms = np.einsum("ij,ij->i", transformed_queries, queries)
+        point_norms = np.einsum("ij,jk,ik->i", points, self._matrix, points)
+        squared = query_norms[:, None] + point_norms[None, :] - 2.0 * transformed_queries @ points.T
+        return np.sqrt(np.clip(squared, 0.0, None))

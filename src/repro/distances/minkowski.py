@@ -74,6 +74,27 @@ class MinkowskiDistance(DistanceFunction):
         deltas = np.abs(points - query)
         return np.power(np.sum(self._weights * np.power(deltas, self._order), axis=1), 1.0 / self._order)
 
+    def pairwise(self, queries, points) -> np.ndarray:
+        """Matrix form by broadcasting the row computation over all queries.
+
+        There is no product expansion for a general L_p norm, so the matrix
+        is built from the same element-wise operations as
+        :meth:`distances_to` (broadcast over a query chunk at a time to bound
+        the ``(Q, N, D)`` intermediate); the results are therefore
+        bit-identical to the row-wise form.
+        """
+        queries = self._validate_points(queries, name="queries")
+        points = self._validate_points(points)
+        matrix = np.empty((queries.shape[0], points.shape[0]), dtype=np.float64)
+        chunk = max(1, 2_000_000 // max(points.shape[0] * points.shape[1], 1))
+        for start in range(0, queries.shape[0], chunk):
+            block = queries[start : start + chunk]
+            deltas = np.abs(points[None, :, :] - block[:, None, :])
+            matrix[start : start + chunk] = np.power(
+                np.sum(self._weights * np.power(deltas, self._order), axis=2), 1.0 / self._order
+            )
+        return matrix
+
 
 def euclidean(dimension: int) -> MinkowskiDistance:
     """Unweighted Euclidean distance on R^D (the paper's default)."""

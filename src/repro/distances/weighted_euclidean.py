@@ -67,8 +67,55 @@ class WeightedEuclideanDistance(DistanceFunction):
         deltas = points - query
         return np.sqrt(np.sum(self._weights * deltas * deltas, axis=1))
 
+    @property
+    def pairwise_matches_rowwise(self) -> bool:
+        return False
+
+    def pairwise(self, queries, points) -> np.ndarray:
+        """Matrix form via the Gram expansion ``d² = |q|² + |p|² - 2 q·p``.
+
+        One BLAS matrix product replaces Q row scans, which is what makes
+        batched k-NN worthwhile.  The expansion loses a few low-order bits to
+        cancellation (hence ``pairwise_matches_rowwise`` is ``False``); the
+        data is centred on the point cloud's mean first so the error stays
+        proportional to the distance scale rather than the coordinate scale.
+        """
+        queries = self._validate_points(queries, name="queries")
+        points = self._validate_points(points)
+        center = points.mean(axis=0)
+        queries = queries - center
+        points = points - center
+        weighted_queries = queries * self._weights
+        query_norms = np.einsum("ij,ij->i", weighted_queries, queries)
+        point_norms = np.einsum("ij,ij->i", points * self._weights, points)
+        squared = query_norms[:, None] + point_norms[None, :] - 2.0 * weighted_queries @ points.T
+        return np.sqrt(np.clip(squared, 0.0, None))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"WeightedEuclideanDistance(dimension={self.dimension}, "
             f"default={self.is_default()})"
         )
+
+
+def pairwise_per_query_weights(queries, weights, points) -> np.ndarray:
+    """Approximate ``(Q, N)`` distance matrix with one weight vector per query.
+
+    This generalises :meth:`WeightedEuclideanDistance.pairwise` to the case
+    the retrieval engine meets when FeedbackBypass supplies per-query
+    parameters: ``d_ij = sqrt(sum_d w_id (p_jd - q_id)²)``.  Everything still
+    reduces to matrix products (``d² = (q²·w) + P² Wᵀ - 2 (q∘w) Pᵀ``), so a
+    whole batch costs a handful of BLAS calls.  Like the Gram expansion it is
+    approximate in the last bits; callers refine the final candidates through
+    an exact row computation.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    points = np.asarray(points, dtype=np.float64)
+    center = points.mean(axis=0)
+    queries = queries - center
+    points = points - center
+    weighted_queries = queries * weights
+    query_norms = np.einsum("ij,ij->i", weighted_queries, queries)
+    squared = query_norms[:, None] + weights @ (points * points).T - 2.0 * weighted_queries @ points.T
+    return np.sqrt(np.clip(squared, 0.0, None))

@@ -12,6 +12,8 @@ This subpackage reproduces Section 5 of the paper:
   (learning curves, k sweeps, per-category robustness, tree growth),
 * :mod:`repro.evaluation.efficiency` — the Saved-Cycles / Saved-Objects
   experiment,
+* :mod:`repro.evaluation.throughput` — queries/sec of the batched query
+  pipeline against the per-query loop,
 * :mod:`repro.evaluation.reporting` — plain-text rendering of experiment
   results (the series the paper plots).
 """
@@ -42,19 +44,23 @@ from repro.evaluation.experiments import (
     tree_growth,
 )
 from repro.evaluation.efficiency import EfficiencyResult, saved_cycles_experiment
+from repro.evaluation.throughput import ThroughputResult, measure_batch_speedup
 from repro.evaluation.workloads import (
     RepeatRateBenefitResult,
     category_skewed_workload,
     repeat_rate_benefit,
     repeated_query_workload,
+    run_workload,
     uniform_workload,
 )
 from repro.evaluation.reporting import (
     format_series_table,
     render_category_robustness,
     render_efficiency,
+    render_engine_stats,
     render_k_sweep,
     render_learning_curve,
+    render_throughput,
     render_tree_growth,
 )
 
@@ -80,15 +86,20 @@ __all__ = [
     "tree_growth",
     "EfficiencyResult",
     "saved_cycles_experiment",
+    "ThroughputResult",
+    "measure_batch_speedup",
     "RepeatRateBenefitResult",
     "category_skewed_workload",
     "repeat_rate_benefit",
     "repeated_query_workload",
+    "run_workload",
     "uniform_workload",
     "format_series_table",
     "render_category_robustness",
     "render_efficiency",
+    "render_engine_stats",
     "render_k_sweep",
     "render_learning_curve",
+    "render_throughput",
     "render_tree_growth",
 ]

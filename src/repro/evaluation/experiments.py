@@ -83,13 +83,15 @@ def learning_curve(
     reweighting_rule: ReweightingRule = ReweightingRule.OPTIMAL,
     seed: int = 0,
     session: InteractiveSession | None = None,
+    batch_size: int | None = None,
 ) -> LearningCurveResult:
     """Reproduce the learning-curve experiment (Figures 10 and 12).
 
     Streams ``n_queries`` randomly sampled queries through a fresh session
     and records block-averaged precision and recall for the Default,
     FeedbackBypass and AlreadySeen strategies every ``checkpoint_every``
-    queries.
+    queries.  With ``batch_size`` set the first-round arms run through the
+    session's batched path (simultaneous-arrival semantics per chunk).
     """
     check_dimension(checkpoint_every, "checkpoint_every")
     check_dimension(n_queries, "n_queries")
@@ -98,6 +100,7 @@ def learning_curve(
         session = InteractiveSession.for_dataset(dataset, config)
     rng = ensure_rng(derive_seed(seed, "learning_curve", k))
     indices = dataset.sample_query_indices(n_queries, rng)
+    outcomes = session.run_stream(indices, batch_size=batch_size)
 
     checkpoints: list[int] = []
     series: dict[str, list[float]] = {
@@ -109,8 +112,8 @@ def learning_curve(
         "already_seen_recall": [],
     }
     block: list[QueryOutcome] = []
-    for position, query_index in enumerate(indices, start=1):
-        block.append(session.run_query(int(query_index)))
+    for position, outcome in enumerate(outcomes, start=1):
+        block.append(outcome)
         if position % checkpoint_every == 0 or position == len(indices):
             checkpoints.append(position)
             for strategy, name in (

@@ -7,6 +7,8 @@ EXPERIMENTS.md stay consistent.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.evaluation.efficiency import EfficiencyResult
@@ -16,6 +18,9 @@ from repro.evaluation.experiments import (
     LearningCurveResult,
     TreeGrowthResult,
 )
+
+if TYPE_CHECKING:
+    from repro.evaluation.throughput import ThroughputResult
 
 
 def format_series_table(header: list[str], rows: list[list]) -> str:
@@ -135,6 +140,31 @@ def render_efficiency(result: EfficiencyResult) -> str:
         header = ["queries", "Saved-Cycles", "Saved-Objects"]
         sections.append(f"k = {int(k)}\n" + format_series_table(header, rows))
     return "Efficiency (Figure 15)\n" + "\n\n".join(sections)
+
+
+def render_engine_stats(stats: dict[str, int]) -> str:
+    """Dispatch counters of a retrieval engine.
+
+    Makes the engine's index-vs-scan routing visible: ``scan_fallbacks``
+    counts the queries a metric index could not serve (feedback-adjusted
+    distances), which previously happened silently.
+    """
+    rows = [[name, int(value)] for name, value in stats.items()]
+    return "Retrieval-engine dispatch\n" + format_series_table(["counter", "value"], rows)
+
+
+def render_throughput(result: ThroughputResult) -> str:
+    """Batch-vs-loop throughput of the batched query pipeline."""
+    rows = [
+        ["loop", result.n_queries, result.k, result.loop_seconds, result.loop_qps],
+        ["batch", result.n_queries, result.k, result.batch_seconds, result.batch_qps],
+    ]
+    header = ["path", "queries", "k", "seconds", "queries/sec"]
+    identical = "identical" if result.identical_results else "DIVERGENT"
+    return (
+        f"Batch throughput (speedup {result.speedup:.2f}x, results {identical})\n"
+        + format_series_table(header, rows)
+    )
 
 
 def render_tree_growth(result: TreeGrowthResult) -> str:

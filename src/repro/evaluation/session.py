@@ -273,20 +273,24 @@ class InteractiveSession:
     # ------------------------------------------------------------------ #
     # Query processing
     # ------------------------------------------------------------------ #
-    def run_query(self, query_index: int) -> QueryOutcome:
-        """Process one query end-to-end and train the bypass with its outcome."""
+    def _complete_query(
+        self,
+        query_index: int,
+        predicted: OptimalQueryParameters,
+        default_metrics: StrategyMetrics,
+        bypass_metrics: StrategyMetrics,
+    ) -> QueryOutcome:
+        """Run the feedback loop and train the bypass, given the first rounds.
+
+        Shared tail of :meth:`run_query` and :meth:`run_batch`: both arrive
+        here with the Default and Bypass first-round metrics already measured
+        (per query or batched) and finish the query sequentially — the
+        feedback loop is inherently iterative and the tree insert must see
+        queries in order.
+        """
         query_point = self._query_vectors[query_index]
         category = self._collection.label(query_index)
-        dimension = self._collection.dimension
-        default_parameters = OptimalQueryParameters.default(dimension)
-
-        # Strategy 1: Default first round.
-        default_metrics = self.evaluate_first_round(query_index, default_parameters)
-
-        # Strategy 2: FeedbackBypass prediction (before inserting this query).
-        predicted = self._bypass.mopt(query_point)
-        prediction_was_default = predicted.is_default(tolerance=1e-9)
-        bypass_metrics = self.evaluate_first_round(query_index, predicted)
+        default_parameters = OptimalQueryParameters.default(self._collection.dimension)
 
         # Run the feedback loop from the default start to obtain this query's
         # optimal parameters (the paper's automated loop).
@@ -323,11 +327,78 @@ class InteractiveSession:
             loop_iterations_default=loop_default.iterations,
             loop_iterations_bypass=loop_iterations_bypass,
             inserted=inserted,
-            prediction_was_default=prediction_was_default,
+            prediction_was_default=predicted.is_default(tolerance=1e-9),
         )
         self._outcomes.append(outcome_record)
         return outcome_record
 
-    def run_stream(self, query_indices) -> list[QueryOutcome]:
-        """Process a stream of queries, training the bypass incrementally."""
-        return [self.run_query(int(index)) for index in np.asarray(query_indices, dtype=np.intp)]
+    def run_query(self, query_index: int) -> QueryOutcome:
+        """Process one query end-to-end and train the bypass with its outcome."""
+        query_point = self._query_vectors[query_index]
+        default_parameters = OptimalQueryParameters.default(self._collection.dimension)
+
+        # Strategy 1: Default first round.
+        default_metrics = self.evaluate_first_round(query_index, default_parameters)
+
+        # Strategy 2: FeedbackBypass prediction (before inserting this query).
+        predicted = self._bypass.mopt(query_point)
+        bypass_metrics = self.evaluate_first_round(query_index, predicted)
+
+        return self._complete_query(query_index, predicted, default_metrics, bypass_metrics)
+
+    def run_batch(self, query_indices) -> list[QueryOutcome]:
+        """Process a batch of queries with batched first-round arms.
+
+        The Default and FeedbackBypass first rounds of the whole batch run
+        through the engine's batch path — one pairwise-matrix search per arm
+        instead of one scan per query — and the predictions are taken from
+        the tree state at batch start, which models a group of queries
+        arriving simultaneously (none of them can see the others' feedback).
+        The feedback loops and tree inserts then proceed sequentially, in
+        input order, exactly as :meth:`run_query` would.
+        """
+        indices = np.asarray(query_indices, dtype=np.intp)
+        if indices.size == 0:
+            return []
+        points = self._query_vectors[indices]
+        k = self._config.k
+
+        # Strategy 1: Default first rounds, one batched search under the
+        # default distance (metric-index eligible).
+        default_results = self._engine.search_batch(points, k)
+
+        # Strategy 2: FeedbackBypass first rounds — batched predictions plus
+        # one batched search with per-query (Δ, W) parameters.
+        predictions, deltas, weights = self._bypass.predict_for_engine_batch(points)
+        bypass_results = self._engine.search_batch_with_parameters(points, k, deltas, weights)
+
+        outcomes: list[QueryOutcome] = []
+        for position, query_index in enumerate(indices):
+            category = self._collection.label(int(query_index))
+            default_metrics = self._metrics_for(default_results[position], category)
+            bypass_metrics = self._metrics_for(bypass_results[position], category)
+            outcomes.append(
+                self._complete_query(
+                    int(query_index), predictions[position], default_metrics, bypass_metrics
+                )
+            )
+        return outcomes
+
+    def run_stream(self, query_indices, *, batch_size: int | None = None) -> list[QueryOutcome]:
+        """Process a stream of queries, training the bypass incrementally.
+
+        With ``batch_size`` set, the stream is processed in chunks through
+        :meth:`run_batch`: first rounds are batched and predictions within a
+        chunk share the tree state at chunk start (simultaneous arrivals);
+        between chunks the tree keeps learning as usual.  Without it, every
+        query sees the feedback of all previous ones (the paper's sequential
+        single-user regime).
+        """
+        indices = np.asarray(query_indices, dtype=np.intp)
+        if batch_size is None:
+            return [self.run_query(int(index)) for index in indices]
+        check_dimension(batch_size, "batch_size")
+        outcomes: list[QueryOutcome] = []
+        for start in range(0, indices.size, batch_size):
+            outcomes.extend(self.run_batch(indices[start : start + batch_size]))
+        return outcomes

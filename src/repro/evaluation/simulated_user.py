@@ -13,9 +13,11 @@ from __future__ import annotations
 from repro.database.collection import FeatureCollection
 from repro.database.query import ResultSet
 from repro.feedback.scores import (
+    JudgmentBatch,
     RelevanceJudgment,
     RelevanceScale,
     score_results_by_category,
+    score_results_by_category_batch,
 )
 from repro.utils.validation import ValidationError
 
@@ -54,16 +56,24 @@ class SimulatedUser:
             results, self.categories_of(results), query_category, scale=self._scale
         )
 
+    def judge_batch(self, results: ResultSet, query_category: str) -> JudgmentBatch:
+        """Vectorised :meth:`judge`: the same scores as parallel arrays."""
+        return score_results_by_category_batch(
+            results, self.categories_of(results), query_category, scale=self._scale
+        )
+
     def judge_for_query(self, query_index: int):
         """Return a judge callable bound to the category of image ``query_index``.
 
         The returned callable has the signature the feedback engine expects
-        (``ResultSet -> list[RelevanceJudgment]``).
+        (``ResultSet`` to one judgment per result).  It produces the
+        vectorised :class:`JudgmentBatch` form, which iterates as
+        :class:`RelevanceJudgment` objects for compatibility.
         """
         query_category = self._collection.label(query_index)
 
-        def _judge(results: ResultSet) -> list[RelevanceJudgment]:
-            return self.judge(results, query_category)
+        def _judge(results: ResultSet) -> JudgmentBatch:
+            return self.judge_batch(results, query_category)
 
         return _judge
 

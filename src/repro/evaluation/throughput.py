@@ -1,0 +1,108 @@
+"""Queries-per-second measurement: batched vs. looped query processing.
+
+The batch-first refactor claims that answering a whole query batch with one
+pairwise distance matrix beats issuing the same queries one at a time.  This
+module measures that claim directly on a
+:class:`~repro.database.engine.RetrievalEngine`: the same query set runs once
+through the per-query ``search`` loop and once through ``search_batch``, and
+the ratio of the two queries/sec figures is the batch speed-up reported by
+``benchmarks/test_throughput_batch.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.database.engine import RetrievalEngine
+from repro.distances.base import DistanceFunction
+from repro.utils.validation import ValidationError, as_float_matrix, check_dimension
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Batch-vs-loop throughput of one engine on one query set.
+
+    Attributes
+    ----------
+    n_queries, k:
+        Size of the measured workload.
+    loop_seconds, batch_seconds:
+        Best wall-clock time (over ``repeats``) of the per-query loop and of
+        the batched path.
+    identical_results:
+        Whether the two paths returned byte-identical result sets — the
+        equivalence half of the batch contract, checked on the measured run.
+    """
+
+    n_queries: int
+    k: int
+    loop_seconds: float
+    batch_seconds: float
+    identical_results: bool
+
+    @property
+    def loop_qps(self) -> float:
+        """Queries per second of the per-query loop."""
+        return self.n_queries / self.loop_seconds
+
+    @property
+    def batch_qps(self) -> float:
+        """Queries per second of the batched path."""
+        return self.n_queries / self.batch_seconds
+
+    @property
+    def speedup(self) -> float:
+        """How many times faster the batch path is."""
+        return self.loop_seconds / self.batch_seconds
+
+
+def _identical(first, second) -> bool:
+    return len(first) == len(second) and all(a == b for a, b in zip(first, second))
+
+
+def measure_batch_speedup(
+    engine: RetrievalEngine,
+    query_points,
+    k: int,
+    *,
+    distance: DistanceFunction | None = None,
+    repeats: int = 3,
+) -> ThroughputResult:
+    """Time ``search_batch`` against the equivalent per-query ``search`` loop.
+
+    Both paths run ``repeats`` times on the same engine and query set; the
+    best time of each is kept (the usual guard against scheduler noise).
+    The result also records whether the two paths produced byte-identical
+    result sets, which callers should assert — a fast but wrong batch path
+    is not a speed-up.
+    """
+    check_dimension(k, "k")
+    check_dimension(repeats, "repeats")
+    query_points = as_float_matrix(
+        query_points, name="query_points", shape=(None, engine.collection.dimension)
+    )
+    if query_points.shape[0] == 0:
+        raise ValidationError("throughput measurement needs at least one query")
+
+    loop_results = None
+    loop_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        loop_results = [engine.search(query_point, k, distance) for query_point in query_points]
+        loop_seconds = min(loop_seconds, time.perf_counter() - start)
+
+    batch_results = None
+    batch_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        batch_results = engine.search_batch(query_points, k, distance)
+        batch_seconds = min(batch_seconds, time.perf_counter() - start)
+
+    return ThroughputResult(
+        n_queries=int(query_points.shape[0]),
+        k=int(k),
+        loop_seconds=loop_seconds,
+        batch_seconds=batch_seconds,
+        identical_results=_identical(loop_results, batch_results),
+    )

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.evaluation.metrics import average_precision_recall
-from repro.evaluation.session import InteractiveSession, SessionConfig
+from repro.evaluation.session import InteractiveSession, QueryOutcome, SessionConfig
 from repro.features.datasets import ImageDataset
 from repro.utils.rng import derive_seed, ensure_rng
 from repro.utils.validation import ValidationError, check_dimension, check_in_range
@@ -25,6 +25,24 @@ def uniform_workload(dataset: ImageDataset, n_queries: int, *, seed: int = 0) ->
     """The paper's workload: queries sampled uniformly from the evaluation images."""
     rng = ensure_rng(derive_seed(seed, "uniform_workload"))
     return dataset.sample_query_indices(n_queries, rng)
+
+
+def run_workload(
+    session: InteractiveSession,
+    query_indices,
+    *,
+    batch_size: int | None = None,
+) -> list[QueryOutcome]:
+    """Drive a query workload through a session, optionally in batches.
+
+    This is the one entry point the experiments use to execute a workload:
+    with ``batch_size`` set, the Default and FeedbackBypass first-round arms
+    of each chunk run through the session's batched path
+    (:meth:`~repro.evaluation.session.InteractiveSession.run_batch`) — the
+    multi-user regime where a group of queries arrives at once; without it
+    the stream is processed one query at a time (the paper's regime).
+    """
+    return session.run_stream(query_indices, batch_size=batch_size)
 
 
 def category_skewed_workload(
@@ -112,12 +130,15 @@ def repeat_rate_benefit(
     k: int = 30,
     epsilon: float = 0.05,
     seed: int = 0,
+    batch_size: int | None = None,
 ) -> RepeatRateBenefitResult:
     """Measure how the FeedbackBypass advantage grows with query repetition.
 
     For every repetition rate a fresh session processes a repeated-query
     workload; the reported metrics are averaged over the second half of the
-    stream (after the tree has had a chance to see the working set).
+    stream (after the tree has had a chance to see the working set).  With
+    ``batch_size`` the first-round arms run through the batched path (see
+    :func:`run_workload`).
     """
     bypass_series = []
     default_series = []
@@ -129,7 +150,7 @@ def repeat_rate_benefit(
         workload = repeated_query_workload(
             dataset, n_queries, repeat_rate=rate, seed=derive_seed(seed, "rate", rate)
         )
-        outcomes = session.run_stream(workload)
+        outcomes = run_workload(session, workload, batch_size=batch_size)
         late = outcomes[len(outcomes) // 2 :]
         bypass_precision, _ = average_precision_recall(
             (o.bypass.precision, o.bypass.recall) for o in late

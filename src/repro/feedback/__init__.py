@@ -18,7 +18,13 @@ it predicts good starting parameters and stores the parameters the loop
 converges to.
 """
 
-from repro.feedback.scores import RelevanceJudgment, RelevanceScale, score_results_by_category
+from repro.feedback.scores import (
+    JudgmentBatch,
+    RelevanceJudgment,
+    RelevanceScale,
+    score_results_by_category,
+    score_results_by_category_batch,
+)
 from repro.feedback.query_point_movement import optimal_query_point, rocchio_update
 from repro.feedback.reweighting import (
     ReweightingRule,
@@ -31,9 +37,11 @@ from repro.feedback.hierarchical import hierarchical_update
 from repro.feedback.engine import FeedbackEngine, FeedbackLoopResult, FeedbackState
 
 __all__ = [
+    "JudgmentBatch",
     "RelevanceJudgment",
     "RelevanceScale",
     "score_results_by_category",
+    "score_results_by_category_batch",
     "optimal_query_point",
     "rocchio_update",
     "ReweightingRule",

@@ -20,11 +20,12 @@ from repro.database.query import ResultSet
 from repro.distances.parameters import default_weight_vector, pack_oqp_vector
 from repro.feedback.query_point_movement import optimal_query_point
 from repro.feedback.reweighting import ReweightingRule, reweight
-from repro.feedback.scores import RelevanceJudgment, scores_vector
+from repro.feedback.scores import JudgmentBatch, RelevanceJudgment
 from repro.utils.validation import ValidationError, as_float_vector, check_dimension
 
-#: A judge maps a result set to one relevance judgment per result.
-Judge = Callable[[ResultSet], list[RelevanceJudgment]]
+#: A judge maps a result set to one relevance judgment per result — either a
+#: judgment list or the vectorised :class:`JudgmentBatch` form.
+Judge = Callable[[ResultSet], "list[RelevanceJudgment] | JudgmentBatch"]
 
 
 @dataclass(frozen=True)
@@ -130,20 +131,24 @@ class FeedbackEngine:
     # Single feedback step
     # ------------------------------------------------------------------ #
     def compute_new_state(
-        self, state: FeedbackState, judgments: list[RelevanceJudgment]
+        self, state: FeedbackState, judgments: "list[RelevanceJudgment] | JudgmentBatch"
     ) -> FeedbackState:
         """Compute the next query parameters from one round of judgments.
 
         When no result was judged relevant there is no signal to exploit and
         the state is returned unchanged (the loop will then terminate).
+
+        The computation is vectorised over the result set: the judgments are
+        held as parallel arrays (:class:`JudgmentBatch`; a plain list is
+        coerced once) and the relevant vectors are gathered with a single
+        fancy index instead of a per-result Python loop.
         """
-        relevant = [j for j in judgments if j.is_relevant]
-        if not relevant:
+        batch = JudgmentBatch.from_judgments(judgments)
+        mask = batch.relevant_mask
+        if not mask.any():
             return state
-        good_vectors = np.vstack(
-            [self._engine.collection.vectors[j.index] for j in relevant]
-        )
-        good_scores = scores_vector(relevant)
+        good_vectors = self._engine.collection.vectors[batch.indices[mask]]
+        good_scores = batch.scores[mask]
 
         if self._move_query_point:
             new_point = optimal_query_point(good_vectors, good_scores)

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.database.query import ResultSet
-from repro.utils.validation import ValidationError
+from repro.utils.validation import ValidationError, as_float_vector
 
 
 class RelevanceScale(enum.Enum):
@@ -41,6 +41,93 @@ class RelevanceJudgment:
     def is_relevant(self) -> bool:
         """True when the object received a positive score."""
         return self.score > 0
+
+
+@dataclass(frozen=True)
+class JudgmentBatch:
+    """One feedback round's judgments as parallel arrays.
+
+    The array form is what the vectorised feedback computation consumes: one
+    fancy index into the collection replaces a per-result Python loop.  The
+    batch iterates as :class:`RelevanceJudgment` objects, so anything written
+    against the list form keeps working.
+    """
+
+    indices: np.ndarray
+    scores: np.ndarray
+
+    def __post_init__(self) -> None:
+        indices = np.asarray(self.indices, dtype=np.intp)
+        scores = as_float_vector(self.scores, name="scores") if len(self.scores) else np.zeros(0)
+        if indices.ndim != 1 or indices.shape != scores.shape:
+            raise ValidationError("indices and scores must be parallel 1-D arrays")
+        if np.any(scores < 0):
+            raise ValidationError("relevance scores must be non-negative")
+        indices.setflags(write=False)
+        scores.setflags(write=False)
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "scores", scores)
+
+    def __len__(self) -> int:
+        return int(self.indices.shape[0])
+
+    def __iter__(self):
+        for index, score in zip(self.indices, self.scores):
+            yield RelevanceJudgment(index=int(index), score=float(score))
+
+    @property
+    def relevant_mask(self) -> np.ndarray:
+        """Boolean mask of the positively scored results."""
+        return self.scores > 0
+
+    @property
+    def n_relevant(self) -> int:
+        """Number of positively scored results."""
+        return int(np.count_nonzero(self.scores))
+
+    @classmethod
+    def from_judgments(cls, judgments: "list[RelevanceJudgment] | JudgmentBatch") -> "JudgmentBatch":
+        """Coerce a judgment list (or an existing batch) to the array form."""
+        if isinstance(judgments, cls):
+            return judgments
+        count = len(judgments)
+        indices = np.fromiter((j.index for j in judgments), dtype=np.intp, count=count)
+        scores = np.fromiter((j.score for j in judgments), dtype=np.float64, count=count)
+        return cls(indices=indices, scores=scores)
+
+
+def score_results_by_category_batch(
+    results: ResultSet,
+    result_categories,
+    query_category: str,
+    *,
+    scale: RelevanceScale = RelevanceScale.BINARY,
+    graded_levels: int = 3,
+) -> JudgmentBatch:
+    """Vectorised category oracle: the array form of :func:`score_results_by_category`.
+
+    Produces exactly the same scores, but computes them with one comparison
+    over the category array instead of a per-result loop — this is the judge
+    the batched feedback paths use.
+    """
+    if len(results) != len(result_categories):
+        raise ValidationError("result_categories must have one entry per result")
+    n_results = len(results)
+    indices = results.indices()
+    if n_results == 0:
+        return JudgmentBatch(indices=indices, scores=np.zeros(0, dtype=np.float64))
+    relevant = np.asarray(result_categories, dtype=object) == query_category
+    ranks = np.arange(n_results, dtype=np.intp)
+    if scale is RelevanceScale.BINARY:
+        scores = relevant.astype(np.float64)
+    elif scale is RelevanceScale.GRADED:
+        levels = graded_levels - (ranks * graded_levels) // max(n_results, 1)
+        scores = np.where(relevant, np.maximum(levels, 1).astype(np.float64), 0.0)
+    elif scale is RelevanceScale.CONTINUOUS:
+        scores = np.where(relevant, 1.0 - ranks / max(n_results, 1), 0.0)
+    else:  # pragma: no cover - exhaustive enum
+        raise ValidationError(f"unsupported scale {scale!r}")
+    return JudgmentBatch(indices=indices, scores=scores)
 
 
 def score_results_by_category(

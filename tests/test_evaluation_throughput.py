@@ -1,0 +1,92 @@
+"""Batched sessions, the workload runner and the throughput helper."""
+
+import numpy as np
+import pytest
+
+from repro.database.engine import RetrievalEngine
+from repro.evaluation.reporting import render_engine_stats, render_throughput
+from repro.evaluation.session import InteractiveSession, SessionConfig
+from repro.evaluation.throughput import measure_batch_speedup
+from repro.evaluation.workloads import run_workload
+from repro.utils.validation import ValidationError
+
+
+class TestSessionRunBatch:
+    def test_batch_outcomes_have_all_fields(self, tiny_dataset):
+        session = InteractiveSession.for_dataset(
+            tiny_dataset, SessionConfig(k=10, epsilon=0.05, max_iterations=4)
+        )
+        outcomes = session.run_batch([0, 1, 2, 3])
+        assert len(outcomes) == 4
+        assert session.outcomes == outcomes
+        for outcome in outcomes:
+            assert 0.0 <= outcome.bypass.precision <= 1.0
+            assert outcome.inserted in ("inserted", "updated", "skipped", "none")
+
+    def test_fresh_session_batch_bypass_equals_default(self, tiny_dataset):
+        # Before any training the predictions are the defaults, so the two
+        # first-round arms of the very first batch must coincide.
+        session = InteractiveSession.for_dataset(
+            tiny_dataset, SessionConfig(k=10, epsilon=0.05, max_iterations=4)
+        )
+        outcomes = session.run_batch([0, 5, 9])
+        for outcome in outcomes:
+            assert outcome.prediction_was_default
+            assert outcome.bypass.precision == pytest.approx(outcome.default.precision)
+            assert outcome.bypass.recall == pytest.approx(outcome.default.recall)
+
+    def test_batch_of_one_matches_run_query(self, tiny_dataset):
+        config = SessionConfig(k=10, epsilon=0.05, max_iterations=4)
+        batched = InteractiveSession.for_dataset(tiny_dataset, config)
+        sequential = InteractiveSession.for_dataset(tiny_dataset, config)
+        for query_index in (0, 7, 3):
+            (batch_outcome,) = batched.run_batch([query_index])
+            loop_outcome = sequential.run_query(query_index)
+            assert batch_outcome == loop_outcome
+
+    def test_empty_batch(self, tiny_session):
+        assert tiny_session.run_batch([]) == []
+
+    def test_run_stream_with_batch_size_processes_everything(self, tiny_dataset):
+        session = InteractiveSession.for_dataset(
+            tiny_dataset, SessionConfig(k=10, epsilon=0.05, max_iterations=4)
+        )
+        outcomes = session.run_stream([0, 1, 2, 3, 4], batch_size=2)
+        assert [outcome.query_index for outcome in outcomes] == [0, 1, 2, 3, 4]
+
+    def test_run_workload_batch_knob(self, tiny_dataset):
+        session = InteractiveSession.for_dataset(
+            tiny_dataset, SessionConfig(k=10, epsilon=0.05, max_iterations=4)
+        )
+        outcomes = run_workload(session, [0, 1, 2], batch_size=3)
+        assert len(outcomes) == 3
+
+
+class TestThroughputHelper:
+    def test_measures_and_verifies_equivalence(self, tiny_collection):
+        engine = RetrievalEngine(tiny_collection)
+        rng = np.random.default_rng(5)
+        queries = tiny_collection.vectors[rng.integers(0, tiny_collection.size, 16)]
+        result = measure_batch_speedup(engine, queries, 5, repeats=2)
+        assert result.identical_results
+        assert result.n_queries == 16
+        assert result.loop_qps > 0 and result.batch_qps > 0
+        assert result.speedup == pytest.approx(result.loop_seconds / result.batch_seconds)
+
+    def test_requires_queries(self, tiny_collection):
+        engine = RetrievalEngine(tiny_collection)
+        with pytest.raises(ValidationError):
+            measure_batch_speedup(engine, np.zeros((0, tiny_collection.dimension)), 5)
+
+    def test_render_throughput(self, tiny_collection):
+        engine = RetrievalEngine(tiny_collection)
+        queries = tiny_collection.vectors[:4]
+        result = measure_batch_speedup(engine, queries, 3, repeats=1)
+        text = render_throughput(result)
+        assert "queries/sec" in text and "speedup" in text
+
+    def test_render_engine_stats(self, tiny_collection):
+        engine = RetrievalEngine(tiny_collection)
+        engine.search(tiny_collection.vectors[0], 3)
+        text = render_engine_stats(engine.stats())
+        assert "scan_fallbacks" in text and "index_hits" in text
