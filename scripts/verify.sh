@@ -1,12 +1,37 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate: the exact command CI and builders must pass.
+# Verification gate: the commands CI and builders must pass.
 #
-# Runs the full test suite (unit tests, property tests, and the benchmark
-# harness collected from benchmarks/) from the repository root with the
-# src/ layout on the import path. Extra arguments are forwarded to pytest,
-# e.g. `scripts/verify.sh tests/test_database_batch.py -k linear`.
+# Modes (first argument):
+#   --fast    tier-1 only: the unit / property / contract tests under tests/
+#   (none)    tier-1 plus the two throughput benchmarks as smoke tests
+#             (the batch-contract and frontier-scheduler speed-up bars)
+#   --full    the entire suite, including the figure-reproduction benchmark
+#             harness under benchmarks/ (equivalent to a bare `pytest`)
+#
+# Any other arguments are forwarded to pytest verbatim and replace the
+# default targets, e.g. `scripts/verify.sh tests/test_database_batch.py -k
+# linear`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q "$@"
+targets=()
+case "${1:-}" in
+    --fast)
+        shift
+        targets=(tests)
+        ;;
+    --full)
+        shift
+        targets=()
+        ;;
+    "")
+        targets=(
+            tests
+            benchmarks/test_throughput_batch.py
+            benchmarks/test_throughput_feedback.py
+        )
+        ;;
+esac
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q "${targets[@]+"${targets[@]}"}" "$@"

@@ -37,15 +37,22 @@ additionally models *simultaneous arrival* (see below):
   shared traversal bookkeeping; :class:`FeedbackBypass` layers
   ``mopt_batch`` / ``insert_batch`` on top with journaling intact.
 * **feedback** — :class:`~repro.feedback.engine.FeedbackEngine` computes
-  scores and reweighting over the full result set in matrix form.
+  scores and reweighting over the full result set in matrix form, and the
+  frontier scheduler (:class:`~repro.feedback.scheduler.LoopScheduler`)
+  batches the feedback *loop* itself: a
+  :class:`~repro.feedback.scheduler.FeedbackFrontier` of in-flight queries
+  advances iteration *i* of every active loop with one batched search,
+  byte-identical to the sequential
+  :meth:`~repro.feedback.engine.FeedbackEngine.run_loop`.
 * **evaluation** — :class:`~repro.evaluation.session.InteractiveSession`
   runs the Default and Bypass first-round arms of a workload through
-  ``run_batch``, and :mod:`repro.evaluation.throughput` measures the
-  batch-vs-loop queries/sec gain.  Unlike the layers above, session
-  batching is *semantically* a modelling choice: every query in a batch is
-  predicted from the tree state at batch start (a group of simultaneous
-  users, none seeing the others' feedback), so outcomes can differ from
-  running the same queries one at a time.
+  ``run_batch`` and its feedback phase on the frontier scheduler, and
+  :mod:`repro.evaluation.throughput` measures both the first-round and the
+  loop-phase batch-vs-loop queries/sec gains.  Unlike the layers above,
+  session batching is *semantically* a modelling choice: every query in a
+  batch is predicted from the tree state at batch start (a group of
+  simultaneous users, none seeing the others' feedback), so outcomes can
+  differ from running the same queries one at a time.
 
 Quickstart::
 
@@ -87,7 +94,7 @@ from repro.distances import (
     WeightedEuclideanDistance,
 )
 from repro.features import ImageDataset, build_imsi_like_dataset
-from repro.feedback import FeedbackEngine, ReweightingRule
+from repro.feedback import FeedbackEngine, LoopScheduler, ReweightingRule
 from repro.evaluation import (
     InteractiveSession,
     SessionConfig,
@@ -122,6 +129,7 @@ __all__ = [
     "ImageDataset",
     "build_imsi_like_dataset",
     "FeedbackEngine",
+    "LoopScheduler",
     "ReweightingRule",
     "InteractiveSession",
     "SessionConfig",

@@ -161,10 +161,13 @@ class FeedbackBypass:
     def insert_batch(self, query_points, parameters: list[OptimalQueryParameters]) -> list[InsertOutcome]:
         """Store converged parameters for many queries, in order.
 
-        Insertions are applied sequentially — each one refines the
-        triangulation the next prediction is gated against, and the tree's
-        journal (which persistence replays) must stay an ordered log — so
-        this is a convenience wrapper, not a bulk-load shortcut.
+        This is how a cohort retired from the feedback frontier
+        (:class:`~repro.feedback.scheduler.FeedbackFrontier`) trains the
+        tree: one call ingests every query's converged OQPs.  Insertions are
+        applied sequentially — each one refines the triangulation the next
+        prediction is gated against, and the tree's journal (which
+        persistence replays) must stay an ordered log — so the batching is
+        in the API, not a bulk-load shortcut.
         """
         query_points = np.asarray(query_points, dtype=np.float64)
         if query_points.ndim != 2 or query_points.shape[0] != len(parameters):

@@ -24,11 +24,14 @@ class FeatureCollection:
         self._vectors.setflags(write=False)
         if labels is None:
             self._labels: tuple[str, ...] | None = None
+            self._labels_array: np.ndarray | None = None
         else:
             labels = tuple(str(label) for label in labels)
             if len(labels) != vectors.shape[0]:
                 raise ValidationError("labels must have one entry per vector")
             self._labels = labels
+            self._labels_array = np.asarray(labels, dtype=object)
+            self._labels_array.setflags(write=False)
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -89,6 +92,26 @@ class FeatureCollection:
         if not 0 <= index < self.size:
             raise ValidationError(f"index {index} out of range [0, {self.size})")
         return self._labels[index]
+
+    def labels_of(self, indices) -> list[str]:
+        """Return the labels of many vectors with one vectorised gather.
+
+        Equivalent to ``[self.label(i) for i in indices]`` but served by a
+        single fancy index into the label array — the feedback loops look up
+        one result list's labels per query per iteration, which makes this
+        a hot path of the batched pipeline.
+        """
+        if self._labels_array is None:
+            raise ValidationError("this collection has no labels")
+        indices = np.asarray(indices)
+        if indices.size == 0:
+            return []
+        if indices.dtype.kind not in "iu":
+            raise ValidationError("indices must be integers")
+        indices = indices.astype(np.intp, copy=False)
+        if indices.min() < 0 or indices.max() >= self.size:
+            raise ValidationError(f"indices out of range [0, {self.size})")
+        return self._labels_array[indices].tolist()
 
     def indices_with_label(self, label: str) -> np.ndarray:
         """Return the indices of every vector carrying ``label``."""

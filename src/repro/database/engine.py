@@ -29,7 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.database.collection import FeatureCollection
-from repro.database.index import KNNIndex, candidate_pool, k_smallest
+from repro.database.index import KNNIndex, k_smallest
 from repro.database.knn import LinearScanIndex
 from repro.database.query import Query, ResultSet
 from repro.distances.base import DistanceFunction
@@ -78,6 +78,8 @@ class RetrievalEngine:
         self._n_batches = 0
         self._index_hits = 0
         self._scan_fallbacks = 0
+        self._feedback_iterations = 0
+        self._frontier_batches = 0
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -116,12 +118,31 @@ class RetrievalEngine:
         """Number of searches that fell back to the exact linear scan."""
         return self._scan_fallbacks
 
+    @property
+    def feedback_iterations(self) -> int:
+        """Number of feedback-loop iterations (searches beyond the first)
+        executed through this engine.
+
+        The feedback paths record every re-search here, so the Saved-Cycles
+        accounting of Figure 15 can be read straight off the engine instead
+        of being recomputed from per-query loop results.
+        """
+        return self._feedback_iterations
+
+    @property
+    def frontier_batches(self) -> int:
+        """Number of batched searches dispatched by the frontier scheduler."""
+        return self._frontier_batches
+
     def stats(self) -> dict[str, int]:
         """Dispatch and volume counters of this engine.
 
         ``scan_fallbacks`` in particular surfaces what used to happen
         silently: a metric index that cannot serve a feedback-adjusted
         distance sends the query through the exhaustive scan.
+        ``feedback_iterations`` / ``frontier_batches`` account for the
+        relevance-feedback loop: how many re-searches the loops cost and how
+        many of those were dispatched as frontier batches.
         """
         return {
             "n_searches": self._n_searches,
@@ -129,6 +150,8 @@ class RetrievalEngine:
             "n_objects_retrieved": self._n_objects_retrieved,
             "index_hits": self._index_hits,
             "scan_fallbacks": self._scan_fallbacks,
+            "feedback_iterations": self._feedback_iterations,
+            "frontier_batches": self._frontier_batches,
         }
 
     def reset_counters(self) -> None:
@@ -138,6 +161,20 @@ class RetrievalEngine:
         self._n_batches = 0
         self._index_hits = 0
         self._scan_fallbacks = 0
+        self._feedback_iterations = 0
+        self._frontier_batches = 0
+
+    def record_feedback_iterations(self, count: int = 1) -> None:
+        """Account ``count`` feedback-loop iterations (re-searches).
+
+        Called by the feedback engine (one per sequential loop iteration) and
+        by the frontier scheduler (one per active query per frontier round).
+        """
+        self._feedback_iterations += int(count)
+
+    def record_frontier_batch(self, count: int = 1) -> None:
+        """Account ``count`` batched searches dispatched by the frontier."""
+        self._frontier_batches += int(count)
 
     # ------------------------------------------------------------------ #
     # Dispatch
@@ -262,14 +299,31 @@ class RetrievalEngine:
 
         shifted = query_points + deltas
         vectors = self._collection.vectors
-        effective_k = min(k, self._collection.size)
+        n_points = self._collection.size
+        effective_k = min(k, n_points)
         approximate = pairwise_per_query_weights(shifted, weights, vectors)
 
+        # Candidate thresholds for the whole batch at once — the same values
+        # candidate_pool computes per row (the k-th approximate distance plus
+        # the error margin), with the partition and row maxima vectorised
+        # over the query axis.
+        if effective_k == n_points:
+            thresholds = np.full(n_queries, np.inf)
+        else:
+            partition = np.argpartition(approximate, effective_k - 1, axis=1)[:, :effective_k]
+            kth_values = np.take_along_axis(approximate, partition, axis=1).max(axis=1)
+            margins = 1e-6 * np.maximum(1.0, approximate.max(axis=1))
+            thresholds = kth_values + margins
+
         results: list[ResultSet] = []
-        for query_point, weight_row, row in zip(shifted, weights, approximate):
-            distance = WeightedEuclideanDistance(dimension, weights=weight_row)
-            candidates = candidate_pool(row, effective_k)
-            exact = distance.distances_to(query_point, vectors[candidates])
+        for query_point, weight_row, row, threshold in zip(shifted, weights, approximate, thresholds):
+            candidates = np.flatnonzero(row <= threshold)
+            # Exact re-evaluation of the candidates: the same expression as
+            # WeightedEuclideanDistance.distances_to, with the per-query
+            # distance-object construction and re-validation skipped (the
+            # batch inputs were validated above).
+            candidate_deltas = vectors[candidates] - query_point
+            exact = np.sqrt(np.sum(weight_row * candidate_deltas * candidate_deltas, axis=1))
             indices, ordered = k_smallest(exact, effective_k, labels=candidates)
             results.append(ResultSet.from_arrays(indices, ordered))
         self._scan_fallbacks += n_queries

@@ -13,7 +13,8 @@ This subpackage reproduces Section 5 of the paper:
 * :mod:`repro.evaluation.efficiency` — the Saved-Cycles / Saved-Objects
   experiment,
 * :mod:`repro.evaluation.throughput` — queries/sec of the batched query
-  pipeline against the per-query loop,
+  pipeline against the per-query loop, and of the frontier-scheduled
+  feedback phase against the sequential loops,
 * :mod:`repro.evaluation.reporting` — plain-text rendering of experiment
   results (the series the paper plots).
 """
@@ -44,7 +45,12 @@ from repro.evaluation.experiments import (
     tree_growth,
 )
 from repro.evaluation.efficiency import EfficiencyResult, saved_cycles_experiment
-from repro.evaluation.throughput import ThroughputResult, measure_batch_speedup
+from repro.evaluation.throughput import (
+    FeedbackThroughputResult,
+    ThroughputResult,
+    measure_batch_speedup,
+    measure_feedback_speedup,
+)
 from repro.evaluation.workloads import (
     RepeatRateBenefitResult,
     category_skewed_workload,
@@ -58,6 +64,7 @@ from repro.evaluation.reporting import (
     render_category_robustness,
     render_efficiency,
     render_engine_stats,
+    render_feedback_throughput,
     render_k_sweep,
     render_learning_curve,
     render_throughput,
@@ -86,8 +93,10 @@ __all__ = [
     "tree_growth",
     "EfficiencyResult",
     "saved_cycles_experiment",
+    "FeedbackThroughputResult",
     "ThroughputResult",
     "measure_batch_speedup",
+    "measure_feedback_speedup",
     "RepeatRateBenefitResult",
     "category_skewed_workload",
     "repeat_rate_benefit",
@@ -98,6 +107,7 @@ __all__ = [
     "render_category_robustness",
     "render_efficiency",
     "render_engine_stats",
+    "render_feedback_throughput",
     "render_k_sweep",
     "render_learning_curve",
     "render_throughput",

@@ -20,7 +20,7 @@ from repro.evaluation.experiments import (
 )
 
 if TYPE_CHECKING:
-    from repro.evaluation.throughput import ThroughputResult
+    from repro.evaluation.throughput import FeedbackThroughputResult, ThroughputResult
 
 
 def format_series_table(header: list[str], rows: list[list]) -> str:
@@ -163,6 +163,34 @@ def render_throughput(result: ThroughputResult) -> str:
     identical = "identical" if result.identical_results else "DIVERGENT"
     return (
         f"Batch throughput (speedup {result.speedup:.2f}x, results {identical})\n"
+        + format_series_table(header, rows)
+    )
+
+
+def render_feedback_throughput(result: "FeedbackThroughputResult") -> str:
+    """Sequential-vs-frontier throughput of the feedback loop phase."""
+    rows = [
+        [
+            "sequential",
+            result.n_queries,
+            result.k,
+            result.feedback_iterations,
+            result.sequential_seconds,
+            result.sequential_qps,
+        ],
+        [
+            "frontier",
+            result.n_queries,
+            result.k,
+            result.feedback_iterations,
+            result.frontier_seconds,
+            result.frontier_qps,
+        ],
+    ]
+    header = ["path", "queries", "k", "iterations", "seconds", "queries/sec"]
+    identical = "identical" if result.identical_results else "DIVERGENT"
+    return (
+        f"Feedback-loop throughput (speedup {result.speedup:.2f}x, results {identical})\n"
         + format_series_table(header, rows)
     )
 

@@ -37,6 +37,7 @@ from repro.features.datasets import ImageDataset
 from repro.features.normalization import drop_last_bin
 from repro.feedback.engine import FeedbackEngine, FeedbackLoopResult
 from repro.feedback.reweighting import ReweightingRule
+from repro.feedback.scheduler import LoopRequest, LoopScheduler
 from repro.utils.validation import ValidationError, check_dimension, check_positive
 
 
@@ -169,6 +170,7 @@ class InteractiveSession:
             move_query_point=config.move_query_point,
             max_iterations=config.max_iterations,
         )
+        self._scheduler = LoopScheduler(self._feedback)
         # Query vectors default to the collection vectors themselves (the
         # paper samples query images from the database).
         self._query_vectors = collection.vectors if query_vectors is None else query_vectors
@@ -211,6 +213,11 @@ class InteractiveSession:
     def feedback_engine(self) -> FeedbackEngine:
         """The feedback-loop controller."""
         return self._feedback
+
+    @property
+    def scheduler(self) -> LoopScheduler:
+        """The frontier scheduler batching feedback loops across queries."""
+        return self._scheduler
 
     @property
     def bypass(self) -> FeedbackBypass:
@@ -270,54 +277,68 @@ class InteractiveSession:
             initial_weights=parameters.weights,
         )
 
+    def run_feedback_loops(
+        self,
+        query_indices,
+        parameters: "list[OptimalQueryParameters]",
+        *,
+        k: int | None = None,
+    ) -> "list[FeedbackLoopResult]":
+        """Run many queries' feedback loops batched on the frontier scheduler.
+
+        Byte-identical to ``[self.run_feedback_loop(i, p) for i, p in
+        zip(query_indices, parameters)]`` (the scheduler contract), but
+        iteration *i* of all still-active loops runs as one batched search
+        instead of one scan per query.
+        """
+        k = self._config.k if k is None else check_dimension(k, "k")
+        query_indices = [int(query_index) for query_index in query_indices]
+        if len(query_indices) != len(parameters):
+            raise ValidationError("run_feedback_loops needs one parameter object per query index")
+        requests = [
+            LoopRequest(
+                query_point=self._query_vectors[int(query_index)],
+                k=k,
+                judge=self._user.judge_for_query(int(query_index)),
+                initial_delta=query_parameters.delta,
+                initial_weights=query_parameters.weights,
+            )
+            for query_index, query_parameters in zip(query_indices, parameters)
+        ]
+        return self._scheduler.run(requests)
+
     # ------------------------------------------------------------------ #
     # Query processing
     # ------------------------------------------------------------------ #
-    def _complete_query(
+    def _optimal_parameters(
+        self, query_index: int, loop_default: FeedbackLoopResult
+    ) -> OptimalQueryParameters:
+        """The OQPs a default-start loop converged to for ``query_index``."""
+        query_point = self._query_vectors[query_index]
+        return OptimalQueryParameters(
+            delta=loop_default.final_state.query_point - query_point,
+            weights=loop_default.final_state.weights,
+        )
+
+    @staticmethod
+    def _wants_insert(loop_default: FeedbackLoopResult, optimal: OptimalQueryParameters) -> bool:
+        """Whether a loop produced any feedback signal worth storing."""
+        return not (loop_default.iterations == 0 and optimal.is_default())
+
+    def _assemble_outcome(
         self,
         query_index: int,
         predicted: OptimalQueryParameters,
         default_metrics: StrategyMetrics,
         bypass_metrics: StrategyMetrics,
+        loop_default: FeedbackLoopResult,
+        loop_iterations_bypass: "int | None",
+        inserted: str,
     ) -> QueryOutcome:
-        """Run the feedback loop and train the bypass, given the first rounds.
-
-        Shared tail of :meth:`run_query` and :meth:`run_batch`: both arrive
-        here with the Default and Bypass first-round metrics already measured
-        (per query or batched) and finish the query sequentially — the
-        feedback loop is inherently iterative and the tree insert must see
-        queries in order.
-        """
-        query_point = self._query_vectors[query_index]
+        """Record one query's outcome, given its loops and insert action."""
         category = self._collection.label(query_index)
-        default_parameters = OptimalQueryParameters.default(self._collection.dimension)
-
-        # Run the feedback loop from the default start to obtain this query's
-        # optimal parameters (the paper's automated loop).
-        loop_default = self.run_feedback_loop(query_index, default_parameters)
-        optimal = OptimalQueryParameters(
-            delta=loop_default.final_state.query_point - query_point,
-            weights=loop_default.final_state.weights,
-        )
-
         # Strategy 3: AlreadySeen — first round under the optimal parameters.
         already_seen_metrics = self._metrics_for(loop_default.final_results, category)
-
-        # Optionally measure how many iterations remain when starting from
-        # the prediction (Saved-Cycles).
-        loop_iterations_bypass: int | None = None
-        if self._config.measure_bypass_loop:
-            loop_bypass = self.run_feedback_loop(query_index, predicted)
-            loop_iterations_bypass = loop_bypass.iterations
-
-        # Store the optimal parameters, unless the loop produced no feedback
-        # signal at all (no relevant results ever appeared).
-        if loop_default.iterations == 0 and optimal.is_default():
-            inserted = "none"
-        else:
-            outcome = self._bypass.insert(query_point, optimal)
-            inserted = outcome.action
-
         outcome_record = QueryOutcome(
             query_index=int(query_index),
             category=category,
@@ -331,6 +352,51 @@ class InteractiveSession:
         )
         self._outcomes.append(outcome_record)
         return outcome_record
+
+    def _complete_query(
+        self,
+        query_index: int,
+        predicted: OptimalQueryParameters,
+        default_metrics: StrategyMetrics,
+        bypass_metrics: StrategyMetrics,
+    ) -> QueryOutcome:
+        """Run the feedback loop and train the bypass, given the first rounds.
+
+        Sequential tail of :meth:`run_query`; :meth:`run_batch` performs the
+        same steps for a whole cohort with the loops batched on the frontier
+        scheduler, and both produce identical outcomes.
+        """
+        query_point = self._query_vectors[query_index]
+        default_parameters = OptimalQueryParameters.default(self._collection.dimension)
+
+        # Run the feedback loop from the default start to obtain this query's
+        # optimal parameters (the paper's automated loop).
+        loop_default = self.run_feedback_loop(query_index, default_parameters)
+        optimal = self._optimal_parameters(query_index, loop_default)
+
+        # Optionally measure how many iterations remain when starting from
+        # the prediction (Saved-Cycles).
+        loop_iterations_bypass: int | None = None
+        if self._config.measure_bypass_loop:
+            loop_bypass = self.run_feedback_loop(query_index, predicted)
+            loop_iterations_bypass = loop_bypass.iterations
+
+        # Store the optimal parameters, unless the loop produced no feedback
+        # signal at all (no relevant results ever appeared).
+        if self._wants_insert(loop_default, optimal):
+            inserted = self._bypass.insert(query_point, optimal).action
+        else:
+            inserted = "none"
+
+        return self._assemble_outcome(
+            query_index,
+            predicted,
+            default_metrics,
+            bypass_metrics,
+            loop_default,
+            loop_iterations_bypass,
+            inserted,
+        )
 
     def run_query(self, query_index: int) -> QueryOutcome:
         """Process one query end-to-end and train the bypass with its outcome."""
@@ -347,21 +413,27 @@ class InteractiveSession:
         return self._complete_query(query_index, predicted, default_metrics, bypass_metrics)
 
     def run_batch(self, query_indices) -> list[QueryOutcome]:
-        """Process a batch of queries with batched first-round arms.
+        """Process a batch of queries end-to-end with batched phases.
 
         The Default and FeedbackBypass first rounds of the whole batch run
         through the engine's batch path — one pairwise-matrix search per arm
         instead of one scan per query — and the predictions are taken from
         the tree state at batch start, which models a group of queries
         arriving simultaneously (none of them can see the others' feedback).
-        The feedback loops and tree inserts then proceed sequentially, in
-        input order, exactly as :meth:`run_query` would.
+
+        The feedback phase is batched too: the whole cohort's loops run on
+        the frontier scheduler, which advances iteration *i* of every
+        still-active query with one batched search (byte-identical to the
+        sequential loops).  The retired cohort's converged OQPs are then
+        handed to :meth:`~repro.core.bypass.FeedbackBypass.insert_batch` in
+        input order, exactly as :meth:`run_query` would insert them.
         """
         indices = np.asarray(query_indices, dtype=np.intp)
         if indices.size == 0:
             return []
         points = self._query_vectors[indices]
         k = self._config.k
+        positions = range(indices.size)
 
         # Strategy 1: Default first rounds, one batched search under the
         # default distance (metric-index eligible).
@@ -372,14 +444,47 @@ class InteractiveSession:
         predictions, deltas, weights = self._bypass.predict_for_engine_batch(points)
         bypass_results = self._engine.search_batch_with_parameters(points, k, deltas, weights)
 
+        # Feedback phase: the cohort's default-start loops advance together
+        # on the frontier (the paper's automated loop, batched), plus the
+        # prediction-start loops when Saved-Cycles measurement is on.
+        default_parameters = OptimalQueryParameters.default(self._collection.dimension)
+        loops_default = self.run_feedback_loops(indices, [default_parameters] * indices.size)
+        bypass_iteration_counts: list[int | None] = [None] * indices.size
+        if self._config.measure_bypass_loop:
+            loops_bypass = self.run_feedback_loops(indices, predictions)
+            bypass_iteration_counts = [loop.iterations for loop in loops_bypass]
+
+        # Train the bypass with the retired cohort: one ordered insert_batch
+        # call over the queries that produced a feedback signal.
+        optimals = [
+            self._optimal_parameters(int(query_index), loop)
+            for query_index, loop in zip(indices, loops_default)
+        ]
+        insertable = [
+            position
+            for position in positions
+            if self._wants_insert(loops_default[position], optimals[position])
+        ]
+        inserted = ["none"] * indices.size
+        if insertable:
+            insert_outcomes = self._bypass.insert_batch(
+                points[insertable], [optimals[position] for position in insertable]
+            )
+            for position, insert_outcome in zip(insertable, insert_outcomes):
+                inserted[position] = insert_outcome.action
+
         outcomes: list[QueryOutcome] = []
         for position, query_index in enumerate(indices):
             category = self._collection.label(int(query_index))
-            default_metrics = self._metrics_for(default_results[position], category)
-            bypass_metrics = self._metrics_for(bypass_results[position], category)
             outcomes.append(
-                self._complete_query(
-                    int(query_index), predictions[position], default_metrics, bypass_metrics
+                self._assemble_outcome(
+                    int(query_index),
+                    predictions[position],
+                    self._metrics_for(default_results[position], category),
+                    self._metrics_for(bypass_results[position], category),
+                    loops_default[position],
+                    bypass_iteration_counts[position],
+                    inserted[position],
                 )
             )
         return outcomes
@@ -388,11 +493,12 @@ class InteractiveSession:
         """Process a stream of queries, training the bypass incrementally.
 
         With ``batch_size`` set, the stream is processed in chunks through
-        :meth:`run_batch`: first rounds are batched and predictions within a
-        chunk share the tree state at chunk start (simultaneous arrivals);
-        between chunks the tree keeps learning as usual.  Without it, every
-        query sees the feedback of all previous ones (the paper's sequential
-        single-user regime).
+        :meth:`run_batch`: first rounds are batched, the chunk's feedback
+        loops advance together on the frontier scheduler, and predictions
+        within a chunk share the tree state at chunk start (simultaneous
+        arrivals); between chunks the tree keeps learning as usual.  Without
+        it, every query sees the feedback of all previous ones (the paper's
+        sequential single-user regime).
         """
         indices = np.asarray(query_indices, dtype=np.intp)
         if batch_size is None:

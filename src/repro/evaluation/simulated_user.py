@@ -47,8 +47,13 @@ class SimulatedUser:
         return self._collection
 
     def categories_of(self, results: ResultSet) -> list[str]:
-        """Return the category label of every result object."""
-        return [self._collection.label(item.index) for item in results]
+        """Return the category label of every result object.
+
+        Served by one vectorised gather over the collection's label array —
+        this is called once per query per feedback iteration, so it sits on
+        the hot path of both the sequential loop and the frontier scheduler.
+        """
+        return self._collection.labels_of(results.indices())
 
     def judge(self, results: ResultSet, query_category: str) -> list[RelevanceJudgment]:
         """Score a result list for a query of the given category."""

@@ -7,6 +7,13 @@ module measures that claim directly on a
 through the per-query ``search`` loop and once through ``search_batch``, and
 the ratio of the two queries/sec figures is the batch speed-up reported by
 ``benchmarks/test_throughput_batch.py``.
+
+:func:`measure_feedback_speedup` applies the same methodology one layer up,
+to the *feedback phase*: the same queries' relevance-feedback loops run once
+sequentially (:meth:`~repro.feedback.engine.FeedbackEngine.run_loop` per
+query) and once on the frontier scheduler
+(:class:`~repro.feedback.scheduler.LoopScheduler`), with the byte-identity
+of the two result lists checked on the measured run.
 """
 
 from __future__ import annotations
@@ -16,6 +23,8 @@ from dataclasses import dataclass
 
 from repro.database.engine import RetrievalEngine
 from repro.distances.base import DistanceFunction
+from repro.feedback.engine import FeedbackEngine
+from repro.feedback.scheduler import LoopRequest, LoopScheduler
 from repro.utils.validation import ValidationError, as_float_matrix, check_dimension
 
 
@@ -105,4 +114,110 @@ def measure_batch_speedup(
         loop_seconds=loop_seconds,
         batch_seconds=batch_seconds,
         identical_results=_identical(loop_results, batch_results),
+    )
+
+
+@dataclass(frozen=True)
+class FeedbackThroughputResult:
+    """Sequential-vs-frontier throughput of the feedback loop phase.
+
+    Attributes
+    ----------
+    n_queries, k:
+        Size of the measured workload.
+    feedback_iterations:
+        Total feedback iterations (re-searches beyond the first round) the
+        loops needed — identical for both paths by the scheduler contract.
+    sequential_seconds, frontier_seconds:
+        Best wall-clock time (over ``repeats``) of the per-query sequential
+        loops and of the frontier-scheduled loops.
+    identical_results:
+        Whether the two paths produced byte-identical
+        :class:`~repro.feedback.engine.FeedbackLoopResult` lists — the
+        equivalence half of the scheduler contract, checked on the measured
+        run.
+    """
+
+    n_queries: int
+    k: int
+    feedback_iterations: int
+    sequential_seconds: float
+    frontier_seconds: float
+    identical_results: bool
+
+    @property
+    def sequential_qps(self) -> float:
+        """Queries per second of the sequential loop phase."""
+        return self.n_queries / self.sequential_seconds
+
+    @property
+    def frontier_qps(self) -> float:
+        """Queries per second of the frontier-scheduled loop phase."""
+        return self.n_queries / self.frontier_seconds
+
+    @property
+    def speedup(self) -> float:
+        """How many times faster the frontier scheduler is."""
+        return self.sequential_seconds / self.frontier_seconds
+
+
+def measure_feedback_speedup(
+    feedback_engine: FeedbackEngine,
+    query_points,
+    k: int,
+    judges,
+    *,
+    repeats: int = 3,
+) -> FeedbackThroughputResult:
+    """Time the frontier scheduler against the sequential feedback loops.
+
+    The same queries (one judge per query point, default starting
+    parameters) run ``repeats`` times through ``run_loop`` one by one and
+    ``repeats`` times through :meth:`~repro.feedback.scheduler.LoopScheduler.run`;
+    the best time of each path is kept.  The result records whether the two
+    paths produced byte-identical loop results, which callers should assert —
+    a fast but diverging scheduler is not a speed-up.
+    """
+    check_dimension(k, "k")
+    check_dimension(repeats, "repeats")
+    dimension = feedback_engine.retrieval_engine.collection.dimension
+    query_points = as_float_matrix(query_points, name="query_points", shape=(None, dimension))
+    if query_points.shape[0] == 0:
+        raise ValidationError("throughput measurement needs at least one query")
+    if len(judges) != query_points.shape[0]:
+        raise ValidationError("measure_feedback_speedup needs exactly one judge per query")
+
+    sequential_results = None
+    sequential_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        sequential_results = [
+            feedback_engine.run_loop(query_point, k, judge)
+            for query_point, judge in zip(query_points, judges)
+        ]
+        sequential_seconds = min(sequential_seconds, time.perf_counter() - start)
+
+    scheduler = LoopScheduler(feedback_engine)
+    requests = [
+        LoopRequest(query_point=query_point, k=k, judge=judge)
+        for query_point, judge in zip(query_points, judges)
+    ]
+    frontier_results = None
+    frontier_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        frontier_results = scheduler.run(requests)
+        frontier_seconds = min(frontier_seconds, time.perf_counter() - start)
+
+    return FeedbackThroughputResult(
+        n_queries=int(query_points.shape[0]),
+        k=int(k),
+        feedback_iterations=sum(result.iterations for result in frontier_results),
+        sequential_seconds=sequential_seconds,
+        frontier_seconds=frontier_seconds,
+        identical_results=len(sequential_results) == len(frontier_results)
+        and all(
+            first.identical_to(second)
+            for first, second in zip(sequential_results, frontier_results)
+        ),
     )

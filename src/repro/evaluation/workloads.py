@@ -36,11 +36,13 @@ def run_workload(
     """Drive a query workload through a session, optionally in batches.
 
     This is the one entry point the experiments use to execute a workload:
-    with ``batch_size`` set, the Default and FeedbackBypass first-round arms
-    of each chunk run through the session's batched path
-    (:meth:`~repro.evaluation.session.InteractiveSession.run_batch`) — the
-    multi-user regime where a group of queries arrives at once; without it
-    the stream is processed one query at a time (the paper's regime).
+    with ``batch_size`` set, each chunk runs through the session's batched
+    path (:meth:`~repro.evaluation.session.InteractiveSession.run_batch`) —
+    the multi-user regime where a group of queries arrives at once: the
+    Default and FeedbackBypass first-round arms are answered with matrix
+    searches and the chunk's feedback loops advance together on the frontier
+    scheduler, byte-identical to the sequential loops.  Without it the
+    stream is processed one query at a time (the paper's regime).
     """
     return session.run_stream(query_indices, batch_size=batch_size)
 

@@ -13,9 +13,11 @@ retrieval system combines:
 
 :mod:`repro.feedback.engine` assembles the strategies into the feedback loop
 of Figure 5: evaluate, collect scores, compute new query parameters, repeat
-until the result list stabilises.  FeedbackBypass sits *next to* this loop —
-it predicts good starting parameters and stores the parameters the loop
-converges to.
+until the result list stabilises.  :mod:`repro.feedback.scheduler` batches
+that loop across queries: a frontier of in-flight loops advances iteration
+*i* of every active query in one shot, byte-identical to the sequential
+loop.  FeedbackBypass sits *next to* this loop — it predicts good starting
+parameters and stores the parameters the loop converges to.
 """
 
 from repro.feedback.scores import (
@@ -25,16 +27,23 @@ from repro.feedback.scores import (
     score_results_by_category,
     score_results_by_category_batch,
 )
-from repro.feedback.query_point_movement import optimal_query_point, rocchio_update
+from repro.feedback.query_point_movement import (
+    optimal_query_point,
+    optimal_query_point_frontier,
+    rocchio_update,
+    segment_boundaries,
+)
 from repro.feedback.reweighting import (
     ReweightingRule,
     mars_weights,
     optimal_weights,
     reweight,
+    reweight_frontier,
 )
 from repro.feedback.mindreader import mindreader_matrix_update
 from repro.feedback.hierarchical import hierarchical_update
 from repro.feedback.engine import FeedbackEngine, FeedbackLoopResult, FeedbackState
+from repro.feedback.scheduler import FeedbackFrontier, LoopRequest, LoopScheduler
 
 __all__ = [
     "JudgmentBatch",
@@ -43,14 +52,20 @@ __all__ = [
     "score_results_by_category",
     "score_results_by_category_batch",
     "optimal_query_point",
+    "optimal_query_point_frontier",
     "rocchio_update",
+    "segment_boundaries",
     "ReweightingRule",
     "mars_weights",
     "optimal_weights",
     "reweight",
+    "reweight_frontier",
     "mindreader_matrix_update",
     "hierarchical_update",
     "FeedbackEngine",
     "FeedbackLoopResult",
     "FeedbackState",
+    "FeedbackFrontier",
+    "LoopRequest",
+    "LoopScheduler",
 ]

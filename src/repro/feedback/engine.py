@@ -6,6 +6,15 @@ query point and new distance weights, and repeat until the result list stops
 changing (or an iteration budget runs out).  The judge is a callable so the
 same engine serves both real interactive use and the category-oracle
 simulation of the experiments.
+
+The engine exposes the loop as per-state *step primitives* — validate the
+starting parameters (:meth:`FeedbackEngine.prepare_loop`), compute the next
+state from one round of judgments (:meth:`FeedbackEngine.compute_new_state`,
+or :meth:`FeedbackEngine.compute_new_states` for a stacked frontier of
+states) — so the same computation drives both the sequential reference loop
+(:meth:`FeedbackEngine.run_loop`) and the batched frontier scheduler
+(:mod:`repro.feedback.scheduler`), which is contractually byte-identical
+to it.
 """
 
 from __future__ import annotations
@@ -18,8 +27,12 @@ import numpy as np
 from repro.database.engine import RetrievalEngine
 from repro.database.query import ResultSet
 from repro.distances.parameters import default_weight_vector, pack_oqp_vector
-from repro.feedback.query_point_movement import optimal_query_point
-from repro.feedback.reweighting import ReweightingRule, reweight
+from repro.feedback.query_point_movement import (
+    optimal_query_point,
+    optimal_query_point_frontier,
+    segment_boundaries,
+)
+from repro.feedback.reweighting import ReweightingRule, reweight, reweight_frontier
 from repro.feedback.scores import JudgmentBatch, RelevanceJudgment
 from repro.utils.validation import ValidationError, as_float_vector, check_dimension
 
@@ -80,6 +93,24 @@ class FeedbackLoopResult:
     iterations: int
     converged: bool
 
+    def identical_to(self, other: "FeedbackLoopResult") -> bool:
+        """Byte-level equality with another loop result.
+
+        This is the comparison behind the scheduler contract — states,
+        result sets, iteration count and convergence flag must all match
+        bit for bit between the sequential loop and the frontier scheduler.
+        """
+        return bool(
+            np.array_equal(self.initial_state.query_point, other.initial_state.query_point)
+            and np.array_equal(self.initial_state.weights, other.initial_state.weights)
+            and np.array_equal(self.final_state.query_point, other.final_state.query_point)
+            and np.array_equal(self.final_state.weights, other.final_state.weights)
+            and self.initial_results == other.initial_results
+            and self.final_results == other.final_results
+            and self.iterations == other.iterations
+            and self.converged == other.converged
+        )
+
 
 class FeedbackEngine:
     """Runs relevance-feedback loops on top of a retrieval engine.
@@ -127,9 +158,43 @@ class FeedbackEngine:
         """The configured re-weighting rule."""
         return self._rule
 
+    @property
+    def move_query_point(self) -> bool:
+        """Whether the loop applies query-point movement."""
+        return self._move_query_point
+
+    @property
+    def max_iterations(self) -> int:
+        """The per-query iteration budget."""
+        return self._max_iterations
+
     # ------------------------------------------------------------------ #
-    # Single feedback step
+    # Step primitives
     # ------------------------------------------------------------------ #
+    def prepare_loop(
+        self, query_point, k: int, initial_delta=None, initial_weights=None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Validate one loop's starting parameters.
+
+        Returns the validated ``(query_point, initial_delta,
+        initial_weights, k)`` with the ``None`` defaults resolved (no offset,
+        unweighted Euclidean).  Shared prologue of :meth:`run_loop` and of
+        the frontier scheduler, so both paths reject exactly the same inputs
+        and start from exactly the same state.
+        """
+        k = check_dimension(k, "k")
+        dimension = self._engine.collection.dimension
+        query_point = as_float_vector(query_point, name="query_point", dim=dimension)
+        if initial_delta is None:
+            initial_delta = np.zeros(dimension, dtype=np.float64)
+        initial_delta = as_float_vector(initial_delta, name="initial_delta", dim=dimension)
+        if initial_weights is None:
+            initial_weights = default_weight_vector(dimension)
+        initial_weights = as_float_vector(initial_weights, name="initial_weights", dim=dimension)
+        if np.any(initial_weights < 0):
+            raise ValidationError("initial_weights must be non-negative")
+        return query_point, initial_delta, initial_weights, k
+
     def compute_new_state(
         self, state: FeedbackState, judgments: "list[RelevanceJudgment] | JudgmentBatch"
     ) -> FeedbackState:
@@ -163,6 +228,59 @@ class FeedbackEngine:
         )
         return FeedbackState(query_point=new_point, weights=new_weights)
 
+    def compute_new_states(
+        self,
+        states: "list[FeedbackState]",
+        judgments: "list[list[RelevanceJudgment] | JudgmentBatch]",
+    ) -> "list[FeedbackState | None]":
+        """The feedback step for a whole frontier of queries at once.
+
+        Entry ``f`` is the next state of query ``f``, or ``None`` when none
+        of its results was judged relevant (the per-query signal the
+        sequential loop reacts to by terminating).  Every returned state is
+        byte-identical to ``compute_new_state(states[f], judgments[f])``:
+        the relevant vectors of the whole frontier are gathered from the
+        collection with one fancy index and the re-weighting /
+        query-point-movement rules run in their frontier array forms over
+        the stacked segments.
+        """
+        if len(states) != len(judgments):
+            raise ValidationError("compute_new_states needs one judgment round per state")
+        batches = [JudgmentBatch.from_judgments(round_judgments) for round_judgments in judgments]
+        masks = [batch.relevant_mask for batch in batches]
+        live = [position for position, mask in enumerate(masks) if mask.any()]
+        new_states: list[FeedbackState | None] = [None] * len(states)
+        if not live:
+            return new_states
+
+        # One gather for the entire frontier: the concatenated relevant
+        # indices pull every query's good vectors out of the collection in a
+        # single fancy index; segment f is exactly the per-query gather.
+        gathered_indices = np.concatenate([batches[position].indices[masks[position]] for position in live])
+        good_vectors = self._engine.collection.vectors[gathered_indices]
+        good_scores = np.concatenate([batches[position].scores[masks[position]] for position in live])
+        offsets = segment_boundaries([int(masks[position].sum()) for position in live])
+
+        if self._move_query_point:
+            new_points = optimal_query_point_frontier(good_vectors, good_scores, offsets)
+        else:
+            new_points = np.vstack(
+                [np.asarray(states[position].query_point, dtype=np.float64) for position in live]
+            )
+        new_weights = reweight_frontier(
+            good_vectors,
+            good_scores,
+            offsets,
+            rule=self._rule,
+            current_weights=np.vstack([states[position].weights for position in live]),
+            variance_floor=self._variance_floor,
+        )
+        for row, position in enumerate(live):
+            new_states[position] = FeedbackState(
+                query_point=new_points[row].copy(), weights=new_weights[row].copy()
+            )
+        return new_states
+
     # ------------------------------------------------------------------ #
     # Full loop
     # ------------------------------------------------------------------ #
@@ -177,6 +295,11 @@ class FeedbackEngine:
     ) -> FeedbackLoopResult:
         """Run the feedback loop for one query.
 
+        This is the sequential reference implementation;
+        :class:`repro.feedback.scheduler.LoopScheduler` batches the same
+        loop across many queries and must reproduce its results byte for
+        byte.
+
         Parameters
         ----------
         query_point:
@@ -190,17 +313,9 @@ class FeedbackEngine:
             offset, unweighted Euclidean); FeedbackBypass passes its
             predictions here.
         """
-        k = check_dimension(k, "k")
-        dimension = self._engine.collection.dimension
-        query_point = as_float_vector(query_point, name="query_point", dim=dimension)
-        if initial_delta is None:
-            initial_delta = np.zeros(dimension, dtype=np.float64)
-        initial_delta = as_float_vector(initial_delta, name="initial_delta", dim=dimension)
-        if initial_weights is None:
-            initial_weights = default_weight_vector(dimension)
-        initial_weights = as_float_vector(initial_weights, name="initial_weights", dim=dimension)
-        if np.any(initial_weights < 0):
-            raise ValidationError("initial_weights must be non-negative")
+        query_point, initial_delta, initial_weights, k = self.prepare_loop(
+            query_point, k, initial_delta, initial_weights
+        )
 
         state = FeedbackState(query_point=query_point + initial_delta, weights=initial_weights)
         initial_state = state
@@ -221,6 +336,7 @@ class FeedbackEngine:
                 query_point, k, delta=new_state.query_point - query_point, weights=new_state.weights
             )
             iterations += 1
+            self._engine.record_feedback_iterations()
             if new_results.same_objects(results):
                 state = new_state
                 results = new_results

@@ -88,3 +88,67 @@ def reweight(
     if rule is ReweightingRule.OPTIMAL:
         return optimal_weights(good_vectors, scores, variance_floor=variance_floor)
     raise ValidationError(f"unsupported re-weighting rule {rule!r}")  # pragma: no cover
+
+
+def reweight_frontier(
+    good_vectors,
+    scores,
+    offsets,
+    *,
+    rule: ReweightingRule = ReweightingRule.OPTIMAL,
+    current_weights=None,
+    variance_floor: float = 1e-6,
+) -> np.ndarray:
+    """Apply the selected re-weighting rule to a whole frontier of queries.
+
+    Parameters
+    ----------
+    good_vectors, scores:
+        ``(G, D)`` / ``(G,)`` stacks of every active query's positively
+        judged results, segments back to back (see
+        :func:`repro.feedback.query_point_movement.segment_boundaries`).
+    offsets:
+        ``(F + 1,)`` segment offsets delimiting the per-query slices.
+    current_weights:
+        Optional ``(F, D)`` matrix of the queries' current weights (only
+        consulted by ``rule=NONE``, which keeps them).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(F, D)`` weight matrix whose row ``f`` equals — bit for bit — the
+        per-query :func:`reweight` of segment ``f``.
+
+    Segments are reduced through the per-query arithmetic (the inlined
+    bodies of :func:`mars_weights` / :func:`optimal_weights` with the input
+    validation hoisted to one pass over the stack, not a fused segmented
+    reduction) for the same reason as the query-point frontier form:
+    re-associating the variance sums would break the byte-identity contract
+    between the frontier scheduler and the sequential loop.
+    """
+    good_vectors = as_float_matrix(good_vectors, name="good_vectors")
+    offsets = np.asarray(offsets, dtype=np.intp)
+    n_queries = offsets.size - 1
+    if rule is ReweightingRule.NONE:
+        if current_weights is None:
+            return np.ones((n_queries, good_vectors.shape[1]), dtype=np.float64)
+        return as_float_matrix(
+            current_weights, name="current_weights", shape=(n_queries, good_vectors.shape[1])
+        ).copy()
+    if rule is not ReweightingRule.MARS and rule is not ReweightingRule.OPTIMAL:
+        raise ValidationError(f"unsupported re-weighting rule {rule!r}")  # pragma: no cover
+    if scores is None:
+        scores = np.ones(good_vectors.shape[0], dtype=np.float64)
+    else:
+        scores = as_float_vector(scores, name="scores", dim=good_vectors.shape[0])
+    new_weights = np.empty((n_queries, good_vectors.shape[1]), dtype=np.float64)
+    for query, (start, stop) in enumerate(zip(offsets[:-1], offsets[1:])):
+        if stop <= start:
+            raise ValidationError("at least one good result is required")
+        sigma = _component_std(good_vectors[start:stop], scores[start:stop], variance_floor)
+        raw = 1.0 / sigma if rule is ReweightingRule.MARS else 1.0 / (sigma * sigma)
+        # normalize_weights(raw, mode="geometric"), inlined: clamp, then
+        # rescale to geometric mean one — the exact per-query expressions.
+        clamped = np.maximum(raw, 1e-12)
+        new_weights[query] = clamped / np.exp(np.mean(np.log(clamped)))
+    return new_weights

@@ -1,0 +1,343 @@
+"""The frontier feedback scheduler: iteration *i* of every active query at once.
+
+Figure 4 of the paper draws one interactive loop — Query/Result, the user's
+relevance judgments, re-weighting and query-point movement, back to
+Query/Result — and the sequential reference implementation
+(:meth:`repro.feedback.engine.FeedbackEngine.run_loop`) walks that cycle one
+query at a time.  A multi-user workload run that way degenerates into a
+Python loop per query per iteration: the retrieval engine answers each
+re-search individually even though every active query is doing exactly the
+same kind of work at the same time.
+
+This module restructures the loop around a **frontier** of in-flight
+queries, mapping each box of the paper's figure onto one batched operation
+per iteration:
+
+* *Query/Result* — the re-searches of every active query run as a single
+  :meth:`~repro.database.engine.RetrievalEngine.search_batch_with_parameters`
+  call per result-set size (one stacked ``(Δ, W)`` row per query);
+* *relevance judgments* — each query's judge scores its current results (the
+  oracle judge is itself vectorised per result list);
+* *re-weighting / query-point movement* — the new states of the whole
+  frontier are computed by
+  :meth:`~repro.feedback.engine.FeedbackEngine.compute_new_states`, which
+  gathers all relevant result vectors with one fancy index and applies the
+  frontier array forms of the update rules over the stacked segments.
+
+Queries **retire** from the frontier exactly when the sequential loop would
+stop them: the result list stabilised (converged), no result was judged
+relevant (signal ran out), or the iteration budget is exhausted.
+
+The scheduler's contract — enforced tier-1 by
+``tests/test_feedback_scheduler.py`` — is that
+:meth:`LoopScheduler.run` returns :class:`~repro.feedback.engine.FeedbackLoopResult`
+objects **byte-identical** to ``[engine.run_loop(...) for each request]``
+for every query, mirroring the ``search_batch == mapped search`` guarantee
+of the index protocol one layer down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.database.query import ResultSet
+from repro.feedback.engine import FeedbackEngine, FeedbackLoopResult, FeedbackState, Judge
+from repro.utils.validation import ValidationError
+
+__all__ = ["LoopRequest", "FeedbackFrontier", "LoopScheduler"]
+
+
+@dataclass(frozen=True)
+class LoopRequest:
+    """One query's admission ticket to the frontier.
+
+    Mirrors the signature of
+    :meth:`~repro.feedback.engine.FeedbackEngine.run_loop`: the query point,
+    the result-set size, the judge producing its relevance judgments, and
+    the optional starting parameters (FeedbackBypass passes its predictions
+    here).
+    """
+
+    query_point: "np.ndarray"
+    k: int
+    judge: Judge
+    initial_delta: "np.ndarray | None" = None
+    initial_weights: "np.ndarray | None" = None
+
+
+class _FrontierEntry:
+    """Mutable loop state of one in-flight query."""
+
+    __slots__ = (
+        "position",
+        "query_point",
+        "initial_delta",
+        "k",
+        "judge",
+        "state",
+        "results",
+        "initial_state",
+        "initial_results",
+        "iterations",
+        "converged",
+        "done",
+        "proposed",
+    )
+
+    def __init__(
+        self,
+        position: int,
+        query_point: np.ndarray,
+        initial_delta: np.ndarray,
+        k: int,
+        judge: Judge,
+    ) -> None:
+        self.position = position
+        self.query_point = query_point
+        self.initial_delta = initial_delta
+        self.k = k
+        self.judge = judge
+        self.state: FeedbackState | None = None
+        self.results: ResultSet | None = None
+        self.initial_state: FeedbackState | None = None
+        self.initial_results: ResultSet | None = None
+        self.iterations = 0
+        self.converged = False
+        self.done = False
+        self.proposed: FeedbackState | None = None
+
+    def result(self) -> FeedbackLoopResult:
+        return FeedbackLoopResult(
+            initial_state=self.initial_state,
+            final_state=self.state,
+            initial_results=self.initial_results,
+            final_results=self.results,
+            iterations=self.iterations,
+            converged=self.converged,
+        )
+
+
+class FeedbackFrontier:
+    """The set of in-flight feedback loops, advanced one iteration at a time.
+
+    Construction admits every request, validates it through the feedback
+    engine's shared prologue and executes all first-round searches batched
+    (grouped by ``k``).  Each :meth:`advance` call then runs iteration *i*
+    of the paper's loop for every still-active query; queries retire as they
+    converge, lose their feedback signal or exhaust the engine's iteration
+    budget.  :meth:`results` returns the finished
+    :class:`~repro.feedback.engine.FeedbackLoopResult` per request, in
+    request order.
+    """
+
+    def __init__(self, feedback_engine: FeedbackEngine, requests: "list[LoopRequest]") -> None:
+        self._feedback = feedback_engine
+        self._engine = feedback_engine.retrieval_engine
+        self._entries: list[_FrontierEntry] = []
+        for position, request in enumerate(requests):
+            query_point, initial_delta, initial_weights, k = feedback_engine.prepare_loop(
+                request.query_point, request.k, request.initial_delta, request.initial_weights
+            )
+            entry = _FrontierEntry(position, query_point, initial_delta, k, request.judge)
+            entry.state = FeedbackState(
+                query_point=query_point + initial_delta, weights=initial_weights
+            )
+            entry.initial_state = entry.state
+            self._entries.append(entry)
+
+        # First rounds, batched: one search_batch_with_parameters dispatch
+        # per distinct k, searching under the *original* initial deltas —
+        # recomputing them from the states (``(q + Δ) - q``) would not be
+        # bit-identical to the Δ the sequential loop passes.
+        for group in self._group_by_k(self._entries):
+            results = self._dispatch(group)
+            for entry, result_set in zip(group, results):
+                entry.results = result_set
+                entry.initial_results = result_set
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def active_count(self) -> int:
+        """Number of queries still iterating."""
+        return sum(1 for entry in self._entries if not entry.done)
+
+    @property
+    def retired_count(self) -> int:
+        """Number of queries whose loops have finished."""
+        return len(self._entries) - self.active_count
+
+    # ------------------------------------------------------------------ #
+    # Batched dispatch helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _group_by_k(entries: "list[_FrontierEntry]") -> "list[list[_FrontierEntry]]":
+        groups: dict[int, list[_FrontierEntry]] = {}
+        for entry in entries:
+            groups.setdefault(entry.k, []).append(entry)
+        return list(groups.values())
+
+    def _dispatch(self, group: "list[_FrontierEntry]") -> "list[ResultSet]":
+        """One batched search for a same-``k`` group of entries.
+
+        Searches under each entry's *proposed* state when one is staged (a
+        loop iteration) and under its current state otherwise (the first
+        round).  Exactly the parameters the sequential loop would pass to
+        ``search_with_parameters``, stacked.
+        """
+        states = [entry.state if entry.proposed is None else entry.proposed for entry in group]
+        points = np.vstack([entry.query_point for entry in group])
+        deltas = np.vstack(
+            [
+                state.query_point - entry.query_point
+                if entry.proposed is not None
+                else entry.initial_delta
+                for entry, state in zip(group, states)
+            ]
+        )
+        weights = np.vstack([state.weights for state in states])
+        results = self._engine.search_batch_with_parameters(points, group[0].k, deltas, weights)
+        self._engine.record_frontier_batch()
+        return results
+
+    # ------------------------------------------------------------------ #
+    # One frontier iteration
+    # ------------------------------------------------------------------ #
+    def advance(self) -> int:
+        """Run one loop iteration for every active query.
+
+        Judges the active queries' current results, computes the frontier's
+        new states in one stacked step, retires the queries whose feedback
+        signal ran out, re-searches the rest in batched dispatches, and
+        retires the queries that converged or exhausted the iteration
+        budget.  Returns the number of queries still active afterwards.
+        """
+        active = [entry for entry in self._entries if not entry.done]
+        if not active:
+            return 0
+
+        judgments = [entry.judge(entry.results) for entry in active]
+        proposals = self._feedback.compute_new_states(
+            [entry.state for entry in active], judgments
+        )
+
+        searching: list[_FrontierEntry] = []
+        for entry, proposal in zip(active, proposals):
+            if proposal is None:
+                # No relevant results: nothing to learn from, the loop ends
+                # here (sequentially: the `new_state is state` break).
+                entry.done = True
+            else:
+                entry.proposed = proposal
+                searching.append(entry)
+
+        for group in self._group_by_k(searching):
+            results = self._dispatch(group)
+            self._engine.record_feedback_iterations(len(group))
+            for entry, new_results in zip(group, results):
+                entry.iterations += 1
+                if new_results.same_objects(entry.results):
+                    entry.converged = True
+                    entry.done = True
+                entry.state = entry.proposed
+                entry.results = new_results
+                entry.proposed = None
+                if entry.iterations >= self._feedback.max_iterations:
+                    entry.done = True
+        return self.active_count
+
+    def run_to_completion(self) -> None:
+        """Advance until every query has retired from the frontier."""
+        while self.advance():
+            pass
+
+    def results(self) -> "list[FeedbackLoopResult]":
+        """The finished loop results, in request order.
+
+        Raises when some queries are still active — drive the frontier with
+        :meth:`advance` / :meth:`run_to_completion` first.
+        """
+        if self.active_count:
+            raise ValidationError(
+                f"{self.active_count} queries are still active on the frontier"
+            )
+        return [entry.result() for entry in self._entries]
+
+
+class LoopScheduler:
+    """Batches relevance-feedback loops across queries, iteration by iteration.
+
+    The scheduler is the multi-user counterpart of
+    :meth:`~repro.feedback.engine.FeedbackEngine.run_loop`: it admits many
+    queries into a :class:`FeedbackFrontier` and advances iteration *i* of
+    all of them in one shot, so a workload of F active loops costs one
+    batched search per iteration instead of F sequential scans — while
+    returning results byte-identical to the sequential reference loop.
+    """
+
+    def __init__(self, feedback_engine: FeedbackEngine) -> None:
+        self._feedback = feedback_engine
+
+    @property
+    def feedback_engine(self) -> FeedbackEngine:
+        """The feedback engine whose loops this scheduler batches."""
+        return self._feedback
+
+    def frontier(self, requests: "list[LoopRequest]") -> FeedbackFrontier:
+        """Admit ``requests`` and return the (first-round-searched) frontier."""
+        return FeedbackFrontier(self._feedback, requests)
+
+    def run(self, requests: "list[LoopRequest]") -> "list[FeedbackLoopResult]":
+        """Run every request's feedback loop to completion, batched.
+
+        Equivalent — byte for byte — to ``[feedback_engine.run_loop(r.query_point,
+        r.k, r.judge, initial_delta=r.initial_delta,
+        initial_weights=r.initial_weights) for r in requests]``.
+        """
+        if not requests:
+            return []
+        frontier = self.frontier(requests)
+        frontier.run_to_completion()
+        return frontier.results()
+
+    def run_loops(
+        self,
+        query_points,
+        k: int,
+        judges: "list[Judge]",
+        *,
+        initial_deltas=None,
+        initial_weights=None,
+    ) -> "list[FeedbackLoopResult]":
+        """Array-style convenience front end to :meth:`run`.
+
+        ``query_points`` is a ``(F, D)`` matrix with one judge per row;
+        ``initial_deltas`` / ``initial_weights`` are optional parallel
+        ``(F, D)`` matrices (``None`` rows mean the defaults).
+        """
+        query_points = np.asarray(query_points, dtype=np.float64)
+        if query_points.ndim != 2:
+            raise ValidationError("query_points must be a 2-D matrix")
+        if len(judges) != query_points.shape[0]:
+            raise ValidationError("run_loops needs exactly one judge per query point")
+        if initial_deltas is not None and len(initial_deltas) != query_points.shape[0]:
+            raise ValidationError("initial_deltas must have one row per query point")
+        if initial_weights is not None and len(initial_weights) != query_points.shape[0]:
+            raise ValidationError("initial_weights must have one row per query point")
+        requests = [
+            LoopRequest(
+                query_point=query_point,
+                k=k,
+                judge=judge,
+                initial_delta=None if initial_deltas is None else initial_deltas[position],
+                initial_weights=None if initial_weights is None else initial_weights[position],
+            )
+            for position, (query_point, judge) in enumerate(zip(query_points, judges))
+        ]
+        return self.run(requests)

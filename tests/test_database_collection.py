@@ -61,6 +61,23 @@ class TestAccessors:
         np.testing.assert_array_equal(labelled_collection.indices_with_label("a"), [0, 2])
         assert labelled_collection.indices_with_label("missing").shape == (0,)
 
+    def test_labels_of_matches_per_index_lookup(self, labelled_collection):
+        indices = [3, 0, 0, 2]
+        assert labelled_collection.labels_of(indices) == [
+            labelled_collection.label(index) for index in indices
+        ]
+        assert labelled_collection.labels_of([]) == []
+
+    def test_labels_of_validates(self, labelled_collection):
+        with pytest.raises(ValidationError):
+            labelled_collection.labels_of([0, 4])
+        with pytest.raises(ValidationError):
+            labelled_collection.labels_of([-1])
+        with pytest.raises(ValidationError):
+            labelled_collection.labels_of([1.9])  # no silent truncation
+        with pytest.raises(ValidationError):
+            FeatureCollection(np.zeros((2, 2))).labels_of([0])
+
     def test_validate_query_point(self, labelled_collection):
         point = labelled_collection.validate_query_point([0.5, 0.5])
         assert point.shape == (2,)
