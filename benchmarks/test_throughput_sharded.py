@@ -1,0 +1,90 @@
+"""Serial-vs-parallel throughput of the sharded multi-worker engine.
+
+PR 1 batched the first rounds, PR 2 batched the feedback loops; the sharding
+layer spreads both over worker threads.  This benchmark measures what the
+worker pool buys on the machine at hand: the same query batch runs through a
+4-way :class:`~repro.database.sharding.ShardedEngine` over the full IMSI-like
+corpus once with ``n_workers=1`` (serial shard fan-out) and once with
+``n_workers=4``, with both runs checked byte-identical to the unsharded
+:class:`~repro.database.engine.RetrievalEngine` (the sharding contract), and
+the numbers recorded in ``benchmarks/results/``.
+
+The ≥2x speed-up bar is a statement about *parallel hardware* — thread
+scaling is physically bounded by the cores the machine exposes, so the bar
+is enforced whenever at least ``N_WORKERS`` cores are available and reduced
+to a no-pathological-slowdown floor (plus the always-enforced byte-identity)
+on smaller machines, with the core count recorded next to the numbers.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, write_series
+from repro.database.collection import FeatureCollection
+from repro.evaluation.reporting import render_sharded_throughput
+from repro.evaluation.throughput import measure_sharded_speedup
+from repro.features.datasets import build_imsi_like_dataset
+from repro.features.normalization import drop_last_bin
+from repro.utils.rng import derive_seed, ensure_rng
+
+K = 50
+N_QUERIES = 256
+N_SHARDS = 4
+N_WORKERS = 4
+
+#: Serial floor applied on machines too small for the parallel bar: the
+#: worker pool must never cost more than 2x over the serial fan-out.
+DEGRADATION_FLOOR = 0.5
+
+
+@pytest.fixture(scope="module")
+def full_scale_dataset():
+    """The full-size IMSI-like corpus (the speed-up bar's stated scale)."""
+    return build_imsi_like_dataset(scale=1.0, seed=BENCH_SEED)
+
+
+def run_experiment(dataset):
+    collection = FeatureCollection(
+        drop_last_bin(dataset.features), labels=[record.category for record in dataset.records]
+    )
+    rng = ensure_rng(derive_seed(BENCH_SEED, "throughput_sharded"))
+    queries = collection.vectors[rng.integers(0, collection.size, size=N_QUERIES)]
+    result = measure_sharded_speedup(
+        collection, queries, K, n_shards=N_SHARDS, n_workers=N_WORKERS, repeats=3
+    )
+    return result, collection.size
+
+
+def test_throughput_sharded(benchmark, full_scale_dataset, results_dir):
+    result, corpus_size = benchmark.pedantic(
+        run_experiment, args=(full_scale_dataset,), rounds=1, iterations=1
+    )
+    cores = os.cpu_count() or 1
+    text = (
+        f"Sharded multi-worker serving (corpus = {corpus_size} vectors, k = {K}, "
+        f"{cores} cores available)\n" + render_sharded_throughput(result)
+    )
+    write_series(results_dir, "throughput_sharded", text)
+
+    benchmark.extra_info["serial_qps"] = float(result.serial_qps)
+    benchmark.extra_info["parallel_qps"] = float(result.parallel_qps)
+    benchmark.extra_info["unsharded_qps"] = float(result.unsharded_qps)
+    benchmark.extra_info["speedup"] = float(result.speedup)
+    benchmark.extra_info["cores"] = int(cores)
+
+    # The exactness half of the sharding contract, always enforced: a fast
+    # but diverging shard merge is not a speed-up.
+    assert result.identical_results
+    if cores >= N_WORKERS:
+        # Acceptance bar of the concurrency layer: with the corpus split
+        # over N_WORKERS workers the batch throughput at least doubles.
+        assert result.speedup >= 2.0, f"sharded speedup {result.speedup:.2f}x below the 2x bar"
+    else:
+        # Not enough cores for threads to run concurrently — the bar cannot
+        # be met by any implementation; enforce that the pool at least does
+        # not pathologically degrade the serial path.
+        assert result.speedup >= DEGRADATION_FLOOR, (
+            f"worker pool degraded throughput {result.speedup:.2f}x "
+            f"(floor {DEGRADATION_FLOOR}x) on a {cores}-core machine"
+        )

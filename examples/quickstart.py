@@ -78,6 +78,27 @@ def main() -> None:
         f"{engine_stats['frontier_batches']} frontier batches"
     )
 
+    # Sharded multi-worker serving: the same stream over the same corpus,
+    # but the collection is partitioned into 4 contiguous index-range
+    # shards served by per-shard engines, query batches fan out over 2
+    # worker threads, and the feedback phase runs per-worker sub-frontiers.
+    # The sharding contract makes this a pure deployment knob: per-shard
+    # top-k lists merge with the same (distance, ascending index)
+    # tie-break, so every outcome is byte-identical to the run above.
+    sharded_session = InteractiveSession.for_dataset(dataset, config)
+    sharded_outcomes = sharded_session.run_stream(
+        query_indices, batch_size=16, shards=4, workers=2
+    )
+    sharded_stats = sharded_session.retrieval_engine.stats()
+    print()
+    print(
+        f"Sharded run ({sharded_stats['shard_count']} shards, "
+        f"{sharded_stats['n_workers']} workers): "
+        f"outcomes identical to single-threaded = {sharded_outcomes == outcomes}; "
+        f"{sharded_stats['scan_fallbacks']} per-shard dispatch decisions for "
+        f"{sharded_stats['n_searches']} merged searches"
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -2,11 +2,15 @@
 # Verification gate: the commands CI and builders must pass.
 #
 # Modes (first argument):
-#   --fast    tier-1 only: the unit / property / contract tests under tests/
-#   (none)    tier-1 plus the two throughput benchmarks as smoke tests
-#             (the batch-contract and frontier-scheduler speed-up bars)
-#   --full    the entire suite, including the figure-reproduction benchmark
-#             harness under benchmarks/ (equivalent to a bare `pytest`)
+#   --fast     tier-1 only: the unit / property / contract tests under tests/
+#   (none)     tier-1 plus the three throughput benchmarks as smoke tests
+#              (the batch-contract, frontier-scheduler and sharded-serving
+#              speed-up bars)
+#   --sharded  just the concurrency layer: the randomized sharded
+#              equivalence grid, the threaded stress suite and the sharded
+#              throughput benchmark
+#   --full     the entire suite, including the figure-reproduction benchmark
+#              harness under benchmarks/ (equivalent to a bare `pytest`)
 #
 # Any other arguments are forwarded to pytest verbatim and replace the
 # default targets, e.g. `scripts/verify.sh tests/test_database_batch.py -k
@@ -21,6 +25,14 @@ case "${1:-}" in
         shift
         targets=(tests)
         ;;
+    --sharded)
+        shift
+        targets=(
+            tests/test_sharded_equivalence.py
+            tests/test_concurrency_stress.py
+            benchmarks/test_throughput_sharded.py
+        )
+        ;;
     --full)
         shift
         targets=()
@@ -30,6 +42,7 @@ case "${1:-}" in
             tests
             benchmarks/test_throughput_batch.py
             benchmarks/test_throughput_feedback.py
+            benchmarks/test_throughput_sharded.py
         )
         ;;
 esac

@@ -85,7 +85,10 @@ from repro.database import (
     Query,
     ResultSet,
     RetrievalEngine,
+    ShardedCollection,
+    ShardedEngine,
     VPTreeIndex,
+    WorkerPool,
 )
 from repro.distances import (
     HierarchicalDistance,
@@ -121,7 +124,10 @@ __all__ = [
     "Query",
     "ResultSet",
     "RetrievalEngine",
+    "ShardedCollection",
+    "ShardedEngine",
     "VPTreeIndex",
+    "WorkerPool",
     "HierarchicalDistance",
     "MahalanobisDistance",
     "MinkowskiDistance",

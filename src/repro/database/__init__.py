@@ -15,7 +15,11 @@ service:
 * :mod:`repro.database.mtree` — an M-tree metric index (Ciaccia et al.),
 * :mod:`repro.database.engine` — the retrieval engine tying a collection, an
   index and a parameterised distance function together, with batched entry
-  points for multi-user workloads.
+  points for multi-user workloads,
+* :mod:`repro.database.sharding` — the concurrency layer: deterministic
+  index-range sharding (:class:`ShardedCollection`), a thread
+  :class:`WorkerPool`, and the :class:`ShardedEngine` fanning queries out to
+  per-shard engines and merging the per-shard top-k exactly.
 """
 
 from repro.database.collection import FeatureCollection
@@ -24,6 +28,7 @@ from repro.database.index import KNNIndex, NeighborHeap, k_smallest
 from repro.database.knn import LinearScanIndex
 from repro.database.mtree import MTreeIndex
 from repro.database.query import Query, ResultItem, ResultSet
+from repro.database.sharding import ShardedCollection, ShardedEngine, WorkerPool
 from repro.database.vptree import VPTreeIndex
 
 __all__ = [
@@ -37,5 +42,8 @@ __all__ = [
     "Query",
     "ResultItem",
     "ResultSet",
+    "ShardedCollection",
+    "ShardedEngine",
     "VPTreeIndex",
+    "WorkerPool",
 ]

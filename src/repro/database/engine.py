@@ -26,6 +26,8 @@ Q row scans, which is where the multi-user throughput comes from.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.database.collection import FeatureCollection
@@ -38,6 +40,29 @@ from repro.distances.weighted_euclidean import (
     pairwise_per_query_weights,
 )
 from repro.utils.validation import ValidationError, as_float_matrix, check_dimension
+
+
+def run_grouped_by_k(search_batch, queries: "list[Query]", distance: DistanceFunction | None = None) -> "list[ResultSet]":
+    """Answer ``Query`` objects through a batch search, grouped by ``k``.
+
+    Queries are grouped by their ``k`` (preserving input order in the
+    returned list) and each group runs through one ``search_batch(points,
+    k, distance)`` call, so a homogeneous multi-user batch costs one matrix
+    computation.  Shared by :meth:`RetrievalEngine.run_batch` and
+    :meth:`~repro.database.sharding.ShardedEngine.run_batch` — one place to
+    change when the batching policy does (e.g. request coalescing).
+    """
+    if not queries:
+        return []
+    groups: dict[int, list[int]] = {}
+    for position, query in enumerate(queries):
+        groups.setdefault(query.k, []).append(position)
+    results: list[ResultSet | None] = [None] * len(queries)
+    for k, positions in groups.items():
+        points = np.vstack([queries[position].point for position in positions])
+        for position, result in zip(positions, search_batch(points, k, distance)):
+            results[position] = result
+    return results
 
 
 class RetrievalEngine:
@@ -73,6 +98,12 @@ class RetrievalEngine:
         if metric_index is not None and metric_index.collection is not collection:
             raise ValidationError("metric index was built for a different collection")
         self._metric_index = metric_index
+        # Counter updates are guarded by a lock so an engine shared by a
+        # worker pool (see :mod:`repro.database.sharding`) never loses an
+        # update: a bare ``+= 1`` is a read-modify-write that can interleave
+        # across threads.  Searches themselves are read-only over the
+        # immutable collection and need no synchronisation.
+        self._counter_lock = threading.Lock()
         self._n_searches = 0
         self._n_objects_retrieved = 0
         self._n_batches = 0
@@ -142,27 +173,36 @@ class RetrievalEngine:
         distance sends the query through the exhaustive scan.
         ``feedback_iterations`` / ``frontier_batches`` account for the
         relevance-feedback loop: how many re-searches the loops cost and how
-        many of those were dispatched as frontier batches.
+        many of those were dispatched as frontier batches.  The snapshot is
+        taken under the counter lock, so it is internally consistent even
+        while worker threads are searching.
         """
-        return {
-            "n_searches": self._n_searches,
-            "n_batches": self._n_batches,
-            "n_objects_retrieved": self._n_objects_retrieved,
-            "index_hits": self._index_hits,
-            "scan_fallbacks": self._scan_fallbacks,
-            "feedback_iterations": self._feedback_iterations,
-            "frontier_batches": self._frontier_batches,
-        }
+        with self._counter_lock:
+            return {
+                "n_searches": self._n_searches,
+                "n_batches": self._n_batches,
+                "n_objects_retrieved": self._n_objects_retrieved,
+                "index_hits": self._index_hits,
+                "scan_fallbacks": self._scan_fallbacks,
+                "feedback_iterations": self._feedback_iterations,
+                "frontier_batches": self._frontier_batches,
+            }
 
     def reset_counters(self) -> None:
-        """Reset the search / retrieved-object / dispatch counters."""
-        self._n_searches = 0
-        self._n_objects_retrieved = 0
-        self._n_batches = 0
-        self._index_hits = 0
-        self._scan_fallbacks = 0
-        self._feedback_iterations = 0
-        self._frontier_batches = 0
+        """Reset the search / retrieved-object / dispatch counters.
+
+        Clears every counter reported by :meth:`stats`, including the
+        feedback-loop accounting (``feedback_iterations`` /
+        ``frontier_batches``).
+        """
+        with self._counter_lock:
+            self._n_searches = 0
+            self._n_objects_retrieved = 0
+            self._n_batches = 0
+            self._index_hits = 0
+            self._scan_fallbacks = 0
+            self._feedback_iterations = 0
+            self._frontier_batches = 0
 
     def record_feedback_iterations(self, count: int = 1) -> None:
         """Account ``count`` feedback-loop iterations (re-searches).
@@ -170,11 +210,13 @@ class RetrievalEngine:
         Called by the feedback engine (one per sequential loop iteration) and
         by the frontier scheduler (one per active query per frontier round).
         """
-        self._feedback_iterations += int(count)
+        with self._counter_lock:
+            self._feedback_iterations += int(count)
 
     def record_frontier_batch(self, count: int = 1) -> None:
         """Account ``count`` batched searches dispatched by the frontier."""
-        self._frontier_batches += int(count)
+        with self._counter_lock:
+            self._frontier_batches += int(count)
 
     # ------------------------------------------------------------------ #
     # Dispatch
@@ -186,14 +228,19 @@ class RetrievalEngine:
         report identical statistics.
         """
         if self._metric_index is not None and self._metric_index.supports(distance):
-            self._index_hits += count
+            with self._counter_lock:
+                self._index_hits += count
             return self._metric_index
-        self._scan_fallbacks += count
+        with self._counter_lock:
+            self._scan_fallbacks += count
         return self._scan
 
-    def _account(self, results: list[ResultSet]) -> None:
-        self._n_searches += len(results)
-        self._n_objects_retrieved += sum(len(result) for result in results)
+    def _account(self, results: list[ResultSet], batches: int = 0) -> None:
+        retrieved = sum(len(result) for result in results)
+        with self._counter_lock:
+            self._n_searches += len(results)
+            self._n_objects_retrieved += retrieved
+            self._n_batches += batches
 
     # ------------------------------------------------------------------ #
     # Query processing
@@ -236,8 +283,7 @@ class RetrievalEngine:
             results = engine.search_batch(query_points, k, distance)
         else:
             results = engine.search_batch(query_points, k)
-        self._n_batches += 1
-        self._account(results)
+        self._account(results, batches=1)
         return results
 
     def execute(self, query: Query, distance: DistanceFunction | None = None) -> ResultSet:
@@ -253,17 +299,7 @@ class RetrievalEngine:
         returned list) and each group runs through :meth:`search_batch`, so a
         homogeneous multi-user batch costs one matrix computation.
         """
-        if not queries:
-            return []
-        groups: dict[int, list[int]] = {}
-        for position, query in enumerate(queries):
-            groups.setdefault(query.k, []).append(position)
-        results: list[ResultSet | None] = [None] * len(queries)
-        for k, positions in groups.items():
-            points = np.vstack([queries[position].point for position in positions])
-            for position, result in zip(positions, self.search_batch(points, k, distance)):
-                results[position] = result
-        return results
+        return run_grouped_by_k(self.search_batch, queries, distance)
 
     def search_with_parameters(self, query_point, k: int, delta, weights) -> ResultSet:
         """Search with explicit query-parameter overrides.
@@ -326,7 +362,7 @@ class RetrievalEngine:
             exact = np.sqrt(np.sum(weight_row * candidate_deltas * candidate_deltas, axis=1))
             indices, ordered = k_smallest(exact, effective_k, labels=candidates)
             results.append(ResultSet.from_arrays(indices, ordered))
-        self._scan_fallbacks += n_queries
-        self._n_batches += 1
-        self._account(results)
+        with self._counter_lock:
+            self._scan_fallbacks += n_queries
+        self._account(results, batches=1)
         return results

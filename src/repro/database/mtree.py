@@ -8,8 +8,12 @@ covers the parts that matter for that role:
   hyperplane partitioning, the ``RANDOM`` / ``GEN_HYPERPLANE`` policy of the
   original paper),
 * routing entries with covering radii and distances to the parent pivot, so
-  both pruning rules of the original algorithm apply, and
-* exact k-NN search with a priority queue over nodes.
+  both pruning rules of the original algorithm apply,
+* exact k-NN search with a priority queue over nodes, and
+* a shared-traversal :meth:`MTreeIndex.search_batch` that answers a whole
+  query batch in one depth-first walk, evaluating both pruning rules for
+  every active query at once (vectorised pivot distances, per-query
+  neighbour heaps) — byte-identical to the looped single-query search.
 
 Like the VP-tree, an M-tree is built for a fixed metric; the retrieval engine
 falls back to a linear scan whenever the feedback loop changes the distance
@@ -29,7 +33,7 @@ from repro.database.index import KNNIndex, NeighborHeap
 from repro.database.query import ResultSet
 from repro.distances.base import DistanceFunction
 from repro.utils.rng import ensure_rng
-from repro.utils.validation import ValidationError, check_dimension
+from repro.utils.validation import ValidationError, as_float_matrix, check_dimension
 
 
 @dataclass
@@ -143,9 +147,22 @@ class MTreeIndex(KNNIndex):
             self._collection.vectors[first_index], self._collection.vectors[second_index]
         )
 
+    def _pivot_distances(self, object_index: int, query_rows: np.ndarray) -> np.ndarray:
+        """Distances from every query row to one stored object.
+
+        The stored vector is passed as the *query* argument of
+        ``distances_to`` so the single-query and the shared-traversal search
+        evaluate the metric through the same code on the same operand
+        orientation (the VP-tree's ``_vantage_distances`` trick) — per-row
+        results are then bit-identical regardless of how many queries share
+        the call, which is what keeps :meth:`search_batch` byte-identical to
+        the looped :meth:`search`.
+        """
+        self._distance_computations += int(query_rows.shape[0])
+        return self._distance.distances_to(self._collection.vectors[object_index], query_rows)
+
     def _dist_to_point(self, point: np.ndarray, object_index: int) -> float:
-        self._distance_computations += 1
-        return self._distance.distance(point, self._collection.vectors[object_index])
+        return float(self._pivot_distances(object_index, point[None, :])[0])
 
     # ------------------------------------------------------------------ #
     # Insertion
@@ -368,3 +385,122 @@ class MTreeIndex(KNNIndex):
                         heapq.heappush(pending, (child_bound, next(counter), entry.child, pivot_distance))
 
         return best.result_set()
+
+    def search_batch(
+        self, query_points, k: int, distance: DistanceFunction | None = None
+    ) -> list[ResultSet]:
+        """Answer every query row with one shared tree traversal.
+
+        Instead of running the priority-queue search once per query (the
+        looped protocol default), the whole batch walks the tree together in
+        one depth-first pass: at every node both pruning rules of the
+        original algorithm — the parent-distance rule
+        ``|d(q, parent) - d(entry, parent)| > bound (+ r)`` and the
+        covering-ball rule ``d(q, pivot) - r > bound`` — are evaluated for
+        all still-active queries at once, and the pivot distances of the
+        survivors are computed in a single vectorised
+        :meth:`_pivot_distances` call.  Each query keeps its own
+        :class:`~repro.database.index.NeighborHeap`, so exactly the entries
+        its own bounds cannot exclude are offered to it.
+
+        The result is byte-identical to ``[search(q, k) for q in
+        query_points]`` (the KNNIndex batch contract): both pruning rules
+        are conservative, the heap's neighbour set is independent of offer
+        order, and both paths evaluate the metric through
+        :meth:`_pivot_distances` on identical operands.  Only the traversal
+        *order* differs (depth-first entry order instead of best-first),
+        which can change how many distance computations pruning saves — not
+        what is returned.
+        """
+        k = check_dimension(k, "k")
+        if distance is not None and distance is not self._distance:
+            raise ValidationError("an M-tree can only be searched with the metric it was built for")
+        query_points = np.ascontiguousarray(
+            as_float_matrix(query_points, name="query_points", shape=(None, self._collection.dimension))
+        )
+        n_queries = query_points.shape[0]
+        k = min(k, self._collection.size)
+        heaps = [NeighborHeap(k) for _ in range(n_queries)]
+        if n_queries:
+            self._search_node_batch(
+                self._root, query_points, np.arange(n_queries, dtype=np.intp), None, heaps
+            )
+        return [heap.result_set() for heap in heaps]
+
+    def _bounds_of(self, active: np.ndarray, heaps: "list[NeighborHeap]") -> np.ndarray:
+        """Current k-th-best bounds of the active queries, as an array."""
+        return np.fromiter(
+            (heaps[query_index].bound() for query_index in active),
+            dtype=np.float64,
+            count=active.size,
+        )
+
+    def _search_node_batch(
+        self,
+        node: _Node,
+        query_points: np.ndarray,
+        active: np.ndarray,
+        parent_distances: "np.ndarray | None",
+        heaps: "list[NeighborHeap]",
+    ) -> None:
+        """Visit one node for every query in ``active`` at once.
+
+        ``parent_distances`` holds each active query's distance to the
+        node's parent pivot (``None`` at the root), enabling the
+        parent-distance pruning rule without recomputation — the batched
+        form of the ``query_parent_distance`` the single-query search
+        carries through its priority queue.  Bounds are re-read before
+        every entry because earlier offers tighten them, exactly as the
+        sequential scan over a node's entries does.
+        """
+        if node.is_leaf:
+            for entry in node.entries:
+                if parent_distances is None:
+                    candidates = np.arange(active.size, dtype=np.intp)
+                else:
+                    margins = np.abs(parent_distances - entry.distance_to_parent)
+                    candidates = np.flatnonzero(margins <= self._bounds_of(active, heaps))
+                if candidates.size == 0:
+                    continue
+                distances = self._pivot_distances(
+                    entry.object_index, query_points[active[candidates]]
+                )
+                for query_index, dist in zip(active[candidates], distances):
+                    heaps[query_index].offer(float(dist), entry.object_index)
+            return
+
+        # Two phases, mirroring the best-first order locally: first evaluate
+        # every entry's pruning rules and pivot distances, then descend the
+        # children in ascending lower-bound order (closest subtrees first),
+        # re-checking each query's bound at descent time — earlier descents
+        # tighten the bounds that prune the later ones, which is the batch
+        # counterpart of the priority queue of the single-query search.
+        descents: list[tuple[float, int, _RoutingEntry, np.ndarray, np.ndarray]] = []
+        for position, entry in enumerate(node.entries):
+            if parent_distances is None:
+                keep = np.arange(active.size, dtype=np.intp)
+            else:
+                margins = np.abs(parent_distances - entry.distance_to_parent)
+                keep = np.flatnonzero(
+                    margins <= self._bounds_of(active, heaps) + entry.covering_radius
+                )
+            if keep.size == 0:
+                continue
+            sub_active = active[keep]
+            pivot_distances = self._pivot_distances(entry.pivot_index, query_points[sub_active])
+            child_bounds = np.maximum(pivot_distances - entry.covering_radius, 0.0)
+            descents.append(
+                (float(child_bounds.min()), position, entry, sub_active, pivot_distances)
+            )
+        descents.sort(key=lambda item: item[:2])
+        for _, _, entry, sub_active, pivot_distances in descents:
+            child_bounds = np.maximum(pivot_distances - entry.covering_radius, 0.0)
+            descend = np.flatnonzero(child_bounds <= self._bounds_of(sub_active, heaps))
+            if descend.size:
+                self._search_node_batch(
+                    entry.child,
+                    query_points,
+                    sub_active[descend],
+                    pivot_distances[descend],
+                    heaps,
+                )

@@ -1,0 +1,508 @@
+"""Sharded multi-worker query serving: partition, fan out, merge exactly.
+
+The batched pipeline (PR 1) and the frontier scheduler (PR 2) squeezed the
+per-call cost of a multi-user workload down to a handful of matrix
+operations, but everything still ran on one thread over one monolithic
+:class:`~repro.database.collection.FeatureCollection`.  This module adds the
+concurrency layer the ROADMAP asked for:
+
+* :class:`ShardedCollection` — deterministic index-range partitioning of a
+  collection into contiguous shards, with a stable mapping between per-shard
+  (local) indices and collection (global) indices.  Contiguous ranges keep
+  the mapping a single offset addition, so merged results carry exactly the
+  indices the unsharded engine would report.
+* :class:`WorkerPool` — a small ordered-``map`` executor over threads
+  (``n_workers`` configurable, serial fallback at ``n_workers=1``).  Shard
+  searches are NumPy-dominated and release the GIL, so a pool of threads
+  scales with the available cores without any pickling of engines.
+* :class:`ShardedEngine` — the :class:`~repro.database.engine.RetrievalEngine`
+  query contract (``search`` / ``search_batch`` /
+  ``search_batch_with_parameters`` / ``run_batch``) implemented by fanning
+  every query out to one :class:`~repro.database.engine.RetrievalEngine` per
+  shard (each with its own linear scan and, optionally, its own metric
+  index) and merging the per-shard top-k lists.
+
+**Exactness is the contract.**  Per-object distances are computed by
+element-wise / row-wise expressions whose bits do not depend on which other
+objects share the shard, and the merge re-selects the global top-k with the
+same (distance, ascending global index) order every engine uses — so
+``ShardedEngine.search_batch(Q, k)`` is byte-identical to the unsharded
+``RetrievalEngine.search_batch(Q, k)`` for every shard and worker count
+(tier-1, ``tests/test_sharded_equivalence.py``).  The engine also carries
+the feedback-accounting surface (``record_feedback_iterations`` /
+``record_frontier_batch``), so a
+:class:`~repro.feedback.scheduler.FeedbackFrontier` can run on top of a
+sharded engine unchanged, and :meth:`ShardedEngine.stats` aggregates the
+per-shard dispatch counters (``shard_count``, per-shard ``index_hits`` /
+``scan_fallbacks``) next to the top-level volume counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.database.collection import FeatureCollection
+from repro.database.engine import RetrievalEngine, run_grouped_by_k
+from repro.database.index import KNNIndex, k_smallest
+from repro.database.query import Query, ResultSet
+from repro.distances.base import DistanceFunction
+from repro.distances.weighted_euclidean import WeightedEuclideanDistance
+from repro.utils.validation import ValidationError, as_float_matrix, check_dimension
+
+__all__ = ["ShardedCollection", "WorkerPool", "ShardedEngine"]
+
+#: Builds the optional per-shard metric index: receives the shard's
+#: collection and the engine's default distance, returns a
+#: :class:`~repro.database.index.KNNIndex` (or ``None`` for scan-only).
+IndexFactory = Callable[[FeatureCollection, DistanceFunction], "KNNIndex | None"]
+
+
+class ShardedCollection:
+    """A feature collection partitioned into contiguous index-range shards.
+
+    Shard boundaries follow the ``numpy.array_split`` convention: the first
+    ``size % n_shards`` shards receive one extra vector, so the partitioning
+    is a pure function of ``(size, n_shards)`` — every worker, every process
+    and every test reproduces the same layout.  Shard ``s`` covers the
+    global half-open range ``[offsets[s], offsets[s] + len(shard))``, which
+    makes the local-to-global mapping a single offset addition
+    (:meth:`to_global`).
+
+    ``n_shards`` is clamped to the collection size (a
+    :class:`~repro.database.collection.FeatureCollection` cannot be empty),
+    so asking for more shards than vectors degrades gracefully instead of
+    materialising empty shards.
+    """
+
+    def __init__(self, collection: FeatureCollection, n_shards: int) -> None:
+        check_dimension(n_shards, "n_shards")
+        self._collection = collection
+        n_shards = min(int(n_shards), collection.size)
+        base, extra = divmod(collection.size, n_shards)
+        sizes = np.full(n_shards, base, dtype=np.intp)
+        sizes[:extra] += 1
+        boundaries = np.concatenate([np.zeros(1, dtype=np.intp), np.cumsum(sizes)])
+        labels = collection.labels
+        shards = []
+        for start, stop in zip(boundaries[:-1], boundaries[1:]):
+            shard_labels = None if labels is None else labels[start:stop]
+            shards.append(FeatureCollection(collection.vectors[start:stop], labels=shard_labels))
+        self._shards = tuple(shards)
+        self._offsets = boundaries[:-1].copy()
+        self._offsets.setflags(write=False)
+        self._boundaries = boundaries
+        self._boundaries.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def collection(self) -> FeatureCollection:
+        """The full, unpartitioned collection."""
+        return self._collection
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards (after clamping to the collection size)."""
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple[FeatureCollection, ...]:
+        """The per-shard collections, in global index order."""
+        return self._shards
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """Global index of each shard's first vector (read-only)."""
+        return self._offsets
+
+    def __len__(self) -> int:
+        return self.n_shards
+
+    def to_global(self, shard_id: int, local_indices) -> np.ndarray:
+        """Map shard-local indices to collection (global) indices."""
+        if not 0 <= shard_id < self.n_shards:
+            raise ValidationError(f"shard_id {shard_id} out of range [0, {self.n_shards})")
+        local_indices = np.asarray(local_indices, dtype=np.intp)
+        return local_indices + self._offsets[shard_id]
+
+    def shard_of(self, global_index: int) -> tuple[int, int]:
+        """Return ``(shard_id, local_index)`` of one global index."""
+        if not 0 <= global_index < self._collection.size:
+            raise ValidationError(
+                f"index {global_index} out of range [0, {self._collection.size})"
+            )
+        shard_id = int(np.searchsorted(self._boundaries, global_index, side="right") - 1)
+        return shard_id, int(global_index - self._offsets[shard_id])
+
+
+class WorkerPool:
+    """A tiny ordered-``map`` executor over a fixed set of worker threads.
+
+    ``n_workers=1`` is the serial fallback: tasks run inline on the calling
+    thread, with no executor and no handoff overhead — the single-worker
+    sharded engine therefore behaves (and costs) like a plain loop over the
+    shards.  With ``n_workers > 1`` the pool lazily creates one
+    :class:`~concurrent.futures.ThreadPoolExecutor` and keeps it alive
+    across calls, so a stream of query batches does not pay thread start-up
+    per batch.  ``map`` may be called concurrently from many client threads
+    (the stress-test regime); task functions must never submit back into
+    the same pool, which is why the sharded engine and the sharded loop
+    scheduler each keep their *own* pool.  After :meth:`close` the pool
+    degrades permanently to the serial inline path — no threads are ever
+    resurrected — so closing is safe while the owning engine stays in use.
+    """
+
+    def __init__(self, n_workers: int = 1) -> None:
+        self._n_workers = check_dimension(n_workers, "n_workers")
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def n_workers(self) -> int:
+        """Configured degree of parallelism."""
+        return self._n_workers
+
+    def map(self, function: Callable, items: Sequence) -> list:
+        """Apply ``function`` to every item, returning results in item order."""
+        items = list(items)
+        if self._n_workers == 1 or len(items) <= 1:
+            return [function(item) for item in items]
+        with self._executor_lock:
+            if self._closed:
+                executor = None
+            else:
+                if self._executor is None:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self._n_workers, thread_name_prefix="repro-worker"
+                    )
+                executor = self._executor
+        if executor is None:
+            return [function(item) for item in items]
+        return list(executor.map(function, items))
+
+    def close(self) -> None:
+        """Shut the worker threads down and pin the pool to serial execution.
+
+        Idempotent; serial pools are a no-op.  Calls in flight on other
+        threads finish on the old executor, later ``map`` calls run inline.
+        """
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+            self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ShardedEngine:
+    """k-NN query processing fanned out over per-shard retrieval engines.
+
+    Parameters
+    ----------
+    collection:
+        The collection to serve — either a plain
+        :class:`~repro.database.collection.FeatureCollection` (partitioned
+        here into ``n_shards`` ranges) or a pre-built
+        :class:`ShardedCollection` (``n_shards`` must then be ``None``).
+    n_shards:
+        Number of contiguous index-range shards.
+    n_workers:
+        Worker threads fanning shard searches out (``1`` = serial).
+    default_distance:
+        Distance used when a query does not override it; shared by every
+        shard engine (distances are immutable).
+    index_factory:
+        Optional callable building one metric index per shard from
+        ``(shard_collection, default_distance)`` — e.g.
+        ``lambda shard, dist: VPTreeIndex(shard, dist)``.  Dispatch stays
+        capability-driven inside each shard engine exactly as in the
+        unsharded :class:`~repro.database.engine.RetrievalEngine`.
+
+    The query surface mirrors the retrieval engine's, and the results are
+    byte-identical to it: every shard engine evaluates per-object distances
+    with the same element-wise expressions (bits independent of shard
+    membership), and :meth:`_merge` re-selects the global top-k under the
+    library-wide (distance, ascending global index) order.
+    """
+
+    def __init__(
+        self,
+        collection: "FeatureCollection | ShardedCollection",
+        n_shards: int | None = None,
+        *,
+        n_workers: int = 1,
+        default_distance: DistanceFunction | None = None,
+        index_factory: IndexFactory | None = None,
+    ) -> None:
+        if isinstance(collection, ShardedCollection):
+            if n_shards is not None and n_shards != collection.n_shards:
+                raise ValidationError(
+                    "n_shards conflicts with the pre-partitioned ShardedCollection"
+                )
+            self._sharded = collection
+        else:
+            self._sharded = ShardedCollection(collection, 1 if n_shards is None else n_shards)
+        full = self._sharded.collection
+        if default_distance is None:
+            default_distance = WeightedEuclideanDistance.default(full.dimension)
+        if default_distance.dimension != full.dimension:
+            raise ValidationError("default distance dimensionality does not match the collection")
+        self._default_distance = default_distance
+        self._pool = WorkerPool(n_workers)
+        self._shard_engines = tuple(
+            RetrievalEngine(
+                shard,
+                default_distance=default_distance,
+                metric_index=None
+                if index_factory is None
+                else index_factory(shard, default_distance),
+            )
+            for shard in self._sharded.shards
+        )
+        self._counter_lock = threading.Lock()
+        self._n_searches = 0
+        self._n_batches = 0
+        self._n_objects_retrieved = 0
+        self._feedback_iterations = 0
+        self._frontier_batches = 0
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def collection(self) -> FeatureCollection:
+        """The full (unpartitioned) collection — the view feedback code sees."""
+        return self._sharded.collection
+
+    @property
+    def sharded_collection(self) -> ShardedCollection:
+        """The shard layout this engine serves."""
+        return self._sharded
+
+    @property
+    def shard_engines(self) -> tuple[RetrievalEngine, ...]:
+        """The per-shard retrieval engines, in global index order."""
+        return self._shard_engines
+
+    @property
+    def default_distance(self) -> DistanceFunction:
+        """The distance used when none is supplied with the query."""
+        return self._default_distance
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return self._sharded.n_shards
+
+    @property
+    def n_workers(self) -> int:
+        """Worker threads fanning shard searches out."""
+        return self._pool.n_workers
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The shard fan-out worker pool."""
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (the engine stays usable serially)."""
+        self._pool.close()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Counters
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Aggregate counters across the worker pool and every shard.
+
+        Top-level volume counters (``n_searches`` / ``n_batches`` /
+        ``n_objects_retrieved``) count *merged* queries and result objects —
+        directly comparable to the unsharded engine's accounting — while the
+        dispatch counters (``index_hits`` / ``scan_fallbacks``) are summed
+        over the shards (each query consults every shard, so they scale with
+        ``shard_count``).  ``per_shard`` keeps the unaggregated
+        per-shard dispatch stats for drill-down.
+        """
+        per_shard = tuple(engine.stats() for engine in self._shard_engines)
+        with self._counter_lock:
+            return {
+                "shard_count": self.n_shards,
+                "n_workers": self.n_workers,
+                "n_searches": self._n_searches,
+                "n_batches": self._n_batches,
+                "n_objects_retrieved": self._n_objects_retrieved,
+                "index_hits": sum(stats["index_hits"] for stats in per_shard),
+                "scan_fallbacks": sum(stats["scan_fallbacks"] for stats in per_shard),
+                "feedback_iterations": self._feedback_iterations,
+                "frontier_batches": self._frontier_batches,
+                "per_shard": per_shard,
+            }
+
+    def reset_counters(self) -> None:
+        """Reset the top-level counters and every shard engine's counters."""
+        with self._counter_lock:
+            self._n_searches = 0
+            self._n_batches = 0
+            self._n_objects_retrieved = 0
+            self._feedback_iterations = 0
+            self._frontier_batches = 0
+        for engine in self._shard_engines:
+            engine.reset_counters()
+
+    def record_feedback_iterations(self, count: int = 1) -> None:
+        """Account ``count`` feedback-loop iterations (re-searches)."""
+        with self._counter_lock:
+            self._feedback_iterations += int(count)
+
+    def record_frontier_batch(self, count: int = 1) -> None:
+        """Account ``count`` batched searches dispatched by the frontier."""
+        with self._counter_lock:
+            self._frontier_batches += int(count)
+
+    def _account(self, results: "Iterable[ResultSet]", count: int, batches: int) -> None:
+        retrieved = sum(len(result) for result in results)
+        with self._counter_lock:
+            self._n_searches += count
+            self._n_objects_retrieved += retrieved
+            self._n_batches += batches
+
+    # ------------------------------------------------------------------ #
+    # Exact merge
+    # ------------------------------------------------------------------ #
+    def _merge(self, shard_results: "list[ResultSet]", k: int) -> ResultSet:
+        """Merge one query's per-shard top-k lists into the global top-k.
+
+        Every global top-k object is necessarily inside its shard's
+        top-``min(k, shard_size)`` (fewer than k objects precede it under
+        the (distance, index) order anywhere, so in particular within its
+        shard), so pooling the per-shard lists loses nothing.  The pooled
+        candidates re-run through :func:`~repro.database.index.k_smallest`
+        with their *global* indices as labels, which applies the exact
+        tie-break — equal distances break by ascending collection index —
+        the unsharded engines use.  Distances are carried through verbatim,
+        so the merged arrays are byte-identical to the unsharded result.
+        """
+        distances = np.concatenate([result.distances() for result in shard_results])
+        global_indices = np.concatenate(
+            [
+                self._sharded.to_global(shard_id, result.indices())
+                for shard_id, result in enumerate(shard_results)
+            ]
+        )
+        indices, ordered = k_smallest(distances, min(k, distances.shape[0]), labels=global_indices)
+        return ResultSet.from_arrays(indices, ordered)
+
+    def _merge_batch(self, per_shard: "list[list[ResultSet]]", n_queries: int, k: int) -> list[ResultSet]:
+        """Merge per-shard batch answers (one list per shard) query by query."""
+        return [
+            self._merge([shard_lists[position] for shard_lists in per_shard], k)
+            for position in range(n_queries)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Query processing
+    # ------------------------------------------------------------------ #
+    def search(self, query_point, k: int, distance: DistanceFunction | None = None) -> ResultSet:
+        """Return the ``k`` objects closest to ``query_point``.
+
+        The query fans out to every shard engine (in parallel when the pool
+        has workers) and the per-shard top-k lists merge exactly.
+        """
+        k = check_dimension(k, "k")
+        query_point = self.collection.validate_query_point(query_point)
+        shard_results = self._pool.map(
+            lambda engine: engine.search(query_point, k, distance), self._shard_engines
+        )
+        merged = self._merge(shard_results, k)
+        self._account([merged], count=1, batches=0)
+        return merged
+
+    def search_batch(
+        self, query_points, k: int, distance: DistanceFunction | None = None
+    ) -> list[ResultSet]:
+        """Return the ``k`` nearest neighbours of every row of ``query_points``.
+
+        Each worker answers the whole batch for one shard through the shard
+        engine's batched path (one pairwise matrix per shard for the linear
+        scan), so the per-query Python overhead stays amortised *and* the
+        shards run concurrently.  Byte-identical to the unsharded
+        ``search_batch`` — and therefore to ``[search(q, k) for q in
+        query_points]`` — by the merge argument above.
+        """
+        k = check_dimension(k, "k")
+        query_points = as_float_matrix(
+            query_points, name="query_points", shape=(None, self.collection.dimension)
+        )
+        per_shard = self._pool.map(
+            lambda engine: engine.search_batch(query_points, k, distance), self._shard_engines
+        )
+        merged = self._merge_batch(per_shard, query_points.shape[0], k)
+        self._account(merged, count=len(merged), batches=1)
+        return merged
+
+    def execute(self, query: Query, distance: DistanceFunction | None = None) -> ResultSet:
+        """Execute a :class:`~repro.database.query.Query` object."""
+        return self.search(query.point, query.k, distance=distance)
+
+    def run_batch(
+        self, queries: "list[Query]", distance: DistanceFunction | None = None
+    ) -> list[ResultSet]:
+        """Execute a batch of :class:`~repro.database.query.Query` objects.
+
+        Same grouping as :meth:`RetrievalEngine.run_batch`: queries group by
+        their ``k`` (preserving input order in the returned list) and each
+        group runs through :meth:`search_batch`.
+        """
+        return run_grouped_by_k(self.search_batch, queries, distance)
+
+    def search_with_parameters(self, query_point, k: int, delta, weights) -> ResultSet:
+        """Search with explicit query-parameter overrides (``q + Δ``, weights ``W``).
+
+        One-row front end to :meth:`search_batch_with_parameters`, which
+        validates all shapes against the collection's dimensionality.
+        """
+        query_point = self.collection.validate_query_point(query_point)
+        delta = np.atleast_1d(np.asarray(delta, dtype=np.float64))
+        weights = np.atleast_1d(np.asarray(weights, dtype=np.float64))
+        return self.search_batch_with_parameters(
+            query_point[None, :], k, delta[None, ...], weights[None, ...]
+        )[0]
+
+    def search_batch_with_parameters(self, query_points, k: int, deltas, weights) -> list[ResultSet]:
+        """Batched per-query (Δ, W) search — the FeedbackBypass / frontier arm.
+
+        Each shard engine runs its own
+        :meth:`~repro.database.engine.RetrievalEngine.search_batch_with_parameters`
+        over the shard (approximate per-query-weight matrix, exact candidate
+        re-evaluation); the exact candidate distances are element-wise per
+        object, so merging reproduces the unsharded batch byte for byte.
+        """
+        k = check_dimension(k, "k")
+        dimension = self.collection.dimension
+        query_points = as_float_matrix(query_points, name="query_points", shape=(None, dimension))
+        n_queries = query_points.shape[0]
+        deltas = as_float_matrix(deltas, name="deltas", shape=(n_queries, dimension))
+        weights = as_float_matrix(weights, name="weights", shape=(n_queries, None))
+        per_shard = self._pool.map(
+            lambda engine: engine.search_batch_with_parameters(query_points, k, deltas, weights),
+            self._shard_engines,
+        )
+        merged = self._merge_batch(per_shard, n_queries, k)
+        self._account(merged, count=len(merged), batches=1)
+        return merged

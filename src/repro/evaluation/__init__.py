@@ -47,9 +47,11 @@ from repro.evaluation.experiments import (
 from repro.evaluation.efficiency import EfficiencyResult, saved_cycles_experiment
 from repro.evaluation.throughput import (
     FeedbackThroughputResult,
+    ShardedThroughputResult,
     ThroughputResult,
     measure_batch_speedup,
     measure_feedback_speedup,
+    measure_sharded_speedup,
 )
 from repro.evaluation.workloads import (
     RepeatRateBenefitResult,
@@ -67,6 +69,7 @@ from repro.evaluation.reporting import (
     render_feedback_throughput,
     render_k_sweep,
     render_learning_curve,
+    render_sharded_throughput,
     render_throughput,
     render_tree_growth,
 )
@@ -94,9 +97,11 @@ __all__ = [
     "EfficiencyResult",
     "saved_cycles_experiment",
     "FeedbackThroughputResult",
+    "ShardedThroughputResult",
     "ThroughputResult",
     "measure_batch_speedup",
     "measure_feedback_speedup",
+    "measure_sharded_speedup",
     "RepeatRateBenefitResult",
     "category_skewed_workload",
     "repeat_rate_benefit",
@@ -109,6 +114,7 @@ __all__ = [
     "render_engine_stats",
     "render_feedback_throughput",
     "render_k_sweep",
+    "render_sharded_throughput",
     "render_learning_curve",
     "render_throughput",
     "render_tree_growth",

@@ -20,7 +20,11 @@ from repro.evaluation.experiments import (
 )
 
 if TYPE_CHECKING:
-    from repro.evaluation.throughput import FeedbackThroughputResult, ThroughputResult
+    from repro.evaluation.throughput import (
+        FeedbackThroughputResult,
+        ShardedThroughputResult,
+        ThroughputResult,
+    )
 
 
 def format_series_table(header: list[str], rows: list[list]) -> str:
@@ -191,6 +195,29 @@ def render_feedback_throughput(result: "FeedbackThroughputResult") -> str:
     identical = "identical" if result.identical_results else "DIVERGENT"
     return (
         f"Feedback-loop throughput (speedup {result.speedup:.2f}x, results {identical})\n"
+        + format_series_table(header, rows)
+    )
+
+
+def render_sharded_throughput(result: "ShardedThroughputResult") -> str:
+    """Serial-vs-parallel throughput of the sharded multi-worker engine."""
+    rows = [
+        ["unsharded", result.n_queries, result.k, 1, 1, result.unsharded_seconds, result.unsharded_qps],
+        ["sharded-serial", result.n_queries, result.k, result.n_shards, 1, result.serial_seconds, result.serial_qps],
+        [
+            "sharded-parallel",
+            result.n_queries,
+            result.k,
+            result.n_shards,
+            result.n_workers,
+            result.parallel_seconds,
+            result.parallel_qps,
+        ],
+    ]
+    header = ["path", "queries", "k", "shards", "workers", "seconds", "queries/sec"]
+    identical = "identical" if result.identical_results else "DIVERGENT"
+    return (
+        f"Sharded throughput (worker speedup {result.speedup:.2f}x, results {identical})\n"
         + format_series_table(header, rows)
     )
 

@@ -14,6 +14,13 @@ sequentially (:meth:`~repro.feedback.engine.FeedbackEngine.run_loop` per
 query) and once on the frontier scheduler
 (:class:`~repro.feedback.scheduler.LoopScheduler`), with the byte-identity
 of the two result lists checked on the measured run.
+
+:func:`measure_sharded_speedup` measures the concurrency layer: the same
+query batch runs through a :class:`~repro.database.sharding.ShardedEngine`
+once with a single worker (serial shard fan-out) and once with a worker
+pool, isolating what the threads buy on the machine at hand; the results of
+both runs are additionally checked byte-identical against the unsharded
+:class:`~repro.database.engine.RetrievalEngine` (the sharding contract).
 """
 
 from __future__ import annotations
@@ -21,7 +28,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.database.collection import FeatureCollection
 from repro.database.engine import RetrievalEngine
+from repro.database.sharding import IndexFactory, ShardedEngine
 from repro.distances.base import DistanceFunction
 from repro.feedback.engine import FeedbackEngine
 from repro.feedback.scheduler import LoopRequest, LoopScheduler
@@ -220,4 +229,132 @@ def measure_feedback_speedup(
             first.identical_to(second)
             for first, second in zip(sequential_results, frontier_results)
         ),
+    )
+
+
+@dataclass(frozen=True)
+class ShardedThroughputResult:
+    """Serial-vs-parallel throughput of the sharded engine on one query set.
+
+    Attributes
+    ----------
+    n_queries, k, n_shards, n_workers:
+        Size and shape of the measured workload.
+    serial_seconds, parallel_seconds:
+        Best wall-clock time (over ``repeats``) of the same sharded engine
+        layout with one worker and with ``n_workers`` workers — the
+        comparison isolates what the worker pool buys, with the shard
+        fan-out overhead present on both sides.
+    unsharded_seconds:
+        Best time of the monolithic
+        :class:`~repro.database.engine.RetrievalEngine` on the same batch,
+        for context (what sharding itself costs or saves serially).
+    identical_results:
+        Whether *both* sharded runs returned result sets byte-identical to
+        the unsharded engine — the exactness half of the sharding contract,
+        checked on the measured runs.
+    """
+
+    n_queries: int
+    k: int
+    n_shards: int
+    n_workers: int
+    serial_seconds: float
+    parallel_seconds: float
+    unsharded_seconds: float
+    identical_results: bool
+
+    @property
+    def serial_qps(self) -> float:
+        """Queries per second of the single-worker shard fan-out."""
+        return self.n_queries / self.serial_seconds
+
+    @property
+    def parallel_qps(self) -> float:
+        """Queries per second of the multi-worker shard fan-out."""
+        return self.n_queries / self.parallel_seconds
+
+    @property
+    def unsharded_qps(self) -> float:
+        """Queries per second of the monolithic engine."""
+        return self.n_queries / self.unsharded_seconds
+
+    @property
+    def speedup(self) -> float:
+        """How many times faster the worker pool makes the shard fan-out."""
+        return self.serial_seconds / self.parallel_seconds
+
+
+def measure_sharded_speedup(
+    collection: FeatureCollection,
+    query_points,
+    k: int,
+    *,
+    n_shards: int = 4,
+    n_workers: int = 4,
+    distance: DistanceFunction | None = None,
+    index_factory: IndexFactory | None = None,
+    repeats: int = 3,
+) -> ShardedThroughputResult:
+    """Time the sharded engine's worker pool against its serial fallback.
+
+    Three engines answer the same batch: the unsharded reference, a
+    ``n_shards``-way :class:`~repro.database.sharding.ShardedEngine` with
+    ``n_workers=1``, and the same layout with ``n_workers`` threads.  The
+    best time of each over ``repeats`` runs is kept, and the result records
+    whether both sharded runs reproduced the reference byte for byte —
+    callers should assert it (a fast but diverging shard merge is not a
+    speed-up).  Thread scaling is bounded by the cores the machine actually
+    has; callers gating on a speed-up bar should check ``os.cpu_count()``.
+    """
+    check_dimension(k, "k")
+    check_dimension(repeats, "repeats")
+    query_points = as_float_matrix(
+        query_points, name="query_points", shape=(None, collection.dimension)
+    )
+    if query_points.shape[0] == 0:
+        raise ValidationError("throughput measurement needs at least one query")
+
+    reference = RetrievalEngine(
+        collection,
+        default_distance=distance,
+    )
+    reference_results = None
+    unsharded_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        reference_results = reference.search_batch(query_points, k)
+        unsharded_seconds = min(unsharded_seconds, time.perf_counter() - start)
+
+    def timed(engine: ShardedEngine) -> tuple[list, float]:
+        results, seconds = None, float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            results = engine.search_batch(query_points, k)
+            seconds = min(seconds, time.perf_counter() - start)
+        return results, seconds
+
+    with ShardedEngine(
+        collection, n_shards, n_workers=1, default_distance=distance, index_factory=index_factory
+    ) as serial_engine:
+        serial_results, serial_seconds = timed(serial_engine)
+    with ShardedEngine(
+        collection,
+        n_shards,
+        n_workers=n_workers,
+        default_distance=distance,
+        index_factory=index_factory,
+    ) as parallel_engine:
+        parallel_results, parallel_seconds = timed(parallel_engine)
+
+    return ShardedThroughputResult(
+        n_queries=int(query_points.shape[0]),
+        k=int(k),
+        n_shards=int(n_shards),
+        n_workers=int(n_workers),
+        serial_seconds=serial_seconds,
+        parallel_seconds=parallel_seconds,
+        unsharded_seconds=unsharded_seconds,
+        identical_results=_identical(serial_results, reference_results)
+        and _identical(parallel_results, reference_results),
     )

@@ -306,6 +306,59 @@ class LoopScheduler:
         frontier.run_to_completion()
         return frontier.results()
 
+    def run_sharded(
+        self,
+        requests: "list[LoopRequest]",
+        *,
+        n_workers: int | None = None,
+        pool: "WorkerPool | None" = None,
+    ) -> "list[FeedbackLoopResult]":
+        """Run the requests on per-worker sub-frontiers, in parallel.
+
+        The frontier advances every query independently — iteration *i* of
+        query ``f`` never reads another query's state — so the request list
+        splits into ``n_workers`` contiguous sub-frontiers that run to
+        completion concurrently (one :class:`FeedbackFrontier` per worker,
+        threads from a :class:`~repro.database.sharding.WorkerPool`).  The
+        concatenated results are byte-identical to :meth:`run`, and hence to
+        the sequential ``run_loop`` per request, for every worker count.
+
+        Pass either ``n_workers`` (a transient pool is created and closed
+        here) or an existing ``pool`` to reuse its threads across calls.
+        The pool must be dedicated to this scheduler layer: sub-frontier
+        tasks fan their searches out through the *retrieval engine's* own
+        pool when that engine is sharded, and sharing one pool across the
+        two layers could deadlock (every worker waiting for a nested task
+        that no free worker can run).
+        """
+        from repro.database.sharding import WorkerPool
+
+        if not requests:
+            return []
+        if (n_workers is None) == (pool is None):
+            raise ValidationError("run_sharded takes exactly one of n_workers or pool")
+        owned = pool is None
+        if owned:
+            pool = WorkerPool(n_workers)
+        try:
+            chunk_count = min(pool.n_workers, len(requests))
+            boundaries = np.linspace(0, len(requests), chunk_count + 1).astype(int)
+            chunks = [
+                requests[start:stop]
+                for start, stop in zip(boundaries[:-1], boundaries[1:])
+                if stop > start
+            ]
+
+            def run_chunk(chunk: "list[LoopRequest]") -> "list[FeedbackLoopResult]":
+                frontier = FeedbackFrontier(self._feedback, chunk)
+                frontier.run_to_completion()
+                return frontier.results()
+
+            return [result for chunk_results in pool.map(run_chunk, chunks) for result in chunk_results]
+        finally:
+            if owned:
+                pool.close()
+
     def run_loops(
         self,
         query_points,

@@ -90,6 +90,67 @@ class TestMTreeStructure:
         assert tree.distance_computations > before
 
 
+class TestMTreeBatchTraversal:
+    """The shared-traversal ``search_batch`` (the KNNIndex batch contract)."""
+
+    def test_batch_equals_looped_search_bytewise(self, random_collection, built_tree):
+        rng = np.random.default_rng(17)
+        queries = rng.random((15, 5))
+        queries[3] = random_collection.vectors[42]  # exact hit
+        for k in (1, 6, 40, random_collection.size):
+            batch = built_tree.search_batch(queries, k)
+            for query, result in zip(queries, batch):
+                single = built_tree.search(query, k)
+                np.testing.assert_array_equal(result.indices(), single.indices())
+                np.testing.assert_array_equal(result.distances(), single.distances())
+
+    def test_batch_handles_duplicate_ties(self):
+        rng = np.random.default_rng(23)
+        vectors = rng.random((120, 4))
+        vectors[11] = vectors[95]
+        vectors[40] = vectors[95]
+        collection = FeatureCollection(vectors)
+        tree = MTreeIndex(collection, euclidean(4), node_capacity=5, seed=2)
+        result = tree.search_batch(vectors[95][None, :], 3)[0]
+        np.testing.assert_array_equal(result.indices(), [11, 40, 95])
+        np.testing.assert_allclose(result.distances(), 0.0, atol=0.0)
+
+    def test_batch_shares_metric_calls_across_queries(self, random_collection):
+        # The point of the shared traversal: per visited entry the whole
+        # batch is served by ONE vectorised distances_to call instead of
+        # one call per query — that call count is what the wall-clock
+        # follows, and it must drop by roughly the batch size.
+        rng = np.random.default_rng(29)
+        queries = rng.random((30, 5))
+
+        class CountingDistance(type(euclidean(5))):
+            calls = 0
+
+            def distances_to(self, query, points):
+                CountingDistance.calls += 1
+                return super().distances_to(query, points)
+
+        distance = CountingDistance(5, order=2.0)
+        tree = MTreeIndex(random_collection, distance, node_capacity=8, seed=1)
+        CountingDistance.calls = 0
+        for query in queries:
+            tree.search(query, 5)
+        looped_calls = CountingDistance.calls
+        CountingDistance.calls = 0
+        batch = tree.search_batch(queries, 5)
+        batched_calls = CountingDistance.calls
+        assert batched_calls < looped_calls / 4
+        for query, result in zip(queries, batch):
+            np.testing.assert_array_equal(result.indices(), tree.search(query, 5).indices())
+
+    def test_empty_batch(self, built_tree):
+        assert built_tree.search_batch(np.empty((0, 5)), 3) == []
+
+    def test_batch_rejects_other_metric(self, built_tree):
+        with pytest.raises(ValidationError):
+            built_tree.search_batch(np.zeros((2, 5)), 3, distance=cityblock(5))
+
+
 class TestMTreeValidation:
     def test_rejects_dimension_mismatch(self, random_collection):
         with pytest.raises(ValidationError):

@@ -106,3 +106,41 @@ class TestEvaluateFirstRound:
         dimension = tiny_session.collection.dimension
         loop = tiny_session.run_feedback_loop(0, OptimalQueryParameters.default(dimension))
         assert loop.final_state.weights.shape == (dimension,)
+
+
+class TestRunStreamEdgeCases:
+    def test_empty_stream(self, tiny_session):
+        assert tiny_session.run_stream([]) == []
+        assert tiny_session.run_stream([], batch_size=4) == []
+        assert tiny_session.run_batch([]) == []
+        assert tiny_session.outcomes == []
+
+    def test_batch_size_one_matches_sequential_regime(self, tiny_dataset):
+        # Chunks of one query arrive strictly after each other, so every
+        # prediction sees all previous feedback — exactly the sequential
+        # (batch_size=None) single-user regime.
+        config = SessionConfig(k=10, epsilon=0.05, max_iterations=6)
+        indices = [3, 11, 3, 20, 7]
+        sequential = InteractiveSession.for_dataset(tiny_dataset, config)
+        chunked = InteractiveSession.for_dataset(tiny_dataset, config)
+        assert chunked.run_stream(indices, batch_size=1) == sequential.run_stream(indices)
+
+    def test_final_partial_batch_processes_every_query(self, tiny_dataset):
+        config = SessionConfig(k=10, epsilon=0.05, max_iterations=6)
+        session = InteractiveSession.for_dataset(tiny_dataset, config)
+        indices = [1, 4, 9, 16, 25, 2, 8]  # 7 queries, batch_size 3 -> 3+3+1
+        outcomes = session.run_stream(indices, batch_size=3)
+        assert [outcome.query_index for outcome in outcomes] == indices
+        # The trailing chunk of one query must be processed like any full
+        # chunk: same outcomes as running the chunks through run_batch.
+        manual = InteractiveSession.for_dataset(tiny_dataset, config)
+        manual_outcomes = (
+            manual.run_batch(indices[:3]) + manual.run_batch(indices[3:6]) + manual.run_batch(indices[6:])
+        )
+        assert outcomes == manual_outcomes
+
+    def test_batch_size_larger_than_stream(self, tiny_dataset):
+        config = SessionConfig(k=10, epsilon=0.05, max_iterations=6)
+        session = InteractiveSession.for_dataset(tiny_dataset, config)
+        other = InteractiveSession.for_dataset(tiny_dataset, config)
+        assert session.run_stream([5, 6], batch_size=100) == other.run_batch([5, 6])
