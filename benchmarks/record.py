@@ -1,0 +1,181 @@
+"""Machine-readable throughput trajectory: ``BENCH_throughput.json``.
+
+The prose series under ``benchmarks/results/*.txt`` are good for humans but
+useless for trend analysis across PRs.  This script measures the four
+throughput layers the repository has grown so far — the batched first-round
+pipeline, the frontier-scheduled feedback phase, and the sharded engine
+under both the thread and the shared-memory process backend — and appends
+one JSON entry (queries/sec per path, plus the core count the numbers were
+taken on) to ``BENCH_throughput.json`` at the repository root.  Future PRs
+extend the trajectory instead of re-narrating it.
+
+Run it directly (``scripts/verify.sh`` does, in its default mode)::
+
+    python benchmarks/record.py [--scale 0.15] [--queries 64]
+
+Entries are keyed by the current git commit (``"worktree"`` when the tree
+is dirty or git is unavailable); re-recording a key replaces its entry, so
+the file never accumulates duplicates for one commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+# One BLAS thread per worker — set before NumPy initialises its BLAS (see
+# benchmarks/conftest.py for the full rationale).
+for _threads_var in (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+):
+    os.environ.setdefault(_threads_var, "1")
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _path in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+OUTPUT_PATH = os.path.join(_REPO_ROOT, "BENCH_throughput.json")
+
+
+def _git_key() -> str:
+    """The current commit hash, or ``"worktree"`` for a dirty/unknown tree.
+
+    The benchmark harness itself rewrites ``benchmarks/results/*.txt`` (and
+    this script rewrites the trajectory file) right before the key is
+    computed, so those measurement artifacts are excluded from the
+    dirtiness check — otherwise every CI run would key its entry
+    ``"worktree"`` and the per-commit trajectory would never accumulate.
+    """
+    try:
+        dirty = subprocess.run(
+            [
+                "git",
+                "status",
+                "--porcelain",
+                "--",
+                ".",
+                ":(exclude)benchmarks/results",
+                ":(exclude)BENCH_throughput.json",
+            ],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        if dirty.returncode != 0 or dirty.stdout.strip():
+            return "worktree"
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        return commit.stdout.strip() or "worktree"
+    except OSError:
+        return "worktree"
+
+
+def measure(scale: float, n_queries: int, k: int, repeats: int) -> dict:
+    """Measure every throughput layer once and return the JSON entry."""
+    from repro.database.collection import FeatureCollection
+    from repro.database.engine import RetrievalEngine
+    from repro.evaluation.simulated_user import SimulatedUser
+    from repro.evaluation.throughput import (
+        measure_backend_speedup,
+        measure_batch_speedup,
+        measure_feedback_speedup,
+    )
+    from repro.features.datasets import build_imsi_like_dataset
+    from repro.feedback.engine import FeedbackEngine
+    from repro.features.normalization import drop_last_bin
+    from repro.utils.rng import derive_seed, ensure_rng
+
+    from benchmarks.conftest import BENCH_SEED
+
+    dataset = build_imsi_like_dataset(scale=scale, seed=BENCH_SEED)
+    collection = FeatureCollection(
+        drop_last_bin(dataset.features), labels=[record.category for record in dataset.records]
+    )
+    rng = ensure_rng(derive_seed(BENCH_SEED, "record_throughput"))
+    query_indices = rng.integers(0, collection.size, size=n_queries)
+    queries = collection.vectors[query_indices]
+
+    engine = RetrievalEngine(collection)
+    batch = measure_batch_speedup(engine, queries, k, repeats=repeats)
+    assert batch.identical_results
+
+    user = SimulatedUser(collection)
+    judges = [user.judge_for_query(int(index)) for index in query_indices]
+    feedback = measure_feedback_speedup(
+        FeedbackEngine(RetrievalEngine(collection)), queries, k, judges, repeats=repeats
+    )
+    assert feedback.identical_results
+
+    backends = measure_backend_speedup(
+        collection, queries, k, n_shards=4, n_workers=4, repeats=repeats
+    )
+    assert backends.identical_results
+
+    return {
+        "cores": int(os.cpu_count() or 1),
+        "corpus_size": int(collection.size),
+        "n_queries": int(n_queries),
+        "k": int(k),
+        "scale": float(scale),
+        "qps": {
+            "search_loop": round(batch.loop_qps, 1),
+            "search_batch": round(batch.batch_qps, 1),
+            "feedback_sequential": round(feedback.sequential_qps, 1),
+            "feedback_frontier": round(feedback.frontier_qps, 1),
+            "sharded_serial": round(backends.serial_qps, 1),
+            "sharded_thread": round(backends.thread_qps, 1),
+            "sharded_process": round(backends.process_qps, 1),
+        },
+        "speedups": {
+            "batch": round(batch.speedup, 2),
+            "feedback_frontier": round(feedback.speedup, 2),
+            "sharded_thread": round(backends.thread_speedup, 2),
+            "sharded_process": round(backends.process_speedup, 2),
+        },
+    }
+
+
+def record(entry: dict, key: str, output_path: str = OUTPUT_PATH) -> dict:
+    """Merge ``entry`` under ``key`` into the trajectory file and return it."""
+    trajectory: dict = {}
+    if os.path.exists(output_path):
+        with open(output_path, "r", encoding="utf-8") as handle:
+            trajectory = json.load(handle)
+    trajectory[key] = entry
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return trajectory
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.15, help="corpus scale (default 0.15)")
+    parser.add_argument("--queries", type=int, default=64, help="query batch size (default 64)")
+    parser.add_argument("--k", type=int, default=20, help="result-set size (default 20)")
+    parser.add_argument("--repeats", type=int, default=2, help="timing repeats (default 2)")
+    parser.add_argument("--output", default=OUTPUT_PATH, help="trajectory file path")
+    arguments = parser.parse_args(argv)
+
+    entry = measure(arguments.scale, arguments.queries, arguments.k, arguments.repeats)
+    key = _git_key()
+    record(entry, key, arguments.output)
+    print(f"[BENCH_throughput] recorded {key} -> {arguments.output}")
+    print(json.dumps(entry, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,10 +3,30 @@
 Adds ``src/`` to ``sys.path`` so the test and benchmark suites run even when
 the package has not been installed (e.g. on an offline machine where
 ``pip install -e .`` cannot fetch the ``wheel`` build dependency).
+
+Also pins the BLAS/OpenMP thread pools to one thread *before anything
+imports NumPy* — this conftest is the first module pytest loads for any
+target in the repository, so the guard actually precedes BLAS
+initialisation, which reads these variables exactly once at load time.
+N worker threads/processes × M BLAS threads oversubscribes the cores and
+turns the worker-pool speed-up bars into measurements of cache thrash; one
+BLAS thread per worker gives the pool sole ownership of the cores (see
+:class:`repro.database.sharding.WorkerPool`).  ``setdefault`` keeps
+explicit operator overrides in force, and worker processes inherit the
+environment, so the guard covers the process backend too.
 """
 
 import os
 import sys
+
+for _threads_var in (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+):
+    os.environ.setdefault(_threads_var, "1")
 
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:

@@ -99,6 +99,23 @@ def main() -> None:
         f"{sharded_stats['n_searches']} merged searches"
     )
 
+    # Process backend: the same deployment knob one level up.  The corpus is
+    # hosted once in multiprocessing.shared_memory, the per-shard engines
+    # live in 2 long-lived worker processes that attach it zero-copy, and
+    # only query batches / top-k lists cross the process boundary — the scan
+    # runs on independent interpreters, past the GIL.  Still byte-identical;
+    # the context manager tears the workers and the segment down.
+    with InteractiveSession.for_dataset(dataset, config) as process_session:
+        process_outcomes = process_session.run_stream(
+            query_indices, batch_size=16, shards=4, workers=2, backend="process"
+        )
+        process_stats = process_session.retrieval_engine.stats()
+        print(
+            f"Process-backend run ({process_stats['shard_count']} shards, "
+            f"{process_stats['n_workers']} worker processes): "
+            f"outcomes identical = {process_outcomes == outcomes}"
+        )
+
 
 if __name__ == "__main__":
     main()

@@ -3,11 +3,18 @@
 #
 # Modes (first argument):
 #   --fast     tier-1 only: the unit / property / contract tests under tests/
-#   (none)     tier-1 plus the three throughput benchmarks as smoke tests
-#              (the batch-contract, frontier-scheduler and sharded-serving
-#              speed-up bars)
+#   (none)     tier-1 plus the three throughput smoke benchmarks (the
+#              batch-contract, frontier-scheduler and sharded-serving
+#              speed-up bars), then records the machine-readable throughput
+#              trajectory (BENCH_throughput.json via benchmarks/record.py,
+#              which measures the process backend too); the process-backend
+#              speed-up bar itself lives in --procs, which nightly CI runs
+#              alongside this mode
 #   --sharded  just the concurrency layer: the randomized sharded
 #              equivalence grid, the threaded stress suite and the sharded
+#              throughput benchmark
+#   --procs    just the process backend: the spawn-safety suite, the
+#              process-equivalence suite and the thread-vs-process
 #              throughput benchmark
 #   --full     the entire suite, including the figure-reproduction benchmark
 #              harness under benchmarks/ (equivalent to a bare `pytest`)
@@ -19,6 +26,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+record_trajectory=0
 targets=()
 case "${1:-}" in
     --fast)
@@ -33,11 +41,20 @@ case "${1:-}" in
             benchmarks/test_throughput_sharded.py
         )
         ;;
+    --procs)
+        shift
+        targets=(
+            tests/test_spawn_safety.py
+            tests/test_process_backend.py
+            benchmarks/test_throughput_procs.py
+        )
+        ;;
     --full)
         shift
         targets=()
         ;;
     "")
+        record_trajectory=1
         targets=(
             tests
             benchmarks/test_throughput_batch.py
@@ -48,3 +65,7 @@ case "${1:-}" in
 esac
 
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q "${targets[@]+"${targets[@]}"}" "$@"
+
+if [[ "$record_trajectory" == 1 ]]; then
+    python benchmarks/record.py
+fi

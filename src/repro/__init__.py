@@ -54,6 +54,48 @@ additionally models *simultaneous arrival* (see below):
   simultaneous users, none seeing the others' feedback), so outcomes can
   differ from running the same queries one at a time.
 
+Performance guide: picking an execution backend
+------------------------------------------------
+
+The sharded serving layer (:class:`~repro.database.sharding.ShardedEngine`,
+``InteractiveSession(shards=..., workers=...)``) fans per-shard work out
+over a pluggable backend; both return byte-identical results, so the choice
+is purely a deployment knob:
+
+* ``backend="thread"`` (default) — zero setup cost, shares the corpus in
+  place.  NumPy releases the GIL inside the distance kernels, so threads
+  scale well for moderate worker counts — until the Python-side dispatch
+  and merge (which hold the GIL) become the bottleneck.  Prefer it for
+  small corpora, short-lived engines, and anything interactive.
+* ``backend="process"`` — hosts each shard's vectors in
+  :mod:`multiprocessing.shared_memory`
+  (:class:`~repro.database.sharding.SharedCorpus`): worker processes attach
+  the same physical pages once (N workers cost one corpus in memory, not
+  N), and per-query traffic is small pickles of query batches and top-k
+  lists.  The scan then runs on independent interpreters, so scan-heavy
+  shards on big corpora keep scaling where threads flatten out.  Costs:
+  process spawn plus one corpus copy at engine construction (amortised over
+  a serving lifetime), pickle/pipe overhead per batch (amortised over batch
+  size), and picklability requirements (``index_factory`` must be a
+  module-level function, judges must carry labels — see
+  :class:`~repro.evaluation.simulated_user.CategoryJudge`).
+
+Caveats worth knowing: **cores bound everything** — on a 1-core CI box
+neither backend can beat the serial scan, which is why the benchmark bars
+degrade to a no-pathological-slowdown floor there
+(``benchmarks/test_throughput_procs.py`` records the core count next to
+the numbers); **pin BLAS threads** to one per worker when benchmarking or
+deploying multi-worker scans (``OMP_NUM_THREADS=1`` etc., see
+``benchmarks/conftest.py``), otherwise N workers × M BLAS threads thrash
+the same cores; and **close what you open** — process-backend engines and
+sessions hold worker processes and a shared-memory segment, so use the
+context manager or ``close()`` (a ``weakref`` finalizer backstops leaked
+segments, but deterministic teardown is the contract).  Distance kernels
+additionally read their corpus-side terms from the per-collection
+:class:`~repro.database.collection.CorpusWorkspace`, so the per-batch scan
+cost is query-sized work plus one BLAS product — nothing corpus-sized is
+recomputed per batch on any backend.
+
 Quickstart::
 
     from repro import build_imsi_like_dataset, InteractiveSession, SessionConfig
@@ -65,6 +107,12 @@ Quickstart::
 
     # Batched: first rounds of a whole query stream in matrix form.
     outcomes = session.run_batch([1, 2, 3, 4])
+
+    # Sharded multi-worker serving; backend="process" scales scan-heavy
+    # shards past the GIL via a shared-memory corpus (results identical).
+    with InteractiveSession.for_dataset(dataset, SessionConfig(k=20)) as served:
+        served.run_stream(range(64), batch_size=16, shards=4, workers=4,
+                          backend="process")
 """
 
 from repro.core import (
@@ -78,6 +126,7 @@ from repro.core import (
     save_simplex_tree,
 )
 from repro.database import (
+    CorpusWorkspace,
     FeatureCollection,
     KNNIndex,
     LinearScanIndex,
@@ -85,6 +134,8 @@ from repro.database import (
     Query,
     ResultSet,
     RetrievalEngine,
+    SharedCorpus,
+    SharedCorpusHandle,
     ShardedCollection,
     ShardedEngine,
     VPTreeIndex,
@@ -117,6 +168,7 @@ __all__ = [
     "bypass_for_unit_cube",
     "load_simplex_tree",
     "save_simplex_tree",
+    "CorpusWorkspace",
     "FeatureCollection",
     "KNNIndex",
     "LinearScanIndex",
@@ -124,6 +176,8 @@ __all__ = [
     "Query",
     "ResultSet",
     "RetrievalEngine",
+    "SharedCorpus",
+    "SharedCorpusHandle",
     "ShardedCollection",
     "ShardedEngine",
     "VPTreeIndex",

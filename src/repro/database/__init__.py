@@ -17,21 +17,30 @@ service:
   index and a parameterised distance function together, with batched entry
   points for multi-user workloads,
 * :mod:`repro.database.sharding` — the concurrency layer: deterministic
-  index-range sharding (:class:`ShardedCollection`), a thread
-  :class:`WorkerPool`, and the :class:`ShardedEngine` fanning queries out to
-  per-shard engines and merging the per-shard top-k exactly.
+  index-range sharding (:class:`ShardedCollection`), a :class:`WorkerPool`
+  with pluggable thread/process backends, a shared-memory corpus host
+  (:class:`SharedCorpus`), and the :class:`ShardedEngine` fanning queries
+  out to per-shard engines — in threads or in long-lived worker processes —
+  and merging the per-shard top-k exactly.
 """
 
-from repro.database.collection import FeatureCollection
+from repro.database.collection import CorpusWorkspace, FeatureCollection
 from repro.database.engine import RetrievalEngine
 from repro.database.index import KNNIndex, NeighborHeap, k_smallest
 from repro.database.knn import LinearScanIndex
 from repro.database.mtree import MTreeIndex
 from repro.database.query import Query, ResultItem, ResultSet
-from repro.database.sharding import ShardedCollection, ShardedEngine, WorkerPool
+from repro.database.sharding import (
+    SharedCorpus,
+    SharedCorpusHandle,
+    ShardedCollection,
+    ShardedEngine,
+    WorkerPool,
+)
 from repro.database.vptree import VPTreeIndex
 
 __all__ = [
+    "CorpusWorkspace",
     "FeatureCollection",
     "RetrievalEngine",
     "KNNIndex",
@@ -42,6 +51,8 @@ __all__ = [
     "Query",
     "ResultItem",
     "ResultSet",
+    "SharedCorpus",
+    "SharedCorpusHandle",
     "ShardedCollection",
     "ShardedEngine",
     "VPTreeIndex",

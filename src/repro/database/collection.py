@@ -4,6 +4,13 @@ A :class:`FeatureCollection` is the minimal database abstraction the rest of
 the library needs — a dense matrix of feature vectors with optional string
 labels (the image categories of the evaluation corpus) and convenience
 constructors from an :class:`~repro.features.datasets.ImageDataset`.
+
+The collection also owns the :class:`CorpusWorkspace` of its matrix: the
+corpus-side quantities every batched distance kernel re-derived per call
+(the centred matrix, its element-wise squares, the squared norms) are
+computed once per collection and handed to
+:meth:`~repro.distances.base.DistanceFunction.pairwise`, so the scan hot
+loop stops paying a corpus-sized recomputation per query batch.
 """
 
 from __future__ import annotations
@@ -13,15 +20,105 @@ import numpy as np
 from repro.utils.validation import ValidationError, as_float_matrix, as_float_vector
 
 
-class FeatureCollection:
-    """An immutable collection of feature vectors with optional labels."""
+class CorpusWorkspace:
+    """Precomputed corpus-side terms shared by the batched distance kernels.
 
-    def __init__(self, vectors, labels=None) -> None:
+    The matrix-form distance expansions (the Gram form of the weighted
+    Euclidean distance, the per-query-weight form driving the frontier
+    loop, the bilinear Mahalanobis form) all re-derived the same quantities
+    from the corpus matrix on **every batch**: the column means, the centred
+    matrix ``P - mean``, its element-wise squares, and plain squared norms.
+    None of those depend on the query batch or on the distance parameters,
+    so this workspace materialises them once per corpus:
+
+    ``matrix``
+        The collection's C-contiguous read-only ``(N, D)`` float64 matrix —
+        the exact row-wise kernels (``distances_to``) run straight over it.
+    ``mean``
+        Column means ``points.mean(axis=0)`` (the centring every Gram
+        expansion applies to keep cancellation error on the distance scale).
+    ``centered``
+        ``matrix - mean``, C-contiguous — the right-hand side of the BLAS
+        products.
+    ``centered_squared``
+        ``centered ** 2`` — one matvec against a weight vector replaces the
+        per-batch ``points * points`` (N × D) temporary in the weighted
+        point-norm terms.
+    ``squared`` / ``norms``
+        Uncentred element-wise squares and squared row norms, for kernels
+        that expand without centring.  The bundled kernels all centre, so
+        these two materialise lazily on first access (then stay cached) —
+        a workspace costs nothing for terms no kernel reads.
+
+    All arrays are read-only; the workspace is immutable and valid for the
+    lifetime of the matrix it was built from (:meth:`owns` lets a kernel
+    verify it was handed the workspace of the very matrix it is scanning).
+    Everything in here is a pure function of the matrix bits, so two
+    processes attaching the same shared-memory corpus build bit-identical
+    workspaces.
+    """
+
+    __slots__ = ("matrix", "mean", "centered", "centered_squared", "_squared", "_norms")
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        if matrix.ndim != 2:
+            raise ValidationError("a corpus workspace needs a 2-D matrix")
+        self.matrix = matrix
+        mean = matrix.mean(axis=0)
+        centered = np.ascontiguousarray(matrix - mean)
+        centered_squared = centered * centered
+        for array in (mean, centered, centered_squared):
+            array.setflags(write=False)
+        self.mean = mean
+        self.centered = centered
+        self.centered_squared = centered_squared
+        self._squared: np.ndarray | None = None
+        self._norms: np.ndarray | None = None
+
+    @property
+    def squared(self) -> np.ndarray:
+        """Uncentred element-wise squares ``matrix ** 2`` (lazy, cached)."""
+        if self._squared is None:
+            squared = self.matrix * self.matrix
+            squared.setflags(write=False)
+            self._squared = squared
+        return self._squared
+
+    @property
+    def norms(self) -> np.ndarray:
+        """Uncentred squared row norms ``sum(matrix ** 2, axis=1)`` (lazy, cached)."""
+        if self._norms is None:
+            norms = np.einsum("ij,ij->i", self.matrix, self.matrix)
+            norms.setflags(write=False)
+            self._norms = norms
+        return self._norms
+
+    def owns(self, points: np.ndarray) -> bool:
+        """True when ``points`` is the very matrix this workspace was built from."""
+        return points is self.matrix
+
+
+class FeatureCollection:
+    """An immutable collection of feature vectors with optional labels.
+
+    ``copy=False`` adopts an already-validated read-only float64 C-contiguous
+    matrix without copying — the zero-copy path used when a worker process
+    attaches a corpus hosted in shared memory
+    (:class:`~repro.database.sharding.SharedCorpus`); the caller guarantees
+    nothing else writes to the buffer.
+    """
+
+    def __init__(self, vectors, labels=None, *, copy: bool = True) -> None:
         vectors = as_float_matrix(vectors, name="vectors")
         if vectors.shape[0] == 0:
             raise ValidationError("a collection must contain at least one vector")
-        self._vectors = vectors.copy()
+        if copy:
+            vectors = np.ascontiguousarray(vectors).copy()
+        elif not vectors.flags.c_contiguous:
+            raise ValidationError("copy=False requires a C-contiguous matrix")
+        self._vectors = vectors
         self._vectors.setflags(write=False)
+        self._workspace: CorpusWorkspace | None = None
         if labels is None:
             self._labels: tuple[str, ...] | None = None
             self._labels_array: np.ndarray | None = None
@@ -75,9 +172,35 @@ class FeatureCollection:
         return self._vectors
 
     @property
+    def workspace(self) -> CorpusWorkspace:
+        """The distance-kernel workspace of this collection's matrix.
+
+        Materialised on first access and cached for the collection's
+        lifetime (the matrix is immutable, so the workspace never goes
+        stale).  The batch k-NN paths hand it to
+        :meth:`~repro.distances.base.DistanceFunction.pairwise` so the
+        corpus-side terms of the matrix expansions are never recomputed per
+        query batch.  Its content is a deterministic function of the matrix,
+        so a rare concurrent double-build is harmless.
+        """
+        if self._workspace is None:
+            self._workspace = CorpusWorkspace(self._vectors)
+        return self._workspace
+
+    @property
     def labels(self) -> tuple[str, ...] | None:
         """Per-vector labels, or ``None`` when the collection is unlabelled."""
         return self._labels
+
+    @property
+    def labels_array(self) -> np.ndarray | None:
+        """The labels as a read-only object array (``None`` when unlabelled).
+
+        This is the gather-friendly form behind :meth:`labels_of`; judges
+        that must cross process boundaries carry this array instead of the
+        whole collection, so a pickled judge costs labels, not vectors.
+        """
+        return self._labels_array
 
     def vector(self, index: int) -> np.ndarray:
         """Return a copy of vector ``index``."""
@@ -123,6 +246,21 @@ class FeatureCollection:
 
     def __len__(self) -> int:
         return self.size
+
+    def __getstate__(self) -> dict:
+        # The workspace is a pure function of the matrix: rebuild it on
+        # demand instead of shipping three corpus-sized arrays per pickle
+        # (spawn-safety: collections must cross process boundaries cheaply).
+        state = self.__dict__.copy()
+        state["_workspace"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Writability flags do not survive pickling; restore immutability.
+        self._vectors.setflags(write=False)
+        if self._labels_array is not None:
+            self._labels_array.setflags(write=False)
 
     def validate_query_point(self, point) -> np.ndarray:
         """Validate a query point against the collection's dimensionality."""

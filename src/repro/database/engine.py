@@ -218,6 +218,24 @@ class RetrievalEngine:
         with self._counter_lock:
             self._frontier_batches += int(count)
 
+    def absorb_counters(self, counters: dict) -> None:
+        """Fold another engine's :meth:`stats` snapshot into this engine.
+
+        The process-backend sub-frontier scheduler runs loops on worker-side
+        engines whose counters would otherwise be lost with the worker;
+        workers ship their stats deltas home and the parent absorbs them
+        here, so the engine's accounting matches the in-process run.  Keys
+        missing from ``counters`` are treated as zero.
+        """
+        with self._counter_lock:
+            self._n_searches += int(counters.get("n_searches", 0))
+            self._n_batches += int(counters.get("n_batches", 0))
+            self._n_objects_retrieved += int(counters.get("n_objects_retrieved", 0))
+            self._index_hits += int(counters.get("index_hits", 0))
+            self._scan_fallbacks += int(counters.get("scan_fallbacks", 0))
+            self._feedback_iterations += int(counters.get("feedback_iterations", 0))
+            self._frontier_batches += int(counters.get("frontier_batches", 0))
+
     # ------------------------------------------------------------------ #
     # Dispatch
     # ------------------------------------------------------------------ #
@@ -337,7 +355,9 @@ class RetrievalEngine:
         vectors = self._collection.vectors
         n_points = self._collection.size
         effective_k = min(k, n_points)
-        approximate = pairwise_per_query_weights(shifted, weights, vectors)
+        approximate = pairwise_per_query_weights(
+            shifted, weights, vectors, workspace=self._collection.workspace
+        )
 
         # Candidate thresholds for the whole batch at once — the same values
         # candidate_pool computes per row (the k-th approximate distance plus

@@ -82,7 +82,12 @@ class LinearScanIndex(KNNIndex):
         self._check_distance(distance)
         k = min(k, self._collection.size)
         vectors = self._collection.vectors
-        matrix = distance.pairwise(query_points, vectors)
+        # The collection's workspace hands the kernel its precomputed
+        # corpus-side terms (centred matrix, element-wise squares), so the
+        # per-batch cost is query-sized work plus the BLAS product — no
+        # corpus recomputation per batch.  The exact re-evaluation below
+        # stays on the untouched row-wise path (bit-identical by contract).
+        matrix = distance.pairwise(query_points, vectors, workspace=self._collection.workspace)
 
         results: list[ResultSet] = []
         if distance.pairwise_matches_rowwise:

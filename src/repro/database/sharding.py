@@ -11,36 +11,49 @@ concurrency layer the ROADMAP asked for:
   (local) indices and collection (global) indices.  Contiguous ranges keep
   the mapping a single offset addition, so merged results carry exactly the
   indices the unsharded engine would report.
-* :class:`WorkerPool` — a small ordered-``map`` executor over threads
-  (``n_workers`` configurable, serial fallback at ``n_workers=1``).  Shard
-  searches are NumPy-dominated and release the GIL, so a pool of threads
-  scales with the available cores without any pickling of engines.
+* :class:`WorkerPool` — a small ordered-``map`` executor with a pluggable
+  execution **backend**: ``"thread"`` (the default; shard searches are
+  NumPy-dominated and release the GIL) or ``"process"`` (tasks must be
+  picklable module-level callables; scales scan-heavy work past the GIL).
+* :class:`SharedCorpus` — a collection's matrix hosted in
+  :mod:`multiprocessing.shared_memory`, attached zero-copy by worker
+  processes through a small picklable :class:`SharedCorpusHandle`.
 * :class:`ShardedEngine` — the :class:`~repro.database.engine.RetrievalEngine`
   query contract (``search`` / ``search_batch`` /
   ``search_batch_with_parameters`` / ``run_batch``) implemented by fanning
   every query out to one :class:`~repro.database.engine.RetrievalEngine` per
   shard (each with its own linear scan and, optionally, its own metric
-  index) and merging the per-shard top-k lists.
+  index) and merging the per-shard top-k lists.  With ``backend="process"``
+  the per-shard engines live in long-lived worker processes that attach the
+  corpus from shared memory once; only queries and per-shard top-k lists
+  cross the process boundary, as small pickles.
 
 **Exactness is the contract.**  Per-object distances are computed by
 element-wise / row-wise expressions whose bits do not depend on which other
-objects share the shard, and the merge re-selects the global top-k with the
-same (distance, ascending global index) order every engine uses — so
-``ShardedEngine.search_batch(Q, k)`` is byte-identical to the unsharded
-``RetrievalEngine.search_batch(Q, k)`` for every shard and worker count
-(tier-1, ``tests/test_sharded_equivalence.py``).  The engine also carries
-the feedback-accounting surface (``record_feedback_iterations`` /
+objects share the shard — or on which *process* evaluates them (the shared
+segment holds the very same float64 bits) — and the merge re-selects the
+global top-k with the same (distance, ascending global index) order every
+engine uses.  So ``ShardedEngine.search_batch(Q, k)`` is byte-identical to
+the unsharded ``RetrievalEngine.search_batch(Q, k)`` for every shard count,
+worker count **and backend** (tier-1, ``tests/test_sharded_equivalence.py``
+and ``tests/test_process_backend.py``).  The engine also carries the
+feedback-accounting surface (``record_feedback_iterations`` /
 ``record_frontier_batch``), so a
 :class:`~repro.feedback.scheduler.FeedbackFrontier` can run on top of a
 sharded engine unchanged, and :meth:`ShardedEngine.stats` aggregates the
 per-shard dispatch counters (``shard_count``, per-shard ``index_hits`` /
-``scan_fallbacks``) next to the top-level volume counters.
+``scan_fallbacks``) next to the top-level volume counters — fetched from the
+worker processes when the backend is ``"process"``.
 """
 
 from __future__ import annotations
 
+import pickle
 import threading
-from concurrent.futures import ThreadPoolExecutor
+import weakref
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context, shared_memory
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -53,12 +66,192 @@ from repro.distances.base import DistanceFunction
 from repro.distances.weighted_euclidean import WeightedEuclideanDistance
 from repro.utils.validation import ValidationError, as_float_matrix, check_dimension
 
-__all__ = ["ShardedCollection", "WorkerPool", "ShardedEngine"]
+__all__ = [
+    "ShardedCollection",
+    "WorkerPool",
+    "ShardedEngine",
+    "SharedCorpus",
+    "SharedCorpusHandle",
+]
 
 #: Builds the optional per-shard metric index: receives the shard's
 #: collection and the engine's default distance, returns a
 #: :class:`~repro.database.index.KNNIndex` (or ``None`` for scan-only).
+#: With ``backend="process"`` the factory is shipped to the worker
+#: processes, so it must be picklable (a module-level function or
+#: ``functools.partial`` — not a lambda).
 IndexFactory = Callable[[FeatureCollection, DistanceFunction], "KNNIndex | None"]
+
+_BACKENDS = ("thread", "process")
+
+
+def _check_backend(backend: str) -> str:
+    if backend not in _BACKENDS:
+        raise ValidationError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+    return backend
+
+
+# ---------------------------------------------------------------------- #
+# Shared-memory corpus hosting
+# ---------------------------------------------------------------------- #
+def _release_segment(segment: "shared_memory.SharedMemory") -> None:
+    """Close and unlink an owned segment, tolerating repeat calls."""
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - views die with the process
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+
+
+#: Serialises segment creation against the attach-time tracker patch below,
+#: so an owned segment can never slip past registration.
+_TRACKER_PATCH_LOCK = threading.Lock()
+
+
+def _attach_segment(name: str) -> "shared_memory.SharedMemory":
+    """Attach an existing segment without adopting ownership of it.
+
+    On Python < 3.13 ``SharedMemory(name=...)`` registers even *attached*
+    segments with the resource tracker as if they were owned (bpo-39959),
+    which schedules a second unlink — a spurious KeyError in the tracker
+    under ``fork``, a destroyed-under-the-parent segment under ``spawn``.
+    The owner unlinks exactly once in :meth:`SharedCorpus.close`, so the
+    attach suppresses that registration: via ``track=False`` where Python
+    supports it, and by briefly diverting ``resource_tracker.register`` for
+    shared-memory resources on older interpreters.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    with _TRACKER_PATCH_LOCK:
+        original = resource_tracker.register
+
+        def _register_everything_else(resource_name, rtype):
+            if rtype != "shared_memory":
+                original(resource_name, rtype)
+
+        resource_tracker.register = _register_everything_else
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class AttachedCorpus:
+    """A zero-copy view of a :class:`SharedCorpus` inside one process.
+
+    Holds the attached segment alive alongside the
+    :class:`~repro.database.collection.FeatureCollection` built over it
+    (``copy=False``), so the mapping cannot disappear under a live engine.
+    """
+
+    __slots__ = ("collection", "_segment")
+
+    def __init__(self, collection: FeatureCollection, segment) -> None:
+        self.collection = collection
+        self._segment = segment
+
+    def close(self) -> None:
+        """Unmap the segment (safe once every engine over it is dropped)."""
+        try:
+            self._segment.close()
+        except BufferError:
+            # NumPy views on the buffer are still alive somewhere; the
+            # mapping is released when the process exits instead.
+            pass
+
+
+@dataclass(frozen=True)
+class SharedCorpusHandle:
+    """Picklable description of a :class:`SharedCorpus` segment.
+
+    This — not the corpus — is what crosses the process boundary: a segment
+    name, a shape and the labels.  :meth:`attach` maps the segment into the
+    calling process and wraps it in a read-only, zero-copy
+    :class:`~repro.database.collection.FeatureCollection`.
+    """
+
+    name: str
+    shape: "tuple[int, int]"
+    labels: "tuple[str, ...] | None" = None
+
+    def attach(self) -> AttachedCorpus:
+        """Map the segment and build the zero-copy collection over it."""
+        segment = _attach_segment(self.name)
+        matrix = np.ndarray(self.shape, dtype=np.float64, buffer=segment.buf)
+        return AttachedCorpus(
+            FeatureCollection(matrix, labels=self.labels, copy=False), segment
+        )
+
+
+class SharedCorpus:
+    """A feature collection's matrix hosted in POSIX shared memory.
+
+    The owner copies the matrix into a fresh segment **once**, at
+    construction; worker processes attach the same physical pages through
+    the picklable :attr:`handle` — N workers cost one corpus in memory, not
+    N — and per-query traffic reduces to small pickles of query batches and
+    top-k lists.  The float64 bits in the segment are exactly the
+    collection's, so distances computed over an attached view are
+    bit-identical to the parent's.
+
+    Lifecycle is deterministic: :meth:`close` (or the context manager)
+    closes and unlinks the segment; a ``weakref.finalize`` guard unlinks it
+    even when the owner is only ever garbage-collected, so crashed or sloppy
+    callers do not leak segments into ``/dev/shm``.
+    """
+
+    def __init__(self, collection: FeatureCollection) -> None:
+        matrix = collection.vectors
+        self._collection = collection
+        # Created under the tracker-patch lock: an attach on another thread
+        # must never suppress this owned segment's tracker registration.
+        with _TRACKER_PATCH_LOCK:
+            self._segment = shared_memory.SharedMemory(create=True, size=matrix.nbytes)
+        staging = np.ndarray(matrix.shape, dtype=np.float64, buffer=self._segment.buf)
+        staging[:] = matrix
+        self._handle = SharedCorpusHandle(
+            name=self._segment.name,
+            shape=(int(matrix.shape[0]), int(matrix.shape[1])),
+            labels=collection.labels,
+        )
+        self._closed = False
+        self._finalizer = weakref.finalize(self, _release_segment, self._segment)
+
+    @property
+    def collection(self) -> FeatureCollection:
+        """The parent-side collection the segment was filled from."""
+        return self._collection
+
+    @property
+    def handle(self) -> SharedCorpusHandle:
+        """The picklable attachment ticket for worker processes."""
+        return self._handle
+
+    def close(self) -> None:
+        """Close and unlink the segment (idempotent).
+
+        Attached views in worker processes stay valid until they unmap —
+        POSIX keeps the pages alive while mappings exist — but no new
+        attachment can be made afterwards.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        _release_segment(self._segment)
+
+    def __enter__(self) -> "SharedCorpus":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class ShardedCollection:
@@ -120,6 +313,11 @@ class ShardedCollection:
         """Global index of each shard's first vector (read-only)."""
         return self._offsets
 
+    @property
+    def boundaries(self) -> np.ndarray:
+        """Half-open global range boundaries, ``boundaries[s] .. boundaries[s+1]``."""
+        return self._boundaries
+
     def __len__(self) -> int:
         return self.n_shards
 
@@ -141,25 +339,42 @@ class ShardedCollection:
 
 
 class WorkerPool:
-    """A tiny ordered-``map`` executor over a fixed set of worker threads.
+    """A tiny ordered-``map`` executor with a pluggable execution backend.
 
-    ``n_workers=1`` is the serial fallback: tasks run inline on the calling
-    thread, with no executor and no handoff overhead — the single-worker
-    sharded engine therefore behaves (and costs) like a plain loop over the
-    shards.  With ``n_workers > 1`` the pool lazily creates one
-    :class:`~concurrent.futures.ThreadPoolExecutor` and keeps it alive
-    across calls, so a stream of query batches does not pay thread start-up
-    per batch.  ``map`` may be called concurrently from many client threads
-    (the stress-test regime); task functions must never submit back into
-    the same pool, which is why the sharded engine and the sharded loop
-    scheduler each keep their *own* pool.  After :meth:`close` the pool
-    degrades permanently to the serial inline path — no threads are ever
+    ``backend="thread"`` (default) maps over a fixed set of worker threads:
+    shard searches are NumPy-dominated and release the GIL, so threads scale
+    until the Python-side fan-out/merge serialises.  ``backend="process"``
+    maps over a persistent :class:`~concurrent.futures.ProcessPoolExecutor`;
+    tasks and their arguments must then be picklable (module-level
+    functions, not closures), which is how the sub-frontier scheduler ships
+    whole feedback chunks past the GIL.
+
+    ``n_workers=1`` is the serial fallback for both backends: tasks run
+    inline on the calling thread, with no executor and no handoff overhead —
+    the single-worker sharded engine therefore behaves (and costs) like a
+    plain loop over the shards.  With ``n_workers > 1`` the pool lazily
+    creates one executor and keeps it alive across calls, so a stream of
+    query batches does not pay thread/process start-up per batch.  ``map``
+    may be called concurrently from many client threads (the stress-test
+    regime); task functions must never submit back into the same pool,
+    which is why the sharded engine and the sharded loop scheduler each
+    keep their *own* pool.  After :meth:`close` the pool degrades
+    permanently to the serial inline path — no workers are ever
     resurrected — so closing is safe while the owning engine stays in use.
+
+    .. note:: **BLAS oversubscription.**  N workers each calling into a
+       BLAS that spins up M threads of its own runs N×M threads on the same
+       cores and *loses* throughput to cache thrash and context switches.
+       When benchmarking (or deploying) multi-worker scans, pin the BLAS
+       pool to one thread per process (``OMP_NUM_THREADS=1``,
+       ``OPENBLAS_NUM_THREADS=1``, ``MKL_NUM_THREADS=1`` — see
+       ``benchmarks/conftest.py``) and let the worker pool own the cores.
     """
 
-    def __init__(self, n_workers: int = 1) -> None:
+    def __init__(self, n_workers: int = 1, backend: str = "thread") -> None:
         self._n_workers = check_dimension(n_workers, "n_workers")
-        self._executor: ThreadPoolExecutor | None = None
+        self._backend = _check_backend(backend)
+        self._executor: Executor | None = None
         self._executor_lock = threading.Lock()
         self._closed = False
 
@@ -167,6 +382,18 @@ class WorkerPool:
     def n_workers(self) -> int:
         """Configured degree of parallelism."""
         return self._n_workers
+
+    @property
+    def backend(self) -> str:
+        """The execution backend, ``"thread"`` or ``"process"``."""
+        return self._backend
+
+    def _make_executor(self) -> Executor:
+        if self._backend == "thread":
+            return ThreadPoolExecutor(
+                max_workers=self._n_workers, thread_name_prefix="repro-worker"
+            )
+        return ProcessPoolExecutor(max_workers=self._n_workers, mp_context=get_context())
 
     def map(self, function: Callable, items: Sequence) -> list:
         """Apply ``function`` to every item, returning results in item order."""
@@ -178,16 +405,14 @@ class WorkerPool:
                 executor = None
             else:
                 if self._executor is None:
-                    self._executor = ThreadPoolExecutor(
-                        max_workers=self._n_workers, thread_name_prefix="repro-worker"
-                    )
+                    self._executor = self._make_executor()
                 executor = self._executor
         if executor is None:
             return [function(item) for item in items]
         return list(executor.map(function, items))
 
     def close(self) -> None:
-        """Shut the worker threads down and pin the pool to serial execution.
+        """Shut the workers down and pin the pool to serial execution.
 
         Idempotent; serial pools are a no-op.  Calls in flight on other
         threads finish on the old executor, later ``map`` calls run inline.
@@ -205,6 +430,229 @@ class WorkerPool:
         self.close()
 
 
+# ---------------------------------------------------------------------- #
+# Process shard backend
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _ShardWorkerSpec:
+    """Everything one shard worker process needs, as a small pickle.
+
+    The corpus itself does not travel — only the shared-memory handle, the
+    half-open global ranges of the shards this worker owns, the default
+    distance and the (picklable) index factory.
+    """
+
+    corpus: SharedCorpusHandle
+    ranges: "tuple[tuple[int, int, int], ...]"  # (shard_id, start, stop)
+    distance: DistanceFunction
+    index_factory: "IndexFactory | None"
+
+
+def _shard_worker_main(connection, spec: _ShardWorkerSpec) -> None:
+    """Entry point of one long-lived shard worker process.
+
+    Attaches the shared corpus exactly once, builds one
+    :class:`~repro.database.engine.RetrievalEngine` per owned shard over
+    zero-copy row slices of the attached matrix, then answers ``("call",
+    method, args)`` messages until told to stop.  Results are per-shard
+    :class:`~repro.database.query.ResultSet` objects — small pickles of
+    top-k indices and distances.
+    """
+    engines: "dict[int, RetrievalEngine]" = {}
+    try:
+        attached = spec.corpus.attach()
+        full = attached.collection
+        for shard_id, start, stop in spec.ranges:
+            labels = None if full.labels is None else full.labels[start:stop]
+            shard = FeatureCollection(full.vectors[start:stop], labels=labels, copy=False)
+            engines[shard_id] = RetrievalEngine(
+                shard,
+                default_distance=spec.distance,
+                metric_index=None
+                if spec.index_factory is None
+                else spec.index_factory(shard, spec.distance),
+            )
+        connection.send(("ready", None))
+    except BaseException as error:  # noqa: BLE001 - shipped to the parent
+        connection.send(("error", f"{type(error).__name__}: {error}"))
+        return
+    while True:
+        try:
+            message = connection.recv()
+        except EOFError:
+            break
+        command = message[0]
+        if command == "stop":
+            break
+        try:
+            if command == "call":
+                _, method, args = message
+                payload = {
+                    shard_id: getattr(engine, method)(*args)
+                    for shard_id, engine in engines.items()
+                }
+            elif command == "stats":
+                payload = {shard_id: engine.stats() for shard_id, engine in engines.items()}
+            elif command == "reset":
+                for engine in engines.values():
+                    engine.reset_counters()
+                payload = None
+            else:
+                raise ValidationError(f"unknown shard worker command {command!r}")
+            connection.send(("ok", payload))
+        except BaseException as error:  # noqa: BLE001 - shipped to the parent
+            connection.send(("error", f"{type(error).__name__}: {error}"))
+
+
+class _ProcessShardBackend:
+    """Parent-side controller of the shard worker processes.
+
+    Owns the :class:`SharedCorpus` segment and one duplex pipe per worker.
+    Shards are assigned to workers in contiguous ``numpy.array_split``
+    chunks (worker count clamps to the shard count), each worker builds its
+    engines once at startup, and every fan-out is one small message per
+    worker.  Dispatch is serialised by a lock — pipes are not thread-safe —
+    so concurrent callers queue exactly as they would on a busy executor.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedCollection,
+        n_workers: int,
+        distance: DistanceFunction,
+        index_factory: "IndexFactory | None",
+    ) -> None:
+        try:
+            pickle.dumps((distance, index_factory))
+        except Exception as error:
+            raise ValidationError(
+                "backend='process' ships the default distance and the index factory "
+                f"to worker processes, so both must be picklable (module-level "
+                f"functions, not lambdas): {error}"
+            ) from None
+        self._n_shards = sharded.n_shards
+        self._n_workers = min(check_dimension(n_workers, "n_workers"), sharded.n_shards)
+        self._corpus = SharedCorpus(sharded.collection)
+        boundaries = sharded.boundaries
+        context = get_context()
+        self._workers: "list[tuple]" = []
+        self._lock = threading.Lock()
+        self._closed = False
+        self._broken = False
+        try:
+            for shard_ids in np.array_split(np.arange(self._n_shards), self._n_workers):
+                parent_end, child_end = context.Pipe()
+                spec = _ShardWorkerSpec(
+                    corpus=self._corpus.handle,
+                    ranges=tuple(
+                        (int(shard_id), int(boundaries[shard_id]), int(boundaries[shard_id + 1]))
+                        for shard_id in shard_ids
+                    ),
+                    distance=distance,
+                    index_factory=index_factory,
+                )
+                process = context.Process(
+                    target=_shard_worker_main, args=(child_end, spec), daemon=True
+                )
+                process.start()
+                child_end.close()
+                self._workers.append((process, parent_end))
+            for process, connection in self._workers:
+                status, detail = connection.recv()
+                if status != "ready":
+                    raise ValidationError(f"shard worker failed to start: {detail}")
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def n_workers(self) -> int:
+        """Number of live worker processes."""
+        return self._n_workers
+
+    @property
+    def corpus_handle(self) -> SharedCorpusHandle:
+        """The shared-memory handle of the hosted corpus."""
+        return self._corpus.handle
+
+    def _round_trip(self, message: tuple) -> "dict | None":
+        """Send one message to every worker and merge the responses.
+
+        The message is pickled exactly once, *before* the first send: a
+        payload that cannot pickle (e.g. a per-call distance override
+        holding an unpicklable object) fails cleanly with no worker ever
+        receiving it, so the send/recv pairing can never desynchronise.  A
+        transport failure mid-round (a dead worker) permanently poisons the
+        backend instead — once pipes may hold stale responses, silently
+        merging them into a later query would be far worse than raising.
+        """
+        from multiprocessing.reduction import ForkingPickler
+
+        try:
+            payload_bytes = bytes(ForkingPickler.dumps(message))
+        except Exception as error:
+            raise ValidationError(
+                f"backend='process' could not pickle the query payload: {error}"
+            ) from None
+        with self._lock:
+            if self._closed or self._broken:
+                raise ValidationError("the process shard backend is closed")
+            merged: "dict | None" = None
+            failure: "str | None" = None
+            try:
+                for _, connection in self._workers:
+                    connection.send_bytes(payload_bytes)
+                for process, connection in self._workers:
+                    status, payload = connection.recv()
+                    if status != "ok":
+                        failure = payload
+                    elif isinstance(payload, dict):
+                        merged = payload if merged is None else {**merged, **payload}
+            except (EOFError, BrokenPipeError, OSError):
+                self._broken = True
+                raise RuntimeError(
+                    "a shard worker process died mid-query; the backend is now unusable "
+                    "(close() still tears it down)"
+                ) from None
+        if failure is not None:
+            raise RuntimeError(f"shard worker failed: {failure}")
+        return merged
+
+    def map_shards(self, method: str, args: tuple) -> list:
+        """Run ``method(*args)`` on every shard engine, ordered by shard id."""
+        collected = self._round_trip(("call", method, args))
+        return [collected[shard_id] for shard_id in range(self._n_shards)]
+
+    def shard_stats(self) -> "tuple[dict, ...]":
+        """Per-shard :meth:`RetrievalEngine.stats`, ordered by shard id."""
+        collected = self._round_trip(("stats",))
+        return tuple(collected[shard_id] for shard_id in range(self._n_shards))
+
+    def reset(self) -> None:
+        """Reset every worker-side shard engine's counters."""
+        self._round_trip(("reset",))
+
+    def close(self) -> None:
+        """Stop the workers, release the pipes and unlink the segment."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers, self._workers = self._workers, []
+        for _, connection in workers:
+            try:
+                connection.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process, connection in workers:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=5.0)
+            connection.close()
+        self._corpus.close()
+
+
 class ShardedEngine:
     """k-NN query processing fanned out over per-shard retrieval engines.
 
@@ -218,22 +666,42 @@ class ShardedEngine:
     n_shards:
         Number of contiguous index-range shards.
     n_workers:
-        Worker threads fanning shard searches out (``1`` = serial).
+        Degree of parallelism of the shard fan-out (``1`` = serial for the
+        thread backend).
+    backend:
+        ``"thread"`` (default) fans shards out over a
+        :class:`WorkerPool` of threads — zero setup cost, scales until the
+        GIL-bound fan-out/merge saturates.  ``"process"`` hosts the corpus
+        in :class:`SharedCorpus` shared memory and builds the per-shard
+        engines inside ``n_workers`` long-lived worker processes — higher
+        setup cost (process spawn + one corpus copy into the segment), but
+        the scan itself runs on ``n_workers`` independent interpreters, so
+        scan-heavy shards keep scaling where threads stop.  Results are
+        byte-identical either way.
     default_distance:
         Distance used when a query does not override it; shared by every
-        shard engine (distances are immutable).
+        shard engine (distances are immutable).  Must be picklable for the
+        process backend (every bundled distance is).
     index_factory:
         Optional callable building one metric index per shard from
         ``(shard_collection, default_distance)`` — e.g.
         ``lambda shard, dist: VPTreeIndex(shard, dist)``.  Dispatch stays
         capability-driven inside each shard engine exactly as in the
-        unsharded :class:`~repro.database.engine.RetrievalEngine`.
+        unsharded :class:`~repro.database.engine.RetrievalEngine`.  The
+        process backend requires a *picklable* factory (module-level
+        function or ``functools.partial``, not a lambda).
 
     The query surface mirrors the retrieval engine's, and the results are
     byte-identical to it: every shard engine evaluates per-object distances
     with the same element-wise expressions (bits independent of shard
-    membership), and :meth:`_merge` re-selects the global top-k under the
-    library-wide (distance, ascending global index) order.
+    membership and of the hosting process), and :meth:`_merge` re-selects
+    the global top-k under the library-wide (distance, ascending global
+    index) order.
+
+    Lifecycle: :meth:`close` (or the context manager) tears the worker pool
+    down deterministically.  A thread-backend engine keeps serving serially
+    after ``close``; a process-backend engine's shard engines live in the
+    (now stopped) workers, so queries after ``close`` raise instead.
     """
 
     def __init__(
@@ -242,6 +710,7 @@ class ShardedEngine:
         n_shards: int | None = None,
         *,
         n_workers: int = 1,
+        backend: str = "thread",
         default_distance: DistanceFunction | None = None,
         index_factory: IndexFactory | None = None,
     ) -> None:
@@ -259,17 +728,26 @@ class ShardedEngine:
         if default_distance.dimension != full.dimension:
             raise ValidationError("default distance dimensionality does not match the collection")
         self._default_distance = default_distance
-        self._pool = WorkerPool(n_workers)
-        self._shard_engines = tuple(
-            RetrievalEngine(
-                shard,
-                default_distance=default_distance,
-                metric_index=None
-                if index_factory is None
-                else index_factory(shard, default_distance),
+        self._backend = _check_backend(backend)
+        if self._backend == "process":
+            self._pool = None
+            self._shard_engines: tuple[RetrievalEngine, ...] = ()
+            self._process_backend: _ProcessShardBackend | None = _ProcessShardBackend(
+                self._sharded, n_workers, default_distance, index_factory
             )
-            for shard in self._sharded.shards
-        )
+        else:
+            self._pool = WorkerPool(n_workers)
+            self._process_backend = None
+            self._shard_engines = tuple(
+                RetrievalEngine(
+                    shard,
+                    default_distance=default_distance,
+                    metric_index=None
+                    if index_factory is None
+                    else index_factory(shard, default_distance),
+                )
+                for shard in self._sharded.shards
+            )
         self._counter_lock = threading.Lock()
         self._n_searches = 0
         self._n_batches = 0
@@ -292,7 +770,11 @@ class ShardedEngine:
 
     @property
     def shard_engines(self) -> tuple[RetrievalEngine, ...]:
-        """The per-shard retrieval engines, in global index order."""
+        """The per-shard retrieval engines, in global index order.
+
+        Empty for ``backend="process"``: the engines live inside the worker
+        processes (their dispatch counters surface through :meth:`stats`).
+        """
         return self._shard_engines
 
     @property
@@ -301,23 +783,50 @@ class ShardedEngine:
         return self._default_distance
 
     @property
+    def backend(self) -> str:
+        """The shard fan-out backend, ``"thread"`` or ``"process"``."""
+        return self._backend
+
+    @property
     def n_shards(self) -> int:
         """Number of shards."""
         return self._sharded.n_shards
 
     @property
     def n_workers(self) -> int:
-        """Worker threads fanning shard searches out."""
+        """Degree of parallelism of the shard fan-out."""
+        if self._process_backend is not None:
+            return self._process_backend.n_workers
         return self._pool.n_workers
 
     @property
-    def pool(self) -> WorkerPool:
-        """The shard fan-out worker pool."""
+    def pool(self) -> "WorkerPool | None":
+        """The thread fan-out pool (``None`` for the process backend)."""
         return self._pool
 
+    @property
+    def shared_corpus_handle(self) -> "SharedCorpusHandle | None":
+        """The shared-memory corpus handle (process backend only).
+
+        The sub-frontier scheduler reuses it so feedback worker processes
+        attach the engine's existing segment instead of staging a second
+        copy of the corpus.
+        """
+        if self._process_backend is None:
+            return None
+        return self._process_backend.corpus_handle
+
     def close(self) -> None:
-        """Shut the worker pool down (the engine stays usable serially)."""
-        self._pool.close()
+        """Tear the fan-out backend down deterministically (idempotent).
+
+        Thread backend: worker threads stop, the engine keeps serving
+        serially.  Process backend: worker processes stop and the shared
+        segment is unlinked, so later queries raise.
+        """
+        if self._process_backend is not None:
+            self._process_backend.close()
+        if self._pool is not None:
+            self._pool.close()
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -328,6 +837,11 @@ class ShardedEngine:
     # ------------------------------------------------------------------ #
     # Counters
     # ------------------------------------------------------------------ #
+    def _shard_stats(self) -> "tuple[dict, ...]":
+        if self._process_backend is not None:
+            return self._process_backend.shard_stats()
+        return tuple(engine.stats() for engine in self._shard_engines)
+
     def stats(self) -> dict:
         """Aggregate counters across the worker pool and every shard.
 
@@ -337,13 +851,15 @@ class ShardedEngine:
         dispatch counters (``index_hits`` / ``scan_fallbacks``) are summed
         over the shards (each query consults every shard, so they scale with
         ``shard_count``).  ``per_shard`` keeps the unaggregated
-        per-shard dispatch stats for drill-down.
+        per-shard dispatch stats for drill-down; with ``backend="process"``
+        they are fetched from the worker processes.
         """
-        per_shard = tuple(engine.stats() for engine in self._shard_engines)
+        per_shard = self._shard_stats()
         with self._counter_lock:
             return {
                 "shard_count": self.n_shards,
                 "n_workers": self.n_workers,
+                "backend": self._backend,
                 "n_searches": self._n_searches,
                 "n_batches": self._n_batches,
                 "n_objects_retrieved": self._n_objects_retrieved,
@@ -362,8 +878,11 @@ class ShardedEngine:
             self._n_objects_retrieved = 0
             self._feedback_iterations = 0
             self._frontier_batches = 0
-        for engine in self._shard_engines:
-            engine.reset_counters()
+        if self._process_backend is not None:
+            self._process_backend.reset()
+        else:
+            for engine in self._shard_engines:
+                engine.reset_counters()
 
     def record_feedback_iterations(self, count: int = 1) -> None:
         """Account ``count`` feedback-loop iterations (re-searches)."""
@@ -375,12 +894,45 @@ class ShardedEngine:
         with self._counter_lock:
             self._frontier_batches += int(count)
 
+    def absorb_counters(self, counters: dict) -> None:
+        """Fold a worker-side engine's stats snapshot into the volume counters.
+
+        Process-backend sub-frontiers run their loops on worker-side
+        engines; the volume and feedback counters ship home and land here.
+        Dispatch counters (``index_hits`` / ``scan_fallbacks``) are *not*
+        absorbed — they belong to per-shard engines, and the worker ran an
+        unsharded scan whose dispatch decisions have no shard to land on.
+        """
+        with self._counter_lock:
+            self._n_searches += int(counters.get("n_searches", 0))
+            self._n_batches += int(counters.get("n_batches", 0))
+            self._n_objects_retrieved += int(counters.get("n_objects_retrieved", 0))
+            self._feedback_iterations += int(counters.get("feedback_iterations", 0))
+            self._frontier_batches += int(counters.get("frontier_batches", 0))
+
     def _account(self, results: "Iterable[ResultSet]", count: int, batches: int) -> None:
         retrieved = sum(len(result) for result in results)
         with self._counter_lock:
             self._n_searches += count
             self._n_objects_retrieved += retrieved
             self._n_batches += batches
+
+    # ------------------------------------------------------------------ #
+    # Fan-out
+    # ------------------------------------------------------------------ #
+    def _fan_out(self, method: str, args: tuple) -> list:
+        """Run ``method(*args)`` on every shard engine, ordered by shard id.
+
+        Thread backend: one pool task per shard engine.  Process backend:
+        one pipe round-trip per worker; the arguments (query batches,
+        distances) and the per-shard top-k results are the only bytes that
+        cross the process boundary.
+        """
+        if self._process_backend is not None:
+            return self._process_backend.map_shards(method, args)
+        return self._pool.map(
+            lambda engine: getattr(engine, method)(*args), self._shard_engines
+        )
 
     # ------------------------------------------------------------------ #
     # Exact merge
@@ -421,14 +973,12 @@ class ShardedEngine:
     def search(self, query_point, k: int, distance: DistanceFunction | None = None) -> ResultSet:
         """Return the ``k`` objects closest to ``query_point``.
 
-        The query fans out to every shard engine (in parallel when the pool
-        has workers) and the per-shard top-k lists merge exactly.
+        The query fans out to every shard engine (in parallel when the
+        backend has workers) and the per-shard top-k lists merge exactly.
         """
         k = check_dimension(k, "k")
         query_point = self.collection.validate_query_point(query_point)
-        shard_results = self._pool.map(
-            lambda engine: engine.search(query_point, k, distance), self._shard_engines
-        )
+        shard_results = self._fan_out("search", (query_point, k, distance))
         merged = self._merge(shard_results, k)
         self._account([merged], count=1, batches=0)
         return merged
@@ -449,9 +999,7 @@ class ShardedEngine:
         query_points = as_float_matrix(
             query_points, name="query_points", shape=(None, self.collection.dimension)
         )
-        per_shard = self._pool.map(
-            lambda engine: engine.search_batch(query_points, k, distance), self._shard_engines
-        )
+        per_shard = self._fan_out("search_batch", (query_points, k, distance))
         merged = self._merge_batch(per_shard, query_points.shape[0], k)
         self._account(merged, count=len(merged), batches=1)
         return merged
@@ -499,9 +1047,8 @@ class ShardedEngine:
         n_queries = query_points.shape[0]
         deltas = as_float_matrix(deltas, name="deltas", shape=(n_queries, dimension))
         weights = as_float_matrix(weights, name="weights", shape=(n_queries, None))
-        per_shard = self._pool.map(
-            lambda engine: engine.search_batch_with_parameters(query_points, k, deltas, weights),
-            self._shard_engines,
+        per_shard = self._fan_out(
+            "search_batch_with_parameters", (query_points, k, deltas, weights)
         )
         merged = self._merge_batch(per_shard, n_queries, k)
         self._account(merged, count=len(merged), batches=1)

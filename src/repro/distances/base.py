@@ -69,7 +69,7 @@ class DistanceFunction(abc.ABC):
         """
         return True
 
-    def pairwise(self, queries, points) -> np.ndarray:
+    def pairwise(self, queries, points, *, workspace=None) -> np.ndarray:
         """Distance matrix between every query row and every point row.
 
         Parameters
@@ -78,6 +78,15 @@ class DistanceFunction(abc.ABC):
             ``(Q, D)`` matrix of query points.
         points:
             ``(N, D)`` matrix of database points.
+        workspace:
+            Optional :class:`~repro.database.collection.CorpusWorkspace` of
+            ``points``.  Kernels that expand the distance algebraically read
+            their corpus-side terms (centred matrix, element-wise squares,
+            norms) from it instead of recomputing them per batch — the
+            zero-recompute hot path of the scan engines.  A workspace built
+            for a *different* matrix is ignored (checked via
+            :meth:`~repro.database.collection.CorpusWorkspace.owns`), so
+            passing one is always safe.
 
         Returns
         -------
@@ -85,8 +94,8 @@ class DistanceFunction(abc.ABC):
             ``(Q, N)`` matrix with ``result[i, j] = d(queries[i], points[j])``.
 
         The base implementation evaluates one :meth:`distances_to` row per
-        query; subclasses override it with a fully vectorised matrix form
-        where the mathematics allows one.
+        query (no corpus-side term to cache); subclasses override it with a
+        fully vectorised matrix form where the mathematics allows one.
         """
         queries = self._validate_points(queries, name="queries")
         points = self._validate_points(points)
@@ -98,6 +107,13 @@ class DistanceFunction(abc.ABC):
     # ------------------------------------------------------------------ #
     # Shared helpers
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _usable_workspace(workspace, points: np.ndarray):
+        """Return ``workspace`` when it belongs to ``points``, else ``None``."""
+        if workspace is not None and workspace.owns(points):
+            return workspace
+        return None
+
     def _validate_point(self, point, name: str = "point") -> np.ndarray:
         return as_float_vector(point, name=name, dim=self._dimension)
 

@@ -168,12 +168,14 @@ class HierarchicalDistance(DistanceFunction):
         # The per-feature sub-distances use the (approximate) Gram expansion.
         return False
 
-    def pairwise(self, queries, points) -> np.ndarray:
+    def pairwise(self, queries, points, *, workspace=None) -> np.ndarray:
         """Matrix form: the weighted sum of the per-feature pairwise matrices.
 
         The loop over feature groups is inherent to the model (each group has
         its own sub-distance); everything inside a group is the fully
-        vectorised weighted-Euclidean matrix form.
+        vectorised weighted-Euclidean matrix form.  The corpus workspace is
+        built for the full-width matrix, not the per-group column slices the
+        sub-distances see, so it cannot be threaded through and is ignored.
         """
         queries = self._validate_points(queries, name="queries")
         points = self._validate_points(points)

@@ -96,20 +96,32 @@ class MahalanobisDistance(DistanceFunction):
     def pairwise_matches_rowwise(self) -> bool:
         return False
 
-    def pairwise(self, queries, points) -> np.ndarray:
+    def pairwise(self, queries, points, *, workspace=None) -> np.ndarray:
         """Matrix form via the bilinear expansion ``d² = qᵀWq + pᵀWp - 2 qᵀWp``.
 
         ``W`` is applied once per side (two matrix products) instead of once
         per (query, point) pair.  The expansion differs from the row-wise
         einsum in the last bits, so ``pairwise_matches_rowwise`` is ``False``.
+
+        The corpus :class:`~repro.database.collection.CorpusWorkspace`
+        supplies the centred matrix (the mean and the ``(N, D)`` subtraction
+        drop out of the per-batch path); the quadratic point norms still
+        depend on ``W`` and are recomputed when the parameters change.
         """
         queries = self._validate_points(queries, name="queries")
         points = self._validate_points(points)
-        center = points.mean(axis=0)
+        cache = self._usable_workspace(workspace, points)
+        if cache is None:
+            center = points.mean(axis=0)
+            centered_points = points - center
+        else:
+            center = cache.mean
+            centered_points = cache.centered
         queries = queries - center
-        points = points - center
         transformed_queries = queries @ self._matrix
         query_norms = np.einsum("ij,ij->i", transformed_queries, queries)
-        point_norms = np.einsum("ij,jk,ik->i", points, self._matrix, points)
-        squared = query_norms[:, None] + point_norms[None, :] - 2.0 * transformed_queries @ points.T
+        point_norms = np.einsum("ij,jk,ik->i", centered_points, self._matrix, centered_points)
+        squared = (
+            query_norms[:, None] + point_norms[None, :] - 2.0 * transformed_queries @ centered_points.T
+        )
         return np.sqrt(np.clip(squared, 0.0, None))

@@ -74,14 +74,16 @@ class MinkowskiDistance(DistanceFunction):
         deltas = np.abs(points - query)
         return np.power(np.sum(self._weights * np.power(deltas, self._order), axis=1), 1.0 / self._order)
 
-    def pairwise(self, queries, points) -> np.ndarray:
+    def pairwise(self, queries, points, *, workspace=None) -> np.ndarray:
         """Matrix form by broadcasting the row computation over all queries.
 
         There is no product expansion for a general L_p norm, so the matrix
         is built from the same element-wise operations as
         :meth:`distances_to` (broadcast over a query chunk at a time to bound
         the ``(Q, N, D)`` intermediate); the results are therefore
-        bit-identical to the row-wise form.
+        bit-identical to the row-wise form.  The workspace carries nothing
+        an element-wise ``|p - q|^p`` kernel could reuse, so it is accepted
+        (for the uniform :class:`KNNIndex` call shape) and ignored.
         """
         queries = self._validate_points(queries, name="queries")
         points = self._validate_points(points)

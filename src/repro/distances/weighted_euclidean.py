@@ -71,7 +71,7 @@ class WeightedEuclideanDistance(DistanceFunction):
     def pairwise_matches_rowwise(self) -> bool:
         return False
 
-    def pairwise(self, queries, points) -> np.ndarray:
+    def pairwise(self, queries, points, *, workspace=None) -> np.ndarray:
         """Matrix form via the Gram expansion ``d² = |q|² + |p|² - 2 q·p``.
 
         One BLAS matrix product replaces Q row scans, which is what makes
@@ -79,16 +79,32 @@ class WeightedEuclideanDistance(DistanceFunction):
         cancellation (hence ``pairwise_matches_rowwise`` is ``False``); the
         data is centred on the point cloud's mean first so the error stays
         proportional to the distance scale rather than the coordinate scale.
+
+        With the corpus :class:`~repro.database.collection.CorpusWorkspace`
+        supplied, every corpus-side term comes out of the cache: the centred
+        matrix is reused as the product's right-hand side and the weighted
+        point norms reduce to one matvec ``(P - mean)² @ w`` — no ``(N, D)``
+        corpus temporary is allocated per batch.
         """
         queries = self._validate_points(queries, name="queries")
         points = self._validate_points(points)
-        center = points.mean(axis=0)
+        cache = self._usable_workspace(workspace, points)
+        if cache is None:
+            center = points.mean(axis=0)
+            centered_points = points - center
+            point_norms = np.einsum(
+                "ij,ij->i", centered_points * self._weights, centered_points
+            )
+        else:
+            center = cache.mean
+            centered_points = cache.centered
+            point_norms = cache.centered_squared @ self._weights
         queries = queries - center
-        points = points - center
         weighted_queries = queries * self._weights
         query_norms = np.einsum("ij,ij->i", weighted_queries, queries)
-        point_norms = np.einsum("ij,ij->i", points * self._weights, points)
-        squared = query_norms[:, None] + point_norms[None, :] - 2.0 * weighted_queries @ points.T
+        squared = (
+            query_norms[:, None] + point_norms[None, :] - 2.0 * weighted_queries @ centered_points.T
+        )
         return np.sqrt(np.clip(squared, 0.0, None))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
@@ -98,7 +114,7 @@ class WeightedEuclideanDistance(DistanceFunction):
         )
 
 
-def pairwise_per_query_weights(queries, weights, points) -> np.ndarray:
+def pairwise_per_query_weights(queries, weights, points, *, workspace=None) -> np.ndarray:
     """Approximate ``(Q, N)`` distance matrix with one weight vector per query.
 
     This generalises :meth:`WeightedEuclideanDistance.pairwise` to the case
@@ -108,14 +124,32 @@ def pairwise_per_query_weights(queries, weights, points) -> np.ndarray:
     whole batch costs a handful of BLAS calls.  Like the Gram expansion it is
     approximate in the last bits; callers refine the final candidates through
     an exact row computation.
+
+    This is the frontier scheduler's hot loop: every feedback iteration of
+    every active query re-ranks the corpus through this expansion.  With the
+    corpus :class:`~repro.database.collection.CorpusWorkspace` supplied, the
+    centred matrix and its element-wise squares come from the cache, so the
+    per-batch cost is exactly the three query-sized products — the
+    ``points * points`` corpus temporary this function used to allocate on
+    every call disappears.
     """
     queries = np.asarray(queries, dtype=np.float64)
     weights = np.asarray(weights, dtype=np.float64)
     points = np.asarray(points, dtype=np.float64)
-    center = points.mean(axis=0)
+    if workspace is not None and workspace.owns(points):
+        center = workspace.mean
+        centered_points = workspace.centered
+        centered_squared = workspace.centered_squared
+    else:
+        center = points.mean(axis=0)
+        centered_points = points - center
+        centered_squared = centered_points * centered_points
     queries = queries - center
-    points = points - center
     weighted_queries = queries * weights
     query_norms = np.einsum("ij,ij->i", weighted_queries, queries)
-    squared = query_norms[:, None] + weights @ (points * points).T - 2.0 * weighted_queries @ points.T
+    squared = (
+        query_norms[:, None]
+        + weights @ centered_squared.T
+        - 2.0 * weighted_queries @ centered_points.T
+    )
     return np.sqrt(np.clip(squared, 0.0, None))

@@ -31,7 +31,7 @@ from repro.evaluation.session import (
     SessionConfig,
     StrategyMetrics,
 )
-from repro.evaluation.simulated_user import SimulatedUser
+from repro.evaluation.simulated_user import CategoryJudge, SimulatedUser
 from repro.evaluation.experiments import (
     CategoryRobustnessResult,
     KSweepResult,
@@ -46,9 +46,11 @@ from repro.evaluation.experiments import (
 )
 from repro.evaluation.efficiency import EfficiencyResult, saved_cycles_experiment
 from repro.evaluation.throughput import (
+    BackendThroughputResult,
     FeedbackThroughputResult,
     ShardedThroughputResult,
     ThroughputResult,
+    measure_backend_speedup,
     measure_batch_speedup,
     measure_feedback_speedup,
     measure_sharded_speedup,
@@ -63,6 +65,7 @@ from repro.evaluation.workloads import (
 )
 from repro.evaluation.reporting import (
     format_series_table,
+    render_backend_throughput,
     render_category_robustness,
     render_efficiency,
     render_engine_stats,
@@ -84,6 +87,7 @@ __all__ = [
     "SessionConfig",
     "StrategyMetrics",
     "SimulatedUser",
+    "CategoryJudge",
     "CategoryRobustnessResult",
     "KSweepResult",
     "LearningCurveResult",
@@ -96,9 +100,11 @@ __all__ = [
     "tree_growth",
     "EfficiencyResult",
     "saved_cycles_experiment",
+    "BackendThroughputResult",
     "FeedbackThroughputResult",
     "ShardedThroughputResult",
     "ThroughputResult",
+    "measure_backend_speedup",
     "measure_batch_speedup",
     "measure_feedback_speedup",
     "measure_sharded_speedup",
@@ -109,6 +115,7 @@ __all__ = [
     "run_workload",
     "uniform_workload",
     "format_series_table",
+    "render_backend_throughput",
     "render_category_robustness",
     "render_efficiency",
     "render_engine_stats",

@@ -21,6 +21,7 @@ from repro.evaluation.experiments import (
 
 if TYPE_CHECKING:
     from repro.evaluation.throughput import (
+        BackendThroughputResult,
         FeedbackThroughputResult,
         ShardedThroughputResult,
         ThroughputResult,
@@ -218,6 +219,39 @@ def render_sharded_throughput(result: "ShardedThroughputResult") -> str:
     identical = "identical" if result.identical_results else "DIVERGENT"
     return (
         f"Sharded throughput (worker speedup {result.speedup:.2f}x, results {identical})\n"
+        + format_series_table(header, rows)
+    )
+
+
+def render_backend_throughput(result: "BackendThroughputResult") -> str:
+    """Thread-vs-process throughput of the sharded engine's backends."""
+    rows = [
+        ["unsharded", result.n_queries, result.k, 1, 1, result.unsharded_seconds, result.unsharded_qps],
+        ["sharded-serial", result.n_queries, result.k, result.n_shards, 1, result.serial_seconds, result.serial_qps],
+        [
+            "sharded-thread",
+            result.n_queries,
+            result.k,
+            result.n_shards,
+            result.n_workers,
+            result.thread_seconds,
+            result.thread_qps,
+        ],
+        [
+            "sharded-process",
+            result.n_queries,
+            result.k,
+            result.n_shards,
+            result.n_workers,
+            result.process_seconds,
+            result.process_qps,
+        ],
+    ]
+    header = ["path", "queries", "k", "shards", "workers", "seconds", "queries/sec"]
+    identical = "identical" if result.identical_results else "DIVERGENT"
+    return (
+        f"Backend throughput (thread {result.thread_speedup:.2f}x, "
+        f"process {result.process_speedup:.2f}x over serial, results {identical})\n"
         + format_series_table(header, rows)
     )
 

@@ -10,6 +10,10 @@ recall.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+import numpy as np
+
 from repro.database.collection import FeatureCollection
 from repro.database.query import ResultSet
 from repro.feedback.scores import (
@@ -20,6 +24,30 @@ from repro.feedback.scores import (
     score_results_by_category_batch,
 )
 from repro.utils.validation import ValidationError
+
+
+@dataclass(frozen=True, eq=False)
+class CategoryJudge:
+    """A picklable category-oracle judge bound to one query category.
+
+    This is the callable :meth:`SimulatedUser.judge_for_query` hands to the
+    feedback loops.  It carries only the collection's label array (shared —
+    and therefore pickled once — across every judge of the same collection),
+    the query's category and the score scale, so a
+    :class:`~repro.feedback.scheduler.LoopRequest` holding it crosses a
+    process boundary as a small pickle: labels travel, vectors never do.
+    The scores are exactly :meth:`SimulatedUser.judge_batch`'s.
+    """
+
+    labels: np.ndarray
+    category: str
+    scale: RelevanceScale = RelevanceScale.BINARY
+
+    def __call__(self, results: ResultSet) -> JudgmentBatch:
+        categories = self.labels[results.indices()].tolist()
+        return score_results_by_category_batch(
+            results, categories, self.category, scale=self.scale
+        )
 
 
 class SimulatedUser:
@@ -67,20 +95,21 @@ class SimulatedUser:
             results, self.categories_of(results), query_category, scale=self._scale
         )
 
-    def judge_for_query(self, query_index: int):
+    def judge_for_query(self, query_index: int) -> CategoryJudge:
         """Return a judge callable bound to the category of image ``query_index``.
 
-        The returned callable has the signature the feedback engine expects
-        (``ResultSet`` to one judgment per result).  It produces the
-        vectorised :class:`JudgmentBatch` form, which iterates as
-        :class:`RelevanceJudgment` objects for compatibility.
+        The returned :class:`CategoryJudge` has the signature the feedback
+        engine expects (``ResultSet`` to one judgment per result) and
+        produces the vectorised :class:`JudgmentBatch` form, which iterates
+        as :class:`RelevanceJudgment` objects for compatibility.  It is
+        picklable (it carries the label array, not the collection), so loop
+        requests holding it can ship to worker processes.
         """
-        query_category = self._collection.label(query_index)
-
-        def _judge(results: ResultSet) -> JudgmentBatch:
-            return self.judge_batch(results, query_category)
-
-        return _judge
+        return CategoryJudge(
+            labels=self._collection.labels_array,
+            category=self._collection.label(query_index),
+            scale=self._scale,
+        )
 
     def relevant_count(self, query_category: str) -> int:
         """Number of relevant objects in the database for a category."""

@@ -21,6 +21,12 @@ once with a single worker (serial shard fan-out) and once with a worker
 pool, isolating what the threads buy on the machine at hand; the results of
 both runs are additionally checked byte-identical against the unsharded
 :class:`~repro.database.engine.RetrievalEngine` (the sharding contract).
+
+:func:`measure_backend_speedup` compares the two execution backends head to
+head: the same batch runs through the same shard layout serially, over the
+thread pool and over the shared-memory process backend, all checked
+byte-identical against the unsharded reference — the numbers behind the
+thread-vs-process guidance in the performance guide.
 """
 
 from __future__ import annotations
@@ -357,4 +363,149 @@ def measure_sharded_speedup(
         unsharded_seconds=unsharded_seconds,
         identical_results=_identical(serial_results, reference_results)
         and _identical(parallel_results, reference_results),
+    )
+
+
+@dataclass(frozen=True)
+class BackendThroughputResult:
+    """Thread-vs-process throughput of the sharded engine on one query set.
+
+    Attributes
+    ----------
+    n_queries, k, n_shards, n_workers:
+        Size and shape of the measured workload.
+    unsharded_seconds:
+        Best time of the monolithic
+        :class:`~repro.database.engine.RetrievalEngine` on the same batch.
+    serial_seconds:
+        Best time of the sharded layout with one worker (thread backend's
+        inline fallback) — the single-worker scan both backends are judged
+        against.
+    thread_seconds, process_seconds:
+        Best time of the same layout fanned out over ``n_workers`` worker
+        threads and over ``n_workers`` shared-memory worker processes.
+    identical_results:
+        Whether *every* sharded run (serial, thread, process) returned
+        result sets byte-identical to the unsharded engine — the exactness
+        half of the backend contract, checked on the measured runs.
+    """
+
+    n_queries: int
+    k: int
+    n_shards: int
+    n_workers: int
+    unsharded_seconds: float
+    serial_seconds: float
+    thread_seconds: float
+    process_seconds: float
+    identical_results: bool
+
+    @property
+    def unsharded_qps(self) -> float:
+        """Queries per second of the monolithic engine."""
+        return self.n_queries / self.unsharded_seconds
+
+    @property
+    def serial_qps(self) -> float:
+        """Queries per second of the single-worker shard fan-out."""
+        return self.n_queries / self.serial_seconds
+
+    @property
+    def thread_qps(self) -> float:
+        """Queries per second of the thread backend."""
+        return self.n_queries / self.thread_seconds
+
+    @property
+    def process_qps(self) -> float:
+        """Queries per second of the shared-memory process backend."""
+        return self.n_queries / self.process_seconds
+
+    @property
+    def thread_speedup(self) -> float:
+        """Thread-backend speed-up over the single-worker scan."""
+        return self.serial_seconds / self.thread_seconds
+
+    @property
+    def process_speedup(self) -> float:
+        """Process-backend speed-up over the single-worker scan."""
+        return self.serial_seconds / self.process_seconds
+
+
+def measure_backend_speedup(
+    collection: FeatureCollection,
+    query_points,
+    k: int,
+    *,
+    n_shards: int = 4,
+    n_workers: int = 4,
+    distance: DistanceFunction | None = None,
+    index_factory: IndexFactory | None = None,
+    repeats: int = 3,
+) -> BackendThroughputResult:
+    """Time the thread and process backends against the single-worker scan.
+
+    Four engines answer the same batch: the unsharded reference, the
+    ``n_shards``-way layout with one worker (the serial baseline), the same
+    layout over ``n_workers`` threads, and the same layout over
+    ``n_workers`` shared-memory worker processes.  Engine construction —
+    process spawn, the one-time corpus copy into the shared segment — is
+    *not* timed: the process backend is built for long-lived serving, so
+    the steady-state queries/sec is the honest comparison.  The best time
+    of each over ``repeats`` runs is kept, and the result records whether
+    every sharded run reproduced the reference byte for byte — callers
+    should assert it.  Process scaling is bounded by the machine's cores;
+    callers gating on a speed-up bar should check ``os.cpu_count()``.
+    """
+    check_dimension(k, "k")
+    check_dimension(repeats, "repeats")
+    query_points = as_float_matrix(
+        query_points, name="query_points", shape=(None, collection.dimension)
+    )
+    if query_points.shape[0] == 0:
+        raise ValidationError("throughput measurement needs at least one query")
+
+    reference = RetrievalEngine(collection, default_distance=distance)
+    reference_results = None
+    unsharded_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        reference_results = reference.search_batch(query_points, k)
+        unsharded_seconds = min(unsharded_seconds, time.perf_counter() - start)
+
+    def timed(engine: ShardedEngine) -> tuple[list, float]:
+        results, seconds = None, float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            results = engine.search_batch(query_points, k)
+            seconds = min(seconds, time.perf_counter() - start)
+        return results, seconds
+
+    timings: dict[str, float] = {}
+    identical = True
+    for label, workers, backend in (
+        ("serial", 1, "thread"),
+        ("thread", n_workers, "thread"),
+        ("process", n_workers, "process"),
+    ):
+        with ShardedEngine(
+            collection,
+            n_shards,
+            n_workers=workers,
+            backend=backend,
+            default_distance=distance,
+            index_factory=index_factory,
+        ) as engine:
+            results, timings[label] = timed(engine)
+        identical = identical and _identical(results, reference_results)
+
+    return BackendThroughputResult(
+        n_queries=int(query_points.shape[0]),
+        k=int(k),
+        n_shards=int(n_shards),
+        n_workers=int(n_workers),
+        unsharded_seconds=unsharded_seconds,
+        serial_seconds=timings["serial"],
+        thread_seconds=timings["thread"],
+        process_seconds=timings["process"],
+        identical_results=identical,
     )

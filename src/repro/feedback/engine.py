@@ -168,6 +168,11 @@ class FeedbackEngine:
         """The per-query iteration budget."""
         return self._max_iterations
 
+    @property
+    def variance_floor(self) -> float:
+        """Floor on per-component variance inside the re-weighting rules."""
+        return self._variance_floor
+
     # ------------------------------------------------------------------ #
     # Step primitives
     # ------------------------------------------------------------------ #

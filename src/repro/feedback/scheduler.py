@@ -42,8 +42,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.database.engine import RetrievalEngine
 from repro.database.query import ResultSet
 from repro.feedback.engine import FeedbackEngine, FeedbackLoopResult, FeedbackState, Judge
+from repro.feedback.reweighting import ReweightingRule
 from repro.utils.validation import ValidationError
 
 __all__ = ["LoopRequest", "FeedbackFrontier", "LoopScheduler"]
@@ -270,6 +272,65 @@ class FeedbackFrontier:
         return [entry.result() for entry in self._entries]
 
 
+@dataclass(frozen=True)
+class _SubFrontierSpec:
+    """One process-backend sub-frontier, as a small pickle.
+
+    Carries the shared-memory corpus handle (never the corpus), the
+    feedback engine's configuration and the chunk of requests — the judges
+    inside the requests are picklable
+    :class:`~repro.evaluation.simulated_user.CategoryJudge`-style callables
+    that carry labels, not vectors.
+    """
+
+    corpus: "object"  # SharedCorpusHandle (typed loosely to keep pickles lean)
+    reweighting_rule: ReweightingRule
+    move_query_point: bool
+    max_iterations: int
+    variance_floor: float
+    requests: "tuple[LoopRequest, ...]"
+
+
+#: Worker-process cache of the one attached corpus (keyed by segment name).
+#: A long-lived worker attaches each corpus exactly once and reuses the
+#: mapping across every sub-frontier chunk of a stream; when a *different*
+#: corpus arrives (a new transient segment), the stale attachment is
+#: released first, so the cache never holds more than one corpus.
+_ATTACHED_CORPORA: dict = {}
+
+
+def _attached_collection(handle):
+    cached = _ATTACHED_CORPORA.get(handle.name)
+    if cached is None:
+        for name in list(_ATTACHED_CORPORA):
+            _ATTACHED_CORPORA.pop(name).close()
+        cached = _ATTACHED_CORPORA[handle.name] = handle.attach()
+    return cached.collection
+
+
+def _run_subfrontier(spec: _SubFrontierSpec) -> "tuple[list[FeedbackLoopResult], dict]":
+    """Run one sub-frontier to completion inside a worker process.
+
+    Builds a plain :class:`~repro.database.engine.RetrievalEngine` over the
+    attached shared corpus (byte-identical to any conforming engine by the
+    library contract), runs the chunk's frontier, and returns the loop
+    results together with the worker engine's stats snapshot so the parent
+    can absorb the accounting.
+    """
+    collection = _attached_collection(spec.corpus)
+    engine = RetrievalEngine(collection)
+    feedback = FeedbackEngine(
+        engine,
+        reweighting_rule=spec.reweighting_rule,
+        move_query_point=spec.move_query_point,
+        max_iterations=spec.max_iterations,
+        variance_floor=spec.variance_floor,
+    )
+    frontier = FeedbackFrontier(feedback, list(spec.requests))
+    frontier.run_to_completion()
+    return frontier.results(), engine.stats()
+
+
 class LoopScheduler:
     """Batches relevance-feedback loops across queries, iteration by iteration.
 
@@ -312,34 +373,55 @@ class LoopScheduler:
         *,
         n_workers: int | None = None,
         pool: "WorkerPool | None" = None,
+        backend: str = "thread",
     ) -> "list[FeedbackLoopResult]":
         """Run the requests on per-worker sub-frontiers, in parallel.
 
         The frontier advances every query independently — iteration *i* of
         query ``f`` never reads another query's state — so the request list
         splits into ``n_workers`` contiguous sub-frontiers that run to
-        completion concurrently (one :class:`FeedbackFrontier` per worker,
-        threads from a :class:`~repro.database.sharding.WorkerPool`).  The
-        concatenated results are byte-identical to :meth:`run`, and hence to
-        the sequential ``run_loop`` per request, for every worker count.
+        completion concurrently (one :class:`FeedbackFrontier` per worker).
+        The concatenated results are byte-identical to :meth:`run`, and
+        hence to the sequential ``run_loop`` per request, for every worker
+        count and backend.
+
+        ``backend="thread"`` runs the sub-frontiers on threads against this
+        scheduler's own feedback engine.  ``backend="process"`` ships each
+        sub-frontier to a worker process: the corpus travels as a
+        :class:`~repro.database.sharding.SharedCorpusHandle` (reusing the
+        engine's existing shared segment when the engine is a
+        process-backend :class:`~repro.database.sharding.ShardedEngine`,
+        staging a transient one otherwise), the requests as small pickles —
+        their judges must be picklable, as
+        :meth:`~repro.evaluation.simulated_user.SimulatedUser.judge_for_query`'s
+        are — and each worker runs its chunk against its own engine over the
+        attached corpus.  The workers' volume/feedback counters are absorbed
+        back into this scheduler's engine, so the parent's accounting
+        matches the in-process run (per-shard dispatch counters excepted;
+        see :meth:`~repro.database.sharding.ShardedEngine.absorb_counters`).
 
         Pass either ``n_workers`` (a transient pool is created and closed
-        here) or an existing ``pool`` to reuse its threads across calls.
-        The pool must be dedicated to this scheduler layer: sub-frontier
-        tasks fan their searches out through the *retrieval engine's* own
-        pool when that engine is sharded, and sharing one pool across the
-        two layers could deadlock (every worker waiting for a nested task
-        that no free worker can run).
+        here) or an existing ``pool`` (its backend must match) to reuse its
+        workers across calls.  The pool must be dedicated to this scheduler
+        layer: sub-frontier tasks fan their searches out through the
+        *retrieval engine's* own pool when that engine is sharded, and
+        sharing one pool across the two layers could deadlock (every worker
+        waiting for a nested task that no free worker can run).
         """
-        from repro.database.sharding import WorkerPool
+        from repro.database.sharding import WorkerPool, _check_backend
 
+        backend = _check_backend(backend)
         if not requests:
             return []
         if (n_workers is None) == (pool is None):
             raise ValidationError("run_sharded takes exactly one of n_workers or pool")
+        if pool is not None and pool.backend != backend:
+            raise ValidationError(
+                f"run_sharded(backend={backend!r}) was given a {pool.backend!r}-backend pool"
+            )
         owned = pool is None
         if owned:
-            pool = WorkerPool(n_workers)
+            pool = WorkerPool(n_workers, backend=backend)
         try:
             chunk_count = min(pool.n_workers, len(requests))
             boundaries = np.linspace(0, len(requests), chunk_count + 1).astype(int)
@@ -348,6 +430,9 @@ class LoopScheduler:
                 for start, stop in zip(boundaries[:-1], boundaries[1:])
                 if stop > start
             ]
+
+            if backend == "process":
+                return self._run_chunks_in_processes(chunks, pool)
 
             def run_chunk(chunk: "list[LoopRequest]") -> "list[FeedbackLoopResult]":
                 frontier = FeedbackFrontier(self._feedback, chunk)
@@ -358,6 +443,49 @@ class LoopScheduler:
         finally:
             if owned:
                 pool.close()
+
+    def _run_chunks_in_processes(
+        self, chunks: "list[list[LoopRequest]]", pool: "WorkerPool"
+    ) -> "list[FeedbackLoopResult]":
+        """Ship the sub-frontier chunks to worker processes and merge back."""
+        from repro.database.sharding import SharedCorpus
+
+        engine = self._feedback.retrieval_engine
+        handle = getattr(engine, "shared_corpus_handle", None)
+        staged: "SharedCorpus | None" = None
+        if handle is None:
+            staged = SharedCorpus(engine.collection)
+            handle = staged.handle
+        try:
+            specs = [
+                _SubFrontierSpec(
+                    corpus=handle,
+                    reweighting_rule=self._feedback.reweighting_rule,
+                    move_query_point=self._feedback.move_query_point,
+                    max_iterations=self._feedback.max_iterations,
+                    variance_floor=self._feedback.variance_floor,
+                    requests=tuple(chunk),
+                )
+                for chunk in chunks
+            ]
+            results: "list[FeedbackLoopResult]" = []
+            for chunk_results, worker_stats in pool.map(_run_subfrontier, specs):
+                results.extend(chunk_results)
+                engine.absorb_counters(worker_stats)
+            return results
+        finally:
+            # A serial pool (n_workers=1, or closed) ran the chunks inline
+            # in *this* process, leaving the corpus attached in our own
+            # module-level cache; evict it so the parent does not retain a
+            # second corpus-sized mapping for the process lifetime (a later
+            # inline call simply re-attaches, which is cheap).  Worker
+            # processes keep their cached mapping — POSIX keeps unlinked
+            # pages alive — and evict when a different corpus arrives.
+            cached = _ATTACHED_CORPORA.pop(handle.name, None)
+            if cached is not None:
+                cached.close()
+            if staged is not None:
+                staged.close()
 
     def run_loops(
         self,

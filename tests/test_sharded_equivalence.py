@@ -53,10 +53,20 @@ def queries(collection) -> np.ndarray:
     return points
 
 
+# Module-level factories: the grid's process-backend configurations ship
+# them to worker processes, so they must be picklable (no lambdas).
+def _vptree_factory(shard, distance):
+    return VPTreeIndex(shard, distance, leaf_size=4, seed=11)
+
+
+def _mtree_factory(shard, distance):
+    return MTreeIndex(shard, distance, node_capacity=5, seed=11)
+
+
 INDEX_FACTORIES = {
     "linear": None,
-    "vptree": lambda shard, distance: VPTreeIndex(shard, distance, leaf_size=4, seed=11),
-    "mtree": lambda shard, distance: MTreeIndex(shard, distance, node_capacity=5, seed=11),
+    "vptree": _vptree_factory,
+    "mtree": _mtree_factory,
 }
 
 
@@ -81,6 +91,7 @@ def _sampled_grid(n_samples: int = 24):
     worker_counts = [1, 2, 4]
     index_types = list(INDEX_FACTORIES)
     distances = ["euclidean", "weighted", "cityblock"]
+    backends = ["thread", "process"]
     configurations = []
     for _ in range(n_samples):
         n_shards = shard_counts[rng.integers(len(shard_counts))]
@@ -93,6 +104,7 @@ def _sampled_grid(n_samples: int = 24):
                 index_types[rng.integers(len(index_types))],
                 distances[rng.integers(len(distances))],
                 int(k_choices[rng.integers(len(k_choices))]),
+                backends[rng.integers(len(backends))],
             )
         )
     return configurations
@@ -100,12 +112,12 @@ def _sampled_grid(n_samples: int = 24):
 
 class TestShardedSearchEquivalence:
     @pytest.mark.parametrize(
-        "n_shards,n_workers,index_type,distance_name,k",
+        "n_shards,n_workers,index_type,distance_name,k,backend",
         _sampled_grid(),
         ids=lambda value: str(value),
     )
     def test_randomized_grid_matches_unsharded(
-        self, collection, queries, n_shards, n_workers, index_type, distance_name, k
+        self, collection, queries, n_shards, n_workers, index_type, distance_name, k, backend
     ):
         distance = _distance_for(distance_name)
         factory = INDEX_FACTORIES[index_type]
@@ -114,11 +126,12 @@ class TestShardedSearchEquivalence:
             default_distance=distance,
             metric_index=None if factory is None else factory(collection, distance),
         )
-        context = (n_shards, n_workers, index_type, distance_name, k)
+        context = (n_shards, n_workers, index_type, distance_name, k, backend)
         with ShardedEngine(
             collection,
             n_shards,
             n_workers=n_workers,
+            backend=backend,
             default_distance=distance,
             index_factory=factory,
         ) as sharded:
