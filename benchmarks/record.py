@@ -1,10 +1,11 @@
 """Machine-readable throughput trajectory: ``BENCH_throughput.json``.
 
 The prose series under ``benchmarks/results/*.txt`` are good for humans but
-useless for trend analysis across PRs.  This script measures the four
+useless for trend analysis across PRs.  This script measures the five
 throughput layers the repository has grown so far — the batched first-round
-pipeline, the frontier-scheduled feedback phase, and the sharded engine
-under both the thread and the shared-memory process backend — and appends
+pipeline, the frontier-scheduled feedback phase, the sharded engine under
+both the thread and the shared-memory process backend, and the coalescing
+network serving layer against serial per-connection dispatch — and appends
 one JSON entry (queries/sec per path, plus the core count the numbers were
 taken on) to ``BENCH_throughput.json`` at the repository root.  Future PRs
 extend the trajectory instead of re-narrating it.
@@ -91,6 +92,7 @@ def measure(scale: float, n_queries: int, k: int, repeats: int) -> dict:
         measure_backend_speedup,
         measure_batch_speedup,
         measure_feedback_speedup,
+        measure_serving_speedup,
     )
     from repro.features.datasets import build_imsi_like_dataset
     from repro.feedback.engine import FeedbackEngine
@@ -123,6 +125,17 @@ def measure(scale: float, n_queries: int, k: int, repeats: int) -> dict:
     )
     assert backends.identical_results
 
+    serving = measure_serving_speedup(
+        RetrievalEngine(collection),
+        queries,
+        k,
+        n_clients=4,
+        max_batch=4,
+        max_wait=0.0005,
+        repeats=repeats,
+    )
+    assert serving.identical_results
+
     return {
         "cores": int(os.cpu_count() or 1),
         "corpus_size": int(collection.size),
@@ -137,12 +150,15 @@ def measure(scale: float, n_queries: int, k: int, repeats: int) -> dict:
             "sharded_serial": round(backends.serial_qps, 1),
             "sharded_thread": round(backends.thread_qps, 1),
             "sharded_process": round(backends.process_qps, 1),
+            "serving_serial": round(serving.serial_qps, 1),
+            "serving_coalesced": round(serving.coalesced_qps, 1),
         },
         "speedups": {
             "batch": round(batch.speedup, 2),
             "feedback_frontier": round(feedback.speedup, 2),
             "sharded_thread": round(backends.thread_speedup, 2),
             "sharded_process": round(backends.process_speedup, 2),
+            "serving_coalesced": round(serving.speedup, 2),
         },
     }
 

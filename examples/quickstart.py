@@ -10,6 +10,11 @@ prints how the three strategies of the paper compare:
 * AlreadySeen    — first-round results with the parameters the feedback loop
                    converges to for this very query (the upper bound).
 
+It then walks the scaling ladder on the same corpus — batched first rounds
+and frontier-scheduled feedback, sharded multi-worker serving, the
+shared-memory process backend, and finally the coalescing network serving
+layer — with every stage byte-identical to the one before.
+
 Run with::
 
     python examples/quickstart.py
@@ -24,24 +29,25 @@ from repro.evaluation import InteractiveSession, SessionConfig
 from repro.evaluation.metrics import precision_gain
 
 
-def main() -> None:
-    # A ~10% scale corpus keeps the example under a few seconds.
-    dataset = build_imsi_like_dataset(scale=0.1, seed=42)
+def main(scale: float = 0.1, *, n_queries: int = 150, batch_size: int = 16, k: int = 20) -> None:
+    # A ~10% scale corpus keeps the example under a few seconds (the
+    # parameters exist so the docs smoke test can run a miniature pass).
+    dataset = build_imsi_like_dataset(scale=scale, seed=42)
     print(f"Corpus: {dataset.n_images} images, {dataset.n_bins}-bin HSV histograms")
     print(f"Evaluation categories: {', '.join(dataset.evaluation_categories)}")
 
-    config = SessionConfig(k=20, epsilon=0.05)
+    config = SessionConfig(k=k, epsilon=0.05)
     session = InteractiveSession.for_dataset(dataset, config)
 
     rng = np.random.default_rng(7)
-    query_indices = dataset.sample_query_indices(150, rng)
+    query_indices = dataset.sample_query_indices(n_queries, rng)
     # Queries arrive in batches of 16 simultaneous users.  Each batch's
     # Default and Bypass first rounds run through the engine's matrix-form
     # batch path, and the relevance-feedback loops of the whole batch then
     # advance together on the frontier scheduler (LoopScheduler): iteration
     # i of every still-active query is one batched search instead of one
     # scan per query, with results byte-identical to the sequential loops.
-    outcomes = session.run_stream(query_indices, batch_size=16)
+    outcomes = session.run_stream(query_indices, batch_size=batch_size)
 
     # Compare the first and the second half of the stream: the tree keeps
     # learning, so predictions for the second half are better.
@@ -87,7 +93,7 @@ def main() -> None:
     # tie-break, so every outcome is byte-identical to the run above.
     sharded_session = InteractiveSession.for_dataset(dataset, config)
     sharded_outcomes = sharded_session.run_stream(
-        query_indices, batch_size=16, shards=4, workers=2
+        query_indices, batch_size=batch_size, shards=4, workers=2
     )
     sharded_stats = sharded_session.retrieval_engine.stats()
     print()
@@ -107,13 +113,41 @@ def main() -> None:
     # the context manager tears the workers and the segment down.
     with InteractiveSession.for_dataset(dataset, config) as process_session:
         process_outcomes = process_session.run_stream(
-            query_indices, batch_size=16, shards=4, workers=2, backend="process"
+            query_indices, batch_size=batch_size, shards=4, workers=2, backend="process"
         )
         process_stats = process_session.retrieval_engine.stats()
         print(
             f"Process-backend run ({process_stats['shard_count']} shards, "
             f"{process_stats['n_workers']} worker processes): "
             f"outcomes identical = {process_outcomes == outcomes}"
+        )
+
+    # Network serving with request coalescing: the same engine stack behind
+    # a TCP server.  Concurrent connections' queries merge into shared
+    # batched dispatches (one search_batch call instead of one scan per
+    # request) and concurrent feedback loops share one frontier — with
+    # every served answer byte-identical to calling the engine directly.
+    # See examples/serving_session.py for the full client surface.
+    from repro import RetrievalEngine, RetrievalServer, ServerConfig, ServingClient
+
+    engine = RetrievalEngine(session.collection)
+    with RetrievalServer(engine, ServerConfig(max_batch=16)) as server:
+        host, port = server.address
+        with ServingClient(host, port) as client:
+            query_index = int(query_indices[0])
+            served = client.search(session.collection.vectors[query_index], config.k)
+            local = engine.search(session.collection.vectors[query_index], config.k)
+            served_loop = client.run_feedback_loop(
+                session.collection.vectors[query_index],
+                config.k,
+                session.user.judge_for_query(query_index),
+            )
+        window = server.stats()["coalescer"]
+        print()
+        print(
+            f"Served over {host}:{port}: search identical = {served == local}, "
+            f"loop converged = {served_loop.converged}; "
+            f"{window['requests']} requests -> {window['dispatches']} engine dispatches"
         )
 
 

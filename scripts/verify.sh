@@ -16,6 +16,10 @@
 #   --procs    just the process backend: the spawn-safety suite, the
 #              process-equivalence suite and the thread-vs-process
 #              throughput benchmark
+#   --serving  just the network serving layer: the serving equivalence
+#              grid, the coalescer edge-case suite, the serving
+#              concurrency/lifecycle stress tests and the coalescing
+#              throughput benchmark
 #   --full     the entire suite, including the figure-reproduction benchmark
 #              harness under benchmarks/ (equivalent to a bare `pytest`)
 #
@@ -47,6 +51,15 @@ case "${1:-}" in
             tests/test_spawn_safety.py
             tests/test_process_backend.py
             benchmarks/test_throughput_procs.py
+        )
+        ;;
+    --serving)
+        shift
+        targets=(
+            tests/test_serving_coalescer.py
+            tests/test_serving_equivalence.py
+            tests/test_serving_stress.py
+            benchmarks/test_throughput_serving.py
         )
         ;;
     --full)

@@ -12,7 +12,9 @@ depends on:
 * :mod:`repro.database` — k-NN query processing (scan, VP-tree, M-tree),
 * :mod:`repro.feedback` — relevance-feedback engines and the feedback loop,
 * :mod:`repro.evaluation` — metrics, the simulated user and the experiments
-  reproducing the paper's figures.
+  reproducing the paper's figures,
+* :mod:`repro.serving` — the coalescing network serving layer: many client
+  connections, one shared engine, batched dispatches.
 
 Architecture: the batch-first query pipeline
 --------------------------------------------
@@ -53,6 +55,20 @@ additionally models *simultaneous arrival* (see below):
   batch is predicted from the tree state at batch start (a group of
   simultaneous users, none seeing the others' feedback), so outcomes can
   differ from running the same queries one at a time.
+* **serving** — the network layer manufactures the batches the layers
+  below consume: a :class:`~repro.serving.server.RetrievalServer` fronts
+  one shared engine, concurrent connections' queries are admitted into a
+  shared micro-batch window
+  (:class:`~repro.serving.coalescer.RequestCoalescer`: grouped by ``k``
+  and parameter shape, dispatched as one ``search_batch`` /
+  ``search_batch_with_parameters`` call, split back to the callers) and
+  concurrent relevance-feedback loops share one
+  :class:`~repro.feedback.scheduler.FeedbackFrontier`
+  (:class:`~repro.serving.coalescer.FrontierCoalescer`, continuous
+  admission via ``FeedbackFrontier.admit``) — so N interactive users cost
+  ~one frontier dispatch per round instead of N.  Coalescing decides who
+  *shares* a dispatch, never what anyone gets back: served answers are
+  byte-identical to calling the engine directly.
 
 Performance guide: picking an execution backend
 ------------------------------------------------
@@ -96,6 +112,25 @@ additionally read their corpus-side terms from the per-collection
 cost is query-sized work plus one BLAS product — nothing corpus-sized is
 recomputed per batch on any backend.
 
+One level up, the **serving layer** turns those knobs into a deployment:
+front any engine (including a process-backend
+:class:`~repro.database.sharding.ShardedEngine`) with a
+:class:`~repro.serving.server.RetrievalServer` and point N client
+connections at it.  Coalescing is what makes concurrency *cheaper* instead
+of merely concurrent — per-connection RPC dispatch pays one scan per
+request, the shared micro-batch window pays one matrix dispatch per
+``max_batch`` rows — so throughput under concurrent load improves even on
+a single core (batching economics, not parallelism;
+``benchmarks/test_throughput_serving.py`` holds the ≥2× bar on ≥4-core
+machines and a degradation floor elsewhere).  The knobs to know:
+``max_batch`` (window row cap; ``1`` disables coalescing), ``max_wait``
+(``0.0`` = continuous batching with no deliberate delay — sharing comes
+from backpressure; raise it only to grow windows under sparse arrivals),
+and ``own_engine=True`` when the server should tear the engine down
+— worker processes, shared-memory segments and all — on ``close()``.  The
+wire protocol is trusted-network pickle frames: loopback by default, never
+an untrusted port (see ``docs/serving.md``).
+
 Quickstart::
 
     from repro import build_imsi_like_dataset, InteractiveSession, SessionConfig
@@ -113,6 +148,22 @@ Quickstart::
     with InteractiveSession.for_dataset(dataset, SessionConfig(k=20)) as served:
         served.run_stream(range(64), batch_size=16, shards=4, workers=4,
                           backend="process")
+
+    # Network serving with request coalescing: one shared engine, many
+    # connections, concurrent queries merged into batched dispatches —
+    # answers byte-identical to calling the engine directly.
+    from repro import (RetrievalEngine, RetrievalServer, ServerConfig,
+                       ServingClient, SimulatedUser)
+
+    engine = RetrievalEngine(session.collection)
+    with RetrievalServer(engine, ServerConfig(max_batch=32)) as server:
+        host, port = server.address
+        with ServingClient(host, port) as client:
+            results = client.search(session.collection.vectors[0], 20)
+            loop = client.run_feedback_loop(
+                session.collection.vectors[0], 20,
+                SimulatedUser(session.collection).judge_for_query(0))
+        print(server.stats()["coalescer"]["rows_per_dispatch"])
 """
 
 from repro.core import (
@@ -156,6 +207,7 @@ from repro.evaluation import (
     precision,
     recall,
 )
+from repro.serving import RetrievalServer, ServerConfig, ServingClient
 
 __version__ = "0.1.0"
 
@@ -196,5 +248,8 @@ __all__ = [
     "SimulatedUser",
     "precision",
     "recall",
+    "RetrievalServer",
+    "ServerConfig",
+    "ServingClient",
     "__version__",
 ]

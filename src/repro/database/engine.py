@@ -165,6 +165,22 @@ class RetrievalEngine:
         """Number of batched searches dispatched by the frontier scheduler."""
         return self._frontier_batches
 
+    def describe(self) -> dict:
+        """Static shape of this engine: what a serving front end advertises.
+
+        Unlike :meth:`stats` (live counters) this is fixed at construction —
+        the corpus size and dimensionality, the default distance family and
+        whether a metric index is mounted.  The serving layer's ``info`` op
+        returns it so clients can sanity-check what they connected to.
+        """
+        return {
+            "engine": type(self).__name__,
+            "corpus_size": self._collection.size,
+            "dimension": self._collection.dimension,
+            "default_distance": type(self._default_distance).__name__,
+            "metric_index": None if self._metric_index is None else type(self._metric_index).__name__,
+        }
+
     def stats(self) -> dict[str, int]:
         """Dispatch and volume counters of this engine.
 

@@ -842,6 +842,26 @@ class ShardedEngine:
             return self._process_backend.shard_stats()
         return tuple(engine.stats() for engine in self._shard_engines)
 
+    def describe(self) -> dict:
+        """Static shape of this engine: what a serving front end advertises.
+
+        The sharded counterpart of
+        :meth:`~repro.database.engine.RetrievalEngine.describe`: corpus
+        size and dimensionality plus the fan-out layout (shards, workers,
+        backend).  Fixed at construction, so a
+        :class:`~repro.serving.server.RetrievalServer` can answer ``info``
+        requests without touching the worker processes.
+        """
+        return {
+            "engine": type(self).__name__,
+            "corpus_size": self.collection.size,
+            "dimension": self.collection.dimension,
+            "default_distance": type(self._default_distance).__name__,
+            "n_shards": self.n_shards,
+            "n_workers": self.n_workers,
+            "backend": self._backend,
+        }
+
     def stats(self) -> dict:
         """Aggregate counters across the worker pool and every shard.
 

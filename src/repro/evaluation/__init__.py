@@ -13,8 +13,10 @@ This subpackage reproduces Section 5 of the paper:
 * :mod:`repro.evaluation.efficiency` — the Saved-Cycles / Saved-Objects
   experiment,
 * :mod:`repro.evaluation.throughput` — queries/sec of the batched query
-  pipeline against the per-query loop, and of the frontier-scheduled
-  feedback phase against the sequential loops,
+  pipeline against the per-query loop, of the frontier-scheduled feedback
+  phase against the sequential loops, of the sharded engine's worker pool
+  and backends, and of the coalescing network serving layer against serial
+  per-connection dispatch,
 * :mod:`repro.evaluation.reporting` — plain-text rendering of experiment
   results (the series the paper plots).
 """
@@ -48,11 +50,13 @@ from repro.evaluation.efficiency import EfficiencyResult, saved_cycles_experimen
 from repro.evaluation.throughput import (
     BackendThroughputResult,
     FeedbackThroughputResult,
+    ServingThroughputResult,
     ShardedThroughputResult,
     ThroughputResult,
     measure_backend_speedup,
     measure_batch_speedup,
     measure_feedback_speedup,
+    measure_serving_speedup,
     measure_sharded_speedup,
 )
 from repro.evaluation.workloads import (
@@ -72,6 +76,7 @@ from repro.evaluation.reporting import (
     render_feedback_throughput,
     render_k_sweep,
     render_learning_curve,
+    render_serving_throughput,
     render_sharded_throughput,
     render_throughput,
     render_tree_growth,
@@ -102,11 +107,13 @@ __all__ = [
     "saved_cycles_experiment",
     "BackendThroughputResult",
     "FeedbackThroughputResult",
+    "ServingThroughputResult",
     "ShardedThroughputResult",
     "ThroughputResult",
     "measure_backend_speedup",
     "measure_batch_speedup",
     "measure_feedback_speedup",
+    "measure_serving_speedup",
     "measure_sharded_speedup",
     "RepeatRateBenefitResult",
     "category_skewed_workload",
@@ -121,6 +128,7 @@ __all__ = [
     "render_engine_stats",
     "render_feedback_throughput",
     "render_k_sweep",
+    "render_serving_throughput",
     "render_sharded_throughput",
     "render_learning_curve",
     "render_throughput",

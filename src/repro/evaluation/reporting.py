@@ -23,6 +23,7 @@ if TYPE_CHECKING:
     from repro.evaluation.throughput import (
         BackendThroughputResult,
         FeedbackThroughputResult,
+        ServingThroughputResult,
         ShardedThroughputResult,
         ThroughputResult,
     )
@@ -266,3 +267,33 @@ def render_tree_growth(result: TreeGrowthResult) -> str:
     ]
     header = ["queries", "avg simplices traversed", "tree depth", "stored points"]
     return "Simplex-Tree growth (Figure 16)\n" + format_series_table(header, rows)
+
+
+def render_serving_throughput(result: "ServingThroughputResult") -> str:
+    """Serial-vs-coalesced throughput of the network serving layer."""
+    rows = [
+        [
+            "serving-serial",
+            result.n_queries,
+            result.k,
+            result.n_clients,
+            result.serial_dispatches,
+            result.serial_seconds,
+            result.serial_qps,
+        ],
+        [
+            "serving-coalesced",
+            result.n_queries,
+            result.k,
+            result.n_clients,
+            result.coalesced_dispatches,
+            result.coalesced_seconds,
+            result.coalesced_qps,
+        ],
+    ]
+    header = ["path", "queries", "k", "clients", "dispatches", "seconds", "queries/sec"]
+    identical = "identical" if result.identical_results else "DIVERGENT"
+    return (
+        f"Serving throughput (coalescing speedup {result.speedup:.2f}x, results {identical})\n"
+        + format_series_table(header, rows)
+    )

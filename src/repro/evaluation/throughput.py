@@ -27,10 +27,20 @@ head: the same batch runs through the same shard layout serially, over the
 thread pool and over the shared-memory process backend, all checked
 byte-identical against the unsharded reference — the numbers behind the
 thread-vs-process guidance in the performance guide.
+
+:func:`measure_serving_speedup` measures the serving layer's request
+coalescing over real sockets: N concurrent client connections issue the
+same single-query stream against a
+:class:`~repro.serving.server.RetrievalServer` once with coalescing
+disabled (``max_batch=1`` — every request is its own engine dispatch, the
+serial per-connection baseline) and once with the shared micro-batch window
+on, with every served result checked byte-identical against the local
+engine.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -40,6 +50,8 @@ from repro.database.sharding import IndexFactory, ShardedEngine
 from repro.distances.base import DistanceFunction
 from repro.feedback.engine import FeedbackEngine
 from repro.feedback.scheduler import LoopRequest, LoopScheduler
+from repro.serving.client import ServingClient
+from repro.serving.server import RetrievalServer, ServerConfig
 from repro.utils.validation import ValidationError, as_float_matrix, check_dimension
 
 
@@ -508,4 +520,146 @@ def measure_backend_speedup(
         thread_seconds=timings["thread"],
         process_seconds=timings["process"],
         identical_results=identical,
+    )
+
+
+@dataclass(frozen=True)
+class ServingThroughputResult:
+    """Serial-vs-coalesced throughput of the network serving layer.
+
+    Attributes
+    ----------
+    n_queries, k, n_clients:
+        Size and shape of the measured workload: ``n_queries`` single-query
+        ``search`` requests, spread round-robin over ``n_clients``
+        concurrent connections.
+    serial_seconds:
+        Best wall-clock time (over ``repeats``) with coalescing disabled
+        (``max_batch=1``): every connection's request is its own engine
+        dispatch — the per-connection serving baseline.
+    coalesced_seconds:
+        Best time with the shared micro-batch window on: concurrent
+        requests merge into batched dispatches.
+    serial_dispatches, coalesced_dispatches:
+        Engine dispatches each mode actually performed over all timing
+        repeats (from the server's coalescer counters) — the direct
+        evidence of sharing: serial equals the total request count,
+        coalesced is far smaller under concurrency.
+    identical_results:
+        Whether *both* modes returned results byte-identical to the local
+        engine — the serving contract, checked on the measured runs.
+    """
+
+    n_queries: int
+    k: int
+    n_clients: int
+    serial_seconds: float
+    coalesced_seconds: float
+    serial_dispatches: int
+    coalesced_dispatches: int
+    identical_results: bool
+
+    @property
+    def serial_qps(self) -> float:
+        """Queries per second of the uncoalesced (per-request dispatch) server."""
+        return self.n_queries / self.serial_seconds
+
+    @property
+    def coalesced_qps(self) -> float:
+        """Queries per second of the coalescing server."""
+        return self.n_queries / self.coalesced_seconds
+
+    @property
+    def speedup(self) -> float:
+        """How many times faster the coalescing window makes the same traffic."""
+        return self.serial_seconds / self.coalesced_seconds
+
+
+def measure_serving_speedup(
+    engine,
+    query_points,
+    k: int,
+    *,
+    n_clients: int = 4,
+    max_batch: int = 64,
+    max_wait: float = 0.0,
+    repeats: int = 3,
+) -> ServingThroughputResult:
+    """Time the coalescing server against serial per-connection dispatch.
+
+    The same engine is fronted by two servers in turn — ``max_batch=1``
+    (no coalescing: the serving cost model every per-connection RPC design
+    pays) and the real micro-batch window — and ``n_clients`` concurrent
+    client threads, one connection each, issue the query stream as
+    single-query ``search`` requests round-robin.  Connections are opened
+    before the clock starts (steady-state serving), the best wall time over
+    ``repeats`` is kept per mode, and every result from both modes is
+    checked byte-identical against ``engine.search_batch`` run locally —
+    callers should assert it (a fast but diverging window is not a
+    speed-up).  Coalescing wins on batching economics (one matrix dispatch
+    instead of N scans) and therefore helps even on one core, but the ≥2×
+    serving bar is only *enforced* on ≥4-core machines — see
+    ``benchmarks/test_throughput_serving.py``.
+    """
+    check_dimension(k, "k")
+    check_dimension(repeats, "repeats")
+    check_dimension(n_clients, "n_clients")
+    query_points = as_float_matrix(
+        query_points, name="query_points", shape=(None, engine.collection.dimension)
+    )
+    n_queries = query_points.shape[0]
+    if n_queries == 0:
+        raise ValidationError("throughput measurement needs at least one query")
+
+    reference = engine.search_batch(query_points, k)
+
+    def run_mode(config: ServerConfig) -> "tuple[list, float, int]":
+        with RetrievalServer(engine, config) as server:
+            host, port = server.address
+            clients = [ServingClient(host, port) for _ in range(n_clients)]
+            try:
+                results: list = [None] * n_queries
+                best_seconds = float("inf")
+                for _ in range(repeats):
+                    barrier = threading.Barrier(n_clients + 1)
+
+                    def client_main(client_id: int, client: ServingClient) -> None:
+                        barrier.wait()
+                        for position in range(client_id, n_queries, n_clients):
+                            results[position] = client.search(query_points[position], k)
+
+                    threads = [
+                        threading.Thread(target=client_main, args=(client_id, client))
+                        for client_id, client in enumerate(clients)
+                    ]
+                    for thread in threads:
+                        thread.start()
+                    barrier.wait()
+                    start = time.perf_counter()
+                    for thread in threads:
+                        thread.join()
+                    best_seconds = min(best_seconds, time.perf_counter() - start)
+                dispatches = server.stats()["coalescer"]["dispatches"]
+            finally:
+                for client in clients:
+                    client.close()
+        return results, best_seconds, int(dispatches)
+
+    serial_results, serial_seconds, serial_dispatches = run_mode(
+        ServerConfig(max_batch=1, max_wait=0.0)
+    )
+    coalesced_results, coalesced_seconds, coalesced_dispatches = run_mode(
+        ServerConfig(max_batch=max_batch, max_wait=max_wait)
+    )
+
+    return ServingThroughputResult(
+        n_queries=int(n_queries),
+        k=int(k),
+        n_clients=int(n_clients),
+        serial_seconds=serial_seconds,
+        coalesced_seconds=coalesced_seconds,
+        serial_dispatches=serial_dispatches,
+        coalesced_dispatches=coalesced_dispatches,
+        identical_results=_identical(serial_results, reference)
+        and _identical(coalesced_results, reference),
     )

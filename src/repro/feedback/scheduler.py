@@ -134,30 +134,65 @@ class FeedbackFrontier:
     request order.
     """
 
-    def __init__(self, feedback_engine: FeedbackEngine, requests: "list[LoopRequest]") -> None:
+    def __init__(
+        self, feedback_engine: FeedbackEngine, requests: "list[LoopRequest] | tuple" = ()
+    ) -> None:
         self._feedback = feedback_engine
         self._engine = feedback_engine.retrieval_engine
-        self._entries: list[_FrontierEntry] = []
-        for position, request in enumerate(requests):
-            query_point, initial_delta, initial_weights, k = feedback_engine.prepare_loop(
+        # Keyed by admission position (monotonic, insertion-ordered), so
+        # retired entries can be discarded by a long-lived caller without
+        # renumbering the live ones.
+        self._entries: "dict[int, _FrontierEntry]" = {}
+        self._next_position = 0
+        self.admit(requests)
+
+    def admit(self, requests: "list[LoopRequest] | tuple") -> "list[int]":
+        """Admit ``requests`` into the frontier, running their first rounds.
+
+        The frontier advances every query independently — iteration *i* of
+        one entry never reads another entry's state — so admission composes
+        freely with a frontier that is already mid-flight: new entries run
+        their (batched) first-round searches here and join the next
+        :meth:`advance`, while each admitted query's loop remains
+        byte-identical to its own sequential
+        :meth:`~repro.feedback.engine.FeedbackEngine.run_loop`.  This is the
+        continuous-batching hook the serving layer's shared frontier uses to
+        merge feedback rounds of sessions that arrive at different times.
+
+        Admission is atomic: the new entries only join the frontier after
+        their first-round searches succeed, so a validation or dispatch
+        failure here leaves the running frontier exactly as it was.
+
+        Returns the admitted entries' frontier positions, in request order
+        (fetch finished loops with :meth:`result_at`).
+        """
+        staged: list[_FrontierEntry] = []
+        for request in requests:
+            query_point, initial_delta, initial_weights, k = self._feedback.prepare_loop(
                 request.query_point, request.k, request.initial_delta, request.initial_weights
             )
-            entry = _FrontierEntry(position, query_point, initial_delta, k, request.judge)
+            entry = _FrontierEntry(
+                self._next_position + len(staged), query_point, initial_delta, k, request.judge
+            )
             entry.state = FeedbackState(
                 query_point=query_point + initial_delta, weights=initial_weights
             )
             entry.initial_state = entry.state
-            self._entries.append(entry)
+            staged.append(entry)
 
         # First rounds, batched: one search_batch_with_parameters dispatch
         # per distinct k, searching under the *original* initial deltas —
         # recomputing them from the states (``(q + Δ) - q``) would not be
         # bit-identical to the Δ the sequential loop passes.
-        for group in self._group_by_k(self._entries):
+        for group in self._group_by_k(staged):
             results = self._dispatch(group)
             for entry, result_set in zip(group, results):
                 entry.results = result_set
                 entry.initial_results = result_set
+        for entry in staged:
+            self._entries[entry.position] = entry
+        self._next_position += len(staged)
+        return [entry.position for entry in staged]
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -168,11 +203,11 @@ class FeedbackFrontier:
     @property
     def active_count(self) -> int:
         """Number of queries still iterating."""
-        return sum(1 for entry in self._entries if not entry.done)
+        return sum(1 for entry in self._entries.values() if not entry.done)
 
     @property
     def retired_count(self) -> int:
-        """Number of queries whose loops have finished."""
+        """Number of retained queries whose loops have finished."""
         return len(self._entries) - self.active_count
 
     # ------------------------------------------------------------------ #
@@ -220,7 +255,7 @@ class FeedbackFrontier:
         retires the queries that converged or exhausted the iteration
         budget.  Returns the number of queries still active afterwards.
         """
-        active = [entry for entry in self._entries if not entry.done]
+        active = [entry for entry in self._entries.values() if not entry.done]
         if not active:
             return 0
 
@@ -259,17 +294,57 @@ class FeedbackFrontier:
         while self.advance():
             pass
 
+    def _entry_at(self, position: int) -> _FrontierEntry:
+        entry = self._entries.get(position)
+        if entry is None:
+            raise ValidationError(f"unknown or discarded frontier position {position}")
+        return entry
+
+    def is_done(self, position: int) -> bool:
+        """Whether the entry at ``position`` has retired from the frontier."""
+        return self._entry_at(position).done
+
+    def result_at(self, position: int) -> FeedbackLoopResult:
+        """The finished loop result of one entry (by admission position).
+
+        Raises when that entry is still active — the serving layer polls
+        :meth:`is_done` between :meth:`advance` rounds and collects each
+        loop the moment it retires, without waiting for the rest of the
+        frontier.
+        """
+        entry = self._entry_at(position)
+        if not entry.done:
+            raise ValidationError(f"frontier entry {position} is still active")
+        return entry.result()
+
+    def discard(self, position: int) -> None:
+        """Release a retired entry whose result has been collected.
+
+        A long-lived frontier (the serving layer admits loops into one
+        frontier for as long as traffic overlaps) would otherwise retain
+        every finished loop's state and result sets forever, and every
+        :meth:`advance` would rescan them: discarding keeps the frontier's
+        memory and per-round cost proportional to the *active* loops.
+        Active entries cannot be discarded — they are still iterating.
+        """
+        if not self._entry_at(position).done:
+            raise ValidationError(f"frontier entry {position} is still active")
+        del self._entries[position]
+
     def results(self) -> "list[FeedbackLoopResult]":
-        """The finished loop results, in request order.
+        """The finished loop results of every retained entry, in admission order.
 
         Raises when some queries are still active — drive the frontier with
-        :meth:`advance` / :meth:`run_to_completion` first.
+        :meth:`advance` / :meth:`run_to_completion` first.  Entries released
+        with :meth:`discard` are no longer reported (the batch entry points
+        :meth:`LoopScheduler.run` / ``run_sharded`` never discard, so for
+        them this is exactly one result per request, in request order).
         """
         if self.active_count:
             raise ValidationError(
                 f"{self.active_count} queries are still active on the frontier"
             )
-        return [entry.result() for entry in self._entries]
+        return [entry.result() for entry in self._entries.values()]
 
 
 @dataclass(frozen=True)

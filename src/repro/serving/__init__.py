@@ -1,0 +1,50 @@
+"""The coalescing network serving layer.
+
+Many interactive users, one shared engine: this subpackage puts the batched
+machinery of the layers below — ``search_batch``, the frontier scheduler,
+the sharded multi-worker engines — behind a TCP service whose core is
+*request coalescing*:
+
+* :mod:`repro.serving.protocol` — the length-prefixed pickle wire format,
+* :mod:`repro.serving.coalescer` — the shared micro-batch window for k-NN
+  queries (:class:`RequestCoalescer`) and the shared feedback frontier for
+  relevance-feedback loops (:class:`FrontierCoalescer`),
+* :mod:`repro.serving.sessions` — server-held state of client-driven
+  multi-round feedback sessions,
+* :mod:`repro.serving.server` — :class:`RetrievalServer`, the
+  thread-per-connection front end,
+* :mod:`repro.serving.client` — :class:`ServingClient`, the engine contract
+  over a socket.
+
+The layer's contract is the library-wide one: coalescing changes *who
+shares a dispatch*, never results — every answer is byte-identical to
+calling the engine (or :meth:`~repro.feedback.engine.FeedbackEngine.run_loop`)
+directly.  See ``docs/serving.md`` for the wire protocol and the
+coalescing semantics.
+"""
+
+from repro.serving.client import ServingClient, ServingError
+from repro.serving.coalescer import FrontierCoalescer, RequestCoalescer
+from repro.serving.protocol import (
+    ConnectionClosed,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+from repro.serving.server import RetrievalServer, ServerConfig
+from repro.serving.sessions import ServingSession, SessionManager
+
+__all__ = [
+    "ConnectionClosed",
+    "FrontierCoalescer",
+    "ProtocolError",
+    "RequestCoalescer",
+    "RetrievalServer",
+    "ServerConfig",
+    "ServingClient",
+    "ServingError",
+    "ServingSession",
+    "SessionManager",
+    "recv_message",
+    "send_message",
+]

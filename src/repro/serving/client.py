@@ -1,0 +1,223 @@
+"""The serving client: the engine's query surface, over a socket.
+
+:class:`ServingClient` speaks the length-prefixed pickle protocol of
+:mod:`repro.serving.protocol` to a
+:class:`~repro.serving.server.RetrievalServer` and mirrors the engine
+contract method for method — ``search`` / ``search_batch`` / ``run_batch``
+/ parameterised search — plus the two feedback shapes: :meth:`run_feedback_loop`
+ships a picklable judge to the server (which runs the loop on the shared,
+coalesced frontier), and :meth:`run_feedback_session` keeps the judge local
+and drives the loop round by round over the wire (open, judge, send
+judgments, repeat), which is the real interactive-user shape.
+
+Both return values byte-identical to the corresponding local
+:class:`~repro.feedback.engine.FeedbackEngine` call — the serving layer's
+contract, enforced by ``tests/test_serving_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import numpy as np
+
+from repro.database.query import Query, ResultSet
+from repro.feedback.engine import FeedbackLoopResult, Judge
+from repro.feedback.scores import JudgmentBatch
+from repro.serving.protocol import recv_message, send_message
+from repro.utils.validation import ValidationError
+
+__all__ = ["ServingClient", "ServingError"]
+
+
+class ServingError(RuntimeError):
+    """A server-side failure, re-raised client-side with the server's message."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+
+
+class ServingClient:
+    """One connection to a :class:`~repro.serving.server.RetrievalServer`.
+
+    The client is thread-safe in the trivial way — one lock serialises the
+    request/response exchange — but the serving layer's concurrency model
+    is *one client per connection*: parallel callers should each open their
+    own client so their requests can actually coalesce server-side instead
+    of queueing on a shared socket.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: "float | None" = None) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        # The conversation is many tiny frames; never wait for Nagle.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def close(self) -> None:
+        """Close the connection (idempotent); open sessions are dropped server-side."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _call(self, op: str, **payload):
+        message = {"op": op, **payload}
+        with self._lock:
+            if self._closed:
+                raise ValidationError("the serving client is closed")
+            send_message(self._sock, message)
+            response = recv_message(self._sock)
+        if not isinstance(response, dict) or "ok" not in response:
+            raise ServingError("protocol", f"malformed response {response!r}")
+        if not response["ok"]:
+            if response.get("error") == "validation":
+                raise ValidationError(response.get("message", "validation failed"))
+            raise ServingError(response.get("error", "error"), response.get("message", ""))
+        return response["result"]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def ping(self) -> str:
+        """Round-trip liveness check."""
+        return self._call("ping")
+
+    def info(self) -> dict:
+        """The server's engine description and serving configuration."""
+        return self._call("info")
+
+    def stats(self) -> dict:
+        """The server's aggregated engine / coalescer / frontier counters."""
+        return self._call("stats")
+
+    # ------------------------------------------------------------------ #
+    # The query contract
+    # ------------------------------------------------------------------ #
+    def search(self, query_point, k: int) -> ResultSet:
+        """k-NN search of one query point (coalesced server-side)."""
+        return self._call("search", query_point=np.asarray(query_point, dtype=np.float64), k=int(k))
+
+    def search_batch(self, query_points, k: int) -> "list[ResultSet]":
+        """k-NN search of a query matrix, one result list per row."""
+        return self._call(
+            "search_batch", query_points=np.asarray(query_points, dtype=np.float64), k=int(k)
+        )
+
+    def run_batch(self, queries: "list[Query]") -> "list[ResultSet]":
+        """Execute :class:`~repro.database.query.Query` objects (mixed ``k`` fine)."""
+        return self._call(
+            "run_batch",
+            queries=[(np.asarray(query.point, dtype=np.float64), int(query.k)) for query in queries],
+        )
+
+    def search_with_parameters(self, query_point, k: int, delta, weights) -> ResultSet:
+        """Parameterised search (``q + Δ``, weights ``W``) of one query."""
+        return self._call(
+            "search_with_parameters",
+            query_point=np.asarray(query_point, dtype=np.float64),
+            k=int(k),
+            delta=np.asarray(delta, dtype=np.float64),
+            weights=np.asarray(weights, dtype=np.float64),
+        )
+
+    def search_batch_with_parameters(self, query_points, k: int, deltas, weights) -> "list[ResultSet]":
+        """Batched parameterised search, one ``(Δ, W)`` row per query."""
+        return self._call(
+            "search_batch_with_parameters",
+            query_points=np.asarray(query_points, dtype=np.float64),
+            k=int(k),
+            deltas=np.asarray(deltas, dtype=np.float64),
+            weights=np.asarray(weights, dtype=np.float64),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Feedback loops
+    # ------------------------------------------------------------------ #
+    def run_feedback_loop(
+        self, query_point, k: int, judge: Judge, *, initial_delta=None, initial_weights=None
+    ) -> FeedbackLoopResult:
+        """Run one relevance-feedback loop on the server's shared frontier.
+
+        ``judge`` travels to the server, so it must be picklable —
+        :class:`~repro.evaluation.simulated_user.CategoryJudge` is the
+        bundled example.  Byte-identical to the local
+        :meth:`~repro.feedback.engine.FeedbackEngine.run_loop`, however many
+        other connections' loops share the frontier rounds.
+        """
+        return self._call(
+            "feedback_loop",
+            query_point=np.asarray(query_point, dtype=np.float64),
+            k=int(k),
+            judge=judge,
+            initial_delta=None if initial_delta is None else np.asarray(initial_delta, dtype=np.float64),
+            initial_weights=None
+            if initial_weights is None
+            else np.asarray(initial_weights, dtype=np.float64),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Interactive multi-round sessions
+    # ------------------------------------------------------------------ #
+    def open_session(self, query_point, k: int, *, initial_delta=None, initial_weights=None) -> dict:
+        """Open an interactive session; returns ``session_id`` and first results."""
+        return self._call(
+            "session_open",
+            query_point=np.asarray(query_point, dtype=np.float64),
+            k=int(k),
+            initial_delta=None if initial_delta is None else np.asarray(initial_delta, dtype=np.float64),
+            initial_weights=None
+            if initial_weights is None
+            else np.asarray(initial_weights, dtype=np.float64),
+        )
+
+    def session_feedback(self, session_id: int, indices, scores) -> dict:
+        """Send one round of relevance judgments; returns the round payload."""
+        return self._call(
+            "session_feedback",
+            session_id=int(session_id),
+            indices=np.asarray(indices, dtype=np.intp),
+            scores=np.asarray(scores, dtype=np.float64),
+        )
+
+    def close_session(self, session_id: int) -> FeedbackLoopResult:
+        """Close a session and collect its loop outcome."""
+        return self._call("session_close", session_id=int(session_id))
+
+    def run_feedback_session(
+        self, query_point, k: int, judge: Judge, *, initial_delta=None, initial_weights=None
+    ) -> FeedbackLoopResult:
+        """Drive an interactive session with a *local* judge, round by round.
+
+        The network-shaped twin of :meth:`run_feedback_loop`: the judge
+        never leaves this process — each round the client judges the
+        current results and ships only ``(indices, scores)``.  The server
+        applies :meth:`~repro.feedback.engine.FeedbackEngine.run_loop`'s
+        transitions verbatim, so the returned
+        :class:`~repro.feedback.engine.FeedbackLoopResult` is byte-identical
+        to the local sequential loop with the same judge.
+        """
+        opened = self.open_session(
+            query_point, k, initial_delta=initial_delta, initial_weights=initial_weights
+        )
+        session_id = opened["session_id"]
+        results = opened["results"]
+        done = opened["done"]
+        while not done:
+            judgments = JudgmentBatch.from_judgments(judge(results))
+            reply = self.session_feedback(session_id, judgments.indices, judgments.scores)
+            if reply["results"] is not None:
+                results = reply["results"]
+            done = reply["done"]
+        return self.close_session(session_id)

@@ -1,0 +1,93 @@
+"""The serving layer's wire protocol: length-prefixed pickle frames.
+
+One frame is a 4-byte big-endian unsigned length followed by exactly that
+many bytes of pickle payload.  Both directions speak the same frame format;
+a conversation is a strict request/response alternation driven by the
+client.  Requests are small dicts (``{"op": <name>, ...}``), responses are
+``{"ok": True, "result": ...}`` or ``{"ok": False, "error": <kind>,
+"message": <text>}`` — see ``docs/serving.md`` for the full op reference.
+
+Pickle is the payload codec because the values that cross the wire are the
+library's own value objects — query matrices,
+:class:`~repro.database.query.ResultSet`\\ s,
+:class:`~repro.feedback.engine.FeedbackLoopResult`\\ s and picklable judges
+such as :class:`~repro.evaluation.simulated_user.CategoryJudge` — whose
+float64 bits must survive the round-trip untouched (the serving layer's
+byte-identity contract).  JSON would silently lose that exactness and
+cannot carry a judge at all.
+
+.. warning:: Pickle deserialisation executes arbitrary code by design.
+   The protocol is for **trusted networks only** (the server binds to
+   loopback by default); never expose a
+   :class:`~repro.serving.server.RetrievalServer` port to untrusted
+   clients.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+__all__ = [
+    "ConnectionClosed",
+    "ProtocolError",
+    "recv_message",
+    "send_message",
+    "MAX_FRAME_BYTES",
+]
+
+#: Frame header: one big-endian uint32 payload length.
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's payload.  Far above any legitimate message
+#: (query batches and result lists are kilobytes), so a corrupt or
+#: misaligned stream fails fast instead of attempting a gigabyte read.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class ConnectionClosed(Exception):
+    """The peer closed the connection at a frame boundary (clean EOF)."""
+
+
+class ProtocolError(Exception):
+    """The stream violated the framing (mid-frame EOF or oversized frame)."""
+
+
+def _recv_exactly(sock, n_bytes: int) -> bytes:
+    """Read exactly ``n_bytes`` from a socket, or raise on early EOF."""
+    chunks: list[bytes] = []
+    remaining = n_bytes
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ProtocolError(
+                f"connection closed mid-frame ({n_bytes - remaining} of {n_bytes} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(sock, message) -> None:
+    """Pickle ``message`` and write it as one length-prefixed frame."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"message of {len(payload)} bytes exceeds the frame limit")
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_message(sock):
+    """Read one frame and unpickle it.
+
+    Raises :class:`ConnectionClosed` on a clean EOF (no header byte read) —
+    the normal end of a conversation — and :class:`ProtocolError` on a
+    truncated or oversized frame.
+    """
+    first = sock.recv(1)
+    if not first:
+        raise ConnectionClosed("peer closed the connection")
+    header = first + _recv_exactly(sock, _HEADER.size - 1)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the frame limit")
+    return pickle.loads(_recv_exactly(sock, length))

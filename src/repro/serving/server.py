@@ -1,0 +1,400 @@
+"""The coalescing network server fronting one shared engine.
+
+:class:`RetrievalServer` binds a TCP port and serves the full retrieval
+query contract — ``search`` / ``search_batch`` / ``run_batch`` / k-NN with
+per-query ``(Δ, W)`` parameters — plus relevance-feedback loops (judge
+shipped to the server, run on the shared
+:class:`~repro.serving.coalescer.FrontierCoalescer`) and interactive
+multi-round sessions (judgments shipped per round, state held by the
+:class:`~repro.serving.sessions.SessionManager`), all over the
+length-prefixed pickle frames of :mod:`repro.serving.protocol`.
+
+One engine — a :class:`~repro.database.engine.RetrievalEngine` or a
+:class:`~repro.database.sharding.ShardedEngine` on either backend — is
+shared by every connection.  Concurrency is threads-per-connection
+(:class:`socketserver.ThreadingTCPServer`), which is exactly the shape the
+coalescers feed on: handler threads park their queries in the shared
+micro-batch window / frontier and the batched machinery of the layers below
+does the work.  Results are byte-identical to calling the engine directly
+(tier-1, ``tests/test_serving_equivalence.py``).
+
+Lifecycle: :meth:`RetrievalServer.close` (or the context manager) stops
+accepting, refuses new feedback loops while draining the in-flight ones
+(bounded by the iteration budget), disconnects the remaining clients and —
+when the server owns the engine — closes the engine too, releasing worker
+processes and shared-memory segments deterministically.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.database.engine import run_grouped_by_k
+from repro.database.query import Query
+from repro.feedback.engine import FeedbackEngine
+from repro.feedback.reweighting import ReweightingRule
+from repro.feedback.scheduler import LoopRequest
+from repro.serving.coalescer import FrontierCoalescer, RequestCoalescer
+from repro.serving.protocol import ConnectionClosed, ProtocolError, recv_message, send_message
+from repro.serving.sessions import SessionManager
+from repro.utils.validation import ValidationError, check_dimension
+
+__all__ = ["ServerConfig", "RetrievalServer"]
+
+#: Protocol revision, echoed by the ``info`` op so clients can sanity-check.
+PROTOCOL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs of a :class:`RetrievalServer`.
+
+    Attributes
+    ----------
+    host, port:
+        Bind address.  Port ``0`` (default) asks the OS for an ephemeral
+        port — read the real one from :attr:`RetrievalServer.address`.
+    max_batch, max_wait:
+        The micro-batch window of the request coalescer: ``max_batch``
+        caps a window's rows (``1`` disables coalescing — the serial
+        per-connection baseline), ``max_wait`` optionally holds a
+        not-yet-full window open to grow it (``0.0``, the default, is pure
+        continuous batching: no deliberate delay, sharing comes from
+        backpressure).  ``max_wait`` also paces the frontier coalescer's
+        admission window.
+    reweighting_rule, move_query_point, max_iterations, variance_floor:
+        The feedback-engine configuration the server runs loops and
+        sessions under — match them to the
+        :class:`~repro.evaluation.session.SessionConfig` being reproduced.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch: int = 64
+    max_wait: float = 0.0
+    reweighting_rule: ReweightingRule = ReweightingRule.OPTIMAL
+    move_query_point: bool = True
+    max_iterations: int = 10
+    variance_floor: float = 1e-6
+
+    def __post_init__(self) -> None:
+        check_dimension(self.max_batch, "max_batch")
+        check_dimension(self.max_iterations, "max_iterations")
+        if self.max_wait < 0:
+            raise ValidationError("max_wait must be non-negative")
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    """Thread-per-connection TCP front end bound to one serving instance."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, serving: "RetrievalServer") -> None:
+        super().__init__(address, _ConnectionHandler)
+        self.serving = serving
+
+
+class _ConnectionHandler(socketserver.BaseRequestHandler):
+    """One client connection: a strict request/response frame loop."""
+
+    def handle(self) -> None:
+        serving: "RetrievalServer" = self.server.serving
+        owner = object()  # unique ownership token of this connection
+        serving._track_connection(self.request, owner, opened=True)
+        try:
+            while True:
+                try:
+                    message = recv_message(self.request)
+                except ConnectionClosed:
+                    break
+                # The response leaves inside the in-flight window so a
+                # draining close() never cuts a connection mid-answer.
+                serving._begin_request()
+                try:
+                    send_message(self.request, serving._respond(message, owner))
+                finally:
+                    serving._end_request()
+        except (ProtocolError, OSError):
+            # Torn-down or misbehaving connection; per-connection state is
+            # dropped below and the server keeps serving everyone else.
+            pass
+        finally:
+            serving._track_connection(self.request, owner, opened=False)
+
+
+class RetrievalServer:
+    """Serve one shared engine to many connections, with request coalescing.
+
+    Parameters
+    ----------
+    engine:
+        The engine to front — a
+        :class:`~repro.database.engine.RetrievalEngine` or a
+        :class:`~repro.database.sharding.ShardedEngine` (any backend).
+        Shared by every connection; searches are read-only and counters are
+        lock-protected, so no extra synchronisation is needed.
+    config:
+        A :class:`ServerConfig`; defaults throughout.
+    own_engine:
+        When true, :meth:`close` also closes the engine — worker pools,
+        worker processes and shared-memory segments are released as part of
+        the server's own teardown (the deployment shape where the server is
+        the engine's only user).
+    """
+
+    def __init__(self, engine, config: "ServerConfig | None" = None, *, own_engine: bool = False) -> None:
+        self._engine = engine
+        self._config = config if config is not None else ServerConfig()
+        self._own_engine = bool(own_engine)
+        self._feedback = FeedbackEngine(
+            engine,
+            reweighting_rule=self._config.reweighting_rule,
+            move_query_point=self._config.move_query_point,
+            max_iterations=self._config.max_iterations,
+            variance_floor=self._config.variance_floor,
+        )
+        self._coalescer = RequestCoalescer(
+            engine, max_batch=self._config.max_batch, max_wait=self._config.max_wait
+        )
+        self._frontier = FrontierCoalescer(self._feedback, max_wait=self._config.max_wait)
+        self._sessions = SessionManager(self._feedback, self._coalescer)
+        self._tcp: "_TCPServer | None" = None
+        self._acceptor: "threading.Thread | None" = None
+        self._closed = False
+        self._connection_lock = threading.Lock()
+        self._idle = threading.Condition(self._connection_lock)
+        self._open_connections: dict = {}
+        self._n_connections = 0
+        self._in_flight = 0
+        self._ops = {
+            "ping": self._op_ping,
+            "info": self._op_info,
+            "stats": self._op_stats,
+            "search": self._op_search,
+            "search_batch": self._op_search_batch,
+            "run_batch": self._op_run_batch,
+            "search_with_parameters": self._op_search_with_parameters,
+            "search_batch_with_parameters": self._op_search_batch_with_parameters,
+            "feedback_loop": self._op_feedback_loop,
+            "session_open": self._op_session_open,
+            "session_feedback": self._op_session_feedback,
+            "session_close": self._op_session_close,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self):
+        """The shared engine behind every connection."""
+        return self._engine
+
+    @property
+    def config(self) -> ServerConfig:
+        """The server configuration."""
+        return self._config
+
+    @property
+    def feedback_engine(self) -> FeedbackEngine:
+        """The feedback engine loops and sessions run under."""
+        return self._feedback
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        """The bound ``(host, port)`` — call :meth:`start` first."""
+        if self._tcp is None:
+            raise ValidationError("the server is not started")
+        host, port = self._tcp.server_address[:2]
+        return host, port
+
+    def start(self) -> "tuple[str, int]":
+        """Bind the port and start accepting connections (idempotent)."""
+        if self._closed:
+            raise ValidationError("the server is closed")
+        if self._tcp is None:
+            self._tcp = _TCPServer((self._config.host, self._config.port), self)
+            self._acceptor = threading.Thread(
+                target=self._tcp.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                name="repro-serving-accept",
+                daemon=True,
+            )
+            self._acceptor.start()
+        return self.address
+
+    def close(self) -> None:
+        """Drain and stop the server deterministically (idempotent).
+
+        Stops accepting, lets the shared frontier finish the loops already
+        admitted or queued (new ones are refused), waits for in-flight
+        responses to leave, then disconnects the remaining clients, drops
+        their sessions, and — with ``own_engine=True`` — closes the engine,
+        releasing worker pools, worker processes and shared-memory
+        segments.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._tcp is not None:
+            self._tcp.shutdown()
+            self._tcp.server_close()
+        self._frontier.close()
+        with self._connection_lock:
+            self._idle.wait_for(lambda: self._in_flight == 0, timeout=10.0)
+            lingering = list(self._open_connections)
+        for connection in lingering:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        if self._acceptor is not None:
+            self._acceptor.join(timeout=5.0)
+        self._sessions.clear()
+        if self._own_engine:
+            close = getattr(self._engine, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "RetrievalServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Connection bookkeeping and dispatch
+    # ------------------------------------------------------------------ #
+    def _track_connection(self, connection, owner, *, opened: bool) -> None:
+        with self._connection_lock:
+            if opened:
+                self._open_connections[connection] = owner
+                self._n_connections += 1
+            else:
+                self._open_connections.pop(connection, None)
+        if not opened:
+            self._sessions.drop_owner(owner)
+
+    def _begin_request(self) -> None:
+        with self._connection_lock:
+            self._in_flight += 1
+
+    def _end_request(self) -> None:
+        with self._connection_lock:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._idle.notify_all()
+
+    def _respond(self, message, owner) -> dict:
+        """Serve one request; failures become error responses, not crashes."""
+        try:
+            if not isinstance(message, dict) or "op" not in message:
+                raise ValidationError("requests must be dicts with an 'op' key")
+            handler = self._ops.get(message["op"])
+            if handler is None:
+                raise ValidationError(f"unknown op {message['op']!r}")
+            return {"ok": True, "result": handler(message, owner)}
+        except ValidationError as error:
+            return {"ok": False, "error": "validation", "message": str(error)}
+        except Exception as error:  # noqa: BLE001 - shipped to the client
+            return {"ok": False, "error": type(error).__name__, "message": str(error)}
+
+    def stats(self) -> dict:
+        """One aggregated snapshot of every serving-layer counter."""
+        with self._connection_lock:
+            connections = {
+                "open": len(self._open_connections),
+                "accepted": self._n_connections,
+            }
+        return {
+            "engine": self._engine.stats(),
+            "coalescer": self._coalescer.stats(),
+            "frontier": self._frontier.stats(),
+            "sessions": self._sessions.stats(),
+            "connections": connections,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Ops
+    # ------------------------------------------------------------------ #
+    def _op_ping(self, message, owner) -> str:
+        return "pong"
+
+    def _op_info(self, message, owner) -> dict:
+        info = {
+            "protocol_version": PROTOCOL_VERSION,
+            "max_batch": self._config.max_batch,
+            "max_wait": self._config.max_wait,
+            "max_iterations": self._config.max_iterations,
+            "reweighting_rule": self._config.reweighting_rule.name,
+            "move_query_point": self._config.move_query_point,
+        }
+        info.update(self._engine.describe())
+        return info
+
+    def _op_stats(self, message, owner) -> dict:
+        return self.stats()
+
+    def _op_search(self, message, owner):
+        point = np.atleast_1d(np.asarray(message["query_point"], dtype=np.float64))
+        return self._coalescer.submit_search(point[None, :], message["k"])[0]
+
+    def _op_search_batch(self, message, owner):
+        return self._coalescer.submit_search(message["query_points"], message["k"])
+
+    def _op_run_batch(self, message, owner):
+        queries = [Query(point=point, k=k) for point, k in message["queries"]]
+        return run_grouped_by_k(
+            lambda points, k, distance: self._coalescer.submit_search(points, k), queries
+        )
+
+    def _op_search_with_parameters(self, message, owner):
+        point = np.atleast_1d(np.asarray(message["query_point"], dtype=np.float64))
+        delta = np.atleast_1d(np.asarray(message["delta"], dtype=np.float64))
+        weights = np.atleast_1d(np.asarray(message["weights"], dtype=np.float64))
+        return self._coalescer.submit_search_with_parameters(
+            point[None, :], message["k"], delta[None, :], weights[None, :]
+        )[0]
+
+    def _op_search_batch_with_parameters(self, message, owner):
+        return self._coalescer.submit_search_with_parameters(
+            message["query_points"], message["k"], message["deltas"], message["weights"]
+        )
+
+    def _op_feedback_loop(self, message, owner):
+        request = LoopRequest(
+            query_point=np.atleast_1d(np.asarray(message["query_point"], dtype=np.float64)),
+            k=message["k"],
+            judge=message["judge"],
+            initial_delta=message.get("initial_delta"),
+            initial_weights=message.get("initial_weights"),
+        )
+        return self._frontier.run_loop(request)
+
+    def _op_session_open(self, message, owner) -> dict:
+        session = self._sessions.open(
+            owner,
+            message["query_point"],
+            message["k"],
+            message.get("initial_delta"),
+            message.get("initial_weights"),
+        )
+        return {
+            "session_id": session.session_id,
+            "results": session.results,
+            "iterations": 0,
+            "done": False,
+        }
+
+    def _op_session_feedback(self, message, owner) -> dict:
+        return self._sessions.feedback(
+            message["session_id"], owner, message["indices"], message["scores"]
+        )
+
+    def _op_session_close(self, message, owner):
+        return self._sessions.close(message["session_id"], owner)

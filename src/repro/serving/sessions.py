@@ -1,0 +1,242 @@
+"""Server-side state of interactive, client-driven feedback sessions.
+
+The :class:`~repro.serving.coalescer.FrontierCoalescer` serves loops whose
+judge travels to the server (the simulated-user regime).  A *real*
+interactive user is the opposite shape: the judge lives on the client, and
+each round trips over the network — open the session, look at the results,
+send relevance judgments, get the re-searched results, repeat.  This module
+keeps that per-session loop state on the server:
+
+* :class:`ServingSession` — one user's in-flight loop: the validated query
+  point, the current :class:`~repro.feedback.engine.FeedbackState`, the
+  current results and the iteration/convergence bookkeeping, advanced one
+  judged round at a time with **exactly** the transitions of
+  :meth:`~repro.feedback.engine.FeedbackEngine.run_loop` (same no-signal
+  stop, same convergence test, same iteration budget), so a client that
+  judges with the same oracle reproduces the sequential loop byte for byte.
+* :class:`SessionManager` — the registry: creates ids, owns the sessions,
+  scopes every session to the connection that opened it and drops a
+  connection's sessions when it goes away.
+
+Round re-searches go through the server's shared
+:class:`~repro.serving.coalescer.RequestCoalescer`, so concurrent sessions'
+iteration-*i* searches merge into shared dispatches exactly like any other
+traffic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+import numpy as np
+
+from repro.database.query import ResultSet
+from repro.feedback.engine import FeedbackEngine, FeedbackLoopResult, FeedbackState
+from repro.feedback.scores import JudgmentBatch
+from repro.serving.coalescer import RequestCoalescer
+from repro.utils.validation import ValidationError
+
+__all__ = ["ServingSession", "SessionManager"]
+
+
+class ServingSession:
+    """One interactive user's feedback loop, advanced round by round."""
+
+    __slots__ = (
+        "session_id",
+        "owner",
+        "query_point",
+        "k",
+        "state",
+        "results",
+        "initial_state",
+        "initial_results",
+        "iterations",
+        "converged",
+        "done",
+        "lock",
+    )
+
+    def __init__(
+        self,
+        session_id: int,
+        owner,
+        query_point: np.ndarray,
+        k: int,
+        state: FeedbackState,
+        results: ResultSet,
+    ) -> None:
+        self.session_id = session_id
+        self.owner = owner
+        self.query_point = query_point
+        self.k = k
+        self.state = state
+        self.results = results
+        self.initial_state = state
+        self.initial_results = results
+        self.iterations = 0
+        self.converged = False
+        self.done = False
+        self.lock = threading.Lock()
+
+    def loop_result(self) -> FeedbackLoopResult:
+        """The session's loop outcome so far, in ``run_loop``'s result shape."""
+        return FeedbackLoopResult(
+            initial_state=self.initial_state,
+            final_state=self.state,
+            initial_results=self.initial_results,
+            final_results=self.results,
+            iterations=self.iterations,
+            converged=self.converged,
+        )
+
+
+class SessionManager:
+    """Registry and round engine of the server's interactive sessions."""
+
+    def __init__(self, feedback_engine: FeedbackEngine, coalescer: RequestCoalescer) -> None:
+        self._feedback = feedback_engine
+        self._coalescer = coalescer
+        self._lock = threading.Lock()
+        self._sessions: "dict[int, ServingSession]" = {}
+        self._ids = itertools.count(1)
+        self._n_opened = 0
+        self._n_rounds = 0
+        self._n_dropped = 0
+
+    def stats(self) -> dict:
+        """Session lifecycle counters."""
+        with self._lock:
+            return {
+                "open": len(self._sessions),
+                "opened": self._n_opened,
+                "rounds": self._n_rounds,
+                "dropped_on_disconnect": self._n_dropped,
+            }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def open(
+        self, owner, query_point, k: int, initial_delta=None, initial_weights=None
+    ) -> ServingSession:
+        """Open a session and run its (coalesced) first-round search.
+
+        The prologue and the first search are exactly
+        :meth:`~repro.feedback.engine.FeedbackEngine.run_loop`'s: the same
+        validation, the same initial state ``(q + Δ, W)``, the same
+        parameterised search — only routed through the micro-batch window.
+        """
+        query_point, initial_delta, initial_weights, k = self._feedback.prepare_loop(
+            query_point, k, initial_delta, initial_weights
+        )
+        state = FeedbackState(query_point=query_point + initial_delta, weights=initial_weights)
+        results = self._coalescer.submit_search_with_parameters(
+            query_point[None, :], k, initial_delta[None, :], initial_weights[None, :]
+        )[0]
+        with self._lock:
+            session = ServingSession(
+                next(self._ids), owner, query_point, k, state, results
+            )
+            self._sessions[session.session_id] = session
+            self._n_opened += 1
+        return session
+
+    def get(self, session_id: int, owner) -> ServingSession:
+        """Look a session up, enforcing connection ownership."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None or session.owner is not owner:
+            raise ValidationError(f"unknown session id {session_id}")
+        return session
+
+    def close(self, session_id: int, owner) -> FeedbackLoopResult:
+        """Remove a session and return its loop outcome (final or abandoned)."""
+        session = self.get(session_id, owner)
+        with self._lock:
+            self._sessions.pop(session_id, None)
+        with session.lock:
+            return session.loop_result()
+
+    def drop_owner(self, owner) -> None:
+        """Drop every session of a disconnected connection."""
+        with self._lock:
+            stale = [
+                session_id
+                for session_id, session in self._sessions.items()
+                if session.owner is owner
+            ]
+            for session_id in stale:
+                del self._sessions[session_id]
+            self._n_dropped += len(stale)
+
+    def clear(self) -> None:
+        """Drop every session (server shutdown)."""
+        with self._lock:
+            self._sessions.clear()
+
+    # ------------------------------------------------------------------ #
+    # One judged round
+    # ------------------------------------------------------------------ #
+    def feedback(self, session_id: int, owner, indices, scores) -> dict:
+        """Advance a session by one judged round.
+
+        ``indices`` / ``scores`` are the client's relevance judgments of the
+        session's *current* results (what a judge callable would have
+        returned).  The transition is ``run_loop``'s, verbatim: no relevant
+        result stops the loop with no search; otherwise the new state is
+        computed, the re-search runs (coalesced), the iteration counts, and
+        the loop ends on convergence or on the iteration budget.
+
+        Returns the round payload the wire protocol sends back: the new
+        results (``None`` when the signal ran out), the bookkeeping flags
+        and — once ``done`` — nothing further may be submitted.
+        """
+        session = self.get(session_id, owner)
+        with session.lock:
+            if session.done:
+                raise ValidationError(f"session {session_id} has already finished")
+            indices = np.asarray(indices, dtype=np.intp)
+            collection_size = self._feedback.retrieval_engine.collection.size
+            if indices.size and (indices.min() < 0 or indices.max() >= collection_size):
+                raise ValidationError("judgment indices out of collection range")
+            judgments = JudgmentBatch(indices=indices, scores=np.asarray(scores, dtype=np.float64))
+
+            new_state = self._feedback.compute_new_state(session.state, judgments)
+            if new_state is session.state:
+                # No relevant results: nothing to learn from — run_loop's
+                # `new_state is state` break, no re-search, not converged.
+                session.done = True
+                reason = "no_signal"
+                new_results = None
+            else:
+                delta = new_state.query_point - session.query_point
+                new_results = self._coalescer.submit_search_with_parameters(
+                    session.query_point[None, :],
+                    session.k,
+                    delta[None, :],
+                    new_state.weights[None, :],
+                )[0]
+                session.iterations += 1
+                self._feedback.retrieval_engine.record_feedback_iterations()
+                reason = "active"
+                if new_results.same_objects(session.results):
+                    session.converged = True
+                    session.done = True
+                    reason = "converged"
+                session.state = new_state
+                session.results = new_results
+                if session.iterations >= self._feedback.max_iterations and not session.done:
+                    session.done = True
+                    reason = "budget"
+            with self._lock:
+                self._n_rounds += 1
+            return {
+                "session_id": session.session_id,
+                "results": new_results,
+                "iterations": session.iterations,
+                "converged": session.converged,
+                "done": session.done,
+                "reason": reason,
+            }

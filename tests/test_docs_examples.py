@@ -1,0 +1,94 @@
+"""The documented snippets and examples actually run.
+
+Documentation drifts the moment it stops being executed.  This suite keeps
+the user-facing entry points honest:
+
+* the ``Quickstart::`` block in the ``repro`` package docstring (the same
+  progression README.md shows) is extracted and executed verbatim — with
+  the corpus builder monkeypatched to a miniature corpus so the tier-1
+  suite stays fast, which exercises exactly the documented call surface;
+* ``examples/quickstart.py`` and ``examples/serving_session.py`` run end
+  to end at miniature parameters through their ``main`` entry points.
+
+A documented name that disappears, a signature that changes, or a serving
+op that breaks fails here before any reader trips over it.
+"""
+
+import importlib.util
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.features.datasets import build_imsi_like_dataset
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _tiny_builder(*, scale, seed, **kwargs):
+    """A miniature stand-in for the documented corpus builder.
+
+    Same signature and return type as
+    :func:`repro.features.datasets.build_imsi_like_dataset`; only the size
+    shrinks, so every documented call runs unchanged.
+    """
+    return build_imsi_like_dataset(
+        scale=0.03, n_hue_bins=4, n_saturation_bins=4, pixels_per_image=200, seed=seed
+    )
+
+
+def _load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"docs_example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    # Registered so dataclasses/pickle introspection inside the example
+    # (the serving example ships judges) can resolve the module.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    except BaseException:
+        sys.modules.pop(spec.name, None)
+        raise
+    return module
+
+
+class TestPackageDocstringQuickstart:
+    def _quickstart_block(self) -> str:
+        docstring = repro.__doc__
+        assert "Quickstart::" in docstring, "the package docstring lost its quickstart"
+        block = docstring.split("Quickstart::", 1)[1]
+        # The literal block is everything indented after the marker.
+        lines = [line for line in block.splitlines() if not line or line.startswith("    ")]
+        return textwrap.dedent("\n".join(lines))
+
+    def test_quickstart_block_executes(self, monkeypatch, capsys):
+        """The documented progression runs, batch to serving, verbatim."""
+        monkeypatch.setattr(repro, "build_imsi_like_dataset", _tiny_builder)
+        code = self._quickstart_block()
+        assert "RetrievalServer" in code  # the serving stage is documented
+        exec(compile(code, "<repro-quickstart>", "exec"), {})
+        printed = capsys.readouterr().out
+        assert printed.strip(), "the quickstart prints its measurements"
+
+
+class TestExampleScripts:
+    @pytest.mark.parametrize(
+        "name,kwargs",
+        [
+            ("quickstart", {"scale": 0.03, "n_queries": 12, "batch_size": 4, "k": 8}),
+            (
+                "serving_session",
+                {"scale": 0.03, "n_clients": 3, "queries_per_client": 4, "k": 6},
+            ),
+        ],
+    )
+    def test_example_main_runs(self, name, kwargs, monkeypatch, capsys):
+        module = _load_example(name)
+        # The miniature corpus keeps tier-1 fast; patching the builder the
+        # example imported leaves the documented flow itself untouched.
+        monkeypatch.setattr(module, "build_imsi_like_dataset", _tiny_builder)
+        module.main(**kwargs)
+        printed = capsys.readouterr().out
+        assert printed.strip(), f"example {name} prints its narrative"

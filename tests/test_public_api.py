@@ -49,6 +49,9 @@ class TestTopLevelExports:
             "SimulatedUser",
             "precision",
             "recall",
+            "RetrievalServer",
+            "ServerConfig",
+            "ServingClient",
         ],
     )
     def test_name_is_exported(self, name):

@@ -1,0 +1,438 @@
+"""Edge cases of the serving layer's coalescers (no sockets involved).
+
+The micro-batch window and the shared frontier are pure in-process
+machinery; these tests pin their contracts directly:
+
+* a window of one (``max_batch=1``, or simply a lone caller) degenerates to
+  direct engine dispatch — same results, one engine call per submission;
+* concurrent same-``k`` submissions merge into one dispatch, mixed-``k``
+  submissions never do;
+* validation fails on the submitting thread, dispatch failures propagate to
+  every submitter that shared the window;
+* :meth:`~repro.feedback.scheduler.FeedbackFrontier.admit` composes with a
+  running frontier (external admission), byte-identical per query to the
+  sequential loop;
+* the :class:`~repro.serving.coalescer.FrontierCoalescer` serves concurrent
+  loops from one shared frontier and drains on close.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.database.engine import RetrievalEngine
+from repro.evaluation.simulated_user import SimulatedUser
+from repro.feedback.engine import FeedbackEngine
+from repro.feedback.scheduler import FeedbackFrontier, LoopRequest
+from repro.serving.coalescer import FrontierCoalescer, RequestCoalescer
+from repro.utils.validation import ValidationError
+
+K = 6
+
+
+@pytest.fixture()
+def engine(tiny_collection) -> RetrievalEngine:
+    return RetrievalEngine(tiny_collection)
+
+
+@pytest.fixture()
+def queries(tiny_collection) -> np.ndarray:
+    rng = np.random.default_rng(4242)
+    return rng.random((12, tiny_collection.dimension))
+
+
+def run_threads(n_threads, target):
+    """Run ``target(thread_id)`` on N threads released together by a barrier."""
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def main(thread_id):
+        barrier.wait()
+        try:
+            target(thread_id)
+        except BaseException as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    threads = [threading.Thread(target=main, args=(i,)) for i in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+class TestRequestCoalescerWindows:
+    def test_window_of_one_is_direct_dispatch(self, engine, queries):
+        """max_batch=1: every submission is exactly one engine call."""
+        coalescer = RequestCoalescer(engine, max_batch=1)
+        reference = engine.search_batch(queries, K)
+        for position, point in enumerate(queries):
+            (result,) = coalescer.submit_search(point[None, :], K)
+            assert result == reference[position]
+        stats = coalescer.stats()
+        assert stats["requests"] == queries.shape[0]
+        assert stats["dispatches"] == queries.shape[0]
+        assert stats["largest_dispatch"] == 1
+
+    def test_lone_caller_degenerates_to_direct_dispatch(self, engine, queries):
+        """A lone submission is one engine call, gather wait or not.
+
+        With ``max_wait`` set the lone caller holds the window open at most
+        that long (nobody joins), then dispatches exactly its own rows —
+        same results as calling the engine directly, one dispatch counted.
+        """
+        coalescer = RequestCoalescer(engine, max_batch=8, max_wait=0.01)
+        reference = engine.search_batch(queries[:1], K)
+        assert coalescer.submit_search(queries[:1], K) == reference
+        assert coalescer.stats()["dispatches"] == 1
+
+    def test_concurrent_same_k_submissions_share_one_dispatch(self, engine, queries):
+        """N same-k submissions released together ride one engine call."""
+        n_threads = 4
+        # The window seals exactly when all four rows have joined, so the
+        # generous gather wait is cut short and the test stays fast.
+        coalescer = RequestCoalescer(engine, max_batch=n_threads, max_wait=5.0)
+        reference = engine.search_batch(queries[:n_threads], K)
+        results = [None] * n_threads
+
+        def submit(thread_id):
+            (results[thread_id],) = coalescer.submit_search(
+                queries[thread_id][None, :], K
+            )
+
+        run_threads(n_threads, submit)
+        assert results == reference
+        stats = coalescer.stats()
+        assert stats["dispatches"] == 1
+        assert stats["largest_dispatch"] == n_threads
+
+    def test_mixed_k_submissions_never_share(self, engine, queries):
+        """Different k means different result shapes: separate dispatches."""
+        coalescer = RequestCoalescer(engine, max_batch=8, max_wait=0.05)
+        ks = [3, 5, 3, 5]
+        results = [None] * len(ks)
+
+        def submit(thread_id):
+            (results[thread_id],) = coalescer.submit_search(
+                queries[thread_id][None, :], ks[thread_id]
+            )
+
+        run_threads(len(ks), submit)
+        for position, k in enumerate(ks):
+            assert results[position] == engine.search(queries[position], k)
+        # At least one dispatch per k group, and no cross-k merging: the
+        # largest dispatch can never exceed the largest same-k cohort.
+        stats = coalescer.stats()
+        assert stats["dispatches"] >= 2
+        assert stats["largest_dispatch"] <= 2
+
+    def test_parameterised_submissions_coalesce(self, engine, queries):
+        """(Δ, W) searches group by k and stack into one parameterised call."""
+        n_threads = 3
+        dimension = queries.shape[1]
+        rng = np.random.default_rng(7)
+        deltas = rng.normal(scale=0.01, size=(n_threads, dimension))
+        weights = rng.random((n_threads, dimension)) + 0.1
+        reference = engine.search_batch_with_parameters(
+            queries[:n_threads], K, deltas, weights
+        )
+        coalescer = RequestCoalescer(engine, max_batch=n_threads, max_wait=5.0)
+        results = [None] * n_threads
+
+        def submit(thread_id):
+            (results[thread_id],) = coalescer.submit_search_with_parameters(
+                queries[thread_id][None, :],
+                K,
+                deltas[thread_id][None, :],
+                weights[thread_id][None, :],
+            )
+
+        run_threads(n_threads, submit)
+        assert results == reference
+        assert coalescer.stats()["dispatches"] == 1
+
+    def test_multi_row_submissions_stay_contiguous(self, engine, queries):
+        """A batched submission's rows come back in its own order."""
+        coalescer = RequestCoalescer(engine, max_batch=64)
+        reference = engine.search_batch(queries, K)
+        assert coalescer.submit_search(queries, K) == reference
+        assert coalescer.submit_search(np.zeros((0, queries.shape[1])), K) == []
+
+    def test_validation_fails_on_the_submitting_thread(self, engine):
+        coalescer = RequestCoalescer(engine, max_batch=4)
+        with pytest.raises(ValidationError):
+            coalescer.submit_search(np.zeros((2, 3)), K)  # wrong dimension
+        with pytest.raises(ValidationError):
+            coalescer.submit_search(np.zeros((2, engine.collection.dimension)), 0)
+        assert coalescer.stats()["dispatches"] == 0
+
+    def test_dispatch_failure_propagates_to_every_submitter(self, tiny_collection, queries):
+        class ExplodingEngine:
+            collection = tiny_collection
+
+            def search_batch(self, points, k, distance=None):
+                raise RuntimeError("engine down")
+
+        n_threads = 3
+        coalescer = RequestCoalescer(ExplodingEngine(), max_batch=n_threads, max_wait=5.0)
+        failures = []
+
+        def submit(thread_id):
+            try:
+                coalescer.submit_search(queries[thread_id][None, :], K)
+            except RuntimeError as error:
+                failures.append(str(error))
+
+        run_threads(n_threads, submit)
+        assert failures == ["engine down"] * n_threads
+
+
+class TestFrontierExternalAdmission:
+    def test_admit_into_running_frontier_matches_sequential_loops(self, tiny_collection):
+        """Entries admitted mid-flight reproduce run_loop bit for bit."""
+        user = SimulatedUser(tiny_collection)
+        feedback = FeedbackEngine(RetrievalEngine(tiny_collection), max_iterations=6)
+        reference_feedback = FeedbackEngine(RetrievalEngine(tiny_collection), max_iterations=6)
+        indices = [0, 7, 13, 21]
+        requests = [
+            LoopRequest(
+                query_point=tiny_collection.vectors[index],
+                k=K,
+                judge=user.judge_for_query(index),
+            )
+            for index in indices
+        ]
+        reference = [
+            reference_feedback.run_loop(request.query_point, request.k, request.judge)
+            for request in requests
+        ]
+
+        frontier = FeedbackFrontier(feedback, requests[:2])
+        assert len(frontier) == 2
+        frontier.advance()  # the frontier is now mid-flight
+        positions = frontier.admit(requests[2:])
+        assert positions == [2, 3]
+        assert len(frontier) == 4
+        frontier.run_to_completion()
+        results = frontier.results()
+        for result, expected in zip(results, reference):
+            assert result.identical_to(expected)
+
+    def test_empty_frontier_and_empty_admission(self, tiny_collection):
+        feedback = FeedbackEngine(RetrievalEngine(tiny_collection))
+        frontier = FeedbackFrontier(feedback)
+        assert len(frontier) == 0
+        assert frontier.advance() == 0
+        assert frontier.admit([]) == []
+        assert frontier.results() == []
+
+    def test_failed_admission_leaves_the_frontier_untouched(self, tiny_collection):
+        """Admission is atomic: a bad batch never poisons running loops."""
+        user = SimulatedUser(tiny_collection)
+        feedback = FeedbackEngine(RetrievalEngine(tiny_collection), max_iterations=6)
+        reference = FeedbackEngine(
+            RetrievalEngine(tiny_collection), max_iterations=6
+        ).run_loop(tiny_collection.vectors[2], K, user.judge_for_query(2))
+        frontier = FeedbackFrontier(
+            feedback,
+            [
+                LoopRequest(
+                    query_point=tiny_collection.vectors[2],
+                    k=K,
+                    judge=user.judge_for_query(2),
+                )
+            ],
+        )
+        frontier.advance()  # mid-flight
+        with pytest.raises(ValidationError):
+            frontier.admit(
+                [
+                    LoopRequest(  # valid...
+                        query_point=tiny_collection.vectors[5],
+                        k=K,
+                        judge=user.judge_for_query(5),
+                    ),
+                    LoopRequest(  # ...but this one is not: wrong dimension
+                        query_point=np.zeros(3),
+                        k=K,
+                        judge=user.judge_for_query(5),
+                    ),
+                ]
+            )
+        assert len(frontier) == 1  # neither staged entry joined
+        frontier.run_to_completion()
+        assert frontier.results()[0].identical_to(reference)
+
+    def test_discard_releases_retired_entries(self, tiny_collection):
+        """Collected loops can be pruned; live ones cannot."""
+        user = SimulatedUser(tiny_collection)
+        feedback = FeedbackEngine(RetrievalEngine(tiny_collection), max_iterations=6)
+        frontier = FeedbackFrontier(
+            feedback,
+            [
+                LoopRequest(
+                    query_point=tiny_collection.vectors[index],
+                    k=K,
+                    judge=user.judge_for_query(index),
+                )
+                for index in (1, 6)
+            ],
+        )
+        with pytest.raises(ValidationError):
+            frontier.discard(0)  # still active
+        frontier.run_to_completion()
+        first = frontier.result_at(0)
+        frontier.discard(0)
+        assert len(frontier) == 1
+        with pytest.raises(ValidationError):
+            frontier.result_at(0)  # discarded positions are gone
+        # Later admissions never reuse a discarded position.
+        (position,) = frontier.admit(
+            [
+                LoopRequest(
+                    query_point=tiny_collection.vectors[1],
+                    k=K,
+                    judge=user.judge_for_query(1),
+                )
+            ]
+        )
+        assert position == 2
+        frontier.run_to_completion()
+        assert frontier.result_at(2).identical_to(first)
+
+    def test_result_at_guards_active_entries(self, tiny_collection):
+        user = SimulatedUser(tiny_collection)
+        feedback = FeedbackEngine(RetrievalEngine(tiny_collection), max_iterations=6)
+        frontier = FeedbackFrontier(
+            feedback,
+            [
+                LoopRequest(
+                    query_point=tiny_collection.vectors[3],
+                    k=K,
+                    judge=user.judge_for_query(3),
+                )
+            ],
+        )
+        assert not frontier.is_done(0)
+        with pytest.raises(ValidationError):
+            frontier.result_at(0)
+        frontier.run_to_completion()
+        assert frontier.is_done(0)
+        assert frontier.result_at(0).identical_to(frontier.results()[0])
+
+
+class TestFrontierCoalescer:
+    def test_single_loop_matches_run_loop(self, tiny_collection):
+        user = SimulatedUser(tiny_collection)
+        feedback = FeedbackEngine(RetrievalEngine(tiny_collection), max_iterations=6)
+        reference = FeedbackEngine(
+            RetrievalEngine(tiny_collection), max_iterations=6
+        ).run_loop(tiny_collection.vectors[5], K, user.judge_for_query(5))
+        with FrontierCoalescer(feedback) as coalescer:
+            served = coalescer.run_loop(
+                LoopRequest(
+                    query_point=tiny_collection.vectors[5],
+                    k=K,
+                    judge=user.judge_for_query(5),
+                )
+            )
+        assert served.identical_to(reference)
+
+    def test_concurrent_loops_share_one_frontier(self, tiny_collection):
+        user = SimulatedUser(tiny_collection)
+        feedback = FeedbackEngine(RetrievalEngine(tiny_collection), max_iterations=6)
+        reference_feedback = FeedbackEngine(RetrievalEngine(tiny_collection), max_iterations=6)
+        indices = [2, 9, 17, 25, 31]
+        reference = [
+            reference_feedback.run_loop(
+                tiny_collection.vectors[index], K, user.judge_for_query(index)
+            )
+            for index in indices
+        ]
+        results = [None] * len(indices)
+        # A generous admission window: all five barrier-released loops land
+        # before the driver opens the shared frontier.
+        with FrontierCoalescer(feedback, max_wait=0.25) as coalescer:
+
+            def submit(thread_id):
+                results[thread_id] = coalescer.run_loop(
+                    LoopRequest(
+                        query_point=tiny_collection.vectors[indices[thread_id]],
+                        k=K,
+                        judge=user.judge_for_query(indices[thread_id]),
+                    )
+                )
+
+            run_threads(len(indices), submit)
+            stats = coalescer.stats()
+        for result, expected in zip(results, reference):
+            assert result.identical_to(expected)
+        assert stats["loops"] == len(indices)
+        assert stats["frontiers"] == 1
+        assert stats["peak_active"] == len(indices)
+
+    def test_mixed_k_loops_coexist_on_the_frontier(self, tiny_collection):
+        user = SimulatedUser(tiny_collection)
+        feedback = FeedbackEngine(RetrievalEngine(tiny_collection), max_iterations=6)
+        reference_feedback = FeedbackEngine(RetrievalEngine(tiny_collection), max_iterations=6)
+        plan = [(4, 5), (11, 9), (19, 5), (27, 9)]  # (query index, k)
+        reference = [
+            reference_feedback.run_loop(
+                tiny_collection.vectors[index], k, user.judge_for_query(index)
+            )
+            for index, k in plan
+        ]
+        results = [None] * len(plan)
+        with FrontierCoalescer(feedback, max_wait=0.25) as coalescer:
+
+            def submit(thread_id):
+                index, k = plan[thread_id]
+                results[thread_id] = coalescer.run_loop(
+                    LoopRequest(
+                        query_point=tiny_collection.vectors[index],
+                        k=k,
+                        judge=user.judge_for_query(index),
+                    )
+                )
+
+            run_threads(len(plan), submit)
+        for result, expected in zip(results, reference):
+            assert result.identical_to(expected)
+
+    def test_validation_error_surfaces_to_the_submitter(self, tiny_collection):
+        user = SimulatedUser(tiny_collection)
+        feedback = FeedbackEngine(RetrievalEngine(tiny_collection))
+        with FrontierCoalescer(feedback) as coalescer:
+            with pytest.raises(ValidationError):
+                coalescer.run_loop(
+                    LoopRequest(
+                        query_point=np.zeros(3),  # wrong dimensionality
+                        k=K,
+                        judge=user.judge_for_query(0),
+                    )
+                )
+
+    def test_close_drains_then_refuses(self, tiny_collection):
+        user = SimulatedUser(tiny_collection)
+        feedback = FeedbackEngine(RetrievalEngine(tiny_collection), max_iterations=6)
+        coalescer = FrontierCoalescer(feedback)
+        served = coalescer.run_loop(
+            LoopRequest(
+                query_point=tiny_collection.vectors[8],
+                k=K,
+                judge=user.judge_for_query(8),
+            )
+        )
+        assert served is not None
+        coalescer.close()
+        coalescer.close()  # idempotent
+        with pytest.raises(ValidationError):
+            coalescer.run_loop(
+                LoopRequest(
+                    query_point=tiny_collection.vectors[8],
+                    k=K,
+                    judge=user.judge_for_query(8),
+                )
+            )

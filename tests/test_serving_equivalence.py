@@ -1,0 +1,380 @@
+"""Equivalence grid of the coalescing network serving layer.
+
+The serving contract: whatever coalescing happens between concurrent
+connections, every served answer is **byte-identical** to calling the
+engine (or the sequential feedback loop) directly — across engine kinds
+(plain / sharded-thread / sharded-process), per-shard index types, distance
+families and result-set sizes, including mixed-``k`` admission into one
+shared window or frontier.
+
+The grid is randomized but seeded, mirroring
+``tests/test_sharded_equivalence.py``: every run draws the same
+configurations and the same query batches, so failures reproduce.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.oqp import OptimalQueryParameters
+from repro.database.collection import FeatureCollection
+from repro.database.engine import RetrievalEngine
+from repro.database.mtree import MTreeIndex
+from repro.database.query import Query
+from repro.database.sharding import ShardedEngine
+from repro.database.vptree import VPTreeIndex
+from repro.distances.minkowski import MinkowskiDistance, euclidean
+from repro.distances.weighted_euclidean import WeightedEuclideanDistance
+from repro.evaluation.session import InteractiveSession, SessionConfig
+from repro.evaluation.simulated_user import SimulatedUser
+from repro.feedback.engine import FeedbackEngine
+from repro.serving import RetrievalServer, ServerConfig, ServingClient
+from repro.utils.validation import ValidationError
+
+DIMENSION = 6
+SIZE = 149  # prime: uneven shard ranges, and ties spread across shards
+
+
+@pytest.fixture(scope="module")
+def collection() -> FeatureCollection:
+    rng = np.random.default_rng(5001)
+    vectors = rng.random((SIZE, DIMENSION))
+    # Exact duplicates guarantee distance ties the serving path must break
+    # exactly like the local engines (ascending global index).
+    vectors[2] = vectors[140]
+    vectors[75] = vectors[140]
+    vectors[40] = vectors[39]
+    return FeatureCollection(vectors, labels=[f"c{i % 5}" for i in range(SIZE)])
+
+
+@pytest.fixture(scope="module")
+def queries(collection) -> np.ndarray:
+    rng = np.random.default_rng(88)
+    points = rng.random((10, DIMENSION))
+    points[1] = collection.vectors[140]  # sits exactly on the triplicate
+    points[6] = collection.vectors[39]
+    return points
+
+
+# Module-level factories: the process-backend configurations ship them to
+# worker processes, so they must be picklable (no lambdas).
+def _vptree_factory(shard, distance):
+    return VPTreeIndex(shard, distance, leaf_size=4, seed=11)
+
+
+def _mtree_factory(shard, distance):
+    return MTreeIndex(shard, distance, node_capacity=5, seed=11)
+
+
+INDEX_FACTORIES = {
+    "linear": None,
+    "vptree": _vptree_factory,
+    "mtree": _mtree_factory,
+}
+
+
+def _distance_for(name: str):
+    if name == "euclidean":
+        return euclidean(DIMENSION)
+    if name == "weighted":
+        rng = np.random.default_rng(13)
+        return WeightedEuclideanDistance(DIMENSION, weights=rng.random(DIMENSION) + 0.1)
+    return MinkowskiDistance(DIMENSION, order=1.0)
+
+
+def _build_engine(collection, engine_kind: str, index_name: str, distance):
+    factory = INDEX_FACTORIES[index_name]
+    if engine_kind == "plain":
+        return RetrievalEngine(
+            collection,
+            default_distance=distance,
+            metric_index=None if factory is None else factory(collection, distance),
+        )
+    backend = "process" if engine_kind == "sharded-process" else "thread"
+    return ShardedEngine(
+        collection,
+        3,
+        n_workers=2,
+        backend=backend,
+        default_distance=distance,
+        index_factory=factory,
+    )
+
+
+def _hammer(n_clients: int, address, work):
+    """Run ``work(client_id, client)`` on N clients released together."""
+    host, port = address
+    barrier = threading.Barrier(n_clients)
+    errors = []
+
+    def main(client_id):
+        try:
+            with ServingClient(host, port) as client:
+                barrier.wait()
+                work(client_id, client)
+        except BaseException as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    threads = [threading.Thread(target=main, args=(i,)) for i in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+class TestServedSearchEquivalence:
+    """Concurrent served searches reproduce the local engine bit for bit."""
+
+    # A seeded random draw over the full grid, like the sharded suite: the
+    # axes are engine kind x index type x distance family.
+    GRID = [
+        ("plain", "linear", "euclidean"),
+        ("plain", "vptree", "weighted"),
+        ("plain", "mtree", "minkowski"),
+        ("sharded-thread", "vptree", "euclidean"),
+        ("sharded-thread", "linear", "weighted"),
+        ("sharded-process", "mtree", "euclidean"),
+    ]
+
+    @pytest.mark.parametrize("engine_kind,index_name,distance_name", GRID)
+    def test_served_equals_local(
+        self, collection, queries, engine_kind, index_name, distance_name
+    ):
+        distance = _distance_for(distance_name)
+        engine = _build_engine(collection, engine_kind, index_name, distance)
+        try:
+            rng = np.random.default_rng(99)
+            ks = [int(rng.integers(1, 12)) for _ in range(queries.shape[0])]
+            single_reference = [
+                engine.search(point, k) for point, k in zip(queries, ks)
+            ]
+            batch_reference = engine.search_batch(queries, 5)
+            mixed_queries = [Query(point=point, k=k) for point, k in zip(queries, ks)]
+            run_batch_reference = engine.run_batch(mixed_queries)
+            deltas = rng.normal(scale=0.01, size=queries.shape)
+            weights = rng.random(queries.shape) + 0.1
+            params_reference = engine.search_batch_with_parameters(
+                queries, 4, deltas, weights
+            )
+
+            with RetrievalServer(engine, ServerConfig(max_batch=8, max_wait=0.002)) as server:
+                results: dict = {}
+
+                def work(client_id, client):
+                    # Interleaved single-query traffic: three clients walk
+                    # the same query list in different orders, so ties and
+                    # coalesced windows mix queries from everyone.
+                    order = list(range(queries.shape[0]))
+                    if client_id % 2:
+                        order = order[::-1]
+                    mine = {}
+                    for position in order:
+                        mine[position] = client.search(queries[position], ks[position])
+                    if client_id == 0:
+                        mine["batch"] = client.search_batch(queries, 5)
+                        mine["run_batch"] = client.run_batch(mixed_queries)
+                    if client_id == 1:
+                        mine["params"] = client.search_batch_with_parameters(
+                            queries, 4, deltas, weights
+                        )
+                        mine["params_single"] = client.search_with_parameters(
+                            queries[0], 4, deltas[0], weights[0]
+                        )
+                    results[client_id] = mine
+
+                _hammer(3, server.address, work)
+
+            for client_id in range(3):
+                mine = results[client_id]
+                for position, expected in enumerate(single_reference):
+                    assert mine[position] == expected
+            assert results[0]["batch"] == batch_reference
+            assert results[0]["run_batch"] == run_batch_reference
+            assert results[1]["params"] == params_reference
+            assert results[1]["params_single"] == params_reference[0]
+        finally:
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
+
+    def test_single_connection_window_of_one(self, collection, queries):
+        """A lone connection's calls map one-to-one onto engine dispatches."""
+        engine = RetrievalEngine(collection)
+        direct = RetrievalEngine(collection)
+        with RetrievalServer(engine, ServerConfig(max_batch=16)) as server:
+            host, port = server.address
+            with ServingClient(host, port) as client:
+                for position in range(4):
+                    assert client.search(queries[position], 7) == direct.search(
+                        queries[position], 7
+                    )
+                assert client.search_batch(queries, 3) == direct.search_batch(queries, 3)
+                stats = server.stats()["coalescer"]
+        # 4 singles + 1 batch, no concurrency: five dispatches, five requests.
+        assert stats["requests"] == 5
+        assert stats["dispatches"] == 5
+
+
+class TestServedFeedbackEquivalence:
+    """Served loops reproduce single-session InteractiveSession runs."""
+
+    @pytest.fixture(scope="class")
+    def session(self, tiny_dataset) -> InteractiveSession:
+        config = SessionConfig(k=10, epsilon=0.05, max_iterations=6)
+        return InteractiveSession.for_dataset(tiny_dataset, config)
+
+    @pytest.fixture(scope="class")
+    def session_references(self, session):
+        default = OptimalQueryParameters.default(session.collection.dimension)
+        indices = [0, 5, 11, 18, 26, 33]
+        return indices, [
+            session.run_feedback_loop(index, default) for index in indices
+        ]
+
+    def _server_config(self, session) -> ServerConfig:
+        return ServerConfig(
+            max_batch=8,
+            max_wait=0.02,
+            reweighting_rule=session.config.reweighting_rule,
+            move_query_point=session.config.move_query_point,
+            max_iterations=session.config.max_iterations,
+        )
+
+    def test_coalesced_loops_match_interactive_session(self, session, session_references):
+        """Concurrent judge-shipping loops == the session's sequential loops."""
+        indices, references = session_references
+        k = session.config.k
+        results: dict = {}
+        with RetrievalServer(session.retrieval_engine, self._server_config(session)) as server:
+
+            def work(client_id, client):
+                index = indices[client_id]
+                results[client_id] = client.run_feedback_loop(
+                    session.collection.vectors[index],
+                    k,
+                    session.user.judge_for_query(index),
+                )
+
+            _hammer(len(indices), server.address, work)
+            frontier_stats = server.stats()["frontier"]
+        for client_id, expected in enumerate(references):
+            assert results[client_id].identical_to(expected)
+        assert frontier_stats["loops"] == len(indices)
+        # The loops demonstrably shared frontiers: far fewer frontier
+        # instances than loops (with the admission window, typically one).
+        assert frontier_stats["frontiers"] < len(indices)
+
+    def test_interactive_sessions_match_sequential_loops(self, session, session_references):
+        """Client-driven rounds (judgments over the wire) == run_loop."""
+        indices, references = session_references
+        k = session.config.k
+        results: dict = {}
+        with RetrievalServer(session.retrieval_engine, self._server_config(session)) as server:
+
+            def work(client_id, client):
+                index = indices[client_id]
+                results[client_id] = client.run_feedback_session(
+                    session.collection.vectors[index],
+                    k,
+                    session.user.judge_for_query(index),
+                )
+
+            _hammer(len(indices), server.address, work)
+        for client_id, expected in enumerate(references):
+            assert results[client_id].identical_to(expected)
+
+    def test_mixed_k_loops_on_shared_frontier(self, tiny_collection):
+        """Loops of different k coexist on one frontier, each exact."""
+        user = SimulatedUser(tiny_collection)
+        engine = RetrievalEngine(tiny_collection)
+        reference_feedback = FeedbackEngine(RetrievalEngine(tiny_collection), max_iterations=6)
+        plan = [(3, 5), (12, 9), (21, 5), (30, 9), (37, 7)]
+        references = [
+            reference_feedback.run_loop(
+                tiny_collection.vectors[index], k, user.judge_for_query(index)
+            )
+            for index, k in plan
+        ]
+        results: dict = {}
+        config = ServerConfig(max_wait=0.02, max_iterations=6)
+        with RetrievalServer(engine, config) as server:
+
+            def work(client_id, client):
+                index, k = plan[client_id]
+                results[client_id] = client.run_feedback_loop(
+                    tiny_collection.vectors[index], k, user.judge_for_query(index)
+                )
+
+            _hammer(len(plan), server.address, work)
+        for client_id, expected in enumerate(references):
+            assert results[client_id].identical_to(expected)
+
+
+class TestSessionOps:
+    """The interactive-session wire ops and their failure modes."""
+
+    def test_round_payloads_and_close(self, tiny_collection):
+        user = SimulatedUser(tiny_collection)
+        engine = RetrievalEngine(tiny_collection)
+        judge = user.judge_for_query(4)
+        reference = FeedbackEngine(
+            RetrievalEngine(tiny_collection), max_iterations=6
+        ).run_loop(tiny_collection.vectors[4], 8, judge)
+        with RetrievalServer(engine, ServerConfig(max_iterations=6)) as server:
+            host, port = server.address
+            with ServingClient(host, port) as client:
+                opened = client.open_session(tiny_collection.vectors[4], 8)
+                assert opened["results"] == reference.initial_results
+                assert not opened["done"]
+                session_id = opened["session_id"]
+                results = opened["results"]
+                rounds = 0
+                done = False
+                while not done:
+                    judgments = judge(results)
+                    reply = client.session_feedback(
+                        session_id, judgments.indices, judgments.scores
+                    )
+                    rounds += 1
+                    assert reply["reason"] in {"active", "converged", "budget", "no_signal"}
+                    if reply["results"] is not None:
+                        results = reply["results"]
+                    done = reply["done"]
+                loop = client.close_session(session_id)
+                assert loop.identical_to(reference)
+                assert rounds >= loop.iterations
+
+    def test_session_errors(self, tiny_collection):
+        engine = RetrievalEngine(tiny_collection)
+        with RetrievalServer(engine) as server:
+            host, port = server.address
+            with ServingClient(host, port) as client:
+                with pytest.raises(ValidationError):
+                    client.session_feedback(999, [0], [1.0])  # unknown id
+                opened = client.open_session(tiny_collection.vectors[0], 5)
+                session_id = opened["session_id"]
+                with pytest.raises(ValidationError):
+                    client.session_feedback(session_id, [10_000_000], [1.0])
+                # Another connection cannot touch this session.
+                with ServingClient(host, port) as intruder:
+                    with pytest.raises(ValidationError):
+                        intruder.session_feedback(session_id, [0], [1.0])
+                client.close_session(session_id)
+                with pytest.raises(ValidationError):
+                    client.close_session(session_id)  # already closed
+
+    def test_unknown_op_and_info(self, tiny_collection):
+        engine = RetrievalEngine(tiny_collection)
+        with RetrievalServer(engine) as server:
+            host, port = server.address
+            with ServingClient(host, port) as client:
+                assert client.ping() == "pong"
+                info = client.info()
+                assert info["corpus_size"] == tiny_collection.size
+                assert info["dimension"] == tiny_collection.dimension
+                assert info["engine"] == "RetrievalEngine"
+                with pytest.raises(ValidationError):
+                    client._call("no_such_op")
