@@ -1,0 +1,332 @@
+"""Render ``BENCH_throughput.json`` into SVG figures (no plotting deps).
+
+The trajectory file accumulates one entry per recorded commit (see
+``benchmarks/record.py``); this script turns it into small standalone SVG
+files under ``benchmarks/figures/`` so CI's nightly job can publish the
+performance history as an artifact.  The renderers are hand-rolled —
+the benchmark image deliberately carries no plotting stack, and a few
+hundred lines of ``<rect>``/``<polyline>``/``<text>`` beat a matplotlib
+dependency for four charts.
+
+Figures are registered by name in the ``FIGURES`` table; run all of them
+or a subset::
+
+    python benchmarks/generate_figures.py            # all
+    python benchmarks/generate_figures.py qps_trajectory latency_percentiles
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
+from benchmarks.record import load_entries  # noqa: E402
+
+FIGURES_DIR = os.path.join(_REPO_ROOT, "benchmarks", "figures")
+
+#: Paths charted in trajectory/latency figures, with display colours.  The
+#: order is the legend order; colours are a qualitative palette that stays
+#: readable on white.
+PATH_COLORS = {
+    "search_loop": "#9e9e9e",
+    "search_batch": "#1f77b4",
+    "search_batch_fast": "#d62728",
+    "feedback_frontier": "#2ca02c",
+    "sharded_process": "#9467bd",
+    "serving_coalesced": "#ff7f0e",
+}
+
+CHART_WIDTH = 760
+CHART_HEIGHT = 420
+MARGIN_LEFT = 78
+MARGIN_RIGHT = 160
+MARGIN_TOP = 48
+MARGIN_BOTTOM = 64
+
+FONT = 'font-family="Helvetica,Arial,sans-serif"'
+
+
+# ---------------------------------------------------------------------------
+# SVG primitives
+
+
+class Canvas:
+    """Accumulates SVG elements for one chart and writes the file."""
+
+    def __init__(self, title: str, width: int = CHART_WIDTH, height: int = CHART_HEIGHT):
+        self.width = width
+        self.height = height
+        self.parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+            f'viewBox="0 0 {width} {height}">',
+            f'<rect width="{width}" height="{height}" fill="white"/>',
+            f'<text x="{width / 2:.1f}" y="24" {FONT} font-size="16" font-weight="bold" '
+            f'text-anchor="middle">{escape(title)}</text>',
+        ]
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, color: str = "#cccccc", width: float = 1.0):
+        self.parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{color}" stroke-width="{width}"/>'
+        )
+
+    def rect(self, x: float, y: float, w: float, h: float, color: str):
+        self.parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" fill="{color}"/>'
+        )
+
+    def polyline(self, points: "list[tuple[float, float]]", color: str, width: float = 2.0):
+        joined = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self.parts.append(
+            f'<polyline points="{joined}" fill="none" stroke="{color}" stroke-width="{width}"/>'
+        )
+        for x, y in points:
+            self.parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" fill="{color}"/>')
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: int = 11,
+        anchor: str = "start",
+        color: str = "#333333",
+        rotate: float = 0.0,
+    ):
+        transform = f' transform="rotate({rotate} {x:.1f} {y:.1f})"' if rotate else ""
+        self.parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" {FONT} font-size="{size}" fill="{color}" '
+            f'text-anchor="{anchor}"{transform}>{escape(content)}</text>'
+        )
+
+    def write(self, path: str):
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(self.parts) + "\n</svg>\n")
+
+
+def escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def nice_ticks(top: float, n: int = 5) -> "list[float]":
+    """Round tick values covering [0, top] — a tiny ``MaxNLocator``."""
+    if top <= 0:
+        return [0.0, 1.0]
+    raw = top / n
+    magnitude = 10.0 ** math.floor(math.log10(raw))
+    step = raw
+    for factor in (1, 2, 2.5, 5, 10):
+        if magnitude * factor >= raw:
+            step = magnitude * factor
+            break
+    ticks = []
+    value = 0.0
+    while value < top + step / 2:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def plot_area():
+    x0, x1 = MARGIN_LEFT, CHART_WIDTH - MARGIN_RIGHT
+    y0, y1 = MARGIN_TOP, CHART_HEIGHT - MARGIN_BOTTOM
+    return x0, x1, y0, y1
+
+
+def draw_axes(canvas: Canvas, top: float, y_label: str) -> "list[float]":
+    """Draw the frame and horizontal gridlines; return the y ticks used."""
+    x0, x1, y0, y1 = plot_area()
+    ticks = nice_ticks(top)
+    span = ticks[-1] or 1.0
+    for tick in ticks:
+        y = y1 - (tick / span) * (y1 - y0)
+        canvas.line(x0, y, x1, y, "#e6e6e6")
+        label = f"{tick:g}" if tick < 10_000 else f"{tick / 1000:g}k"
+        canvas.text(x0 - 8, y + 4, label, anchor="end", color="#666666")
+    canvas.line(x0, y1, x1, y1, "#333333", 1.2)
+    canvas.line(x0, y0, x0, y1, "#333333", 1.2)
+    canvas.text(16, (y0 + y1) / 2, y_label, size=12, anchor="middle", rotate=-90)
+    return ticks
+
+
+def legend(canvas: Canvas, items: "list[tuple[str, str]]"):
+    x = CHART_WIDTH - MARGIN_RIGHT + 14
+    y = MARGIN_TOP + 6
+    for name, color in items:
+        canvas.rect(x, y - 9, 12, 12, color)
+        canvas.text(x + 18, y + 1, name, size=10)
+        y += 18
+
+
+def commit_labels(canvas: Canvas, entries: "list[dict]", positions: "list[float]"):
+    _, _, _, y1 = plot_area()
+    for entry, x in zip(entries, positions):
+        canvas.text(x, y1 + 14, str(entry.get("commit", "?")), size=9, anchor="end", rotate=-35)
+
+
+# ---------------------------------------------------------------------------
+# Figure renderers — each takes the entry list and returns the written path.
+
+
+def figure_qps_trajectory(entries: "list[dict]") -> "str | None":
+    charted = [entry for entry in entries if "qps" in entry]
+    if not charted:
+        return None
+    canvas = Canvas("Throughput trajectory (queries/sec per commit)")
+    x0, x1, y0, y1 = plot_area()
+    top = max(value for entry in charted for value in entry["qps"].values())
+    ticks = draw_axes(canvas, top, "queries / sec")
+    span = ticks[-1] or 1.0
+    step = (x1 - x0) / max(len(charted), 2)
+    positions = [x0 + step * (index + 0.5) for index in range(len(charted))]
+    for path, color in PATH_COLORS.items():
+        points = [
+            (x, y1 - (entry["qps"][path] / span) * (y1 - y0))
+            for entry, x in zip(charted, positions)
+            if path in entry["qps"]
+        ]
+        if points:
+            canvas.polyline(points, color)
+    commit_labels(canvas, charted, positions)
+    legend(canvas, list(PATH_COLORS.items()))
+    path = os.path.join(FIGURES_DIR, "qps_trajectory.svg")
+    canvas.write(path)
+    return path
+
+
+def figure_speedups(entries: "list[dict]") -> "str | None":
+    charted = [entry for entry in entries if "speedups" in entry]
+    if not charted:
+        return None
+    latest = charted[-1]
+    canvas = Canvas(f"Speedups over baselines @ {latest.get('commit', '?')}")
+    x0, x1, y0, y1 = plot_area()
+    names = list(latest["speedups"])
+    top = max(latest["speedups"].values())
+    ticks = draw_axes(canvas, top, "speedup (x)")
+    span = ticks[-1] or 1.0
+    # 1x reference: anything below this bar made things slower.
+    baseline_y = y1 - (1.0 / span) * (y1 - y0)
+    canvas.line(x0, baseline_y, x1, baseline_y, "#d62728", 1.0)
+    slot = (x1 - x0) / len(names)
+    for index, name in enumerate(names):
+        value = latest["speedups"][name]
+        height = (value / span) * (y1 - y0)
+        bar_x = x0 + slot * index + slot * 0.2
+        canvas.rect(bar_x, y1 - height, slot * 0.6, height, "#1f77b4")
+        canvas.text(bar_x + slot * 0.3, y1 - height - 6, f"{value:g}x", size=10, anchor="middle")
+        canvas.text(bar_x + slot * 0.3, y1 + 14, name, size=9, anchor="end", rotate=-35)
+    path = os.path.join(FIGURES_DIR, "speedups.svg")
+    canvas.write(path)
+    return path
+
+
+def figure_latency_percentiles(entries: "list[dict]") -> "str | None":
+    charted = [entry for entry in entries if "latency_ms" in entry]
+    if not charted:
+        return None
+    latest = charted[-1]
+    canvas = Canvas(f"Latency p50/p99 per path (ms) @ {latest.get('commit', '?')}")
+    x0, x1, y0, y1 = plot_area()
+    names = list(latest["latency_ms"])
+    top = max(stats["p99"] for stats in latest["latency_ms"].values())
+    ticks = draw_axes(canvas, top, "latency (ms)")
+    span = ticks[-1] or 1.0
+    slot = (x1 - x0) / len(names)
+    for index, name in enumerate(names):
+        stats = latest["latency_ms"][name]
+        base_x = x0 + slot * index
+        for offset, (percentile, color) in enumerate((("p50", "#1f77b4"), ("p99", "#ff7f0e"))):
+            height = (stats[percentile] / span) * (y1 - y0)
+            canvas.rect(base_x + slot * (0.15 + 0.35 * offset), y1 - height, slot * 0.3, height, color)
+        canvas.text(base_x + slot * 0.5, y1 + 14, name, size=9, anchor="end", rotate=-35)
+    legend(canvas, [("p50", "#1f77b4"), ("p99", "#ff7f0e")])
+    path = os.path.join(FIGURES_DIR, "latency_percentiles.svg")
+    canvas.write(path)
+    return path
+
+
+def figure_scale_lab(entries: "list[dict]") -> "str | None":
+    charted = [entry for entry in entries if "scale_lab" in entry]
+    if not charted:
+        return None
+    canvas = Canvas("Scale lab: exact vs fast precision (queries/sec per commit)")
+    x0, x1, y0, y1 = plot_area()
+    top = max(
+        max(entry["scale_lab"]["exact_qps"], entry["scale_lab"]["fast_qps"]) for entry in charted
+    )
+    ticks = draw_axes(canvas, top, "queries / sec")
+    span = ticks[-1] or 1.0
+    step = (x1 - x0) / max(len(charted), 2)
+    positions = [x0 + step * (index + 0.5) for index in range(len(charted))]
+    for key, color in (("exact_qps", "#1f77b4"), ("fast_qps", "#d62728")):
+        canvas.polyline(
+            [
+                (x, y1 - (entry["scale_lab"][key] / span) * (y1 - y0))
+                for entry, x in zip(charted, positions)
+            ],
+            color,
+        )
+    for entry, x in zip(charted, positions):
+        lab = entry["scale_lab"]
+        canvas.text(x, y0 + 6, f"{lab['speedup']:g}x @ {lab['n_vectors'] // 1000}k", size=9, anchor="middle")
+    commit_labels(canvas, charted, positions)
+    legend(canvas, [("exact f64", "#1f77b4"), ("fast f32", "#d62728")])
+    path = os.path.join(FIGURES_DIR, "scale_lab.svg")
+    canvas.write(path)
+    return path
+
+
+#: name -> (group, renderer).  Renderers return the written path, or None
+#: when the trajectory has no data for that figure yet.
+FIGURES = {
+    "qps_trajectory": ("trajectory", figure_qps_trajectory),
+    "speedups": ("latest", figure_speedups),
+    "latency_percentiles": ("latest", figure_latency_percentiles),
+    "scale_lab": ("trajectory", figure_scale_lab),
+}
+
+
+def generate(names: "list[str]", entries: "list[dict]") -> "list[str]":
+    written = []
+    for name in names:
+        group, renderer = FIGURES[name]
+        path = renderer(entries)
+        if path is None:
+            print(f"[figures] {name} ({group}): no data yet, skipped")
+        else:
+            print(f"[figures] {name} ({group}) -> {os.path.relpath(path, _REPO_ROOT)}")
+            written.append(path)
+    return written
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        choices=[[], *FIGURES],
+        default=[],
+        help="figure names to render (default: all)",
+    )
+    parser.add_argument("--input", default=None, help="trajectory file (default BENCH_throughput.json)")
+    arguments = parser.parse_args(argv)
+
+    entries = load_entries(arguments.input) if arguments.input else load_entries()
+    if not entries:
+        print("[figures] trajectory is empty — run benchmarks/record.py first")
+        return 1
+    names = list(arguments.figures) or list(FIGURES)
+    generate(names, entries)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,18 +5,24 @@ useless for trend analysis across PRs.  This script measures the five
 throughput layers the repository has grown so far — the batched first-round
 pipeline, the frontier-scheduled feedback phase, the sharded engine under
 both the thread and the shared-memory process backend, and the coalescing
-network serving layer against serial per-connection dispatch — and appends
-one JSON entry (queries/sec per path, plus the core count the numbers were
-taken on) to ``BENCH_throughput.json`` at the repository root.  Future PRs
-extend the trajectory instead of re-narrating it.
+network serving layer against serial per-connection dispatch — and records
+one JSON entry (queries/sec *and* p50/p99 latency per path, plus the core
+count the numbers were taken on) in ``BENCH_throughput.json`` at the
+repository root.  Future PRs extend the trajectory instead of re-narrating
+it.
 
 Run it directly (``scripts/verify.sh`` does, in its default mode)::
 
     python benchmarks/record.py [--scale 0.15] [--queries 64]
 
-Entries are keyed by the current git commit (``"worktree"`` when the tree
-is dirty or git is unavailable); re-recording a key replaces its entry, so
-the file never accumulates duplicates for one commit.
+The file is schema 2: ``{"schema": 2, "entries": [...]}`` with one entry
+per recorded commit, in recording order.  Entries are keyed by the current
+git commit (``"worktree"`` when the tree is dirty or git is unavailable);
+re-recording a key updates its entry in place — merging over whatever other
+sections (e.g. the scale lab's) that commit already recorded — and any
+other key appends, so the trajectory accumulates across PRs instead of
+being overwritten.  Schema-1 files (a commit-keyed dict) migrate on first
+write.  ``benchmarks/generate_figures.py`` renders the trajectory.
 """
 
 from __future__ import annotations
@@ -45,6 +51,8 @@ for _path in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
 
 OUTPUT_PATH = os.path.join(_REPO_ROOT, "BENCH_throughput.json")
 
+SCHEMA_VERSION = 2
+
 
 def _git_key() -> str:
     """The current commit hash, or ``"worktree"`` for a dirty/unknown tree.
@@ -64,6 +72,7 @@ def _git_key() -> str:
                 "--",
                 ".",
                 ":(exclude)benchmarks/results",
+                ":(exclude)benchmarks/figures",
                 ":(exclude)BENCH_throughput.json",
             ],
             cwd=_REPO_ROOT,
@@ -83,6 +92,11 @@ def _git_key() -> str:
         return "worktree"
 
 
+def _latency(summary) -> dict:
+    """The p50/p99 pair the trajectory keeps per measured path."""
+    return {"p50": round(summary.p50_ms, 3), "p99": round(summary.p99_ms, 3)}
+
+
 def measure(scale: float, n_queries: int, k: int, repeats: int) -> dict:
     """Measure every throughput layer once and return the JSON entry."""
     from repro.database.collection import FeatureCollection
@@ -92,6 +106,7 @@ def measure(scale: float, n_queries: int, k: int, repeats: int) -> dict:
         measure_backend_speedup,
         measure_batch_speedup,
         measure_feedback_speedup,
+        measure_precision_speedup,
         measure_serving_speedup,
     )
     from repro.features.datasets import build_imsi_like_dataset
@@ -112,6 +127,9 @@ def measure(scale: float, n_queries: int, k: int, repeats: int) -> dict:
     engine = RetrievalEngine(collection)
     batch = measure_batch_speedup(engine, queries, k, repeats=repeats)
     assert batch.identical_results
+
+    precision = measure_precision_speedup(RetrievalEngine(collection), queries, k, repeats=repeats)
+    assert precision.identical_results
 
     user = SimulatedUser(collection)
     judges = [user.judge_for_query(int(index)) for index in query_indices]
@@ -145,6 +163,7 @@ def measure(scale: float, n_queries: int, k: int, repeats: int) -> dict:
         "qps": {
             "search_loop": round(batch.loop_qps, 1),
             "search_batch": round(batch.batch_qps, 1),
+            "search_batch_fast": round(precision.fast_qps, 1),
             "feedback_sequential": round(feedback.sequential_qps, 1),
             "feedback_frontier": round(feedback.frontier_qps, 1),
             "sharded_serial": round(backends.serial_qps, 1),
@@ -155,25 +174,87 @@ def measure(scale: float, n_queries: int, k: int, repeats: int) -> dict:
         },
         "speedups": {
             "batch": round(batch.speedup, 2),
+            "precision_fast": round(precision.speedup, 2),
             "feedback_frontier": round(feedback.speedup, 2),
             "sharded_thread": round(backends.thread_speedup, 2),
             "sharded_process": round(backends.process_speedup, 2),
             "serving_coalesced": round(serving.speedup, 2),
         },
+        "latency_ms": {
+            "search_loop": _latency(batch.latencies["loop"]),
+            "search_batch": _latency(batch.latencies["batch"]),
+            "search_batch_fast": _latency(precision.latencies["fast"]),
+            "feedback_sequential": _latency(feedback.latencies["sequential"]),
+            "feedback_frontier": _latency(feedback.latencies["frontier"]),
+            "sharded_serial": _latency(backends.latencies["serial"]),
+            "sharded_thread": _latency(backends.latencies["thread"]),
+            "sharded_process": _latency(backends.latencies["process"]),
+            "serving_serial": _latency(serving.latencies["serial"]),
+            "serving_coalesced": _latency(serving.latencies["coalesced"]),
+        },
     }
 
 
-def record(entry: dict, key: str, output_path: str = OUTPUT_PATH) -> dict:
-    """Merge ``entry`` under ``key`` into the trajectory file and return it."""
-    trajectory: dict = {}
-    if os.path.exists(output_path):
-        with open(output_path, "r", encoding="utf-8") as handle:
-            trajectory = json.load(handle)
-    trajectory[key] = entry
+def load_entries(output_path: str = OUTPUT_PATH) -> "list[dict]":
+    """The trajectory's entries, migrating schema-1 files on the fly.
+
+    Schema 1 was a commit-keyed dict written with sorted keys, which lost
+    the recording order; its entries migrate into the schema-2 list with
+    the key folded in as ``"commit"``.
+    """
+    if not os.path.exists(output_path):
+        return []
+    with open(output_path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if isinstance(data, dict) and data.get("schema") == SCHEMA_VERSION:
+        return list(data["entries"])
+    if isinstance(data, dict):
+        return [{"commit": key, **value} for key, value in data.items()]
+    return []
+
+
+def _write_entries(entries: "list[dict]", output_path: str) -> dict:
+    payload = {"schema": SCHEMA_VERSION, "entries": entries}
     with open(output_path, "w", encoding="utf-8") as handle:
-        json.dump(trajectory, handle, indent=2, sort_keys=True)
+        json.dump(payload, handle, indent=2)
         handle.write("\n")
-    return trajectory
+    return payload
+
+
+def record(entry: dict, key: str, output_path: str = OUTPUT_PATH) -> dict:
+    """Record ``entry`` under commit ``key``; append or update in place.
+
+    A key never seen before appends (the trajectory accumulates); a
+    re-recorded key updates its existing entry by merging over it, so
+    sections the new measurement did not produce (e.g. a ``scale_lab``
+    section recorded by the nightly job) survive the merge.
+    """
+    entries = load_entries(output_path)
+    stamped = {"commit": key, **entry}
+    for position, existing in enumerate(entries):
+        if existing.get("commit") == key:
+            entries[position] = {**existing, **stamped}
+            break
+    else:
+        entries.append(stamped)
+    return _write_entries(entries, output_path)
+
+
+def update_section(section: str, payload: dict, key: str, output_path: str = OUTPUT_PATH) -> dict:
+    """Merge one named section into commit ``key``'s entry (creating it).
+
+    This is how side benchmarks — the scale lab — attach their results to
+    the same per-commit entry the main measurement writes, without either
+    writer clobbering the other.
+    """
+    entries = load_entries(output_path)
+    for existing in entries:
+        if existing.get("commit") == key:
+            existing[section] = payload
+            break
+    else:
+        entries.append({"commit": key, section: payload})
+    return _write_entries(entries, output_path)
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -189,7 +270,7 @@ def main(argv: "list[str] | None" = None) -> int:
     key = _git_key()
     record(entry, key, arguments.output)
     print(f"[BENCH_throughput] recorded {key} -> {arguments.output}")
-    print(json.dumps(entry, indent=2, sort_keys=True))
+    print(json.dumps(entry, indent=2))
     return 0
 
 

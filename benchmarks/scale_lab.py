@@ -1,0 +1,133 @@
+"""Million-vector scale lab: the raw-speed layer on synthetic clustered corpora.
+
+The paper's corpus is ~10k vectors; this driver is where the repository's
+speed claims are checked well beyond it.  It builds a seeded clustered
+corpus (:func:`repro.features.synthetic.build_clustered_corpus`), runs the
+exact-vs-fast precision benchmark
+(:func:`repro.evaluation.throughput.measure_precision_speedup` — two-stage
+float32 kernels against the exact float64 path, byte-identity asserted on
+the measured run), and records the numbers twice: a human-readable report
+under ``benchmarks/results/`` and a ``scale_lab`` section merged into the
+current commit's entry of ``BENCH_throughput.json``.
+
+Scale is a parameter: CI's nightly job runs the 50k-row slice
+(``--n 50000``, seconds of wall clock); the full million-vector corpus
+(``--n 1000000``, ~0.5 GiB of float64 plus the float32 mirror) is the same
+command with a bigger number — the blocked scan keeps peak memory bounded
+either way::
+
+    python benchmarks/scale_lab.py --n 50000
+    python benchmarks/scale_lab.py --n 1000000 --queries 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+for _threads_var in (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+):
+    os.environ.setdefault(_threads_var, "1")
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _path in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+RESULTS_PATH = os.path.join(_REPO_ROOT, "benchmarks", "results", "scale_lab.txt")
+
+#: Seed of the scale-lab corpus and query draws (fixed so every run — CI,
+#: local, the regression benchmark — measures the same workload).
+SCALE_LAB_SEED = 2024
+
+
+def run(
+    n_vectors: int,
+    dimension: int,
+    n_queries: int,
+    k: int,
+    repeats: int,
+) -> dict:
+    """Build the corpus, measure exact-vs-fast, return the section payload."""
+    from repro.database.collection import FeatureCollection
+    from repro.database.engine import RetrievalEngine
+    from repro.evaluation.throughput import measure_precision_speedup
+    from repro.features.synthetic import build_clustered_corpus, sample_queries
+
+    corpus = build_clustered_corpus(n_vectors, dimension, seed=SCALE_LAB_SEED)
+    queries = sample_queries(corpus, n_queries, seed=SCALE_LAB_SEED + 1)
+    engine = RetrievalEngine(FeatureCollection(corpus.vectors))
+    result = measure_precision_speedup(engine, queries, k, repeats=repeats)
+    assert result.identical_results, "fast precision diverged from exact results"
+    return {
+        "n_vectors": int(n_vectors),
+        "dimension": int(dimension),
+        "n_queries": int(n_queries),
+        "k": int(k),
+        "cores": int(os.cpu_count() or 1),
+        "exact_qps": round(result.exact_qps, 1),
+        "fast_qps": round(result.fast_qps, 1),
+        "speedup": round(result.speedup, 2),
+        "latency_ms": {
+            mode: {"p50": round(summary.p50_ms, 3), "p99": round(summary.p99_ms, 3)}
+            for mode, summary in result.latencies.items()
+        },
+    }
+
+
+def write_report(section: dict, path: str = RESULTS_PATH) -> None:
+    """Write the human-readable scale-lab report."""
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    lines = [
+        "Scale lab: two-stage float32 kernel vs exact float64 scan",
+        f"corpus: {section['n_vectors']} x {section['dimension']} clustered "
+        f"(seed {SCALE_LAB_SEED}), {section['n_queries']} queries, "
+        f"k={section['k']}, {section['cores']} core(s)",
+        f"exact:  {section['exact_qps']:>10.1f} qps   "
+        f"p50 {section['latency_ms']['exact']['p50']:.3f} ms   "
+        f"p99 {section['latency_ms']['exact']['p99']:.3f} ms",
+        f"fast:   {section['fast_qps']:>10.1f} qps   "
+        f"p50 {section['latency_ms']['fast']['p50']:.3f} ms   "
+        f"p99 {section['latency_ms']['fast']['p99']:.3f} ms",
+        f"speedup: {section['speedup']:.2f}x (byte-identical results, asserted)",
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=50_000, help="corpus rows (default 50000)")
+    parser.add_argument("--dimension", type=int, default=64, help="feature dimension (default 64)")
+    parser.add_argument("--queries", type=int, default=32, help="query batch size (default 32)")
+    parser.add_argument("--k", type=int, default=10, help="result-set size (default 10)")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (default 3)")
+    parser.add_argument("--report", default=RESULTS_PATH, help="human-readable report path")
+    parser.add_argument(
+        "--no-trajectory",
+        action="store_true",
+        help="skip merging the scale_lab section into BENCH_throughput.json",
+    )
+    arguments = parser.parse_args(argv)
+
+    section = run(arguments.n, arguments.dimension, arguments.queries, arguments.k, arguments.repeats)
+    write_report(section, arguments.report)
+    if not arguments.no_trajectory:
+        from benchmarks.record import _git_key, update_section
+
+        key = _git_key()
+        update_section("scale_lab", section, key)
+        print(f"[scale_lab] merged section into BENCH_throughput.json under {key}")
+    print(json.dumps(section, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

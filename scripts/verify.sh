@@ -20,6 +20,11 @@
 #              grid, the coalescer edge-case suite, the serving
 #              concurrency/lifecycle stress tests and the coalescing
 #              throughput benchmark
+#   --scale    just the raw-speed layer: the fast-precision equivalence
+#              grid, k-selection autotuning and clustered-corpus suites,
+#              the 50k-row precision-speedup benchmark (enforced 1.5x
+#              bar), then the scale-lab driver (merges its section into
+#              BENCH_throughput.json) and the SVG figure rendering
 #   --full     the entire suite, including the figure-reproduction benchmark
 #              harness under benchmarks/ (equivalent to a bare `pytest`)
 #
@@ -31,6 +36,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 record_trajectory=0
+run_scale_lab=0
 targets=()
 case "${1:-}" in
     --fast)
@@ -62,6 +68,18 @@ case "${1:-}" in
             benchmarks/test_throughput_serving.py
         )
         ;;
+    --scale)
+        shift
+        run_scale_lab=1
+        targets=(
+            tests/test_fast_precision.py
+            tests/test_kselection_autotune.py
+            tests/test_features_synthetic_corpus.py
+            tests/test_latency_percentiles.py
+            tests/test_bench_record.py
+            benchmarks/test_throughput_scale.py
+        )
+        ;;
     --full)
         shift
         targets=()
@@ -81,4 +99,9 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q "${targets[@]
 
 if [[ "$record_trajectory" == 1 ]]; then
     python benchmarks/record.py
+fi
+
+if [[ "$run_scale_lab" == 1 ]]; then
+    python benchmarks/scale_lab.py --n 50000
+    python benchmarks/generate_figures.py
 fi

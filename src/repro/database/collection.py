@@ -50,15 +50,37 @@ class CorpusWorkspace:
         these two materialise lazily on first access (then stay cached) —
         a workspace costs nothing for terms no kernel reads.
 
+    ``matrix32`` / ``centered32`` / ``centered_squared32``
+        A read-only **float32 mirror** of the corpus-side terms, backing the
+        ``precision="fast"`` two-stage kernels: the approximate candidate
+        scan runs entirely in float32 (half the memory traffic, twice the
+        BLAS throughput) and the survivors are re-scored exactly in float64.
+        The mirror is lazy — a collection that never serves a fast-path
+        query pays nothing for it — and cached once built.
+
     All arrays are read-only; the workspace is immutable and valid for the
     lifetime of the matrix it was built from (:meth:`owns` lets a kernel
     verify it was handed the workspace of the very matrix it is scanning).
     Everything in here is a pure function of the matrix bits, so two
     processes attaching the same shared-memory corpus build bit-identical
     workspaces.
+
+    :meth:`block` hands out row-range views for the blocked scans: a view
+    shares every array's memory with this workspace (no corpus-sized copy
+    per block) while satisfying the same kernel-facing interface.
     """
 
-    __slots__ = ("matrix", "mean", "centered", "centered_squared", "_squared", "_norms")
+    __slots__ = (
+        "matrix",
+        "mean",
+        "centered",
+        "centered_squared",
+        "_squared",
+        "_norms",
+        "_matrix32",
+        "_centered32",
+        "_centered_squared32",
+    )
 
     def __init__(self, matrix: np.ndarray) -> None:
         if matrix.ndim != 2:
@@ -74,6 +96,9 @@ class CorpusWorkspace:
         self.centered_squared = centered_squared
         self._squared: np.ndarray | None = None
         self._norms: np.ndarray | None = None
+        self._matrix32: np.ndarray | None = None
+        self._centered32: np.ndarray | None = None
+        self._centered_squared32: np.ndarray | None = None
 
     @property
     def squared(self) -> np.ndarray:
@@ -93,8 +118,109 @@ class CorpusWorkspace:
             self._norms = norms
         return self._norms
 
+    @property
+    def matrix32(self) -> np.ndarray:
+        """Float32 mirror of the corpus matrix (lazy, cached, read-only)."""
+        if self._matrix32 is None:
+            mirror = self.matrix.astype(np.float32)
+            mirror.setflags(write=False)
+            self._matrix32 = mirror
+        return self._matrix32
+
+    @property
+    def centered32(self) -> np.ndarray:
+        """Float32 mirror of the centred matrix (lazy, cached, read-only)."""
+        if self._centered32 is None:
+            mirror = self.centered.astype(np.float32)
+            mirror.setflags(write=False)
+            self._centered32 = mirror
+        return self._centered32
+
+    @property
+    def centered_squared32(self) -> np.ndarray:
+        """Element-wise squares of :attr:`centered32`, computed in float32.
+
+        Squared *after* the float32 cast (not a cast of the float64
+        squares): the fast kernels' error bound is stated in terms of pure
+        float32 arithmetic over float32 inputs.
+        """
+        if self._centered_squared32 is None:
+            mirror = self.centered32
+            mirror = mirror * mirror
+            mirror.setflags(write=False)
+            self._centered_squared32 = mirror
+        return self._centered_squared32
+
     def owns(self, points: np.ndarray) -> bool:
         """True when ``points`` is the very matrix this workspace was built from."""
+        return points is self.matrix
+
+    def block(self, start: int, stop: int) -> "CorpusBlockView":
+        """A row-range view ``[start, stop)`` of this workspace.
+
+        The view's arrays are slices — row ranges of C-contiguous matrices
+        are themselves C-contiguous views, so a block costs a handful of
+        array headers, never a copy.  The blocked scans pass
+        ``view.matrix`` as the ``points`` argument and the view itself as
+        the ``workspace``, so :meth:`CorpusBlockView.owns` holds by object
+        identity exactly as it does for the full workspace.
+        """
+        n = int(self.matrix.shape[0])
+        if not 0 <= start < stop <= n:
+            raise ValidationError(f"invalid block [{start}, {stop}) for a {n}-row corpus")
+        return CorpusBlockView(self, start, stop)
+
+
+class CorpusBlockView:
+    """One row block of a :class:`CorpusWorkspace`, sharing its memory.
+
+    Satisfies the workspace interface the distance kernels consume (``mean``,
+    ``centered``, ``centered_squared``, the float32 mirrors, ``owns``) for the
+    row range ``[start, stop)``.  The mean is the **full-corpus** mean — the
+    centring only exists to keep cancellation error on the distance scale, and
+    the exact re-scoring never sees it, so block-level results are independent
+    of how the corpus was blocked.
+    """
+
+    __slots__ = ("parent", "start", "stop", "matrix", "mean")
+
+    def __init__(self, parent: CorpusWorkspace, start: int, stop: int) -> None:
+        self.parent = parent
+        self.start = int(start)
+        self.stop = int(stop)
+        self.matrix = parent.matrix[start:stop]
+        self.mean = parent.mean
+
+    @property
+    def centered(self) -> np.ndarray:
+        return self.parent.centered[self.start : self.stop]
+
+    @property
+    def centered_squared(self) -> np.ndarray:
+        return self.parent.centered_squared[self.start : self.stop]
+
+    @property
+    def squared(self) -> np.ndarray:
+        return self.parent.squared[self.start : self.stop]
+
+    @property
+    def norms(self) -> np.ndarray:
+        return self.parent.norms[self.start : self.stop]
+
+    @property
+    def matrix32(self) -> np.ndarray:
+        return self.parent.matrix32[self.start : self.stop]
+
+    @property
+    def centered32(self) -> np.ndarray:
+        return self.parent.centered32[self.start : self.stop]
+
+    @property
+    def centered_squared32(self) -> np.ndarray:
+        return self.parent.centered_squared32[self.start : self.stop]
+
+    def owns(self, points: np.ndarray) -> bool:
+        """True when ``points`` is this very block of the parent matrix."""
         return points is self.matrix
 
 

@@ -34,7 +34,12 @@ from repro.database.collection import FeatureCollection
 from repro.database.index import KNNIndex, k_smallest
 from repro.database.knn import LinearScanIndex
 from repro.database.query import Query, ResultSet
-from repro.distances.base import DistanceFunction
+from repro.distances.base import (
+    EXACT_MARGIN_SCALE,
+    FAST_MARGIN_SCALE,
+    DistanceFunction,
+    check_precision,
+)
 from repro.distances.weighted_euclidean import (
     WeightedEuclideanDistance,
     pairwise_per_query_weights,
@@ -298,7 +303,11 @@ class RetrievalEngine:
         return result
 
     def search_batch(
-        self, query_points, k: int, distance: DistanceFunction | None = None
+        self,
+        query_points,
+        k: int,
+        distance: DistanceFunction | None = None,
+        precision: str = "exact",
     ) -> list[ResultSet]:
         """Return the ``k`` nearest neighbours of every row of ``query_points``.
 
@@ -306,7 +315,14 @@ class RetrievalEngine:
         but dispatched once: the selected engine answers the whole batch
         (one pairwise matrix for the linear scan).  The dispatch counters
         count one decision per query so batch and loop report identically.
+
+        ``precision="fast"`` routes the linear scan through its two-stage
+        float32 kernel (approximate float32 candidate selection + exact
+        float64 re-scoring); the results stay byte-identical to the default
+        ``"exact"`` path.  Metric-index dispatch is unaffected — the trees
+        are exact by construction.
         """
+        check_precision(precision)
         if distance is None:
             distance = self._default_distance
         query_points = as_float_matrix(
@@ -314,7 +330,7 @@ class RetrievalEngine:
         )
         engine = self._select_engine(distance, count=query_points.shape[0])
         if engine is self._scan:
-            results = engine.search_batch(query_points, k, distance)
+            results = engine.search_batch(query_points, k, distance, precision)
         else:
             results = engine.search_batch(query_points, k)
         self._account(results, batches=1)
@@ -350,7 +366,9 @@ class RetrievalEngine:
         distance = WeightedEuclideanDistance(self._collection.dimension, weights=np.clip(weights, 0.0, None))
         return self.search(query_point + delta, k, distance=distance)
 
-    def search_batch_with_parameters(self, query_points, k: int, deltas, weights) -> list[ResultSet]:
+    def search_batch_with_parameters(
+        self, query_points, k: int, deltas, weights, precision: str = "exact"
+    ) -> list[ResultSet]:
         """Batched :meth:`search_with_parameters`: one (Δ, W) row per query.
 
         This is the FeedbackBypass first-round arm of a workload: every query
@@ -359,8 +377,16 @@ class RetrievalEngine:
         with matrix algebra — an approximate per-query-weight distance matrix
         selects candidates, which are then re-evaluated exactly — and the
         results match the per-query method byte for byte.
+
+        ``precision="fast"`` computes the candidate-selection matrix in
+        float32 with a correspondingly wider margin; the exact re-evaluation
+        is float64 either way, so the results stay byte-identical.  Corpora
+        taller than the scan's block size are processed in row blocks with
+        per-block top-k merging (same bound as
+        :meth:`~repro.database.knn.LinearScanIndex.search_batch`).
         """
         k = check_dimension(k, "k")
+        check_precision(precision)
         dimension = self._collection.dimension
         query_points = as_float_matrix(query_points, name="query_points", shape=(None, dimension))
         n_queries = query_points.shape[0]
@@ -368,37 +394,75 @@ class RetrievalEngine:
         weights = np.clip(as_float_matrix(weights, name="weights", shape=(n_queries, None)), 0.0, None)
 
         shifted = query_points + deltas
-        vectors = self._collection.vectors
         n_points = self._collection.size
         effective_k = min(k, n_points)
+        workspace = self._collection.workspace
+        block_rows = self._scan.block_rows
+        if n_points <= block_rows:
+            pairs = self._parameter_scan_block(
+                shifted, weights, effective_k, workspace, 0, precision
+            )
+        else:
+            pairs = None
+            for start in range(0, n_points, block_rows):
+                stop = min(start + block_rows, n_points)
+                view = workspace.block(start, stop)
+                block_pairs = self._parameter_scan_block(
+                    shifted, weights, effective_k, view, start, precision
+                )
+                if pairs is None:
+                    pairs = block_pairs
+                else:
+                    pairs = [
+                        k_smallest(
+                            np.concatenate((held_distances, new_distances)),
+                            effective_k,
+                            labels=np.concatenate((held_labels, new_labels)),
+                        )
+                        for (held_labels, held_distances), (new_labels, new_distances) in zip(
+                            pairs, block_pairs
+                        )
+                    ]
+        results = [ResultSet.from_arrays(labels, ordered) for labels, ordered in pairs]
+        with self._counter_lock:
+            self._scan_fallbacks += n_queries
+        self._account(results, batches=1)
+        return results
+
+    def _parameter_scan_block(
+        self, shifted, weights, k: int, workspace, base: int, precision: str
+    ) -> list:
+        """Per-query-weight top-k over one corpus block (global labels)."""
+        block_points = workspace.matrix
+        n_block = block_points.shape[0]
+        block_k = min(k, n_block)
         approximate = pairwise_per_query_weights(
-            shifted, weights, vectors, workspace=self._collection.workspace
+            shifted, weights, block_points, workspace=workspace, precision=precision
         )
 
         # Candidate thresholds for the whole batch at once — the same values
         # candidate_pool computes per row (the k-th approximate distance plus
-        # the error margin), with the partition and row maxima vectorised
-        # over the query axis.
-        if effective_k == n_points:
-            thresholds = np.full(n_queries, np.inf)
+        # the precision's error margin), with the partition and row maxima
+        # vectorised over the query axis.
+        margin_scale = FAST_MARGIN_SCALE if precision == "fast" else EXACT_MARGIN_SCALE
+        if block_k == n_block:
+            thresholds = np.full(shifted.shape[0], np.inf)
         else:
-            partition = np.argpartition(approximate, effective_k - 1, axis=1)[:, :effective_k]
-            kth_values = np.take_along_axis(approximate, partition, axis=1).max(axis=1)
-            margins = 1e-6 * np.maximum(1.0, approximate.max(axis=1))
+            # Values-only partition: position block_k-1 is the k-th smallest
+            # approximate value, with no (Q, N) index array materialised.
+            kth_values = np.partition(approximate, block_k - 1, axis=1)[:, block_k - 1]
+            margins = margin_scale * np.maximum(1.0, approximate.max(axis=1))
             thresholds = kth_values + margins
 
-        results: list[ResultSet] = []
+        pairs = []
         for query_point, weight_row, row, threshold in zip(shifted, weights, approximate, thresholds):
             candidates = np.flatnonzero(row <= threshold)
             # Exact re-evaluation of the candidates: the same expression as
             # WeightedEuclideanDistance.distances_to, with the per-query
             # distance-object construction and re-validation skipped (the
             # batch inputs were validated above).
-            candidate_deltas = vectors[candidates] - query_point
+            candidate_deltas = block_points[candidates] - query_point
             exact = np.sqrt(np.sum(weight_row * candidate_deltas * candidate_deltas, axis=1))
-            indices, ordered = k_smallest(exact, effective_k, labels=candidates)
-            results.append(ResultSet.from_arrays(indices, ordered))
-        with self._counter_lock:
-            self._scan_fallbacks += n_queries
-        self._account(results, batches=1)
-        return results
+            labels, ordered = k_smallest(exact, block_k, labels=candidates)
+            pairs.append((labels + base if base else labels, ordered))
+        return pairs

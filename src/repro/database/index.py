@@ -21,12 +21,19 @@ ascending collection index, so any two conforming engines — and the batch
 and single-query paths of the same engine — return byte-identical result
 sets.  :func:`k_smallest` and :class:`NeighborHeap` implement that rule for
 array-based and heap-based engines respectively.
+
+:func:`k_smallest` itself has two interchangeable selection strategies —
+the vectorised argpartition pipeline and a bounded heap — whose outputs are
+bit-identical; a process-wide :class:`KSelectionAutotuner` measures their
+crossover once per ``(n, k)`` magnitude bucket and picks the winner for
+every subsequent call of that shape.
 """
 
 from __future__ import annotations
 
 import abc
 import heapq
+import time
 
 import numpy as np
 
@@ -35,7 +42,137 @@ from repro.distances.base import DistanceFunction
 from repro.utils.validation import ValidationError, as_float_matrix, check_dimension
 
 
-def k_smallest(distances: np.ndarray, k: int, labels: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray]:
+def _argpartition_smallest(
+    distances: np.ndarray, k: int, labels: np.ndarray | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """The vectorised selection pipeline: argpartition + tie widening + lexsort."""
+    # argpartition finds *a* set of k smallest in O(n); widening to every
+    # entry within the k-th distance makes the tie-break deterministic.
+    candidate = np.argpartition(distances, k - 1)[:k]
+    threshold = distances[candidate].max()
+    candidate = np.flatnonzero(distances <= threshold)
+    candidate_labels = candidate if labels is None else np.asarray(labels, dtype=np.intp)[candidate]
+    order = np.lexsort((candidate_labels, distances[candidate]))[:k]
+    return candidate_labels[order], distances[candidate[order]]
+
+
+def _heap_smallest(
+    distances: np.ndarray, k: int, labels: np.ndarray | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bounded-heap selection: one pass, O(n log k), no intermediate arrays.
+
+    Bit-identical to :func:`_argpartition_smallest` — both select the k
+    smallest entries under the total (distance, label) order and emit them
+    in that order; the distances are carried through unmodified.  The
+    Python-level loop only wins where the fixed overhead of the five-array
+    numpy pipeline dominates, i.e. small ``n`` — which is exactly what the
+    autotuner measures.
+    """
+    values = distances.tolist()
+    heap = NeighborHeap(k)
+    if labels is None:
+        for index, value in enumerate(values):
+            heap.offer(value, index)
+    else:
+        for label, value in zip(np.asarray(labels, dtype=np.intp).tolist(), values):
+            heap.offer(value, label)
+    items = heap.sorted_items()
+    out_labels = np.asarray([index for _, index in items], dtype=np.intp)
+    out_distances = np.asarray([value for value, _ in items], dtype=distances.dtype)
+    return out_labels, out_distances
+
+
+_STRATEGIES = {
+    "argpartition": _argpartition_smallest,
+    "heap": _heap_smallest,
+}
+
+
+class KSelectionAutotuner:
+    """Measured argpartition-vs-heap crossover for :func:`k_smallest`.
+
+    Both strategies return bit-identical output, so the choice is purely a
+    matter of speed — and the crossover depends on the machine (numpy call
+    overhead vs. interpreter loop speed), so it is *measured*, not assumed:
+    the first call of a given ``(n, k)`` magnitude bucket runs a tiny
+    calibration (both strategies on a seeded synthetic array of that shape,
+    best of :data:`CALIBRATION_REPEATS`) and the winner is cached for the
+    process lifetime.
+
+    Above :data:`HEAP_CEILING` elements the heap's Python loop is never
+    competitive with the O(n) C partition — those shapes skip calibration
+    entirely (timing a million-element Python loop once would cost more
+    than the choice could ever save), which also bounds the cost of a
+    calibration run itself.
+
+    Shapes are bucketed by bit length (powers of two) so a scan over a
+    49,999-row block reuses the decision taken for a 50,000-row one.
+    """
+
+    #: Largest ``n`` for which the heap is ever considered (and calibrated).
+    HEAP_CEILING = 8192
+
+    #: Timing repetitions per strategy in one calibration run (best-of).
+    CALIBRATION_REPEATS = 3
+
+    def __init__(self) -> None:
+        self._decisions: dict[tuple[int, int], str] = {}
+
+    @staticmethod
+    def _bucket(n: int, k: int) -> tuple[int, int]:
+        return (int(n).bit_length(), int(k).bit_length())
+
+    def decisions(self) -> dict[tuple[int, int], str]:
+        """A snapshot of the cached per-bucket decisions (for inspection)."""
+        return dict(self._decisions)
+
+    def reset(self) -> None:
+        """Drop every cached decision (the next calls re-calibrate)."""
+        self._decisions.clear()
+
+    def _calibrate(self, n: int, k: int) -> str:
+        rng = np.random.default_rng(n * 31 + k)
+        sample = rng.random(n)
+        best: dict[str, float] = {}
+        for name, strategy in _STRATEGIES.items():
+            elapsed = float("inf")
+            for _ in range(self.CALIBRATION_REPEATS):
+                start = time.perf_counter()
+                strategy(sample, k, None)
+                elapsed = min(elapsed, time.perf_counter() - start)
+            best[name] = elapsed
+        return min(best, key=best.get)
+
+    def choose(self, n: int, k: int) -> str:
+        """The winning strategy name for a ``(n, k)``-shaped selection."""
+        if n > self.HEAP_CEILING:
+            return "argpartition"
+        bucket = self._bucket(n, k)
+        decision = self._decisions.get(bucket)
+        if decision is None:
+            # Calibrate on the bucket's representative shape (the upper
+            # bound of the bucket, clamped to real values) so every shape
+            # in the bucket shares one measurement.
+            decision = self._decisions[bucket] = self._calibrate(n, k)
+        return decision
+
+
+#: The process-wide autotuner consulted by :func:`k_smallest`.
+_AUTOTUNER = KSelectionAutotuner()
+
+
+def k_selection_autotuner() -> KSelectionAutotuner:
+    """The process-wide :class:`KSelectionAutotuner` (shared, inspectable)."""
+    return _AUTOTUNER
+
+
+def k_smallest(
+    distances: np.ndarray,
+    k: int,
+    labels: np.ndarray | None = None,
+    *,
+    strategy: str | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
     """Return the ``k`` smallest entries of ``distances``, ties broken by label.
 
     Parameters
@@ -48,6 +185,11 @@ def k_smallest(distances: np.ndarray, k: int, labels: np.ndarray | None = None) 
         Optional array mapping positions to collection indices; defaults to
         ``arange(len(distances))``.  Ties on distance are broken by ascending
         label, which is what makes every engine's result sets comparable.
+    strategy:
+        ``"argpartition"``, ``"heap"``, or ``None`` (default) to let the
+        process-wide :class:`KSelectionAutotuner` pick the measured winner
+        for this shape.  The strategies are bit-identical in output, so the
+        choice is unobservable in results.
 
     Returns
     -------
@@ -58,15 +200,20 @@ def k_smallest(distances: np.ndarray, k: int, labels: np.ndarray | None = None) 
     k = min(k, n)
     if k == n:
         candidate = np.arange(n, dtype=np.intp)
-    else:
-        # argpartition finds *a* set of k smallest in O(n); widening to every
-        # entry within the k-th distance makes the tie-break deterministic.
-        candidate = np.argpartition(distances, k - 1)[:k]
-        threshold = distances[candidate].max()
-        candidate = np.flatnonzero(distances <= threshold)
-    candidate_labels = candidate if labels is None else np.asarray(labels, dtype=np.intp)[candidate]
-    order = np.lexsort((candidate_labels, distances[candidate]))[:k]
-    return candidate_labels[order], distances[candidate[order]]
+        candidate_labels = (
+            candidate if labels is None else np.asarray(labels, dtype=np.intp)
+        )
+        order = np.lexsort((candidate_labels, distances))[:k]
+        return candidate_labels[order], distances[order]
+    if strategy is None:
+        strategy = _AUTOTUNER.choose(n, k)
+    try:
+        select = _STRATEGIES[strategy]
+    except KeyError:
+        raise ValidationError(
+            f"unknown k-selection strategy {strategy!r} (expected one of {sorted(_STRATEGIES)})"
+        ) from None
+    return select(distances, k, labels)
 
 
 def candidate_pool(approximate_row: np.ndarray, k: int, *, margin: float | None = None) -> np.ndarray:

@@ -6,10 +6,24 @@ vectors x 31 dimensions fit comfortably in a single vectorised distance
 computation).  The metric indexes (:mod:`repro.database.vptree`,
 :mod:`repro.database.mtree`) are validated against it.
 
-Its :meth:`LinearScanIndex.search_batch` answers a whole query batch with one
-pairwise distance matrix (a few BLAS calls for the weighted Euclidean family)
-followed by a row-wise top-k selection — the batch-first hot path of the
-retrieval engine.
+Its :meth:`LinearScanIndex.search_batch` answers a whole query batch with
+pairwise distance matrices (a few BLAS calls for the weighted Euclidean
+family) followed by top-k selection — the batch-first hot path of the
+retrieval engine.  Two scale features live here:
+
+* **Blocked scans** — above :data:`DEFAULT_BLOCK_ROWS` corpus rows, the scan
+  processes the corpus in cache-sized row blocks and merges per-block top-k
+  lists through :func:`~repro.database.index.k_smallest`, so peak memory is
+  O(``block_rows`` × queries) instead of O(corpus × queries): a
+  million-vector corpus never materialises a ``(N, Q)`` distance matrix.
+* **Two-stage float32 kernels** — ``precision="fast"`` computes an
+  order-preserving surrogate matrix in float32 (squared distances / p-th
+  powers, see :meth:`~repro.distances.base.DistanceFunction.pairwise` with
+  ``precision="fast"``), widens the candidate set by the float32 error
+  margin (ties included), and re-scores only those candidates exactly in
+  float64 with the global (distance, index) tie-break.  The final result
+  sets are **byte-identical** to the pure-float64 path — the fast matrix
+  only ever decides which rows get the exact treatment.
 """
 
 from __future__ import annotations
@@ -17,10 +31,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.database.collection import FeatureCollection
-from repro.database.index import KNNIndex, candidate_pool, k_smallest
+from repro.database.index import KNNIndex, k_smallest
 from repro.database.query import ResultSet
-from repro.distances.base import DistanceFunction
+from repro.distances.base import (
+    EXACT_MARGIN_SCALE,
+    FAST_MARGIN_SCALE,
+    DistanceFunction,
+    check_precision,
+)
 from repro.utils.validation import ValidationError, as_float_matrix, check_dimension
+
+#: Corpus rows per scan block.  64k rows × 64 queries of float64 distances is
+#: a 32 MiB working set — big enough to amortise per-block Python overhead,
+#: small enough that the matrix, its argpartition scratch and the corpus
+#: block itself stay cache- and RAM-friendly at million-vector scale.
+DEFAULT_BLOCK_ROWS = 65536
 
 
 class LinearScanIndex(KNNIndex):
@@ -30,15 +55,33 @@ class LinearScanIndex(KNNIndex):
     function, including ones whose parameters change between queries — which
     is exactly what happens inside a feedback loop.  It is therefore the
     engine the interactive sessions use.
+
+    Parameters
+    ----------
+    collection:
+        The collection to scan.
+    block_rows:
+        Corpus rows per scan block (default :data:`DEFAULT_BLOCK_ROWS`).
+        Batches against corpora at most this tall run as one matrix; taller
+        corpora are scanned block by block with per-block top-k merging,
+        bounding peak memory to O(``block_rows`` × queries).
     """
 
-    def __init__(self, collection: FeatureCollection) -> None:
+    def __init__(self, collection: FeatureCollection, *, block_rows: int | None = None) -> None:
         self._collection = collection
+        self._block_rows = (
+            DEFAULT_BLOCK_ROWS if block_rows is None else check_dimension(block_rows, "block_rows")
+        )
 
     @property
     def collection(self) -> FeatureCollection:
         """The indexed collection."""
         return self._collection
+
+    @property
+    def block_rows(self) -> int:
+        """Corpus rows per scan block of the batched path."""
+        return self._block_rows
 
     def supports(self, distance: DistanceFunction) -> bool:
         """The scan serves any distance of matching dimensionality."""
@@ -64,43 +107,121 @@ class LinearScanIndex(KNNIndex):
         return ResultSet.from_arrays(indices, ordered)
 
     def search_batch(
-        self, query_points, k: int, distance: DistanceFunction = None
+        self,
+        query_points,
+        k: int,
+        distance: DistanceFunction = None,
+        precision: str = "exact",
     ) -> list[ResultSet]:
-        """Answer every query row with one pairwise matrix + row-wise top-k.
+        """Answer every query row with pairwise matrices + top-k selection.
 
         The result is byte-identical to ``[search(q, k, distance) for q in
-        query_points]``: when the distance's matrix form is an approximate
-        expansion, the per-row candidates are re-evaluated through the exact
-        row-wise computation before the final selection.
+        query_points]`` for **either** precision: approximate matrices (the
+        algebraic float64 expansions, and every ``precision="fast"`` float32
+        matrix) only select candidates, which are then re-evaluated through
+        the exact row-wise computation before the final selection.  Corpora
+        taller than :attr:`block_rows` are scanned in row blocks with
+        per-block top-k merging — same results, bounded peak memory.
         """
         k = check_dimension(k, "k")
+        check_precision(precision)
         if distance is None:
             raise ValidationError("the linear scan needs an explicit distance function")
         query_points = as_float_matrix(
             query_points, name="query_points", shape=(None, self._collection.dimension)
         )
         self._check_distance(distance)
-        k = min(k, self._collection.size)
-        vectors = self._collection.vectors
-        # The collection's workspace hands the kernel its precomputed
-        # corpus-side terms (centred matrix, element-wise squares), so the
-        # per-batch cost is query-sized work plus the BLAS product — no
-        # corpus recomputation per batch.  The exact re-evaluation below
-        # stays on the untouched row-wise path (bit-identical by contract).
-        matrix = distance.pairwise(query_points, vectors, workspace=self._collection.workspace)
+        n_points = self._collection.size
+        k = min(k, n_points)
+        # A fast matrix is approximate by definition; an exact matrix is
+        # only trusted row-wise when the kernel says so.
+        rowwise_exact = precision == "exact" and distance.pairwise_matches_rowwise
+        workspace = self._collection.workspace
+        if n_points <= self._block_rows:
+            return self._scan_block(
+                query_points, k, distance, precision, workspace, rowwise_exact, base=0
+            )
 
-        results: list[ResultSet] = []
-        if distance.pairwise_matches_rowwise:
+        # Blocked scan: per-block top-k lists merge under the total
+        # (distance, ascending index) order, which is associative — the
+        # running merge is therefore byte-identical to the single-shot scan.
+        running: list[tuple[np.ndarray, np.ndarray]] | None = None
+        for start in range(0, n_points, self._block_rows):
+            stop = min(start + self._block_rows, n_points)
+            view = workspace.block(start, stop)
+            block_results = self._scan_block(
+                query_points, k, distance, precision, view, rowwise_exact, base=start
+            )
+            if running is None:
+                running = block_results
+            else:
+                running = [
+                    k_smallest(
+                        np.concatenate((held_distances, new_distances)),
+                        k,
+                        labels=np.concatenate((held_labels, new_labels)),
+                    )
+                    for (held_labels, held_distances), (new_labels, new_distances) in zip(
+                        running, block_results
+                    )
+                ]
+        return [ResultSet.from_arrays(labels, ordered) for labels, ordered in running]
+
+    def _scan_block(
+        self,
+        query_points: np.ndarray,
+        k: int,
+        distance: DistanceFunction,
+        precision: str,
+        workspace,
+        rowwise_exact: bool,
+        base: int,
+    ) -> list:
+        """Top-k of one corpus block, labelled with global indices.
+
+        Returns ``(labels, distances)`` pairs when scanning one block of a
+        larger corpus (``base`` > 0 or a partial view) and the same pairs
+        for the single-shot case — the caller materialises ``ResultSet``s.
+        For approximate matrices, candidates within the precision's error
+        margin of the block's k-th distance are re-scored exactly through
+        ``distances_to`` (float64), so the selected distances are exact bits.
+        """
+        block_points = workspace.matrix
+        matrix = distance.pairwise(
+            query_points, block_points, workspace=workspace, precision=precision
+        )
+        block_k = min(k, block_points.shape[0])
+        selected: list[tuple[np.ndarray, np.ndarray]] = []
+        if rowwise_exact:
             for row in matrix:
-                indices, ordered = k_smallest(row, k)
-                results.append(ResultSet.from_arrays(indices, ordered))
+                labels, ordered = k_smallest(row, block_k)
+                selected.append((labels + base if base else labels, ordered))
         else:
-            for query_point, row in zip(query_points, matrix):
-                candidates = candidate_pool(row, k)
-                exact = distance.distances_to(query_point, vectors[candidates])
-                indices, ordered = k_smallest(exact, k, labels=candidates)
-                results.append(ResultSet.from_arrays(indices, ordered))
-        return results
+            # Candidate thresholds for the whole batch at once — the values
+            # candidate_pool computes per row (the k-th approximate value
+            # plus the precision's error margin), with the partition and
+            # row maxima vectorised over the query axis.  On the fast path
+            # this stage runs entirely in float32.
+            if block_k == matrix.shape[1]:
+                thresholds = np.full(matrix.shape[0], np.inf)
+            else:
+                # np.partition (values only) beats argpartition + gather: no
+                # (Q, N) index array, and position block_k-1 *is* the k-th
+                # smallest value.
+                kth_values = np.partition(matrix, block_k - 1, axis=1)[:, block_k - 1]
+                margin_scale = (
+                    FAST_MARGIN_SCALE if precision == "fast" else EXACT_MARGIN_SCALE
+                )
+                margins = margin_scale * np.maximum(1.0, matrix.max(axis=1))
+                thresholds = kth_values + margins
+            for query_point, row, threshold in zip(query_points, matrix, thresholds):
+                candidates = np.flatnonzero(row <= threshold)
+                exact = distance.distances_to(query_point, block_points[candidates])
+                labels, ordered = k_smallest(exact, block_k, labels=candidates)
+                selected.append((labels + base if base else labels, ordered))
+        if base == 0 and block_points.shape[0] == self._collection.size:
+            return [ResultSet.from_arrays(labels, ordered) for labels, ordered in selected]
+        return selected
 
     def range_search(self, query_point, radius: float, distance: DistanceFunction) -> ResultSet:
         """Return every vector within ``radius`` of ``query_point``."""

@@ -62,7 +62,7 @@ from repro.database.collection import FeatureCollection
 from repro.database.engine import RetrievalEngine, run_grouped_by_k
 from repro.database.index import KNNIndex, k_smallest
 from repro.database.query import Query, ResultSet
-from repro.distances.base import DistanceFunction
+from repro.distances.base import DistanceFunction, check_precision
 from repro.distances.weighted_euclidean import WeightedEuclideanDistance
 from repro.utils.validation import ValidationError, as_float_matrix, check_dimension
 
@@ -1004,7 +1004,11 @@ class ShardedEngine:
         return merged
 
     def search_batch(
-        self, query_points, k: int, distance: DistanceFunction | None = None
+        self,
+        query_points,
+        k: int,
+        distance: DistanceFunction | None = None,
+        precision: str = "exact",
     ) -> list[ResultSet]:
         """Return the ``k`` nearest neighbours of every row of ``query_points``.
 
@@ -1014,12 +1018,19 @@ class ShardedEngine:
         shards run concurrently.  Byte-identical to the unsharded
         ``search_batch`` — and therefore to ``[search(q, k) for q in
         query_points]`` — by the merge argument above.
+
+        ``precision`` travels with the fan-out (as one more positional
+        argument, so the pipe protocol of the process backend is unchanged):
+        every shard engine runs its scan through the two-stage float32
+        kernel when ``"fast"``, and the merged results stay byte-identical
+        either way.
         """
         k = check_dimension(k, "k")
+        check_precision(precision)
         query_points = as_float_matrix(
             query_points, name="query_points", shape=(None, self.collection.dimension)
         )
-        per_shard = self._fan_out("search_batch", (query_points, k, distance))
+        per_shard = self._fan_out("search_batch", (query_points, k, distance, precision))
         merged = self._merge_batch(per_shard, query_points.shape[0], k)
         self._account(merged, count=len(merged), batches=1)
         return merged
@@ -1052,23 +1063,28 @@ class ShardedEngine:
             query_point[None, :], k, delta[None, ...], weights[None, ...]
         )[0]
 
-    def search_batch_with_parameters(self, query_points, k: int, deltas, weights) -> list[ResultSet]:
+    def search_batch_with_parameters(
+        self, query_points, k: int, deltas, weights, precision: str = "exact"
+    ) -> list[ResultSet]:
         """Batched per-query (Δ, W) search — the FeedbackBypass / frontier arm.
 
         Each shard engine runs its own
         :meth:`~repro.database.engine.RetrievalEngine.search_batch_with_parameters`
         over the shard (approximate per-query-weight matrix, exact candidate
         re-evaluation); the exact candidate distances are element-wise per
-        object, so merging reproduces the unsharded batch byte for byte.
+        object, so merging reproduces the unsharded batch byte for byte —
+        for either ``precision`` (the fast float32 matrix only selects
+        candidates).
         """
         k = check_dimension(k, "k")
+        check_precision(precision)
         dimension = self.collection.dimension
         query_points = as_float_matrix(query_points, name="query_points", shape=(None, dimension))
         n_queries = query_points.shape[0]
         deltas = as_float_matrix(deltas, name="deltas", shape=(n_queries, dimension))
         weights = as_float_matrix(weights, name="weights", shape=(n_queries, None))
         per_shard = self._fan_out(
-            "search_batch_with_parameters", (query_points, k, deltas, weights)
+            "search_batch_with_parameters", (query_points, k, deltas, weights, precision)
         )
         merged = self._merge_batch(per_shard, n_queries, k)
         self._account(merged, count=len(merged), batches=1)

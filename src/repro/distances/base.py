@@ -6,7 +6,52 @@ import abc
 
 import numpy as np
 
-from repro.utils.validation import as_float_matrix, as_float_vector
+from repro.utils.validation import ValidationError, as_float_matrix, as_float_vector
+
+#: Relative margin of the exact-precision matrix expansions: the float64
+#: Gram forms lose a few low-order bits to cancellation, so candidate
+#: selection widens the k-th distance by this fraction of the row's
+#: distance scale (several orders of magnitude above the observed error).
+EXACT_MARGIN_SCALE = 1e-6
+
+#: Relative margin of the ``precision="fast"`` float32 kernels.  Fast
+#: matrices stay on the kernel's *natural* scale — squared distances for
+#: the Gram/bilinear expansions, the p-th power sum for Minkowski — which
+#: skips the full-matrix root **and** avoids the sqrt amplification that
+#: would blow float32 cancellation noise up to ~sqrt(eps32) near zero: on
+#: the squared scale the absolute error stays ~eps32 of the centred norm
+#: scale (measured worst case ~5e-7 of the row's maximum across corpus
+#: shapes).  Widening candidates by 1e-4 of the row's squared-scale
+#: maximum (floored at 1.0) therefore over-covers the worst case by more
+#: than two orders of magnitude, which is what makes the exact float64
+#: re-scoring pass byte-identical rather than merely close — while
+#: keeping candidate pools a few dozen rows even at million-vector scale.
+FAST_MARGIN_SCALE = 1e-4
+
+#: The two precision modes of :meth:`DistanceFunction.pairwise`.
+PRECISIONS = ("exact", "fast")
+
+
+def check_precision(precision: str) -> str:
+    """Validate a ``precision=`` argument (``"exact"`` or ``"fast"``)."""
+    if precision not in PRECISIONS:
+        raise ValidationError(
+            f"precision must be one of {PRECISIONS}, got {precision!r}"
+        )
+    return precision
+
+
+def approximation_margin(row: np.ndarray, precision: str) -> float:
+    """Candidate-widening margin for one approximate distance row.
+
+    The margin is a fraction of the row's value scale on whatever scale
+    the row was computed — true distances for the float64 expansions
+    (:data:`EXACT_MARGIN_SCALE`), squared distances / p-th powers for the
+    float32 fast path (:data:`FAST_MARGIN_SCALE`) — floored at the same
+    fraction of 1.0 so near-degenerate rows still widen.
+    """
+    scale = FAST_MARGIN_SCALE if precision == "fast" else EXACT_MARGIN_SCALE
+    return scale * max(1.0, float(row.max()))
 
 
 class DistanceFunction(abc.ABC):
@@ -69,7 +114,7 @@ class DistanceFunction(abc.ABC):
         """
         return True
 
-    def pairwise(self, queries, points, *, workspace=None) -> np.ndarray:
+    def pairwise(self, queries, points, *, workspace=None, precision: str = "exact") -> np.ndarray:
         """Distance matrix between every query row and every point row.
 
         Parameters
@@ -80,23 +125,43 @@ class DistanceFunction(abc.ABC):
             ``(N, D)`` matrix of database points.
         workspace:
             Optional :class:`~repro.database.collection.CorpusWorkspace` of
-            ``points``.  Kernels that expand the distance algebraically read
-            their corpus-side terms (centred matrix, element-wise squares,
-            norms) from it instead of recomputing them per batch — the
-            zero-recompute hot path of the scan engines.  A workspace built
-            for a *different* matrix is ignored (checked via
+            ``points`` (or a :class:`~repro.database.collection.CorpusBlockView`
+            of the block being scanned).  Kernels that expand the distance
+            algebraically read their corpus-side terms (centred matrix,
+            element-wise squares, norms) from it instead of recomputing them
+            per batch — the zero-recompute hot path of the scan engines.  A
+            workspace built for a *different* matrix is ignored (checked via
             :meth:`~repro.database.collection.CorpusWorkspace.owns`), so
             passing one is always safe.
+        precision:
+            ``"exact"`` (default) computes true distances in float64.
+            ``"fast"`` lets the kernel compute the matrix in **float32** —
+            roughly twice the BLAS throughput and half the memory traffic —
+            and return it on its *natural monotone scale*: the bundled
+            kernels return squared distances (weighted Euclidean,
+            Mahalanobis) or the p-th power sum (Minkowski), skipping the
+            root over the full ``(Q, N)`` matrix.  A fast matrix is an
+            order-embedding of the distance, approximate in the low bits,
+            regardless of :attr:`pairwise_matches_rowwise` — callers that
+            need exact results (the scan engines) must treat it as
+            candidate-selection input only: widen the k-th value by
+            :func:`approximation_margin` and re-score the candidates through
+            :meth:`distances_to` in float64.  Candidate selection only needs
+            the ordering, which every monotone transform preserves.
+            Distances without a float32 specialisation silently serve
+            ``"fast"`` through the exact kernel (correct, just not faster).
 
         Returns
         -------
         numpy.ndarray
-            ``(Q, N)`` matrix with ``result[i, j] = d(queries[i], points[j])``.
+            ``(Q, N)`` matrix with ``result[i, j] = d(queries[i], points[j])``
+            (float32 when a fast kernel served the request).
 
         The base implementation evaluates one :meth:`distances_to` row per
         query (no corpus-side term to cache); subclasses override it with a
         fully vectorised matrix form where the mathematics allows one.
         """
+        check_precision(precision)
         queries = self._validate_points(queries, name="queries")
         points = self._validate_points(points)
         matrix = np.empty((queries.shape[0], points.shape[0]), dtype=np.float64)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.distances.base import DistanceFunction
+from repro.distances.base import DistanceFunction, check_precision
 from repro.utils.validation import ValidationError, as_float_matrix
 
 
@@ -96,7 +96,7 @@ class MahalanobisDistance(DistanceFunction):
     def pairwise_matches_rowwise(self) -> bool:
         return False
 
-    def pairwise(self, queries, points, *, workspace=None) -> np.ndarray:
+    def pairwise(self, queries, points, *, workspace=None, precision: str = "exact") -> np.ndarray:
         """Matrix form via the bilinear expansion ``d² = qᵀWq + pᵀWp - 2 qᵀWp``.
 
         ``W`` is applied once per side (two matrix products) instead of once
@@ -107,21 +107,41 @@ class MahalanobisDistance(DistanceFunction):
         supplies the centred matrix (the mean and the ``(N, D)`` subtraction
         drop out of the per-batch path); the quadratic point norms still
         depend on ``W`` and are recomputed when the parameters change.
+
+        ``precision="fast"`` runs the whole bilinear form in float32 against
+        the workspace's float32 mirror and returns the **squared** form
+        values (no full-matrix clip + sqrt) — approximate candidate-selection
+        output on a monotone scale, like every fast kernel.
         """
+        check_precision(precision)
         queries = self._validate_points(queries, name="queries")
         points = self._validate_points(points)
         cache = self._usable_workspace(workspace, points)
-        if cache is None:
-            center = points.mean(axis=0)
-            centered_points = points - center
+        if precision == "fast":
+            form = self._matrix.astype(np.float32)
+            if cache is None:
+                center = points.mean(axis=0)
+                centered_points = (points - center).astype(np.float32)
+            else:
+                center = cache.mean
+                centered_points = cache.centered32
+            queries = (queries - center).astype(np.float32)
         else:
-            center = cache.mean
-            centered_points = cache.centered
-        queries = queries - center
-        transformed_queries = queries @ self._matrix
+            form = self._matrix
+            if cache is None:
+                center = points.mean(axis=0)
+                centered_points = points - center
+            else:
+                center = cache.mean
+                centered_points = cache.centered
+            queries = queries - center
+        transformed_queries = queries @ form
         query_norms = np.einsum("ij,ij->i", transformed_queries, queries)
-        point_norms = np.einsum("ij,jk,ik->i", centered_points, self._matrix, centered_points)
+        point_norms = np.einsum("ij,jk,ik->i", centered_points, form, centered_points)
         squared = (
             query_norms[:, None] + point_norms[None, :] - 2.0 * transformed_queries @ centered_points.T
         )
-        return np.sqrt(np.clip(squared, 0.0, None))
+        if precision == "fast":
+            return squared
+        np.clip(squared, 0.0, None, out=squared)
+        return np.sqrt(squared, out=squared)

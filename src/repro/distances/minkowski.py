@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.distances.base import DistanceFunction
+from repro.distances.base import DistanceFunction, check_precision
 from repro.utils.validation import ValidationError, as_float_vector, check_positive
 
 
@@ -74,27 +74,48 @@ class MinkowskiDistance(DistanceFunction):
         deltas = np.abs(points - query)
         return np.power(np.sum(self._weights * np.power(deltas, self._order), axis=1), 1.0 / self._order)
 
-    def pairwise(self, queries, points, *, workspace=None) -> np.ndarray:
+    def pairwise(self, queries, points, *, workspace=None, precision: str = "exact") -> np.ndarray:
         """Matrix form by broadcasting the row computation over all queries.
 
         There is no product expansion for a general L_p norm, so the matrix
         is built from the same element-wise operations as
         :meth:`distances_to` (broadcast over a query chunk at a time to bound
         the ``(Q, N, D)`` intermediate); the results are therefore
-        bit-identical to the row-wise form.  The workspace carries nothing
-        an element-wise ``|p - q|^p`` kernel could reuse, so it is accepted
-        (for the uniform :class:`KNNIndex` call shape) and ignored.
+        bit-identical to the row-wise form.  The exact path ignores the
+        workspace (an element-wise ``|p - q|^p`` kernel has nothing to
+        reuse), but accepts it for the uniform :class:`KNNIndex` call shape.
+
+        ``precision="fast"`` runs the same broadcast in float32 over the
+        workspace's :attr:`~repro.database.collection.CorpusWorkspace.matrix32`
+        mirror and returns the p-th **power sum** without the outer
+        ``1/p`` root — a monotone transform of the distance, which is all
+        candidate selection needs, and one full-matrix ``power`` call
+        cheaper.  Element-wise float32 has no cancellation amplification,
+        but the result still differs from the float64 row form in the low
+        bits, so it is candidate-selection input like every fast matrix.
         """
+        check_precision(precision)
         queries = self._validate_points(queries, name="queries")
         points = self._validate_points(points)
-        matrix = np.empty((queries.shape[0], points.shape[0]), dtype=np.float64)
+        if precision == "fast":
+            cache = self._usable_workspace(workspace, points)
+            points = cache.matrix32 if cache is not None else points.astype(np.float32)
+            queries = queries.astype(np.float32)
+            weights = self._weights.astype(np.float32)
+            dtype = np.float32
+        else:
+            weights = self._weights
+            dtype = np.float64
+        matrix = np.empty((queries.shape[0], points.shape[0]), dtype=dtype)
         chunk = max(1, 2_000_000 // max(points.shape[0] * points.shape[1], 1))
         for start in range(0, queries.shape[0], chunk):
             block = queries[start : start + chunk]
             deltas = np.abs(points[None, :, :] - block[:, None, :])
-            matrix[start : start + chunk] = np.power(
-                np.sum(self._weights * np.power(deltas, self._order), axis=2), 1.0 / self._order
-            )
+            power_sums = np.sum(weights * np.power(deltas, self._order), axis=2)
+            if precision == "fast":
+                matrix[start : start + chunk] = power_sums
+            else:
+                matrix[start : start + chunk] = np.power(power_sums, 1.0 / self._order)
         return matrix
 
 

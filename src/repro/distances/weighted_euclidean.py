@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.distances.base import DistanceFunction
+from repro.distances.base import DistanceFunction, check_precision
 from repro.utils.validation import ValidationError, as_float_vector
 
 
@@ -71,7 +71,7 @@ class WeightedEuclideanDistance(DistanceFunction):
     def pairwise_matches_rowwise(self) -> bool:
         return False
 
-    def pairwise(self, queries, points, *, workspace=None) -> np.ndarray:
+    def pairwise(self, queries, points, *, workspace=None, precision: str = "exact") -> np.ndarray:
         """Matrix form via the Gram expansion ``d² = |q|² + |p|² - 2 q·p``.
 
         One BLAS matrix product replaces Q row scans, which is what makes
@@ -85,10 +85,21 @@ class WeightedEuclideanDistance(DistanceFunction):
         matrix is reused as the product's right-hand side and the weighted
         point norms reduce to one matvec ``(P - mean)² @ w`` — no ``(N, D)``
         corpus temporary is allocated per batch.
+
+        ``precision="fast"`` runs the same expansion in float32 (sgemm
+        instead of dgemm, half the bytes through the memory bus) against the
+        workspace's float32 mirror and returns the **squared** distances —
+        candidate selection is monotone in d², so the fast path skips the
+        clip + sqrt over the full ``(Q, N)`` matrix entirely.  The returned
+        float32 matrix is candidate-selection input for the two-stage scan,
+        not final distances.
         """
+        check_precision(precision)
         queries = self._validate_points(queries, name="queries")
         points = self._validate_points(points)
         cache = self._usable_workspace(workspace, points)
+        if precision == "fast":
+            return self._pairwise_fast(queries, points, cache)
         if cache is None:
             center = points.mean(axis=0)
             centered_points = points - center
@@ -107,6 +118,27 @@ class WeightedEuclideanDistance(DistanceFunction):
         )
         return np.sqrt(np.clip(squared, 0.0, None))
 
+    def _pairwise_fast(self, queries: np.ndarray, points: np.ndarray, cache) -> np.ndarray:
+        """Float32 *squared*-distance Gram expansion: the approximate half
+        of the two-stage scan.  Skipping the root also sidesteps its error
+        amplification near zero, so the float32 noise stays proportional to
+        the (squared) norm scale."""
+        weights32 = self._weights.astype(np.float32)
+        if cache is None:
+            center = points.mean(axis=0)
+            centered_points = (points - center).astype(np.float32)
+            point_norms = (centered_points * centered_points) @ weights32
+        else:
+            center = cache.mean
+            centered_points = cache.centered32
+            point_norms = cache.centered_squared32 @ weights32
+        queries = (queries - center).astype(np.float32)
+        weighted_queries = queries * weights32
+        query_norms = np.einsum("ij,ij->i", weighted_queries, queries)
+        return (
+            query_norms[:, None] + point_norms[None, :] - 2.0 * weighted_queries @ centered_points.T
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"WeightedEuclideanDistance(dimension={self.dimension}, "
@@ -114,7 +146,9 @@ class WeightedEuclideanDistance(DistanceFunction):
         )
 
 
-def pairwise_per_query_weights(queries, weights, points, *, workspace=None) -> np.ndarray:
+def pairwise_per_query_weights(
+    queries, weights, points, *, workspace=None, precision: str = "exact"
+) -> np.ndarray:
     """Approximate ``(Q, N)`` distance matrix with one weight vector per query.
 
     This generalises :meth:`WeightedEuclideanDistance.pairwise` to the case
@@ -132,19 +166,39 @@ def pairwise_per_query_weights(queries, weights, points, *, workspace=None) -> n
     per-batch cost is exactly the three query-sized products — the
     ``points * points`` corpus temporary this function used to allocate on
     every call disappears.
+
+    ``precision="fast"`` evaluates the same products in float32 against the
+    workspace's float32 mirror — the frontier's candidate scan at scale —
+    returning the approximate **squared** distances (no full-matrix clip +
+    sqrt, as with :meth:`WeightedEuclideanDistance.pairwise`); callers
+    re-score candidates exactly either way.
     """
+    check_precision(precision)
     queries = np.asarray(queries, dtype=np.float64)
     weights = np.asarray(weights, dtype=np.float64)
     points = np.asarray(points, dtype=np.float64)
-    if workspace is not None and workspace.owns(points):
-        center = workspace.mean
-        centered_points = workspace.centered
-        centered_squared = workspace.centered_squared
+    cache = workspace if workspace is not None and workspace.owns(points) else None
+    if precision == "fast":
+        weights = weights.astype(np.float32)
+        if cache is None:
+            center = points.mean(axis=0)
+            centered_points = (points - center).astype(np.float32)
+            centered_squared = centered_points * centered_points
+        else:
+            center = cache.mean
+            centered_points = cache.centered32
+            centered_squared = cache.centered_squared32
+        queries = (queries - center).astype(np.float32)
     else:
-        center = points.mean(axis=0)
-        centered_points = points - center
-        centered_squared = centered_points * centered_points
-    queries = queries - center
+        if cache is None:
+            center = points.mean(axis=0)
+            centered_points = points - center
+            centered_squared = centered_points * centered_points
+        else:
+            center = cache.mean
+            centered_points = cache.centered
+            centered_squared = cache.centered_squared
+        queries = queries - center
     weighted_queries = queries * weights
     query_norms = np.einsum("ij,ij->i", weighted_queries, queries)
     squared = (
@@ -152,4 +206,7 @@ def pairwise_per_query_weights(queries, weights, points, *, workspace=None) -> n
         + weights @ centered_squared.T
         - 2.0 * weighted_queries @ centered_points.T
     )
-    return np.sqrt(np.clip(squared, 0.0, None))
+    if precision == "fast":
+        return squared
+    np.clip(squared, 0.0, None, out=squared)
+    return np.sqrt(squared, out=squared)

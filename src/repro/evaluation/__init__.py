@@ -50,12 +50,15 @@ from repro.evaluation.efficiency import EfficiencyResult, saved_cycles_experimen
 from repro.evaluation.throughput import (
     BackendThroughputResult,
     FeedbackThroughputResult,
+    LatencySummary,
+    PrecisionThroughputResult,
     ServingThroughputResult,
     ShardedThroughputResult,
     ThroughputResult,
     measure_backend_speedup,
     measure_batch_speedup,
     measure_feedback_speedup,
+    measure_precision_speedup,
     measure_serving_speedup,
     measure_sharded_speedup,
 )
@@ -107,12 +110,15 @@ __all__ = [
     "saved_cycles_experiment",
     "BackendThroughputResult",
     "FeedbackThroughputResult",
+    "LatencySummary",
+    "PrecisionThroughputResult",
     "ServingThroughputResult",
     "ShardedThroughputResult",
     "ThroughputResult",
     "measure_backend_speedup",
     "measure_batch_speedup",
     "measure_feedback_speedup",
+    "measure_precision_speedup",
     "measure_serving_speedup",
     "measure_sharded_speedup",
     "RepeatRateBenefitResult",

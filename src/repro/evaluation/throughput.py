@@ -28,6 +28,16 @@ thread pool and over the shared-memory process backend, all checked
 byte-identical against the unsharded reference — the numbers behind the
 thread-vs-process guidance in the performance guide.
 
+:func:`measure_precision_speedup` measures the raw-speed layer: the same
+batch runs through an engine's ``search_batch`` once with the default exact
+float64 kernels and once with ``precision="fast"`` (float32 candidate
+selection + exact float64 re-scoring), with the byte-identity of the two
+result lists checked on the measured run — the scale lab's headline number.
+
+Every result additionally carries per-mode :class:`LatencySummary` latency
+percentiles (p50/p95/p99) next to its queries/sec figures, because a
+serving deployment is judged on both.
+
 :func:`measure_serving_speedup` measures the serving layer's request
 coalescing over real sockets: N concurrent client connections issue the
 same single-query stream against a
@@ -42,7 +52,9 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.database.collection import FeatureCollection
 from repro.database.engine import RetrievalEngine
@@ -53,6 +65,59 @@ from repro.feedback.scheduler import LoopRequest, LoopScheduler
 from repro.serving.client import ServingClient
 from repro.serving.server import RetrievalServer, ServerConfig
 from repro.utils.validation import ValidationError, as_float_matrix, check_dimension
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Latency distribution of one measured mode, in milliseconds.
+
+    Throughput (queries/sec) says how much work a mode moves; the latency
+    percentiles say what a *single request* experiences while it does — the
+    pair is what a serving SLO is written against.  Every ``measure_*``
+    result carries one summary per measured mode in its ``latencies`` dict:
+    per-query (or per-request) samples where the mode serves requests
+    individually, per-call samples where it dispatches whole batches.
+    Samples from every timing repeat are pooled.
+    """
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_seconds(cls, samples) -> "LatencySummary":
+        """Summarise raw ``perf_counter`` durations (seconds) into percentiles."""
+        samples = np.asarray(list(samples), dtype=np.float64)
+        if samples.size == 0:
+            raise ValidationError("a latency summary needs at least one sample")
+        milliseconds = samples * 1e3
+        p50, p95, p99 = np.percentile(milliseconds, [50.0, 95.0, 99.0])
+        return cls(
+            count=int(milliseconds.size),
+            mean_ms=float(milliseconds.mean()),
+            p50_ms=float(p50),
+            p95_ms=float(p95),
+            p99_ms=float(p99),
+            max_ms=float(milliseconds.max()),
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for JSON trajectories (``BENCH_throughput.json``)."""
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "max_ms": self.max_ms,
+        }
+
+
+def _summarize_latencies(samples_by_mode: "dict[str, list[float]]") -> "dict[str, LatencySummary]":
+    return {mode: LatencySummary.from_seconds(samples) for mode, samples in samples_by_mode.items()}
 
 
 @dataclass(frozen=True)
@@ -69,6 +134,9 @@ class ThroughputResult:
     identical_results:
         Whether the two paths returned byte-identical result sets — the
         equivalence half of the batch contract, checked on the measured run.
+    latencies:
+        :class:`LatencySummary` per mode — ``"loop"`` over per-query
+        samples, ``"batch"`` over per-call samples.
     """
 
     n_queries: int
@@ -76,6 +144,7 @@ class ThroughputResult:
     loop_seconds: float
     batch_seconds: float
     identical_results: bool
+    latencies: "dict[str, LatencySummary]" = field(default_factory=dict)
 
     @property
     def loop_qps(self) -> float:
@@ -121,11 +190,16 @@ def measure_batch_speedup(
     if query_points.shape[0] == 0:
         raise ValidationError("throughput measurement needs at least one query")
 
+    samples: "dict[str, list[float]]" = {"loop": [], "batch": []}
     loop_results = None
     loop_seconds = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
-        loop_results = [engine.search(query_point, k, distance) for query_point in query_points]
+        loop_results = []
+        for query_point in query_points:
+            query_start = time.perf_counter()
+            loop_results.append(engine.search(query_point, k, distance))
+            samples["loop"].append(time.perf_counter() - query_start)
         loop_seconds = min(loop_seconds, time.perf_counter() - start)
 
     batch_results = None
@@ -133,7 +207,9 @@ def measure_batch_speedup(
     for _ in range(repeats):
         start = time.perf_counter()
         batch_results = engine.search_batch(query_points, k, distance)
-        batch_seconds = min(batch_seconds, time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        samples["batch"].append(elapsed)
+        batch_seconds = min(batch_seconds, elapsed)
 
     return ThroughputResult(
         n_queries=int(query_points.shape[0]),
@@ -141,6 +217,7 @@ def measure_batch_speedup(
         loop_seconds=loop_seconds,
         batch_seconds=batch_seconds,
         identical_results=_identical(loop_results, batch_results),
+        latencies=_summarize_latencies(samples),
     )
 
 
@@ -163,6 +240,9 @@ class FeedbackThroughputResult:
         :class:`~repro.feedback.engine.FeedbackLoopResult` lists — the
         equivalence half of the scheduler contract, checked on the measured
         run.
+    latencies:
+        :class:`LatencySummary` per mode — ``"sequential"`` over per-query
+        loop samples, ``"frontier"`` over per-call samples.
     """
 
     n_queries: int
@@ -171,6 +251,7 @@ class FeedbackThroughputResult:
     sequential_seconds: float
     frontier_seconds: float
     identical_results: bool
+    latencies: "dict[str, LatencySummary]" = field(default_factory=dict)
 
     @property
     def sequential_qps(self) -> float:
@@ -214,14 +295,16 @@ def measure_feedback_speedup(
     if len(judges) != query_points.shape[0]:
         raise ValidationError("measure_feedback_speedup needs exactly one judge per query")
 
+    samples: "dict[str, list[float]]" = {"sequential": [], "frontier": []}
     sequential_results = None
     sequential_seconds = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
-        sequential_results = [
-            feedback_engine.run_loop(query_point, k, judge)
-            for query_point, judge in zip(query_points, judges)
-        ]
+        sequential_results = []
+        for query_point, judge in zip(query_points, judges):
+            query_start = time.perf_counter()
+            sequential_results.append(feedback_engine.run_loop(query_point, k, judge))
+            samples["sequential"].append(time.perf_counter() - query_start)
         sequential_seconds = min(sequential_seconds, time.perf_counter() - start)
 
     scheduler = LoopScheduler(feedback_engine)
@@ -234,7 +317,9 @@ def measure_feedback_speedup(
     for _ in range(repeats):
         start = time.perf_counter()
         frontier_results = scheduler.run(requests)
-        frontier_seconds = min(frontier_seconds, time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        samples["frontier"].append(elapsed)
+        frontier_seconds = min(frontier_seconds, elapsed)
 
     return FeedbackThroughputResult(
         n_queries=int(query_points.shape[0]),
@@ -247,6 +332,7 @@ def measure_feedback_speedup(
             first.identical_to(second)
             for first, second in zip(sequential_results, frontier_results)
         ),
+        latencies=_summarize_latencies(samples),
     )
 
 
@@ -271,6 +357,9 @@ class ShardedThroughputResult:
         Whether *both* sharded runs returned result sets byte-identical to
         the unsharded engine — the exactness half of the sharding contract,
         checked on the measured runs.
+    latencies:
+        :class:`LatencySummary` per mode (``"unsharded"`` / ``"serial"`` /
+        ``"parallel"``), over per-call batch samples.
     """
 
     n_queries: int
@@ -281,6 +370,7 @@ class ShardedThroughputResult:
     parallel_seconds: float
     unsharded_seconds: float
     identical_results: bool
+    latencies: "dict[str, LatencySummary]" = field(default_factory=dict)
 
     @property
     def serial_qps(self) -> float:
@@ -333,6 +423,7 @@ def measure_sharded_speedup(
     if query_points.shape[0] == 0:
         raise ValidationError("throughput measurement needs at least one query")
 
+    samples: "dict[str, list[float]]" = {"unsharded": [], "serial": [], "parallel": []}
     reference = RetrievalEngine(
         collection,
         default_distance=distance,
@@ -342,20 +433,24 @@ def measure_sharded_speedup(
     for _ in range(repeats):
         start = time.perf_counter()
         reference_results = reference.search_batch(query_points, k)
-        unsharded_seconds = min(unsharded_seconds, time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        samples["unsharded"].append(elapsed)
+        unsharded_seconds = min(unsharded_seconds, elapsed)
 
-    def timed(engine: ShardedEngine) -> tuple[list, float]:
+    def timed(engine: ShardedEngine, mode: str) -> tuple[list, float]:
         results, seconds = None, float("inf")
         for _ in range(repeats):
             start = time.perf_counter()
             results = engine.search_batch(query_points, k)
-            seconds = min(seconds, time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            samples[mode].append(elapsed)
+            seconds = min(seconds, elapsed)
         return results, seconds
 
     with ShardedEngine(
         collection, n_shards, n_workers=1, default_distance=distance, index_factory=index_factory
     ) as serial_engine:
-        serial_results, serial_seconds = timed(serial_engine)
+        serial_results, serial_seconds = timed(serial_engine, "serial")
     with ShardedEngine(
         collection,
         n_shards,
@@ -363,7 +458,7 @@ def measure_sharded_speedup(
         default_distance=distance,
         index_factory=index_factory,
     ) as parallel_engine:
-        parallel_results, parallel_seconds = timed(parallel_engine)
+        parallel_results, parallel_seconds = timed(parallel_engine, "parallel")
 
     return ShardedThroughputResult(
         n_queries=int(query_points.shape[0]),
@@ -375,6 +470,7 @@ def measure_sharded_speedup(
         unsharded_seconds=unsharded_seconds,
         identical_results=_identical(serial_results, reference_results)
         and _identical(parallel_results, reference_results),
+        latencies=_summarize_latencies(samples),
     )
 
 
@@ -400,6 +496,9 @@ class BackendThroughputResult:
         Whether *every* sharded run (serial, thread, process) returned
         result sets byte-identical to the unsharded engine — the exactness
         half of the backend contract, checked on the measured runs.
+    latencies:
+        :class:`LatencySummary` per mode (``"unsharded"`` / ``"serial"`` /
+        ``"thread"`` / ``"process"``), over per-call batch samples.
     """
 
     n_queries: int
@@ -411,6 +510,7 @@ class BackendThroughputResult:
     thread_seconds: float
     process_seconds: float
     identical_results: bool
+    latencies: "dict[str, LatencySummary]" = field(default_factory=dict)
 
     @property
     def unsharded_qps(self) -> float:
@@ -476,20 +576,30 @@ def measure_backend_speedup(
     if query_points.shape[0] == 0:
         raise ValidationError("throughput measurement needs at least one query")
 
+    samples: "dict[str, list[float]]" = {
+        "unsharded": [],
+        "serial": [],
+        "thread": [],
+        "process": [],
+    }
     reference = RetrievalEngine(collection, default_distance=distance)
     reference_results = None
     unsharded_seconds = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
         reference_results = reference.search_batch(query_points, k)
-        unsharded_seconds = min(unsharded_seconds, time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        samples["unsharded"].append(elapsed)
+        unsharded_seconds = min(unsharded_seconds, elapsed)
 
-    def timed(engine: ShardedEngine) -> tuple[list, float]:
+    def timed(engine: ShardedEngine, mode: str) -> tuple[list, float]:
         results, seconds = None, float("inf")
         for _ in range(repeats):
             start = time.perf_counter()
             results = engine.search_batch(query_points, k)
-            seconds = min(seconds, time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            samples[mode].append(elapsed)
+            seconds = min(seconds, elapsed)
         return results, seconds
 
     timings: dict[str, float] = {}
@@ -507,7 +617,7 @@ def measure_backend_speedup(
             default_distance=distance,
             index_factory=index_factory,
         ) as engine:
-            results, timings[label] = timed(engine)
+            results, timings[label] = timed(engine, label)
         identical = identical and _identical(results, reference_results)
 
     return BackendThroughputResult(
@@ -520,6 +630,7 @@ def measure_backend_speedup(
         thread_seconds=timings["thread"],
         process_seconds=timings["process"],
         identical_results=identical,
+        latencies=_summarize_latencies(samples),
     )
 
 
@@ -548,6 +659,10 @@ class ServingThroughputResult:
     identical_results:
         Whether *both* modes returned results byte-identical to the local
         engine — the serving contract, checked on the measured runs.
+    latencies:
+        :class:`LatencySummary` per mode (``"serial"`` / ``"coalesced"``),
+        over client-side per-request samples — what each request actually
+        waited, gather window and queueing included.
     """
 
     n_queries: int
@@ -558,6 +673,7 @@ class ServingThroughputResult:
     serial_dispatches: int
     coalesced_dispatches: int
     identical_results: bool
+    latencies: "dict[str, LatencySummary]" = field(default_factory=dict)
 
     @property
     def serial_qps(self) -> float:
@@ -613,7 +729,12 @@ def measure_serving_speedup(
 
     reference = engine.search_batch(query_points, k)
 
-    def run_mode(config: ServerConfig) -> "tuple[list, float, int]":
+    def run_mode(config: ServerConfig) -> "tuple[list, float, int, list[float]]":
+        # Per-request latency samples collected client-side: what each
+        # request waited end to end (socket, queueing, gather window,
+        # dispatch).  list.append is atomic, so client threads share one
+        # sample list without a lock.
+        request_samples: "list[float]" = []
         with RetrievalServer(engine, config) as server:
             host, port = server.address
             clients = [ServingClient(host, port) for _ in range(n_clients)]
@@ -626,7 +747,9 @@ def measure_serving_speedup(
                     def client_main(client_id: int, client: ServingClient) -> None:
                         barrier.wait()
                         for position in range(client_id, n_queries, n_clients):
+                            request_start = time.perf_counter()
                             results[position] = client.search(query_points[position], k)
+                            request_samples.append(time.perf_counter() - request_start)
 
                     threads = [
                         threading.Thread(target=client_main, args=(client_id, client))
@@ -643,12 +766,12 @@ def measure_serving_speedup(
             finally:
                 for client in clients:
                     client.close()
-        return results, best_seconds, int(dispatches)
+        return results, best_seconds, int(dispatches), request_samples
 
-    serial_results, serial_seconds, serial_dispatches = run_mode(
+    serial_results, serial_seconds, serial_dispatches, serial_samples = run_mode(
         ServerConfig(max_batch=1, max_wait=0.0)
     )
-    coalesced_results, coalesced_seconds, coalesced_dispatches = run_mode(
+    coalesced_results, coalesced_seconds, coalesced_dispatches, coalesced_samples = run_mode(
         ServerConfig(max_batch=max_batch, max_wait=max_wait)
     )
 
@@ -662,4 +785,102 @@ def measure_serving_speedup(
         coalesced_dispatches=coalesced_dispatches,
         identical_results=_identical(serial_results, reference)
         and _identical(coalesced_results, reference),
+        latencies=_summarize_latencies(
+            {"serial": serial_samples, "coalesced": coalesced_samples}
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class PrecisionThroughputResult:
+    """Exact-vs-fast (two-stage float32) throughput on one query set.
+
+    Attributes
+    ----------
+    n_queries, k, corpus_size:
+        Size of the measured workload.
+    exact_seconds, fast_seconds:
+        Best wall-clock time (over ``repeats``) of ``search_batch`` with
+        ``precision="exact"`` and ``precision="fast"``.
+    identical_results:
+        Whether the fast path returned result sets byte-identical to the
+        exact path — the two-stage kernel contract, checked on the measured
+        run.  A fast but diverging kernel is not a speed-up; callers should
+        assert this.
+    latencies:
+        :class:`LatencySummary` per mode (``"exact"`` / ``"fast"``), over
+        per-call batch samples.
+    """
+
+    n_queries: int
+    k: int
+    corpus_size: int
+    exact_seconds: float
+    fast_seconds: float
+    identical_results: bool
+    latencies: "dict[str, LatencySummary]" = field(default_factory=dict)
+
+    @property
+    def exact_qps(self) -> float:
+        """Queries per second of the exact float64 path."""
+        return self.n_queries / self.exact_seconds
+
+    @property
+    def fast_qps(self) -> float:
+        """Queries per second of the two-stage float32 path."""
+        return self.n_queries / self.fast_seconds
+
+    @property
+    def speedup(self) -> float:
+        """How many times faster the two-stage float32 kernel is."""
+        return self.exact_seconds / self.fast_seconds
+
+
+def measure_precision_speedup(
+    engine,
+    query_points,
+    k: int,
+    *,
+    distance: DistanceFunction | None = None,
+    repeats: int = 3,
+) -> PrecisionThroughputResult:
+    """Time ``precision="fast"`` against the exact float64 ``search_batch``.
+
+    ``engine`` is anything with the batched query surface —
+    :class:`~repro.database.engine.RetrievalEngine`,
+    :class:`~repro.database.sharding.ShardedEngine` or a bare
+    :class:`~repro.database.knn.LinearScanIndex`.  Both precisions run
+    ``repeats`` times on the same engine and query set (best time kept),
+    and the result records whether the fast path reproduced the exact
+    results byte for byte — the scale lab asserts it on every run.
+    """
+    check_dimension(k, "k")
+    check_dimension(repeats, "repeats")
+    query_points = as_float_matrix(
+        query_points, name="query_points", shape=(None, engine.collection.dimension)
+    )
+    if query_points.shape[0] == 0:
+        raise ValidationError("throughput measurement needs at least one query")
+
+    samples: "dict[str, list[float]]" = {"exact": [], "fast": []}
+    results: "dict[str, list]" = {}
+    timings: "dict[str, float]" = {}
+    for mode in ("exact", "fast"):
+        best_seconds = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            results[mode] = engine.search_batch(query_points, k, distance, mode)
+            elapsed = time.perf_counter() - start
+            samples[mode].append(elapsed)
+            best_seconds = min(best_seconds, elapsed)
+        timings[mode] = best_seconds
+
+    return PrecisionThroughputResult(
+        n_queries=int(query_points.shape[0]),
+        k=int(k),
+        corpus_size=int(engine.collection.size),
+        exact_seconds=timings["exact"],
+        fast_seconds=timings["fast"],
+        identical_results=_identical(results["exact"], results["fast"]),
+        latencies=_summarize_latencies(samples),
     )

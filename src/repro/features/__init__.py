@@ -15,7 +15,9 @@ code paths:
   drop-last-bin embedding into the standard simplex (Example 1 / Section 4.1),
 * :mod:`repro.features.datasets` — assembly of an IMSI-like corpus with the
   paper's category sizes (Bird 318, Fish 129, Mammal 834, Blossom 189,
-  TreeLeaf 575, Bridge 148, Monument 298, plus noise images).
+  TreeLeaf 575, Bridge 148, Monument 298, plus noise images),
+* :mod:`repro.features.synthetic` — seeded clustered million-vector corpora
+  for the scale lab (no image pipeline; raw Gaussian-mixture geometry).
 """
 
 from repro.features.datasets import (
@@ -31,6 +33,11 @@ from repro.features.normalization import (
     drop_last_bin,
     normalize_histogram,
     restore_last_bin,
+)
+from repro.features.synthetic import (
+    ClusteredCorpus,
+    build_clustered_corpus,
+    sample_queries,
 )
 from repro.features.synthetic_images import CategorySpec, ColorTheme, SyntheticImageGenerator
 
@@ -50,4 +57,7 @@ __all__ = [
     "CategorySpec",
     "ColorTheme",
     "SyntheticImageGenerator",
+    "ClusteredCorpus",
+    "build_clustered_corpus",
+    "sample_queries",
 ]

@@ -107,7 +107,14 @@ class RequestCoalescer:
         backpressure alone.  A positive value holds a not-yet-full window
         open that long before dispatching, trading per-request latency for
         bigger batches (useful when arrivals are sparse but the corpus
-        scan is expensive).
+        scan is expensive).  A submitter that is *alone* in its group does
+        not pay the full window: it yields for at most
+        :data:`SOLO_GRACE` seconds (enough for any concurrently-arriving
+        peer to register and share the dispatch) and, still alone, skips
+        the rest of the gather — so a sparse stream of lone requests sees
+        millisecond latency under a window configured in the hundreds of
+        milliseconds, while coherent bursts keep coalescing exactly as
+        before (counted as ``solo_dispatches`` in :meth:`stats`).
 
     How batches form: requests are grouped by ``(kind, k)`` — plain
     searches with equal ``k`` stack into one ``search_batch`` matrix,
@@ -123,6 +130,13 @@ class RequestCoalescer:
     server is idle.
     """
 
+    #: Gather time (seconds) a *lone* submitter still concedes before
+    #: dispatching solo.  A blocked wait releases the GIL immediately, so a
+    #: peer that was already on its way into ``submit_*`` registers within
+    #: microseconds of this wait starting — the grace only needs to cover a
+    #: thread-scheduling quantum, not the arrival gap ``max_wait`` targets.
+    SOLO_GRACE = 0.005
+
     def __init__(self, engine, *, max_batch: int = 64, max_wait: float = 0.0) -> None:
         self._engine = engine
         self._max_batch = check_dimension(max_batch, "max_batch")
@@ -137,6 +151,7 @@ class RequestCoalescer:
         self._n_dispatches = 0
         self._n_dispatched_rows = 0
         self._largest_dispatch = 0
+        self._n_solo_dispatches = 0
 
     @property
     def engine(self):
@@ -162,6 +177,7 @@ class RequestCoalescer:
                 "dispatches": self._n_dispatches,
                 "dispatched_rows": self._n_dispatched_rows,
                 "largest_dispatch": self._largest_dispatch,
+                "solo_dispatches": self._n_solo_dispatches,
                 "rows_per_dispatch": (
                     self._n_dispatched_rows / self._n_dispatches if self._n_dispatches else 0.0
                 ),
@@ -203,6 +219,15 @@ class RequestCoalescer:
         # the grouping key (every bundled caller passes D-wide rows).
         return self._submit(("params", k, weights.shape[1]), k, pending)
 
+    @staticmethod
+    def _is_solo(group: "_GroupState", window: "_Window", pending: _PendingRows) -> bool:
+        """True while ``pending`` is the group's entire window queue."""
+        return (
+            len(group.windows) == 1
+            and len(window.requests) == 1
+            and window.requests[0] is pending
+        )
+
     def _submit(self, key: tuple, k: int, pending: _PendingRows) -> "list[ResultSet]":
         n_rows = pending.points.shape[0]
         if n_rows == 0:
@@ -230,11 +255,33 @@ class RequestCoalescer:
                 if self._max_wait > 0:
                     with self._lock:
                         current = group.windows[0]
+                        alone = self._is_solo(group, current, pending)
                     if current.rows < self._max_batch:
-                        # Optional gather: hold the window open briefly so
-                        # sparse arrivals can still share the dispatch (cut
-                        # short the moment it fills).
-                        current.filled.wait(timeout=self._max_wait)
+                        if alone:
+                            # Solo fast path: this submitter is alone in the
+                            # group (its own rows are the whole window
+                            # queue), so the gather window has nobody to
+                            # gather — a sparse arrival stream would
+                            # otherwise pay max_wait per lone request.  A
+                            # short grace wait yields the interpreter so a
+                            # peer already heading into submit_* can still
+                            # register and share; still alone after it, the
+                            # rest of the gather is skipped.  Anyone
+                            # arriving after that still coalesces: they
+                            # either join the window before it is popped
+                            # below or pile into the next one.
+                            current.filled.wait(
+                                timeout=min(self.SOLO_GRACE, self._max_wait)
+                            )
+                            with self._lock:
+                                alone = self._is_solo(group, current, pending)
+                                if alone:
+                                    self._n_solo_dispatches += 1
+                        if not alone and current.rows < self._max_batch:
+                            # Optional gather: hold the window open briefly
+                            # so sparse arrivals can still share the dispatch
+                            # (cut short the moment it fills).
+                            current.filled.wait(timeout=self._max_wait)
                 with self._lock:
                     window = group.windows.pop(0)
                     window.closed = True

@@ -1,0 +1,149 @@
+"""The per-commit benchmark trajectory and its SVG rendering.
+
+``benchmarks/record.py`` owns ``BENCH_throughput.json`` (schema 2: an
+ordered per-commit entry list that accumulates across PRs);
+``benchmarks/scale_lab.py`` merges its section into the same entries and
+``benchmarks/generate_figures.py`` renders the file.  These tests pin the
+append/merge/migration semantics on temp files and check the renderers
+produce well-formed SVG without touching the real trajectory.
+"""
+
+import json
+import os
+
+import pytest
+
+from benchmarks import generate_figures, record, scale_lab
+
+
+@pytest.fixture()
+def trajectory(tmp_path):
+    return str(tmp_path / "BENCH_throughput.json")
+
+
+def entry(n: int) -> dict:
+    return {
+        "cores": 1,
+        "qps": {path: 100.0 * n for path in generate_figures.PATH_COLORS},
+        "speedups": {"batch": 3.0 + n, "precision_fast": 1.5 + 0.1 * n},
+        "latency_ms": {
+            "search_batch": {"p50": 1.0 * n, "p99": 2.0 * n},
+            "search_batch_fast": {"p50": 0.5 * n, "p99": 1.0 * n},
+        },
+    }
+
+
+class TestRecord:
+    def test_missing_file_loads_empty(self, trajectory):
+        assert record.load_entries(trajectory) == []
+
+    def test_new_keys_append_in_order(self, trajectory):
+        record.record(entry(1), "aaaa111", trajectory)
+        record.record(entry(2), "bbbb222", trajectory)
+        entries = record.load_entries(trajectory)
+        assert [e["commit"] for e in entries] == ["aaaa111", "bbbb222"]
+        with open(trajectory, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["schema"] == record.SCHEMA_VERSION
+
+    def test_rerecording_a_key_merges_in_place(self, trajectory):
+        record.record(entry(1), "aaaa111", trajectory)
+        record.update_section("scale_lab", {"speedup": 2.3}, "aaaa111", trajectory)
+        record.record(entry(5), "aaaa111", trajectory)
+        entries = record.load_entries(trajectory)
+        assert len(entries) == 1
+        # The re-measurement wins on shared keys; the scale-lab section a
+        # different writer attached to the same commit survives.
+        assert entries[0]["qps"]["search_batch"] == 500.0
+        assert entries[0]["scale_lab"] == {"speedup": 2.3}
+
+    def test_update_section_creates_missing_entry(self, trajectory):
+        record.update_section("scale_lab", {"speedup": 2.0}, "cccc333", trajectory)
+        entries = record.load_entries(trajectory)
+        assert entries == [{"commit": "cccc333", "scale_lab": {"speedup": 2.0}}]
+
+    def test_schema1_files_migrate(self, trajectory):
+        legacy = {"old1": {"qps": {"search_batch": 1.0}}, "old2": {"qps": {"search_batch": 2.0}}}
+        with open(trajectory, "w", encoding="utf-8") as handle:
+            json.dump(legacy, handle)
+        entries = record.load_entries(trajectory)
+        assert {e["commit"] for e in entries} == {"old1", "old2"}
+        # The first write re-serialises as schema 2.
+        record.record(entry(1), "new1", trajectory)
+        with open(trajectory, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["schema"] == record.SCHEMA_VERSION
+        assert len(payload["entries"]) == 3
+
+
+class TestScaleLabReport:
+    def test_report_renders_section(self, tmp_path):
+        section = {
+            "n_vectors": 50_000,
+            "dimension": 64,
+            "n_queries": 32,
+            "k": 10,
+            "cores": 1,
+            "exact_qps": 850.0,
+            "fast_qps": 1975.0,
+            "speedup": 2.32,
+            "latency_ms": {
+                "exact": {"p50": 37.6, "p99": 40.1},
+                "fast": {"p50": 16.2, "p99": 17.9},
+            },
+        }
+        path = str(tmp_path / "scale_lab.txt")
+        scale_lab.write_report(section, path)
+        text = open(path, encoding="utf-8").read()
+        assert "50000 x 64" in text
+        assert "2.32x" in text
+        assert "byte-identical" in text
+
+
+class TestGenerateFigures:
+    @pytest.fixture()
+    def figures_dir(self, tmp_path, monkeypatch):
+        target = str(tmp_path / "figures")
+        monkeypatch.setattr(generate_figures, "FIGURES_DIR", target)
+        return target
+
+    @pytest.fixture()
+    def entries(self):
+        made = [entry(1), entry(2), entry(3)]
+        for n, e in enumerate(made, start=1):
+            e["commit"] = f"commit{n}"
+        made[-1]["scale_lab"] = {
+            "n_vectors": 50_000,
+            "exact_qps": 800.0,
+            "fast_qps": 1900.0,
+            "speedup": 2.4,
+        }
+        return made
+
+    def test_all_figures_render_wellformed_svg(self, figures_dir, entries):
+        written = generate_figures.generate(list(generate_figures.FIGURES), entries)
+        assert len(written) == len(generate_figures.FIGURES)
+        for path in written:
+            assert path.startswith(figures_dir)
+            content = open(path, encoding="utf-8").read()
+            assert content.startswith("<svg ")
+            assert content.rstrip().endswith("</svg>")
+            # Every chart carries data marks, not just the frame.
+            assert "<polyline" in content or "<rect" in content
+
+    def test_figures_without_data_are_skipped(self, figures_dir):
+        bare = [{"commit": "x", "qps": {"search_batch": 1.0}}]
+        written = generate_figures.generate(["scale_lab", "speedups"], bare)
+        assert written == []
+        assert not os.path.exists(os.path.join(figures_dir, "scale_lab.svg"))
+
+    def test_registry_names_are_figure_files(self):
+        assert set(generate_figures.FIGURES) == {
+            "qps_trajectory",
+            "speedups",
+            "latency_percentiles",
+            "scale_lab",
+        }
+        for name, (group, renderer) in generate_figures.FIGURES.items():
+            assert group in ("trajectory", "latest")
+            assert callable(renderer)

@@ -1,0 +1,242 @@
+"""Byte-identity contracts of the raw-speed layer.
+
+``precision="fast"`` (two-stage float32 kernels) and blocked scans both
+promise the same thing: the exact results of the float64 single-shot scan,
+bit for bit, at lower cost.  These tests pin that promise across the full
+grid — distance family x k x blocking x sharding backend — plus the
+adversarial corner the margins were designed for (dense near-ties), the
+memory bound of the blocked scan, and the per-query-weights batch path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.database.collection import FeatureCollection
+from repro.database.engine import RetrievalEngine
+from repro.database.knn import DEFAULT_BLOCK_ROWS, LinearScanIndex
+from repro.database.sharding import ShardedEngine
+from repro.distances.base import check_precision
+from repro.distances.mahalanobis import MahalanobisDistance
+from repro.distances.minkowski import MinkowskiDistance
+from repro.distances.weighted_euclidean import WeightedEuclideanDistance
+from repro.features.synthetic import build_clustered_corpus, sample_queries
+from repro.utils.validation import ValidationError
+
+DIMENSION = 16
+N_VECTORS = 2000
+N_QUERIES = 6
+
+
+def distance_grid():
+    """One representative of every pairwise-kernel family."""
+    rng = np.random.default_rng(99)
+    return [
+        ("euclidean", WeightedEuclideanDistance(DIMENSION)),
+        ("weighted", WeightedEuclideanDistance(DIMENSION, weights=rng.random(DIMENSION) + 0.1)),
+        ("cityblock", MinkowskiDistance(DIMENSION, order=1.0)),
+        ("minkowski3", MinkowskiDistance(DIMENSION, order=3.0, weights=rng.random(DIMENSION) + 0.1)),
+        ("mahalanobis", MahalanobisDistance(DIMENSION, matrix=np.eye(DIMENSION) + 0.2)),
+    ]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_clustered_corpus(N_VECTORS, DIMENSION, n_clusters=8, seed=31)
+
+
+@pytest.fixture(scope="module")
+def collection(corpus) -> FeatureCollection:
+    return FeatureCollection(corpus.vectors)
+
+
+@pytest.fixture(scope="module")
+def queries(corpus) -> np.ndarray:
+    return sample_queries(corpus, N_QUERIES, seed=32)
+
+
+class TestFastPrecisionIdentity:
+    @pytest.mark.parametrize("name,distance", distance_grid(), ids=lambda v: v if isinstance(v, str) else "")
+    @pytest.mark.parametrize("k", [1, 7, 64])
+    def test_fast_matches_exact_across_distances_and_k(self, collection, queries, name, distance, k):
+        engine = RetrievalEngine(collection)
+        exact = engine.search_batch(queries, k, distance)
+        fast = engine.search_batch(queries, k, distance, "fast")
+        assert fast == exact
+
+    def test_fast_matches_per_query_search_loop(self, collection, queries):
+        engine = RetrievalEngine(collection)
+        fast = engine.search_batch(queries, 10, None, "fast")
+        loop = [engine.search(point, 10) for point in queries]
+        assert fast == loop
+
+    def test_adversarial_near_ties(self):
+        """Dense 1e-9 perturbations of one point: the margin's worst case.
+
+        Every corpus row sits within float32 noise of every other, so the
+        fast candidate stage cannot distinguish them — only the widened
+        candidate set plus exact float64 re-scoring with the (distance,
+        index) tie-break can reproduce the exact ranking.
+        """
+        rng = np.random.default_rng(7)
+        base = rng.random(DIMENSION)
+        vectors = np.tile(base, (400, 1)) + 1e-9 * rng.normal(size=(400, DIMENSION))
+        # A handful of exact duplicates exercise the pure index tie-break.
+        vectors[50] = vectors[10]
+        vectors[51] = vectors[10]
+        engine = RetrievalEngine(FeatureCollection(vectors))
+        near_queries = vectors[:4] + 1e-10
+        for distance in (None, MinkowskiDistance(DIMENSION, order=3.0)):
+            exact = engine.search_batch(near_queries, 25, distance)
+            fast = engine.search_batch(near_queries, 25, distance, "fast")
+            assert fast == exact
+
+    def test_invalid_precision_rejected(self, collection, queries):
+        engine = RetrievalEngine(collection)
+        with pytest.raises(ValidationError):
+            engine.search_batch(queries, 5, None, "float16")
+        with pytest.raises(ValidationError):
+            LinearScanIndex(collection).search_batch(queries, 5, engine.default_distance, "quick")
+        with pytest.raises(ValidationError):
+            check_precision("")
+
+    def test_fast_pairwise_matrix_is_float32_for_gram_kernels(self, collection, queries):
+        distance = WeightedEuclideanDistance(DIMENSION)
+        matrix = distance.pairwise(queries, collection.vectors, workspace=collection.workspace, precision="fast")
+        assert matrix.dtype == np.float32
+
+
+class TestBlockedScan:
+    @pytest.mark.parametrize("precision", ["exact", "fast"])
+    @pytest.mark.parametrize("block_rows", [170, 512, N_VECTORS - 1])
+    def test_blocked_matches_single_shot(self, collection, queries, precision, block_rows):
+        distance = WeightedEuclideanDistance(DIMENSION)
+        reference = LinearScanIndex(collection).search_batch(queries, 12, distance)
+        blocked = LinearScanIndex(collection, block_rows=block_rows)
+        assert blocked.search_batch(queries, 12, distance, precision) == reference
+
+    def test_blocked_matches_for_rowwise_exact_kernels(self, collection, queries):
+        # Minkowski's pairwise is row-exact, so the blocked exact path skips
+        # re-scoring entirely — the merge alone must preserve identity.
+        distance = MinkowskiDistance(DIMENSION, order=1.0)
+        reference = LinearScanIndex(collection).search_batch(queries, 12, distance)
+        blocked = LinearScanIndex(collection, block_rows=300)
+        assert blocked.search_batch(queries, 12, distance) == reference
+
+    def test_blocked_scan_bounds_kernel_width(self, collection, queries, monkeypatch):
+        """No pairwise call ever sees more than ``block_rows`` corpus rows.
+
+        This is the memory bound: the ``(Q, N)`` matrix the scan materialises
+        is capped at ``(Q, block_rows)`` regardless of corpus height.
+        """
+        block_rows = 256
+        seen_widths = []
+        original = WeightedEuclideanDistance.pairwise
+
+        def spy(self, query_points, points, **kwargs):
+            seen_widths.append(int(np.asarray(points).shape[0]))
+            return original(self, query_points, points, **kwargs)
+
+        monkeypatch.setattr(WeightedEuclideanDistance, "pairwise", spy)
+        scan = LinearScanIndex(collection, block_rows=block_rows)
+        scan.search_batch(queries, 9, WeightedEuclideanDistance(DIMENSION))
+        assert seen_widths, "the blocked scan never reached the pairwise kernel"
+        assert max(seen_widths) <= block_rows
+        assert len(seen_widths) == -(-N_VECTORS // block_rows)
+        assert sum(seen_widths) == N_VECTORS
+
+    def test_short_corpus_scans_in_one_shot(self, collection, queries, monkeypatch):
+        seen_widths = []
+        original = WeightedEuclideanDistance.pairwise
+
+        def spy(self, query_points, points, **kwargs):
+            seen_widths.append(int(np.asarray(points).shape[0]))
+            return original(self, query_points, points, **kwargs)
+
+        monkeypatch.setattr(WeightedEuclideanDistance, "pairwise", spy)
+        LinearScanIndex(collection).search_batch(queries, 9, WeightedEuclideanDistance(DIMENSION))
+        assert seen_widths == [N_VECTORS]
+
+    def test_default_block_rows(self, collection):
+        assert LinearScanIndex(collection).block_rows == DEFAULT_BLOCK_ROWS
+        assert LinearScanIndex(collection, block_rows=128).block_rows == 128
+        with pytest.raises(ValidationError):
+            LinearScanIndex(collection, block_rows=0)
+
+    def test_workspace_block_view_shares_rows_and_mirrors(self, collection):
+        workspace = collection.workspace
+        view = workspace.block(100, 400)
+        assert view.matrix.shape == (300, DIMENSION)
+        assert view.matrix.base is not None  # a slice, not a copy
+        np.testing.assert_array_equal(view.matrix, collection.vectors[100:400])
+        assert view.owns(view.matrix)
+        assert not view.owns(collection.vectors)
+        assert view.centered32.dtype == np.float32
+        assert view.centered32.shape == (300, DIMENSION)
+
+
+class TestShardedPrecision:
+    def test_thread_backend_fast_matches_unsharded_exact(self, collection, queries):
+        reference = RetrievalEngine(collection).search_batch(queries, 15)
+        with ShardedEngine(collection, 3, n_workers=2) as sharded:
+            assert sharded.search_batch(queries, 15, None, "fast") == reference
+
+    def test_process_backend_fast_matches_unsharded_exact(self, queries):
+        small = FeatureCollection(
+            build_clustered_corpus(300, DIMENSION, n_clusters=4, seed=31).vectors
+        )
+        small_queries = queries[:3]
+        reference = RetrievalEngine(small).search_batch(small_queries, 8)
+        with ShardedEngine(small, 2, n_workers=2, backend="process") as sharded:
+            assert sharded.search_batch(small_queries, 8, None, "fast") == reference
+
+    def test_sharded_per_query_weights_fast(self, collection, queries):
+        rng = np.random.default_rng(55)
+        deltas = 0.01 * rng.normal(size=queries.shape)
+        weights = rng.random((queries.shape[0], DIMENSION)) + 0.1
+        reference = RetrievalEngine(collection).search_batch_with_parameters(
+            queries, 10, deltas, weights
+        )
+        with ShardedEngine(collection, 3, n_workers=2) as sharded:
+            fast = sharded.search_batch_with_parameters(queries, 10, deltas, weights, "fast")
+        assert fast == reference
+
+
+class TestParameterScanPrecision:
+    @pytest.fixture()
+    def parameters(self, queries):
+        rng = np.random.default_rng(77)
+        deltas = 0.02 * rng.normal(size=queries.shape)
+        weights = rng.random((queries.shape[0], DIMENSION)) + 0.05
+        return deltas, weights
+
+    def test_fast_matches_exact_and_per_query_loop(self, collection, queries, parameters):
+        deltas, weights = parameters
+        engine = RetrievalEngine(collection)
+        exact = engine.search_batch_with_parameters(queries, 10, deltas, weights)
+        fast = engine.search_batch_with_parameters(queries, 10, deltas, weights, "fast")
+        loop = [
+            engine.search_with_parameters(point, 10, delta, weight)
+            for point, delta, weight in zip(queries, deltas, weights)
+        ]
+        assert fast == exact
+        assert exact == loop
+
+    @pytest.mark.parametrize("precision", ["exact", "fast"])
+    def test_blocked_parameter_scan_matches(self, collection, queries, parameters, precision):
+        deltas, weights = parameters
+        reference = RetrievalEngine(collection).search_batch_with_parameters(
+            queries, 10, deltas, weights
+        )
+        blocked_engine = RetrievalEngine(collection)
+        blocked_engine._scan = LinearScanIndex(collection, block_rows=333)
+        blocked = blocked_engine.search_batch_with_parameters(
+            queries, 10, deltas, weights, precision
+        )
+        assert blocked == reference
+
+    def test_invalid_precision_rejected(self, collection, queries, parameters):
+        deltas, weights = parameters
+        with pytest.raises(ValidationError):
+            RetrievalEngine(collection).search_batch_with_parameters(
+                queries, 10, deltas, weights, "single"
+            )

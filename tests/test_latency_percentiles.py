@@ -1,0 +1,74 @@
+"""Latency percentile summaries carried by every throughput measurement."""
+
+import numpy as np
+import pytest
+
+from repro.database.engine import RetrievalEngine
+from repro.evaluation.throughput import (
+    LatencySummary,
+    measure_batch_speedup,
+    measure_precision_speedup,
+)
+from repro.utils.validation import ValidationError
+
+K = 5
+
+
+class TestLatencySummary:
+    def test_percentiles_of_known_samples(self):
+        # 1..100 ms as seconds: the percentiles are exact interpolation-free
+        # checkpoints of np.percentile's linear method.
+        samples = [ms / 1000.0 for ms in range(1, 101)]
+        summary = LatencySummary.from_seconds(samples)
+        assert summary.count == 100
+        assert summary.mean_ms == pytest.approx(50.5)
+        assert summary.p50_ms == pytest.approx(np.percentile(np.arange(1.0, 101.0), 50))
+        assert summary.p95_ms == pytest.approx(np.percentile(np.arange(1.0, 101.0), 95))
+        assert summary.p99_ms == pytest.approx(np.percentile(np.arange(1.0, 101.0), 99))
+        assert summary.max_ms == pytest.approx(100.0)
+        assert summary.p50_ms <= summary.p95_ms <= summary.p99_ms <= summary.max_ms
+
+    def test_single_sample(self):
+        summary = LatencySummary.from_seconds([0.002])
+        assert summary.count == 1
+        for value in (summary.mean_ms, summary.p50_ms, summary.p95_ms, summary.p99_ms, summary.max_ms):
+            assert value == pytest.approx(2.0)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValidationError):
+            LatencySummary.from_seconds([])
+
+    def test_as_dict_round_trips_fields(self):
+        summary = LatencySummary.from_seconds([0.001, 0.002, 0.004])
+        payload = summary.as_dict()
+        assert payload["count"] == 3
+        assert payload["p50_ms"] == summary.p50_ms
+        assert payload["p99_ms"] == summary.p99_ms
+        assert set(payload) == {"count", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"}
+
+
+class TestMeasuredLatencies:
+    @pytest.fixture(scope="class")
+    def queries(self, tiny_collection):
+        rng = np.random.default_rng(21)
+        return rng.random((8, tiny_collection.dimension))
+
+    def test_batch_speedup_carries_loop_and_batch_modes(self, tiny_collection, queries):
+        result = measure_batch_speedup(RetrievalEngine(tiny_collection), queries, K, repeats=2)
+        assert set(result.latencies) == {"loop", "batch"}
+        # Per-query loop samples pool across repeats; batch samples are
+        # per dispatch call.
+        assert result.latencies["loop"].count == 2 * queries.shape[0]
+        assert result.latencies["batch"].count == 2
+        for summary in result.latencies.values():
+            assert summary.p50_ms > 0.0
+            assert summary.p99_ms >= summary.p50_ms
+
+    def test_precision_speedup_carries_exact_and_fast_modes(self, tiny_collection, queries):
+        result = measure_precision_speedup(RetrievalEngine(tiny_collection), queries, K, repeats=2)
+        assert result.identical_results
+        assert set(result.latencies) == {"exact", "fast"}
+        assert result.latencies["exact"].count == 2
+        assert result.latencies["fast"].count == 2
+        assert result.exact_qps > 0.0 and result.fast_qps > 0.0
+        assert result.speedup == pytest.approx(result.fast_qps / result.exact_qps)

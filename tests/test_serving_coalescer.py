@@ -88,6 +88,42 @@ class TestRequestCoalescerWindows:
         assert coalescer.submit_search(queries[:1], K) == reference
         assert coalescer.stats()["dispatches"] == 1
 
+    def test_lone_caller_skips_the_gather_wait(self, engine, queries):
+        """A solo submitter dispatches immediately, not after ``max_wait``.
+
+        With a gather window far longer than the query itself, the solo
+        fast path is the difference between microsecond and multi-second
+        latency — the elapsed bound here is generous but still an order of
+        magnitude below the configured window.
+        """
+        import time
+
+        max_wait = 2.0
+        coalescer = RequestCoalescer(engine, max_batch=8, max_wait=max_wait)
+        reference = engine.search_batch(queries[:1], K)
+        start = time.perf_counter()
+        result = coalescer.submit_search(queries[:1], K)
+        elapsed = time.perf_counter() - start
+        assert result == reference
+        assert elapsed < max_wait / 10
+        stats = coalescer.stats()
+        assert stats["dispatches"] == 1
+        assert stats["solo_dispatches"] == 1
+
+    def test_shared_dispatches_are_not_counted_solo(self, engine, queries):
+        n_threads = 4
+        coalescer = RequestCoalescer(engine, max_batch=n_threads, max_wait=5.0)
+
+        def submit(thread_id):
+            coalescer.submit_search(queries[thread_id][None, :], K)
+
+        run_threads(n_threads, submit)
+        stats = coalescer.stats()
+        # However the arrivals interleaved, solo and shared dispatches
+        # partition the total — and a full window is never solo.
+        assert stats["solo_dispatches"] < stats["dispatches"]
+        assert stats["dispatched_rows"] == n_threads
+
     def test_concurrent_same_k_submissions_share_one_dispatch(self, engine, queries):
         """N same-k submissions released together ride one engine call."""
         n_threads = 4
