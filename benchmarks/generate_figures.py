@@ -284,6 +284,54 @@ def figure_scale_lab(entries: "list[dict]") -> "str | None":
     return path
 
 
+def figure_connection_scaling(entries: "list[dict]") -> "str | None":
+    charted = [entry for entry in entries if "connection_scaling" in entry]
+    if not charted:
+        return None
+    canvas = Canvas("Connection scaling: threaded vs async front end (queries/sec per commit)")
+    x0, x1, y0, y1 = plot_area()
+    series = (
+        ("threaded_qps", "#1f77b4"),
+        ("async_qps", "#d62728"),
+        ("hot_qps", "#2ca02c"),
+    )
+    top = max(entry["connection_scaling"][key] for entry in charted for key, _ in series)
+    ticks = draw_axes(canvas, top, "queries / sec")
+    span = ticks[-1] or 1.0
+    step = (x1 - x0) / max(len(charted), 2)
+    positions = [x0 + step * (index + 0.5) for index in range(len(charted))]
+    for key, color in series:
+        canvas.polyline(
+            [
+                (x, y1 - (entry["connection_scaling"][key] / span) * (y1 - y0))
+                for entry, x in zip(charted, positions)
+            ],
+            color,
+        )
+    for entry, x in zip(charted, positions):
+        section = entry["connection_scaling"]
+        canvas.text(
+            x,
+            y0 + 6,
+            f"{section['idle_alive']}/{section['n_idle']} idle · "
+            f"{section['async_vs_threaded']:g}x",
+            size=9,
+            anchor="middle",
+        )
+    commit_labels(canvas, charted, positions)
+    legend(
+        canvas,
+        [
+            ("threaded (4 cl)", "#1f77b4"),
+            ("async (4 cl)", "#d62728"),
+            ("c10k hot", "#2ca02c"),
+        ],
+    )
+    path = os.path.join(FIGURES_DIR, "connection_scaling.svg")
+    canvas.write(path)
+    return path
+
+
 #: name -> (group, renderer).  Renderers return the written path, or None
 #: when the trajectory has no data for that figure yet.
 FIGURES = {
@@ -291,6 +339,7 @@ FIGURES = {
     "speedups": ("latest", figure_speedups),
     "latency_percentiles": ("latest", figure_latency_percentiles),
     "scale_lab": ("trajectory", figure_scale_lab),
+    "connection_scaling": ("trajectory", figure_connection_scaling),
 }
 
 

@@ -17,9 +17,16 @@
 #              process-equivalence suite and the thread-vs-process
 #              throughput benchmark
 #   --serving  just the network serving layer: the serving equivalence
-#              grid, the coalescer edge-case suite, the serving
-#              concurrency/lifecycle stress tests and the coalescing
-#              throughput benchmark
+#              grid (both front ends x both codecs), the codec and
+#              protocol error-path suites, the coalescer edge-case suite,
+#              the pooled-client suite, the serving concurrency/lifecycle
+#              stress tests and the coalescing throughput benchmark
+#   --c10k     the connection-scaling shape: the codec/protocol/pool
+#              suites, then the C10K benchmark (thousands of idle
+#              connections + hot coalesced load on the async front end,
+#              byte-identity enforced; scale via REPRO_C10K_IDLE /
+#              REPRO_C10K_HOT), which merges a connection_scaling section
+#              into BENCH_throughput.json, then the SVG rendering
 #   --scale    just the raw-speed layer: the fast-precision equivalence
 #              grid, k-selection autotuning and clustered-corpus suites,
 #              the 50k-row precision-speedup benchmark (enforced 1.5x
@@ -37,6 +44,7 @@ cd "$(dirname "$0")/.."
 
 record_trajectory=0
 run_scale_lab=0
+run_c10k_figures=0
 targets=()
 case "${1:-}" in
     --fast)
@@ -62,10 +70,23 @@ case "${1:-}" in
     --serving)
         shift
         targets=(
+            tests/test_serving_codec.py
+            tests/test_serving_protocol.py
             tests/test_serving_coalescer.py
+            tests/test_serving_pool.py
             tests/test_serving_equivalence.py
             tests/test_serving_stress.py
             benchmarks/test_throughput_serving.py
+        )
+        ;;
+    --c10k)
+        shift
+        run_c10k_figures=1
+        targets=(
+            tests/test_serving_codec.py
+            tests/test_serving_protocol.py
+            tests/test_serving_pool.py
+            benchmarks/test_throughput_c10k.py
         )
         ;;
     --scale)
@@ -104,4 +125,10 @@ fi
 if [[ "$run_scale_lab" == 1 ]]; then
     python benchmarks/scale_lab.py --n 50000
     python benchmarks/generate_figures.py
+fi
+
+if [[ "$run_c10k_figures" == 1 ]]; then
+    # The C10K benchmark itself merged its connection_scaling section
+    # into BENCH_throughput.json; render the trajectory figure.
+    python benchmarks/generate_figures.py connection_scaling
 fi

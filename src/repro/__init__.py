@@ -128,8 +128,21 @@ machines and a degradation floor elsewhere).  The knobs to know:
 from backpressure; raise it only to grow windows under sparse arrivals),
 and ``own_engine=True`` when the server should tear the engine down
 — worker processes, shared-memory segments and all — on ``close()``.  The
-wire protocol is trusted-network pickle frames: loopback by default, never
-an untrusted port (see ``docs/serving.md``).
+wire speaks a negotiated codec: a length-prefixed binary format by default
+(float64 bits survive exactly; decoding never executes code), with legacy
+pickle as an explicit trusted-network opt-in (``allow_pickle=True``) —
+loopback by default, never an untrusted port (see ``docs/serving.md``).
+
+At connection scale, swap the front end:
+:class:`~repro.serving.async_server.AsyncRetrievalServer` serves the same
+wire contract from one asyncio event loop — tens of thousands of mostly
+idle connections cost an epoll registration each instead of a thread —
+while dispatch still runs on the shared coalescers
+(``benchmarks/test_throughput_c10k.py`` holds the C10K bar).  Client-side,
+:class:`~repro.serving.pool.PooledServingClient` bounds connections,
+budgets each request's deadline, retries idempotent ops on transport
+failure with exponential backoff, and health-checks pooled sockets before
+reuse.
 
 Quickstart::
 
@@ -207,7 +220,13 @@ from repro.evaluation import (
     precision,
     recall,
 )
-from repro.serving import RetrievalServer, ServerConfig, ServingClient
+from repro.serving import (
+    AsyncRetrievalServer,
+    PooledServingClient,
+    RetrievalServer,
+    ServerConfig,
+    ServingClient,
+)
 
 __version__ = "0.1.0"
 
@@ -248,6 +267,8 @@ __all__ = [
     "SimulatedUser",
     "precision",
     "recall",
+    "AsyncRetrievalServer",
+    "PooledServingClient",
     "RetrievalServer",
     "ServerConfig",
     "ServingClient",

@@ -49,6 +49,7 @@ from repro.evaluation.experiments import (
 from repro.evaluation.efficiency import EfficiencyResult, saved_cycles_experiment
 from repro.evaluation.throughput import (
     BackendThroughputResult,
+    ConnectionScalingResult,
     FeedbackThroughputResult,
     LatencySummary,
     PrecisionThroughputResult,
@@ -57,6 +58,7 @@ from repro.evaluation.throughput import (
     ThroughputResult,
     measure_backend_speedup,
     measure_batch_speedup,
+    measure_connection_scaling,
     measure_feedback_speedup,
     measure_precision_speedup,
     measure_serving_speedup,
@@ -74,6 +76,7 @@ from repro.evaluation.reporting import (
     format_series_table,
     render_backend_throughput,
     render_category_robustness,
+    render_connection_scaling,
     render_efficiency,
     render_engine_stats,
     render_feedback_throughput,
@@ -109,6 +112,7 @@ __all__ = [
     "EfficiencyResult",
     "saved_cycles_experiment",
     "BackendThroughputResult",
+    "ConnectionScalingResult",
     "FeedbackThroughputResult",
     "LatencySummary",
     "PrecisionThroughputResult",
@@ -117,6 +121,7 @@ __all__ = [
     "ThroughputResult",
     "measure_backend_speedup",
     "measure_batch_speedup",
+    "measure_connection_scaling",
     "measure_feedback_speedup",
     "measure_precision_speedup",
     "measure_serving_speedup",
@@ -130,6 +135,7 @@ __all__ = [
     "format_series_table",
     "render_backend_throughput",
     "render_category_robustness",
+    "render_connection_scaling",
     "render_efficiency",
     "render_engine_stats",
     "render_feedback_throughput",

@@ -22,6 +22,7 @@ from repro.evaluation.experiments import (
 if TYPE_CHECKING:
     from repro.evaluation.throughput import (
         BackendThroughputResult,
+        ConnectionScalingResult,
         FeedbackThroughputResult,
         ServingThroughputResult,
         ShardedThroughputResult,
@@ -295,5 +296,43 @@ def render_serving_throughput(result: "ServingThroughputResult") -> str:
     identical = "identical" if result.identical_results else "DIVERGENT"
     return (
         f"Serving throughput (coalescing speedup {result.speedup:.2f}x, results {identical})\n"
+        + format_series_table(header, rows)
+    )
+
+
+def render_connection_scaling(result: "ConnectionScalingResult") -> str:
+    """C10K connection scaling of the async serving front end."""
+    rows = [
+        [
+            "compare-threaded",
+            result.n_compare_clients,
+            0,
+            result.compare_requests,
+            result.threaded_seconds,
+            result.threaded_qps,
+        ],
+        [
+            "compare-async",
+            result.n_compare_clients,
+            0,
+            result.compare_requests,
+            result.async_seconds,
+            result.async_qps,
+        ],
+        [
+            "c10k-async",
+            result.n_hot,
+            result.n_idle,
+            result.hot_requests,
+            result.hot_seconds,
+            result.hot_qps,
+        ],
+    ]
+    header = ["phase", "hot clients", "idle conns", "requests", "seconds", "queries/sec"]
+    identical = "identical" if result.identical_results else "DIVERGENT"
+    return (
+        f"Connection scaling (async/threaded qps {result.async_vs_threaded:.2f}x at "
+        f"{result.n_compare_clients} clients, {result.idle_alive}/{result.n_idle} idle "
+        f"sustained, {result.dispatch_share:.3f} dispatches/request, results {identical})\n"
         + format_series_table(header, rows)
     )

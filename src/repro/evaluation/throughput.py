@@ -50,8 +50,10 @@ engine.
 
 from __future__ import annotations
 
+import socket
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -62,7 +64,10 @@ from repro.database.sharding import IndexFactory, ShardedEngine
 from repro.distances.base import DistanceFunction
 from repro.feedback.engine import FeedbackEngine
 from repro.feedback.scheduler import LoopRequest, LoopScheduler
+from repro.serving.async_server import AsyncRetrievalServer
 from repro.serving.client import ServingClient
+from repro.serving.codec import BINARY, pack_hello, parse_reply
+from repro.serving.protocol import recv_message, recv_payload, send_message, send_payload
 from repro.serving.server import RetrievalServer, ServerConfig
 from repro.utils.validation import ValidationError, as_float_matrix, check_dimension
 
@@ -787,6 +792,279 @@ def measure_serving_speedup(
         and _identical(coalesced_results, reference),
         latencies=_summarize_latencies(
             {"serial": serial_samples, "coalesced": coalesced_samples}
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ConnectionScalingResult:
+    """C10K connection scaling of the async serving front end.
+
+    Two phases on one shared engine.  The **compare** phase runs the same
+    hot query stream over ``n_compare_clients`` connections against both
+    front ends in turn — the threaded :class:`RetrievalServer` and the
+    event-loop :class:`AsyncRetrievalServer` — establishing that the async
+    bridge costs nothing at thread-scale concurrency.  The **scale** phase
+    then attaches ``n_idle`` idle connections (handshaken, then silent) to
+    the async front end and drives ``n_hot`` concurrent hot clients
+    through them — the C10K shape a thread-per-connection design cannot
+    hold.
+
+    Attributes
+    ----------
+    k, n_idle, n_hot, n_compare_clients:
+        Workload shape.  ``n_idle`` mostly-idle connections plus
+        ``n_hot`` hot ones in the scale phase; ``n_compare_clients`` hot
+        connections (no idle swarm) in the compare phase.
+    idle_alive:
+        Idle connections that still answered a ping *after* the hot
+        phase — sustained concurrent connections, not just accepted ones.
+    hot_requests, hot_seconds, hot_dispatches:
+        The scale phase's hot traffic: single-query ``search`` requests
+        served, wall-clock seconds, and the engine dispatches they cost
+        (coalescing makes this far smaller than ``hot_requests``).
+    compare_requests, threaded_seconds, async_seconds:
+        The compare phase: the same request count through each front end
+        (best wall time over ``repeats``).
+    identical_results:
+        Whether every served result in both phases was byte-identical to
+        the local engine — the serving contract.
+    latencies:
+        :class:`LatencySummary` per mode: ``"hot"`` (scale phase, under
+        the full idle swarm), ``"threaded"`` / ``"async"`` (compare
+        phase), over client-side per-request samples.
+    """
+
+    k: int
+    n_idle: int
+    n_hot: int
+    n_compare_clients: int
+    idle_alive: int
+    hot_requests: int
+    hot_seconds: float
+    hot_dispatches: int
+    compare_requests: int
+    threaded_seconds: float
+    async_seconds: float
+    identical_results: bool
+    latencies: "dict[str, LatencySummary]" = field(default_factory=dict)
+
+    @property
+    def hot_qps(self) -> float:
+        """Queries per second of the async front end under the idle swarm."""
+        return self.hot_requests / self.hot_seconds
+
+    @property
+    def threaded_qps(self) -> float:
+        """Compare-phase queries per second of the threaded front end."""
+        return self.compare_requests / self.threaded_seconds
+
+    @property
+    def async_qps(self) -> float:
+        """Compare-phase queries per second of the async front end."""
+        return self.compare_requests / self.async_seconds
+
+    @property
+    def async_vs_threaded(self) -> float:
+        """Async/threaded qps ratio at ``n_compare_clients`` (≥1: no worse)."""
+        return self.threaded_seconds / self.async_seconds
+
+    @property
+    def dispatch_share(self) -> float:
+        """Dispatches per hot request (<1: coalescing is still shrinking)."""
+        return self.hot_dispatches / self.hot_requests
+
+
+class _IdleSwarm:
+    """``n`` handshaken-then-silent connections to one serving address.
+
+    Each socket completes the codec handshake (so it occupies a real,
+    negotiated connection slot server-side) and then goes quiet — the
+    C10K population shape: the many users who are logged in but not
+    currently searching.
+    """
+
+    def __init__(self, host: str, port: int, n_connections: int) -> None:
+        self._sockets: "list[socket.socket]" = []
+        hello = pack_hello([BINARY.name])
+        lock = threading.Lock()
+
+        def dial(_index: int) -> None:
+            sock = socket.create_connection((host, port), timeout=30.0)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            send_payload(sock, hello)
+            parse_reply(recv_payload(sock))
+            with lock:
+                self._sockets.append(sock)
+
+        # Parallel dialling: 2,000 sequential loopback handshakes would
+        # serialise on round trips; a small dialler pool overlaps them.
+        with ThreadPoolExecutor(max_workers=32) as diallers:
+            for outcome in [diallers.submit(dial, i) for i in range(n_connections)]:
+                outcome.result()
+
+    def __len__(self) -> int:
+        return len(self._sockets)
+
+    def count_alive(self) -> int:
+        """Ping every idle connection; count the ones still answering."""
+        alive = 0
+        for sock in self._sockets:
+            try:
+                sock.settimeout(10.0)
+                send_message(sock, {"op": "ping"}, BINARY)
+                response = recv_message(sock, BINARY)
+                if response.get("ok") and response.get("result") == "pong":
+                    alive += 1
+            except (OSError, ValueError, KeyError, AttributeError):
+                continue
+        return alive
+
+    def close(self) -> None:
+        for sock in self._sockets:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+
+
+def measure_connection_scaling(
+    engine,
+    query_points,
+    k: int,
+    *,
+    n_idle: int = 2000,
+    n_hot: int = 100,
+    n_compare_clients: int = 4,
+    requests_per_hot: int = 10,
+    max_batch: int = 64,
+    max_wait: float = 0.0,
+    repeats: int = 2,
+    executor_threads: int = 32,
+) -> ConnectionScalingResult:
+    """Measure the async front end at C10K connection counts.
+
+    Phase one compares front ends head to head: ``n_compare_clients``
+    concurrent connections drive ``n_hot * requests_per_hot`` single-query
+    ``search`` requests round-robin through the threaded server and then
+    the async server (best wall time over ``repeats`` each) — the async
+    event-loop bridge must not cost throughput at thread-scale
+    concurrency.  Phase two is the C10K shape only the async front end can
+    hold: ``n_idle`` handshaken idle connections attach, then ``n_hot``
+    concurrent hot clients replay the same stream; afterwards every idle
+    connection is pinged to prove the population was *sustained*, not just
+    accepted.  Every result from every phase is checked byte-identical
+    against the local engine.  Callers should assert
+    ``identical_results`` and judge qps/dispatch bars per machine size —
+    see ``benchmarks/test_throughput_c10k.py``.
+    """
+    check_dimension(k, "k")
+    check_dimension(n_hot, "n_hot")
+    check_dimension(n_compare_clients, "n_compare_clients")
+    check_dimension(requests_per_hot, "requests_per_hot")
+    check_dimension(repeats, "repeats")
+    if n_idle < 0:
+        raise ValidationError("n_idle must be non-negative")
+    query_points = as_float_matrix(
+        query_points, name="query_points", shape=(None, engine.collection.dimension)
+    )
+    if query_points.shape[0] == 0:
+        raise ValidationError("throughput measurement needs at least one query")
+
+    n_requests = n_hot * requests_per_hot
+    # The request stream: position -> query row, cycling the query set.
+    positions = np.arange(n_requests) % query_points.shape[0]
+    reference = engine.search_batch(query_points, k)
+
+    def run_clients(address, n_clients: int, samples: "list[float]"):
+        """Drive the stream over ``n_clients`` connections; return results + seconds."""
+        host, port = address
+        clients = [ServingClient(host, port) for _ in range(n_clients)]
+        try:
+            results: list = [None] * n_requests
+            barrier = threading.Barrier(n_clients + 1)
+
+            def client_main(client_id: int, client: ServingClient) -> None:
+                barrier.wait()
+                for position in range(client_id, n_requests, n_clients):
+                    query = query_points[positions[position]]
+                    request_start = time.perf_counter()
+                    results[position] = client.search(query, k)
+                    samples.append(time.perf_counter() - request_start)
+
+            threads = [
+                threading.Thread(target=client_main, args=(client_id, client))
+                for client_id, client in enumerate(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            start = time.perf_counter()
+            for thread in threads:
+                thread.join()
+            seconds = time.perf_counter() - start
+        finally:
+            for client in clients:
+                client.close()
+        return results, seconds
+
+    def results_identical(results) -> bool:
+        return all(
+            result is not None and _identical([result], [reference[positions[position]]])
+            for position, result in enumerate(results)
+        )
+
+    config = ServerConfig(
+        max_batch=max_batch, max_wait=max_wait, executor_threads=executor_threads
+    )
+
+    # ---------------- Phase one: front ends head to head ---------------- #
+    identical = True
+    compare_seconds = {}
+    compare_samples: "dict[str, list[float]]" = {"threaded": [], "async": []}
+    for mode, server_cls in (("threaded", RetrievalServer), ("async", AsyncRetrievalServer)):
+        with server_cls(engine, config) as server:
+            best = float("inf")
+            for _ in range(repeats):
+                results, seconds = run_clients(
+                    server.address, n_compare_clients, compare_samples[mode]
+                )
+                best = min(best, seconds)
+                identical = identical and results_identical(results)
+        compare_seconds[mode] = best
+
+    # ---------------- Phase two: the C10K scale shape ------------------- #
+    hot_samples: "list[float]" = []
+    with AsyncRetrievalServer(engine, config) as server:
+        dispatches_before = server.stats()["coalescer"]["dispatches"]
+        swarm = _IdleSwarm(*server.address, n_idle)
+        try:
+            hot_results, hot_seconds = run_clients(server.address, n_hot, hot_samples)
+            idle_alive = swarm.count_alive()
+        finally:
+            swarm.close()
+        hot_dispatches = server.stats()["coalescer"]["dispatches"] - dispatches_before
+        identical = identical and results_identical(hot_results)
+
+    return ConnectionScalingResult(
+        k=int(k),
+        n_idle=int(n_idle),
+        n_hot=int(n_hot),
+        n_compare_clients=int(n_compare_clients),
+        idle_alive=int(idle_alive),
+        hot_requests=int(n_requests),
+        hot_seconds=hot_seconds,
+        hot_dispatches=int(hot_dispatches),
+        compare_requests=int(n_requests),
+        threaded_seconds=compare_seconds["threaded"],
+        async_seconds=compare_seconds["async"],
+        identical_results=bool(identical),
+        latencies=_summarize_latencies(
+            {
+                "hot": hot_samples,
+                "threaded": compare_samples["threaded"],
+                "async": compare_samples["async"],
+            }
         ),
     )
 

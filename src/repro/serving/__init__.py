@@ -5,43 +5,62 @@ machinery of the layers below — ``search_batch``, the frontier scheduler,
 the sharded multi-worker engines — behind a TCP service whose core is
 *request coalescing*:
 
-* :mod:`repro.serving.protocol` — the length-prefixed pickle wire format,
+* :mod:`repro.serving.protocol` — the length-prefixed frame format,
+* :mod:`repro.serving.codec` — the negotiated wire codecs: the versioned
+  handshake, the safe binary codec (exact float64 bit preservation) and
+  the opt-in legacy pickle codec,
 * :mod:`repro.serving.coalescer` — the shared micro-batch window for k-NN
   queries (:class:`RequestCoalescer`) and the shared feedback frontier for
   relevance-feedback loops (:class:`FrontierCoalescer`),
 * :mod:`repro.serving.sessions` — server-held state of client-driven
   multi-round feedback sessions,
-* :mod:`repro.serving.server` — :class:`RetrievalServer`, the
+* :mod:`repro.serving.server` — :class:`ServingCore` (the shared
+  transport-independent dispatch) and :class:`RetrievalServer`, the
   thread-per-connection front end,
+* :mod:`repro.serving.async_server` — :class:`AsyncRetrievalServer`, the
+  event-loop front end that holds tens of thousands of connections,
 * :mod:`repro.serving.client` — :class:`ServingClient`, the engine contract
-  over a socket.
+  over a socket,
+* :mod:`repro.serving.pool` — :class:`PooledServingClient`, a bounded,
+  health-checked connection pool with deadline budgets and bounded
+  exponential-backoff retry.
 
 The layer's contract is the library-wide one: coalescing changes *who
 shares a dispatch*, never results — every answer is byte-identical to
 calling the engine (or :meth:`~repro.feedback.engine.FeedbackEngine.run_loop`)
-directly.  See ``docs/serving.md`` for the wire protocol and the
-coalescing semantics.
+directly, whichever front end and codec carried it.  See
+``docs/serving.md`` for the wire protocol and the coalescing semantics.
 """
 
+from repro.serving.async_server import AsyncRetrievalServer
 from repro.serving.client import ServingClient, ServingError
 from repro.serving.coalescer import FrontierCoalescer, RequestCoalescer
+from repro.serving.codec import BinaryCodec, CodecError, PickleCodec
+from repro.serving.pool import PooledServingClient, PoolTimeout
 from repro.serving.protocol import (
     ConnectionClosed,
     ProtocolError,
     recv_message,
     send_message,
 )
-from repro.serving.server import RetrievalServer, ServerConfig
+from repro.serving.server import RetrievalServer, ServerConfig, ServingCore
 from repro.serving.sessions import ServingSession, SessionManager
 
 __all__ = [
+    "AsyncRetrievalServer",
+    "BinaryCodec",
+    "CodecError",
     "ConnectionClosed",
     "FrontierCoalescer",
+    "PickleCodec",
+    "PoolTimeout",
+    "PooledServingClient",
     "ProtocolError",
     "RequestCoalescer",
     "RetrievalServer",
     "ServerConfig",
     "ServingClient",
+    "ServingCore",
     "ServingError",
     "ServingSession",
     "SessionManager",

@@ -1,18 +1,27 @@
 """The serving client: the engine's query surface, over a socket.
 
-:class:`ServingClient` speaks the length-prefixed pickle protocol of
+:class:`ServingClient` speaks the length-prefixed frame protocol of
 :mod:`repro.serving.protocol` to a
-:class:`~repro.serving.server.RetrievalServer` and mirrors the engine
-contract method for method — ``search`` / ``search_batch`` / ``run_batch``
-/ parameterised search — plus the two feedback shapes: :meth:`run_feedback_loop`
-ships a picklable judge to the server (which runs the loop on the shared,
-coalesced frontier), and :meth:`run_feedback_session` keeps the judge local
-and drives the loop round by round over the wire (open, judge, send
-judgments, repeat), which is the real interactive-user shape.
+:class:`~repro.serving.server.RetrievalServer` or
+:class:`~repro.serving.async_server.AsyncRetrievalServer` and mirrors the
+engine contract method for method — ``search`` / ``search_batch`` /
+``run_batch`` / parameterised search — plus the two feedback shapes:
+:meth:`run_feedback_loop` ships a serialisable judge to the server (which
+runs the loop on the shared, coalesced frontier), and
+:meth:`run_feedback_session` keeps the judge local and drives the loop
+round by round over the wire (open, judge, send judgments, repeat), which
+is the real interactive-user shape.
 
-Both return values byte-identical to the corresponding local
-:class:`~repro.feedback.engine.FeedbackEngine` call — the serving layer's
-contract, enforced by ``tests/test_serving_equivalence.py``.
+Each connection opens with the codec handshake of
+:mod:`repro.serving.codec`: the client offers its codec (the safe binary
+format by default), the server accepts or rejects.  ``codec="legacy"``
+reproduces the PR-5 wire exactly — no handshake, raw pickle frames —
+and is only served by servers configured with ``allow_pickle=True``.
+
+Both feedback shapes return values byte-identical to the corresponding
+local :class:`~repro.feedback.engine.FeedbackEngine` call — the serving
+layer's contract, enforced by ``tests/test_serving_equivalence.py`` over
+every codec × front-end combination.
 """
 
 from __future__ import annotations
@@ -25,7 +34,8 @@ import numpy as np
 from repro.database.query import Query, ResultSet
 from repro.feedback.engine import FeedbackLoopResult, Judge
 from repro.feedback.scores import JudgmentBatch
-from repro.serving.protocol import recv_message, send_message
+from repro.serving.codec import BINARY, PICKLE, CodecError, pack_hello, parse_reply
+from repro.serving.protocol import recv_message, recv_payload, send_message, send_payload
 from repro.utils.validation import ValidationError
 
 __all__ = ["ServingClient", "ServingError"]
@@ -39,22 +49,75 @@ class ServingError(RuntimeError):
         self.kind = kind
 
 
+#: Codec names a client may ask for.  ``"legacy"`` is the PR-5 wire: no
+#: handshake, raw pickle frames, no chunked streaming.
+_CODEC_MODES = ("binary", "pickle", "legacy")
+
+
 class ServingClient:
-    """One connection to a :class:`~repro.serving.server.RetrievalServer`.
+    """One connection to a serving front end (threaded or async).
 
     The client is thread-safe in the trivial way — one lock serialises the
     request/response exchange — but the serving layer's concurrency model
     is *one client per connection*: parallel callers should each open their
     own client so their requests can actually coalesce server-side instead
     of queueing on a shared socket.
+
+    Parameters
+    ----------
+    host, port:
+        The server's bound address.
+    timeout:
+        Socket timeout (seconds) applied to the whole connection — the
+        handshake and every request/response exchange; ``None`` (default)
+        blocks indefinitely.  Adjustable later via :meth:`set_timeout`
+        (the hook :class:`~repro.serving.pool.PooledServingClient` uses to
+        enforce per-request deadline budgets).
+    codec:
+        ``"binary"`` (default) negotiates the safe binary codec;
+        ``"pickle"`` negotiates the legacy pickle codec through the same
+        handshake; ``"legacy"`` skips the handshake entirely and speaks
+        the PR-5 raw-pickle wire.  Both pickle modes require a server
+        configured with ``allow_pickle=True``.
     """
 
-    def __init__(self, host: str, port: int, *, timeout: "float | None" = None) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: "float | None" = None,
+        codec: str = "binary",
+    ) -> None:
+        if codec not in _CODEC_MODES:
+            raise ValidationError(f"codec must be one of {_CODEC_MODES}, got {codec!r}")
         self._sock = socket.create_connection((host, port), timeout=timeout)
         # The conversation is many tiny frames; never wait for Nagle.
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._lock = threading.Lock()
         self._closed = False
+        self._codec = None
+        if codec != "legacy":
+            wanted = BINARY if codec == "binary" else PICKLE
+            try:
+                send_payload(self._sock, pack_hello([wanted.name]))
+                accepted = parse_reply(recv_payload(self._sock))
+            except (CodecError, OSError):
+                self.close()
+                raise
+            if accepted != wanted.name:  # pragma: no cover - defensive
+                self.close()
+                raise CodecError(f"server accepted {accepted!r}, wanted {wanted.name!r}")
+            self._codec = wanted
+
+    @property
+    def codec_name(self) -> "str | None":
+        """The negotiated codec's name (``None`` on a legacy connection)."""
+        return None if self._codec is None else self._codec.name
+
+    def set_timeout(self, timeout: "float | None") -> None:
+        """Set the socket timeout for subsequent exchanges (``None`` blocks)."""
+        self._sock.settimeout(timeout)
 
     def close(self) -> None:
         """Close the connection (idempotent); open sessions are dropped server-side."""
@@ -77,8 +140,9 @@ class ServingClient:
         with self._lock:
             if self._closed:
                 raise ValidationError("the serving client is closed")
-            send_message(self._sock, message)
-            response = recv_message(self._sock)
+            send_message(self._sock, message, self._codec)
+            response = recv_message(self._sock, self._codec)
+            response = self._reassemble(response)
         if not isinstance(response, dict) or "ok" not in response:
             raise ServingError("protocol", f"malformed response {response!r}")
         if not response["ok"]:
@@ -86,6 +150,26 @@ class ServingClient:
                 raise ValidationError(response.get("message", "validation failed"))
             raise ServingError(response.get("error", "error"), response.get("message", ""))
         return response["result"]
+
+    def _reassemble(self, response):
+        """Collect a chunk-streamed response back into one result list.
+
+        Large list results arrive as a header frame announcing the chunk
+        count followed by that many list sub-frames (see ``docs/serving.md``
+        for the layout); anything else passes straight through.
+        """
+        if not isinstance(response, dict) or "chunked" not in response or not response.get("ok"):
+            return response
+        n_chunks = response["chunked"]
+        items: list = []
+        for _ in range(n_chunks):
+            items.extend(recv_message(self._sock, self._codec))
+        total = response.get("total")
+        if total is not None and total != len(items):
+            raise ServingError(
+                "protocol", f"chunked response announced {total} items, got {len(items)}"
+            )
+        return {"ok": True, "result": items}
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -150,11 +234,13 @@ class ServingClient:
     ) -> FeedbackLoopResult:
         """Run one relevance-feedback loop on the server's shared frontier.
 
-        ``judge`` travels to the server, so it must be picklable —
-        :class:`~repro.evaluation.simulated_user.CategoryJudge` is the
-        bundled example.  Byte-identical to the local
-        :meth:`~repro.feedback.engine.FeedbackEngine.run_loop`, however many
-        other connections' loops share the frontier rounds.
+        ``judge`` travels to the server, so it must survive the
+        connection's codec: the binary codec carries
+        :class:`~repro.evaluation.simulated_user.CategoryJudge` (the
+        bundled example); arbitrary callables need one of the pickle
+        modes (and a server that allows them).  Byte-identical to the
+        local :meth:`~repro.feedback.engine.FeedbackEngine.run_loop`,
+        however many other connections' loops share the frontier rounds.
         """
         return self._call(
             "feedback_loop",

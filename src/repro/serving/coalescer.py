@@ -130,19 +130,32 @@ class RequestCoalescer:
     server is idle.
     """
 
-    #: Gather time (seconds) a *lone* submitter still concedes before
-    #: dispatching solo.  A blocked wait releases the GIL immediately, so a
-    #: peer that was already on its way into ``submit_*`` registers within
-    #: microseconds of this wait starting — the grace only needs to cover a
-    #: thread-scheduling quantum, not the arrival gap ``max_wait`` targets.
+    #: Default gather time (seconds) a *lone* submitter still concedes
+    #: before dispatching solo.  A blocked wait releases the GIL
+    #: immediately, so a peer that was already on its way into ``submit_*``
+    #: registers within microseconds of this wait starting — the grace only
+    #: needs to cover a thread-scheduling quantum, not the arrival gap
+    #: ``max_wait`` targets.  Tunable per instance via ``solo_grace``
+    #: (``ServerConfig.solo_grace`` at the serving layer): many mostly-idle
+    #: connections want it tiny, a few hot ones can afford more.
     SOLO_GRACE = 0.005
 
-    def __init__(self, engine, *, max_batch: int = 64, max_wait: float = 0.0) -> None:
+    def __init__(
+        self,
+        engine,
+        *,
+        max_batch: int = 64,
+        max_wait: float = 0.0,
+        solo_grace: "float | None" = None,
+    ) -> None:
         self._engine = engine
         self._max_batch = check_dimension(max_batch, "max_batch")
         self._max_wait = float(max_wait)
         if self._max_wait < 0:
             raise ValidationError("max_wait must be non-negative")
+        self._solo_grace = self.SOLO_GRACE if solo_grace is None else float(solo_grace)
+        if self._solo_grace < 0:
+            raise ValidationError("solo_grace must be non-negative")
         self._lock = threading.Lock()
         self._groups: "dict[tuple, _GroupState]" = {}
         # Stats (under the same lock): how much sharing actually happened.
@@ -167,6 +180,11 @@ class RequestCoalescer:
     def max_wait(self) -> float:
         """Time bound (seconds) of one micro-batch window."""
         return self._max_wait
+
+    @property
+    def solo_grace(self) -> float:
+        """Gather time (seconds) a lone submitter concedes before going solo."""
+        return self._solo_grace
 
     def stats(self) -> dict:
         """Coalescing counters: requests in, dispatches out, batch shapes."""
@@ -271,7 +289,7 @@ class RequestCoalescer:
                             # either join the window before it is popped
                             # below or pile into the next one.
                             current.filled.wait(
-                                timeout=min(self.SOLO_GRACE, self._max_wait)
+                                timeout=min(self._solo_grace, self._max_wait)
                             )
                             with self._lock:
                                 alone = self._is_solo(group, current, pending)

@@ -1,0 +1,499 @@
+"""Versioned wire codecs and the per-connection codec handshake.
+
+PR 5's protocol pickled every payload — compact and exact, but unsafe
+(pickle executes code on load) and unversioned (no way to evolve the wire
+without breaking every peer).  This module replaces it with a **negotiated**
+codec layer:
+
+* The first frame a client sends is a *hello*: a hand-rolled, codec-free
+  byte layout (magic, wire version, the codec names the client offers).
+  The server answers with an *accept* naming the codec both sides will
+  speak, or a *reject* naming the reason, and every later frame on the
+  connection is encoded with the agreed codec.
+* :class:`BinaryCodec` (``binary.1``) is the default: a length-prefixed,
+  tag-based binary encoding of exactly the value shapes the serving ops
+  exchange — dicts, lists, strings, ints, IEEE-754 ``float64`` (bit
+  preserved), NumPy arrays (dtype + shape + raw little-endian bytes, so
+  every float64 bit survives the round-trip), and the library's own value
+  objects (:class:`~repro.database.query.ResultSet`,
+  :class:`~repro.feedback.engine.FeedbackState`,
+  :class:`~repro.feedback.engine.FeedbackLoopResult`,
+  :class:`~repro.feedback.scores.JudgmentBatch`,
+  :class:`~repro.evaluation.simulated_user.CategoryJudge`).  Decoding
+  never constructs anything but these — a hostile peer can at worst make
+  the decoder raise :class:`CodecError`.
+* :class:`PickleCodec` (``pickle.1``) is the legacy trusted-network mode.
+  Servers refuse it unless explicitly configured
+  (``ServerConfig(allow_pickle=True)``); it remains the only codec that can
+  carry arbitrary judges.
+
+The codec layer also defines the **chunked streaming** envelope: a response
+whose result is a long list (a large ``run_batch``/``search_batch`` answer)
+is sent as a small header frame ``{"ok": True, "chunked": n, "total": t}``
+followed by ``n`` sub-frames each carrying one bounded slice of the list,
+instead of one giant frame — see :func:`encode_response_frames`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+import numpy as np
+
+from repro.database.query import ResultSet
+from repro.evaluation.simulated_user import CategoryJudge
+from repro.feedback.engine import FeedbackLoopResult, FeedbackState
+from repro.feedback.scores import JudgmentBatch, RelevanceScale
+from repro.serving.protocol import ProtocolError
+
+__all__ = [
+    "BINARY",
+    "CODECS",
+    "CodecError",
+    "PICKLE",
+    "WIRE_VERSION",
+    "BinaryCodec",
+    "PickleCodec",
+    "choose_codec",
+    "encode_response_frames",
+    "pack_accept",
+    "pack_hello",
+    "pack_reject",
+    "parse_hello",
+    "parse_reply",
+]
+
+#: Wire-protocol revision spoken through the handshake.  Version 1 was the
+#: implicit PR-5 protocol (pickle frames, no handshake, no streaming);
+#: version 2 added the handshake, the binary codec and chunked responses.
+WIRE_VERSION = 2
+
+#: Handshake frames open with this magic so the server can tell a hello
+#: from a legacy (version-1) pickle request, whose payload never starts
+#: with these bytes (pickle protocol 2+ begins ``b"\x80"``).
+MAGIC = b"RSRV"
+
+_HELLO = struct.Struct(">4sHB")  # magic, wire version, number of codecs
+_REPLY = struct.Struct(">4sHBH")  # magic, wire version, status, text length
+_ACCEPTED, _REJECTED = 0, 1
+
+
+class CodecError(ProtocolError):
+    """A payload could not be encoded or decoded under the agreed codec."""
+
+
+# ---------------------------------------------------------------------------
+# Handshake
+
+
+def pack_hello(codec_names) -> bytes:
+    """The client's opening frame payload: offered codecs, best first."""
+    names = list(codec_names)
+    parts = [_HELLO.pack(MAGIC, WIRE_VERSION, len(names))]
+    for name in names:
+        encoded = name.encode("ascii")
+        parts.append(struct.pack(">B", len(encoded)) + encoded)
+    return b"".join(parts)
+
+
+def parse_hello(payload) -> "list[str] | None":
+    """Parse a hello payload into the offered codec names.
+
+    Returns ``None`` when the payload is not a handshake at all (no magic —
+    a legacy pickle request); raises :class:`CodecError` when the magic
+    matches but the layout or the wire version does not — the peer *tried*
+    to handshake and failed, which must be answered with a reject, not
+    guessed around.
+    """
+    data = bytes(payload)
+    if len(data) < _HELLO.size or not data.startswith(MAGIC):
+        return None
+    magic, version, count = _HELLO.unpack_from(data)
+    if version != WIRE_VERSION:
+        raise CodecError(f"unsupported wire version {version} (this side speaks {WIRE_VERSION})")
+    names = []
+    offset = _HELLO.size
+    try:
+        for _ in range(count):
+            (length,) = struct.unpack_from(">B", data, offset)
+            offset += 1
+            names.append(data[offset : offset + length].decode("ascii"))
+            if len(names[-1]) != length:
+                raise CodecError("truncated codec name in handshake")
+            offset += length
+    except (struct.error, UnicodeDecodeError) as error:
+        raise CodecError(f"malformed handshake: {error}") from error
+    if offset != len(data):
+        raise CodecError("trailing bytes after handshake")
+    if not names:
+        raise CodecError("handshake offered no codecs")
+    return names
+
+
+def _pack_reply(status: int, text: str) -> bytes:
+    encoded = text.encode("utf-8")
+    return _REPLY.pack(MAGIC, WIRE_VERSION, status, len(encoded)) + encoded
+
+
+def pack_accept(codec_name: str) -> bytes:
+    """The server's answer naming the codec the connection will speak."""
+    return _pack_reply(_ACCEPTED, codec_name)
+
+
+def pack_reject(reason: str) -> bytes:
+    """The server's refusal; the connection closes after this frame."""
+    return _pack_reply(_REJECTED, reason)
+
+
+def parse_reply(payload) -> str:
+    """Parse the server's handshake answer into the accepted codec name.
+
+    Raises :class:`CodecError` on a reject (carrying the server's reason)
+    or on a malformed / wrong-version reply.
+    """
+    data = bytes(payload)
+    if len(data) < _REPLY.size or not data.startswith(MAGIC):
+        raise CodecError("the server did not answer the codec handshake")
+    magic, version, status, length = _REPLY.unpack_from(data)
+    if version != WIRE_VERSION:
+        raise CodecError(f"unsupported wire version {version} in handshake reply")
+    text = data[_REPLY.size : _REPLY.size + length].decode("utf-8")
+    if status == _REJECTED:
+        raise CodecError(f"handshake rejected: {text}")
+    if status != _ACCEPTED or len(text) != length:
+        raise CodecError("malformed handshake reply")
+    return text
+
+
+# ---------------------------------------------------------------------------
+# The binary codec
+
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_I64_MIN, _I64_MAX = -(1 << 63), (1 << 63) - 1
+
+
+class BinaryCodec:
+    """Tag-based binary encoding of the serving layer's message values.
+
+    Every value is one tag byte followed by a fixed or length-prefixed
+    body; containers recurse.  Floats travel as their raw IEEE-754 bytes
+    and arrays as ``dtype.str`` + shape + ``tobytes()``, so **every**
+    ``float64`` bit — distances, query points, weights — survives the
+    round-trip exactly (the serving layer's byte-identity contract).
+    Decoding builds only plain Python values, NumPy arrays and the five
+    library value types; anything else raises :class:`CodecError` at
+    *encode* time on the sending side, never surprising the receiver.
+    """
+
+    name = "binary.1"
+
+    # ---------------------------- encode ----------------------------- #
+    def encode(self, message) -> bytes:
+        out = bytearray()
+        self._encode(message, out)
+        return bytes(out)
+
+    def _encode(self, value, out: bytearray) -> None:
+        if value is None:
+            out += b"N"
+        elif value is True:
+            out += b"T"
+        elif value is False:
+            out += b"F"
+        elif isinstance(value, int) and not isinstance(value, bool):
+            if _I64_MIN <= value <= _I64_MAX:
+                out += b"i"
+                out += _I64.pack(value)
+            else:
+                body = value.to_bytes((value.bit_length() + 8) // 8, "big", signed=True)
+                out += b"I"
+                out += _U32.pack(len(body))
+                out += body
+        elif isinstance(value, float):
+            out += b"f"
+            out += _F64.pack(value)
+        elif isinstance(value, str):
+            body = value.encode("utf-8")
+            out += b"s"
+            out += _U32.pack(len(body))
+            out += body
+        elif isinstance(value, (bytes, bytearray, memoryview)):
+            body = bytes(value)
+            out += b"y"
+            out += _U32.pack(len(body))
+            out += body
+        elif isinstance(value, np.ndarray):
+            self._encode_array(value, out)
+        elif isinstance(value, np.bool_):
+            out += b"T" if bool(value) else b"F"
+        elif isinstance(value, np.integer):
+            out += b"i"
+            out += _I64.pack(int(value))
+        elif isinstance(value, np.floating):
+            out += b"f"
+            out += _F64.pack(float(value))
+        elif isinstance(value, list):
+            out += b"l"
+            out += _U32.pack(len(value))
+            for item in value:
+                self._encode(item, out)
+        elif isinstance(value, tuple):
+            out += b"u"
+            out += _U32.pack(len(value))
+            for item in value:
+                self._encode(item, out)
+        elif isinstance(value, dict):
+            out += b"d"
+            out += _U32.pack(len(value))
+            for key, item in value.items():
+                self._encode(key, out)
+                self._encode(item, out)
+        elif isinstance(value, ResultSet):
+            out += b"R"
+            self._encode_array(value.indices(), out)
+            self._encode_array(value.distances(), out)
+        elif isinstance(value, FeedbackState):
+            out += b"S"
+            self._encode_array(value.query_point, out)
+            self._encode_array(value.weights, out)
+        elif isinstance(value, FeedbackLoopResult):
+            out += b"L"
+            self._encode(value.initial_state, out)
+            self._encode(value.final_state, out)
+            self._encode(value.initial_results, out)
+            self._encode(value.final_results, out)
+            self._encode(int(value.iterations), out)
+            self._encode(bool(value.converged), out)
+        elif isinstance(value, JudgmentBatch):
+            out += b"B"
+            self._encode_array(value.indices, out)
+            self._encode_array(value.scores, out)
+        elif isinstance(value, CategoryJudge):
+            out += b"J"
+            # Label arrays are object-dtype string arrays
+            # (FeatureCollection.labels_array); ship them as a string list
+            # and rebuild the same dtype on decode.
+            self._encode([str(label) for label in np.asarray(value.labels).tolist()], out)
+            self._encode(value.category, out)
+            self._encode(value.scale.value, out)
+        else:
+            raise CodecError(
+                f"the binary codec cannot carry {type(value).__name__} values; "
+                "use the legacy pickle codec for arbitrary objects"
+            )
+
+    def _encode_array(self, array: np.ndarray, out: bytearray) -> None:
+        if array.dtype.hasobject:
+            raise CodecError("the binary codec cannot carry object-dtype arrays")
+        # ascontiguousarray promotes 0-d to 1-d — keep the true shape.
+        contiguous = np.ascontiguousarray(array)
+        dtype = contiguous.dtype.str.encode("ascii")
+        out += b"a"
+        out += struct.pack(">B", len(dtype))
+        out += dtype
+        out += struct.pack(">B", array.ndim)
+        for dim in array.shape:
+            out += _U32.pack(dim)
+        body = contiguous.tobytes()
+        out += _U64.pack(len(body))
+        out += body
+
+    # ---------------------------- decode ----------------------------- #
+    def decode(self, payload):
+        data = bytes(payload)
+        try:
+            value, offset = self._decode(data, 0)
+        except (struct.error, IndexError, UnicodeDecodeError, ValueError, TypeError) as error:
+            raise CodecError(f"malformed binary payload: {error}") from error
+        if offset != len(data):
+            raise CodecError(f"trailing bytes after binary payload ({len(data) - offset})")
+        return value
+
+    def _decode(self, data: bytes, offset: int):
+        tag = data[offset : offset + 1]
+        offset += 1
+        if tag == b"N":
+            return None, offset
+        if tag == b"T":
+            return True, offset
+        if tag == b"F":
+            return False, offset
+        if tag == b"i":
+            return _I64.unpack_from(data, offset)[0], offset + _I64.size
+        if tag == b"I":
+            (length,) = _U32.unpack_from(data, offset)
+            offset += _U32.size
+            self._check(data, offset, length)
+            return int.from_bytes(data[offset : offset + length], "big", signed=True), offset + length
+        if tag == b"f":
+            return _F64.unpack_from(data, offset)[0], offset + _F64.size
+        if tag == b"s":
+            (length,) = _U32.unpack_from(data, offset)
+            offset += _U32.size
+            self._check(data, offset, length)
+            return data[offset : offset + length].decode("utf-8"), offset + length
+        if tag == b"y":
+            (length,) = _U32.unpack_from(data, offset)
+            offset += _U32.size
+            self._check(data, offset, length)
+            return data[offset : offset + length], offset + length
+        if tag in (b"l", b"u"):
+            (count,) = _U32.unpack_from(data, offset)
+            offset += _U32.size
+            items = []
+            for _ in range(count):
+                item, offset = self._decode(data, offset)
+                items.append(item)
+            return (items if tag == b"l" else tuple(items)), offset
+        if tag == b"d":
+            (count,) = _U32.unpack_from(data, offset)
+            offset += _U32.size
+            mapping = {}
+            for _ in range(count):
+                key, offset = self._decode(data, offset)
+                value, offset = self._decode(data, offset)
+                mapping[key] = value
+            return mapping, offset
+        if tag == b"a":
+            return self._decode_array(data, offset)
+        if tag == b"R":
+            indices, offset = self._decode_tagged_array(data, offset)
+            distances, offset = self._decode_tagged_array(data, offset)
+            return ResultSet.from_arrays(indices, distances), offset
+        if tag == b"S":
+            query_point, offset = self._decode_tagged_array(data, offset)
+            weights, offset = self._decode_tagged_array(data, offset)
+            return FeedbackState(query_point=query_point, weights=weights), offset
+        if tag == b"L":
+            initial_state, offset = self._decode(data, offset)
+            final_state, offset = self._decode(data, offset)
+            initial_results, offset = self._decode(data, offset)
+            final_results, offset = self._decode(data, offset)
+            iterations, offset = self._decode(data, offset)
+            converged, offset = self._decode(data, offset)
+            if not isinstance(initial_state, FeedbackState) or not isinstance(
+                initial_results, ResultSet
+            ):
+                raise CodecError("malformed loop-result payload")
+            return (
+                FeedbackLoopResult(
+                    initial_state=initial_state,
+                    final_state=final_state,
+                    initial_results=initial_results,
+                    final_results=final_results,
+                    iterations=int(iterations),
+                    converged=bool(converged),
+                ),
+                offset,
+            )
+        if tag == b"B":
+            indices, offset = self._decode_tagged_array(data, offset)
+            scores, offset = self._decode_tagged_array(data, offset)
+            return JudgmentBatch(indices=indices, scores=scores), offset
+        if tag == b"J":
+            label_list, offset = self._decode(data, offset)
+            category, offset = self._decode(data, offset)
+            scale, offset = self._decode(data, offset)
+            labels = np.array(label_list, dtype=object)
+            return (
+                CategoryJudge(labels=labels, category=category, scale=RelevanceScale(scale)),
+                offset,
+            )
+        raise CodecError(f"unknown binary tag {tag!r} at offset {offset - 1}")
+
+    @staticmethod
+    def _check(data: bytes, offset: int, length: int) -> None:
+        if offset + length > len(data):
+            raise CodecError("truncated binary payload")
+
+    def _decode_tagged_array(self, data: bytes, offset: int):
+        value, offset = self._decode(data, offset)
+        if not isinstance(value, np.ndarray):
+            raise CodecError("expected an array field in binary payload")
+        return value, offset
+
+    def _decode_array(self, data: bytes, offset: int):
+        (dtype_length,) = struct.unpack_from(">B", data, offset)
+        offset += 1
+        dtype = np.dtype(data[offset : offset + dtype_length].decode("ascii"))
+        if dtype.hasobject:
+            raise CodecError("object-dtype arrays are not decodable")
+        offset += dtype_length
+        (ndim,) = struct.unpack_from(">B", data, offset)
+        offset += 1
+        shape = []
+        for _ in range(ndim):
+            (dim,) = _U32.unpack_from(data, offset)
+            shape.append(dim)
+            offset += _U32.size
+        (nbytes,) = _U64.unpack_from(data, offset)
+        offset += _U64.size
+        self._check(data, offset, nbytes)
+        array = np.frombuffer(data[offset : offset + nbytes], dtype=dtype)
+        array = array.reshape(shape) if ndim != 1 else array
+        if array.nbytes != nbytes:
+            raise CodecError("array byte count does not match its shape")
+        return array, offset + nbytes
+
+
+class PickleCodec:
+    """The legacy trusted-network codec: pickle frames, exactly PR 5's wire.
+
+    Retained because it is the only codec that can carry *arbitrary*
+    picklable judges; servers refuse it unless explicitly configured with
+    ``allow_pickle=True``.
+    """
+
+    name = "pickle.1"
+
+    def encode(self, message) -> bytes:
+        return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def decode(self, payload):
+        return pickle.loads(bytes(payload))
+
+
+BINARY = BinaryCodec()
+PICKLE = PickleCodec()
+
+#: Registry of every codec this build speaks, by handshake name.
+CODECS = {BINARY.name: BINARY, PICKLE.name: PICKLE}
+
+
+def choose_codec(offered, *, allow_pickle: bool):
+    """The server's pick from a client's offer, or ``None`` when no overlap.
+
+    The client's preference order wins (its list is best-first); the pickle
+    codec only matches when the server explicitly allows the legacy mode.
+    """
+    for name in offered:
+        codec = CODECS.get(name)
+        if codec is None:
+            continue
+        if codec is PICKLE and not allow_pickle:
+            continue
+        return codec
+    return None
+
+
+def encode_response_frames(response: dict, codec, *, chunk_items: "int | None") -> "list[bytes]":
+    """Encode one response as its wire frames, streaming long list results.
+
+    A response whose ``result`` is a list longer than ``chunk_items`` is
+    split into a chunk-header frame ``{"ok": True, "chunked": n, "total":
+    t}`` followed by ``n`` sub-frames each carrying at most ``chunk_items``
+    items — bounding peak frame size (and the receiver's buffer) for large
+    ``run_batch`` answers.  ``chunk_items=None`` (a legacy version-1
+    connection) always produces the single-frame shape.
+    """
+    result = response.get("result") if response.get("ok") else None
+    if chunk_items is not None and isinstance(result, list) and len(result) > chunk_items:
+        chunks = [result[i : i + chunk_items] for i in range(0, len(result), chunk_items)]
+        frames = [codec.encode({"ok": True, "chunked": len(chunks), "total": len(result)})]
+        frames.extend(codec.encode(chunk) for chunk in chunks)
+        return frames
+    return [codec.encode(response)]

@@ -1,26 +1,31 @@
-"""The serving layer's wire protocol: length-prefixed pickle frames.
+"""The serving layer's wire framing: length-prefixed frames.
 
 One frame is a 4-byte big-endian unsigned length followed by exactly that
-many bytes of pickle payload.  Both directions speak the same frame format;
-a conversation is a strict request/response alternation driven by the
-client.  Requests are small dicts (``{"op": <name>, ...}``), responses are
+many payload bytes.  Both directions speak the same frame format; a
+conversation is a strict request/response alternation driven by the client
+(one request frame in, one response frame out — or, for large streamed
+responses, a chunk-header frame followed by the announced number of chunk
+sub-frames).
+
+What the payload bytes *mean* is the business of the connection's
+negotiated codec (:mod:`repro.serving.codec`): the first frame a modern
+client sends is a codec handshake, after which both sides encode messages
+with the agreed codec — the safe length-prefixed binary format by default,
+pickle only when the server explicitly opted into the legacy mode.
+Requests are small dicts (``{"op": <name>, ...}``), responses are
 ``{"ok": True, "result": ...}`` or ``{"ok": False, "error": <kind>,
 "message": <text>}`` — see ``docs/serving.md`` for the full op reference.
 
-Pickle is the payload codec because the values that cross the wire are the
-library's own value objects — query matrices,
-:class:`~repro.database.query.ResultSet`\\ s,
-:class:`~repro.feedback.engine.FeedbackLoopResult`\\ s and picklable judges
-such as :class:`~repro.evaluation.simulated_user.CategoryJudge` — whose
-float64 bits must survive the round-trip untouched (the serving layer's
-byte-identity contract).  JSON would silently lose that exactness and
-cannot carry a judge at all.
+This module owns only the framing: reading and writing exact byte counts
+(into preallocated buffers — the hot path of every served request), the
+frame-size guard, and the clean-EOF-versus-torn-stream distinction.  The
+pickle convenience wrappers :func:`send_message` / :func:`recv_message`
+remain for the legacy mode and for trusted in-repo tooling.
 
 .. warning:: Pickle deserialisation executes arbitrary code by design.
-   The protocol is for **trusted networks only** (the server binds to
-   loopback by default); never expose a
-   :class:`~repro.serving.server.RetrievalServer` port to untrusted
-   clients.
+   The legacy pickle codec is for **trusted networks only** and is refused
+   by default (``ServerConfig.allow_pickle``); the binary codec decodes
+   nothing but data.  The server binds to loopback by default either way.
 """
 
 from __future__ import annotations
@@ -31,8 +36,11 @@ import struct
 __all__ = [
     "ConnectionClosed",
     "ProtocolError",
+    "frame",
     "recv_message",
+    "recv_payload",
     "send_message",
+    "send_payload",
     "MAX_FRAME_BYTES",
 ]
 
@@ -40,8 +48,9 @@ __all__ = [
 _HEADER = struct.Struct(">I")
 
 #: Upper bound on one frame's payload.  Far above any legitimate message
-#: (query batches and result lists are kilobytes), so a corrupt or
-#: misaligned stream fails fast instead of attempting a gigabyte read.
+#: (query batches and result lists are kilobytes, and large responses
+#: stream as bounded chunk sub-frames), so a corrupt or misaligned stream
+#: fails fast instead of attempting a gigabyte read.
 MAX_FRAME_BYTES = 1 << 30
 
 
@@ -53,41 +62,79 @@ class ProtocolError(Exception):
     """The stream violated the framing (mid-frame EOF or oversized frame)."""
 
 
-def _recv_exactly(sock, n_bytes: int) -> bytes:
-    """Read exactly ``n_bytes`` from a socket, or raise on early EOF."""
-    chunks: list[bytes] = []
-    remaining = n_bytes
-    while remaining:
-        chunk = sock.recv(min(remaining, 1 << 20))
-        if not chunk:
-            raise ProtocolError(
-                f"connection closed mid-frame ({n_bytes - remaining} of {n_bytes} bytes read)"
-            )
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+def _recv_exactly(sock, n_bytes: int) -> bytearray:
+    """Read exactly ``n_bytes`` into one preallocated buffer.
 
-
-def send_message(sock, message) -> None:
-    """Pickle ``message`` and write it as one length-prefixed frame."""
-    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-    if len(payload) > MAX_FRAME_BYTES:
-        raise ProtocolError(f"message of {len(payload)} bytes exceeds the frame limit")
-    sock.sendall(_HEADER.pack(len(payload)) + payload)
-
-
-def recv_message(sock):
-    """Read one frame and unpickle it.
-
-    Raises :class:`ConnectionClosed` on a clean EOF (no header byte read) —
-    the normal end of a conversation — and :class:`ProtocolError` on a
-    truncated or oversized frame.
+    ``recv_into`` against a sliding :class:`memoryview` fills a single
+    ``bytearray`` — no per-chunk ``bytes`` objects, no final ``b"".join``
+    copy, which matters on multi-megabyte batch responses.  Raises
+    :class:`ProtocolError` on EOF before the count is met.
     """
-    first = sock.recv(1)
-    if not first:
-        raise ConnectionClosed("peer closed the connection")
-    header = first + _recv_exactly(sock, _HEADER.size - 1)
-    (length,) = _HEADER.unpack(header)
+    buffer = bytearray(n_bytes)
+    view = memoryview(buffer)
+    received = 0
+    while received < n_bytes:
+        count = sock.recv_into(view[received:])
+        if count == 0:
+            raise ProtocolError(
+                f"connection closed mid-frame ({received} of {n_bytes} bytes read)"
+            )
+        received += count
+    return buffer
+
+
+def frame(payload) -> bytes:
+    """Prefix ``payload`` with its length header, ready for one send."""
+    length = len(payload)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"message of {length} bytes exceeds the frame limit")
+    return _HEADER.pack(length) + bytes(payload)
+
+
+def send_payload(sock, payload) -> None:
+    """Write ``payload`` (bytes-like) as one length-prefixed frame."""
+    sock.sendall(frame(payload))
+
+
+def recv_payload(sock) -> bytearray:
+    """Read one frame and return its raw payload bytes.
+
+    The header is read as a single buffered 4-byte read (no 1-byte probe —
+    the old ``recv(1)`` cost an extra syscall on every frame).  Raises
+    :class:`ConnectionClosed` on a clean EOF (zero header bytes read) — the
+    normal end of a conversation — and :class:`ProtocolError` on a
+    truncated header, a truncated payload, or an oversized frame.
+    """
+    header = bytearray(_HEADER.size)
+    view = memoryview(header)
+    received = 0
+    while received < _HEADER.size:
+        count = sock.recv_into(view[received:])
+        if count == 0:
+            if received == 0:
+                raise ConnectionClosed("peer closed the connection")
+            raise ProtocolError(
+                f"connection closed mid-header ({received} of {_HEADER.size} bytes read)"
+            )
+        received += count
+    (length,) = _HEADER.unpack_from(header)
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {length} bytes exceeds the frame limit")
-    return pickle.loads(_recv_exactly(sock, length))
+    return _recv_exactly(sock, length)
+
+
+def send_message(sock, message, codec=None) -> None:
+    """Encode ``message`` with ``codec`` (pickle when ``None``) and send it."""
+    if codec is None:
+        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    else:
+        payload = codec.encode(message)
+    send_payload(sock, payload)
+
+
+def recv_message(sock, codec=None):
+    """Read one frame and decode it with ``codec`` (pickle when ``None``)."""
+    payload = recv_payload(sock)
+    if codec is None:
+        return pickle.loads(bytes(payload))
+    return codec.decode(payload)

@@ -1,4 +1,13 @@
-"""The coalescing network server fronting one shared engine.
+"""The serving core and the threaded network front end.
+
+:class:`ServingCore` is the transport-independent heart of the serving
+layer: one shared engine, the request/frontier coalescers, the interactive
+session registry, the op table, and the connection / in-flight bookkeeping.
+Both front ends — the thread-per-connection :class:`RetrievalServer` here
+and the event-loop :class:`~repro.serving.async_server.AsyncRetrievalServer`
+— are thin byte-shufflers around the same core, so results are
+byte-identical whichever one answers (tier-1,
+``tests/test_serving_equivalence.py``).
 
 :class:`RetrievalServer` binds a TCP port and serves the full retrieval
 query contract — ``search`` / ``search_batch`` / ``run_batch`` / k-NN with
@@ -6,17 +15,17 @@ per-query ``(Δ, W)`` parameters — plus relevance-feedback loops (judge
 shipped to the server, run on the shared
 :class:`~repro.serving.coalescer.FrontierCoalescer`) and interactive
 multi-round sessions (judgments shipped per round, state held by the
-:class:`~repro.serving.sessions.SessionManager`), all over the
-length-prefixed pickle frames of :mod:`repro.serving.protocol`.
+:class:`~repro.serving.sessions.SessionManager`), over the length-prefixed
+frames of :mod:`repro.serving.protocol` with a per-connection codec
+handshake (:mod:`repro.serving.codec`): the safe binary codec by default,
+pickle only when ``ServerConfig.allow_pickle`` opts the legacy mode in.
 
-One engine — a :class:`~repro.database.engine.RetrievalEngine` or a
-:class:`~repro.database.sharding.ShardedEngine` on either backend — is
-shared by every connection.  Concurrency is threads-per-connection
+Concurrency here is threads-per-connection
 (:class:`socketserver.ThreadingTCPServer`), which is exactly the shape the
-coalescers feed on: handler threads park their queries in the shared
+coalescers feed on — handler threads park their queries in the shared
 micro-batch window / frontier and the batched machinery of the layers below
-does the work.  Results are byte-identical to calling the engine directly
-(tier-1, ``tests/test_serving_equivalence.py``).
+does the work — but caps out around thousands of sockets; the async front
+end holds tens of thousands on a handful of threads.
 
 Lifecycle: :meth:`RetrievalServer.close` (or the context manager) stops
 accepting, refuses new feedback loops while draining the in-flight ones
@@ -27,6 +36,7 @@ processes and shared-memory segments deterministically.
 
 from __future__ import annotations
 
+import socket
 import socketserver
 import threading
 from dataclasses import dataclass
@@ -39,19 +49,37 @@ from repro.feedback.engine import FeedbackEngine
 from repro.feedback.reweighting import ReweightingRule
 from repro.feedback.scheduler import LoopRequest
 from repro.serving.coalescer import FrontierCoalescer, RequestCoalescer
-from repro.serving.protocol import ConnectionClosed, ProtocolError, recv_message, send_message
+from repro.serving.codec import (
+    PICKLE,
+    CodecError,
+    choose_codec,
+    encode_response_frames,
+    pack_accept,
+    pack_reject,
+    parse_hello,
+)
+from repro.serving.protocol import (
+    ConnectionClosed,
+    ProtocolError,
+    recv_payload,
+    send_message,
+    send_payload,
+)
 from repro.serving.sessions import SessionManager
 from repro.utils.validation import ValidationError, check_dimension
 
-__all__ = ["ServerConfig", "RetrievalServer"]
+__all__ = ["ServerConfig", "ServingCore", "RetrievalServer"]
 
 #: Protocol revision, echoed by the ``info`` op so clients can sanity-check.
-PROTOCOL_VERSION = 1
+#: Version 2 added the codec handshake, the binary codec and chunked
+#: streaming of large responses (version-1 peers — legacy pickle without a
+#: handshake — are still served when ``allow_pickle`` is on).
+PROTOCOL_VERSION = 2
 
 
 @dataclass(frozen=True)
 class ServerConfig:
-    """Knobs of a :class:`RetrievalServer`.
+    """Knobs of a serving front end (threaded or async).
 
     Attributes
     ----------
@@ -66,110 +94,95 @@ class ServerConfig:
         continuous batching: no deliberate delay, sharing comes from
         backpressure).  ``max_wait`` also paces the frontier coalescer's
         admission window.
+    solo_grace:
+        Gather time (seconds) a *lone* submitter still concedes before
+        dispatching solo when ``max_wait`` is on — the coalescer's solo
+        fast path.  Per-server because C10K tuning moves it: many mostly-
+        idle connections want it tiny, few hot ones can afford more.
     reweighting_rule, move_query_point, max_iterations, variance_floor:
         The feedback-engine configuration the server runs loops and
         sessions under — match them to the
         :class:`~repro.evaluation.session.SessionConfig` being reproduced.
+    idle_timeout:
+        Seconds a connection may sit mid-read (or mid-write) before the
+        server drops it; ``None`` disables.  A stalled or half-open client
+        can therefore never pin a handler thread or an event-loop slot
+        forever.
+    allow_pickle:
+        Opt-in for the legacy trusted-network pickle codec — both the
+        negotiated ``pickle.1`` offer and bare version-1 connections that
+        skip the handshake entirely.  Off by default: pickle executes
+        arbitrary code on load.
+    stream_chunk_items:
+        Responses whose result list is longer than this stream as chunked
+        sub-frames of at most this many items (version-2 connections only),
+        bounding peak frame size for large ``run_batch`` answers.
+    executor_threads:
+        Size of the async front end's dispatch pool — the number of
+        requests that can *block* in the coalescers concurrently.  Ignored
+        by the threaded front end (each connection brings its own thread).
     """
 
     host: str = "127.0.0.1"
     port: int = 0
     max_batch: int = 64
     max_wait: float = 0.0
+    solo_grace: float = RequestCoalescer.SOLO_GRACE
     reweighting_rule: ReweightingRule = ReweightingRule.OPTIMAL
     move_query_point: bool = True
     max_iterations: int = 10
     variance_floor: float = 1e-6
+    idle_timeout: "float | None" = 300.0
+    allow_pickle: bool = False
+    stream_chunk_items: int = 1024
+    executor_threads: int = 32
 
     def __post_init__(self) -> None:
         check_dimension(self.max_batch, "max_batch")
         check_dimension(self.max_iterations, "max_iterations")
+        check_dimension(self.stream_chunk_items, "stream_chunk_items")
+        check_dimension(self.executor_threads, "executor_threads")
         if self.max_wait < 0:
             raise ValidationError("max_wait must be non-negative")
+        if self.solo_grace < 0:
+            raise ValidationError("solo_grace must be non-negative")
+        if self.idle_timeout is not None and self.idle_timeout <= 0:
+            raise ValidationError("idle_timeout must be positive (or None to disable)")
 
 
-class _TCPServer(socketserver.ThreadingTCPServer):
-    """Thread-per-connection TCP front end bound to one serving instance."""
+class ServingCore:
+    """Transport-independent serving state shared by every front end.
 
-    daemon_threads = True
-    allow_reuse_address = True
-
-    def __init__(self, address, serving: "RetrievalServer") -> None:
-        super().__init__(address, _ConnectionHandler)
-        self.serving = serving
-
-
-class _ConnectionHandler(socketserver.BaseRequestHandler):
-    """One client connection: a strict request/response frame loop."""
-
-    def handle(self) -> None:
-        serving: "RetrievalServer" = self.server.serving
-        owner = object()  # unique ownership token of this connection
-        serving._track_connection(self.request, owner, opened=True)
-        try:
-            while True:
-                try:
-                    message = recv_message(self.request)
-                except ConnectionClosed:
-                    break
-                # The response leaves inside the in-flight window so a
-                # draining close() never cuts a connection mid-answer.
-                serving._begin_request()
-                try:
-                    send_message(self.request, serving._respond(message, owner))
-                finally:
-                    serving._end_request()
-        except (ProtocolError, OSError):
-            # Torn-down or misbehaving connection; per-connection state is
-            # dropped below and the server keeps serving everyone else.
-            pass
-        finally:
-            serving._track_connection(self.request, owner, opened=False)
-
-
-class RetrievalServer:
-    """Serve one shared engine to many connections, with request coalescing.
-
-    Parameters
-    ----------
-    engine:
-        The engine to front — a
-        :class:`~repro.database.engine.RetrievalEngine` or a
-        :class:`~repro.database.sharding.ShardedEngine` (any backend).
-        Shared by every connection; searches are read-only and counters are
-        lock-protected, so no extra synchronisation is needed.
-    config:
-        A :class:`ServerConfig`; defaults throughout.
-    own_engine:
-        When true, :meth:`close` also closes the engine — worker pools,
-        worker processes and shared-memory segments are released as part of
-        the server's own teardown (the deployment shape where the server is
-        the engine's only user).
+    One engine — a :class:`~repro.database.engine.RetrievalEngine` or a
+    :class:`~repro.database.sharding.ShardedEngine` on either backend — is
+    shared by every connection; searches are read-only and counters are
+    lock-protected, so no extra synchronisation is needed.  The core owns
+    the coalescers, the session registry, the op table and the connection /
+    in-flight accounting; front ends own sockets and codecs.
     """
 
-    def __init__(self, engine, config: "ServerConfig | None" = None, *, own_engine: bool = False) -> None:
-        self._engine = engine
-        self._config = config if config is not None else ServerConfig()
-        self._own_engine = bool(own_engine)
-        self._feedback = FeedbackEngine(
+    def __init__(self, engine, config: "ServerConfig | None" = None) -> None:
+        self.engine = engine
+        self.config = config if config is not None else ServerConfig()
+        self.feedback = FeedbackEngine(
             engine,
-            reweighting_rule=self._config.reweighting_rule,
-            move_query_point=self._config.move_query_point,
-            max_iterations=self._config.max_iterations,
-            variance_floor=self._config.variance_floor,
+            reweighting_rule=self.config.reweighting_rule,
+            move_query_point=self.config.move_query_point,
+            max_iterations=self.config.max_iterations,
+            variance_floor=self.config.variance_floor,
         )
-        self._coalescer = RequestCoalescer(
-            engine, max_batch=self._config.max_batch, max_wait=self._config.max_wait
+        self.coalescer = RequestCoalescer(
+            engine,
+            max_batch=self.config.max_batch,
+            max_wait=self.config.max_wait,
+            solo_grace=self.config.solo_grace,
         )
-        self._frontier = FrontierCoalescer(self._feedback, max_wait=self._config.max_wait)
-        self._sessions = SessionManager(self._feedback, self._coalescer)
-        self._tcp: "_TCPServer | None" = None
-        self._acceptor: "threading.Thread | None" = None
-        self._closed = False
-        self._connection_lock = threading.Lock()
-        self._idle = threading.Condition(self._connection_lock)
-        self._open_connections: dict = {}
-        self._n_connections = 0
+        self.frontier = FrontierCoalescer(self.feedback, max_wait=self.config.max_wait)
+        self.sessions = SessionManager(self.feedback, self.coalescer)
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._n_open = 0
+        self._n_accepted = 0
         self._in_flight = 0
         self._ops = {
             "ping": self._op_ping,
@@ -187,22 +200,344 @@ class RetrievalServer:
         }
 
     # ------------------------------------------------------------------ #
+    # Connection and in-flight accounting
+    # ------------------------------------------------------------------ #
+    def connection_opened(self) -> None:
+        with self._lock:
+            self._n_open += 1
+            self._n_accepted += 1
+
+    def connection_closed(self, owner) -> None:
+        with self._lock:
+            self._n_open -= 1
+        self.sessions.drop_owner(owner)
+
+    def begin_request(self) -> None:
+        with self._lock:
+            self._in_flight += 1
+
+    def end_request(self) -> None:
+        with self._lock:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._idle.notify_all()
+
+    def wait_idle(self, timeout: float) -> None:
+        """Block until no request is in flight (bounded) — the drain step."""
+        with self._lock:
+            self._idle.wait_for(lambda: self._in_flight == 0, timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def respond(self, message, owner) -> dict:
+        """Serve one request; failures become error responses, not crashes."""
+        try:
+            if not isinstance(message, dict) or "op" not in message:
+                raise ValidationError("requests must be dicts with an 'op' key")
+            handler = self._ops.get(message["op"])
+            if handler is None:
+                raise ValidationError(f"unknown op {message['op']!r}")
+            return {"ok": True, "result": handler(message, owner)}
+        except ValidationError as error:
+            return {"ok": False, "error": "validation", "message": str(error)}
+        except Exception as error:  # noqa: BLE001 - shipped to the client
+            return {"ok": False, "error": type(error).__name__, "message": str(error)}
+
+    def serve_frames(self, codec, payload, owner, *, chunk_items: "int | None") -> "list[bytes]":
+        """Decode, dispatch and encode one request into its response frames.
+
+        This is the whole blocking span of one request — the threaded
+        handler runs it on its own thread, the async server inside an
+        executor slot.  Callers bracket it (plus the send) with
+        :meth:`begin_request` / :meth:`end_request` so a draining
+        :meth:`shutdown` never cuts a connection mid-answer.  Decode errors
+        become error responses rather than dropped connections: the framing
+        is intact, only the payload is bad.
+        """
+        try:
+            message = codec.decode(payload)
+        except CodecError as error:
+            response = {"ok": False, "error": "codec", "message": str(error)}
+        except Exception as error:  # noqa: BLE001 - legacy pickle decode failure
+            response = {"ok": False, "error": "codec", "message": str(error)}
+        else:
+            response = self.respond(message, owner)
+        try:
+            return encode_response_frames(response, codec, chunk_items=chunk_items)
+        except CodecError as error:
+            # The *result* could not travel under this codec (e.g. an
+            # exotic object under binary) — tell the client why.
+            return [codec.encode({"ok": False, "error": "codec", "message": str(error)})]
+
+    def stats(self) -> dict:
+        """One aggregated snapshot of every serving-layer counter."""
+        with self._lock:
+            connections = {"open": self._n_open, "accepted": self._n_accepted}
+        return {
+            "engine": self.engine.stats(),
+            "coalescer": self.coalescer.stats(),
+            "frontier": self.frontier.stats(),
+            "sessions": self.sessions.stats(),
+            "connections": connections,
+        }
+
+    def shutdown(self, *, own_engine: bool, drain_timeout: float = 10.0) -> None:
+        """Drain the frontier and in-flight requests, then release state."""
+        self.frontier.close()
+        self.wait_idle(drain_timeout)
+        self.sessions.clear()
+        if own_engine:
+            close = getattr(self.engine, "close", None)
+            if close is not None:
+                close()
+
+    # ------------------------------------------------------------------ #
+    # Ops
+    # ------------------------------------------------------------------ #
+    def _op_ping(self, message, owner) -> str:
+        return "pong"
+
+    def _op_info(self, message, owner) -> dict:
+        info = {
+            "protocol_version": PROTOCOL_VERSION,
+            "max_batch": self.config.max_batch,
+            "max_wait": self.config.max_wait,
+            "max_iterations": self.config.max_iterations,
+            "reweighting_rule": self.config.reweighting_rule.name,
+            "move_query_point": self.config.move_query_point,
+        }
+        info.update(self.engine.describe())
+        return info
+
+    def _op_stats(self, message, owner) -> dict:
+        return self.stats()
+
+    def _op_search(self, message, owner):
+        point = np.atleast_1d(np.asarray(message["query_point"], dtype=np.float64))
+        return self.coalescer.submit_search(point[None, :], message["k"])[0]
+
+    def _op_search_batch(self, message, owner):
+        return self.coalescer.submit_search(message["query_points"], message["k"])
+
+    def _op_run_batch(self, message, owner):
+        queries = [Query(point=point, k=k) for point, k in message["queries"]]
+        return run_grouped_by_k(
+            lambda points, k, distance: self.coalescer.submit_search(points, k), queries
+        )
+
+    def _op_search_with_parameters(self, message, owner):
+        point = np.atleast_1d(np.asarray(message["query_point"], dtype=np.float64))
+        delta = np.atleast_1d(np.asarray(message["delta"], dtype=np.float64))
+        weights = np.atleast_1d(np.asarray(message["weights"], dtype=np.float64))
+        return self.coalescer.submit_search_with_parameters(
+            point[None, :], message["k"], delta[None, :], weights[None, :]
+        )[0]
+
+    def _op_search_batch_with_parameters(self, message, owner):
+        return self.coalescer.submit_search_with_parameters(
+            message["query_points"], message["k"], message["deltas"], message["weights"]
+        )
+
+    def _op_feedback_loop(self, message, owner):
+        request = LoopRequest(
+            query_point=np.atleast_1d(np.asarray(message["query_point"], dtype=np.float64)),
+            k=message["k"],
+            judge=message["judge"],
+            initial_delta=message.get("initial_delta"),
+            initial_weights=message.get("initial_weights"),
+        )
+        return self.frontier.run_loop(request)
+
+    def _op_session_open(self, message, owner) -> dict:
+        session = self.sessions.open(
+            owner,
+            message["query_point"],
+            message["k"],
+            message.get("initial_delta"),
+            message.get("initial_weights"),
+        )
+        return {
+            "session_id": session.session_id,
+            "results": session.results,
+            "iterations": 0,
+            "done": False,
+        }
+
+    def _op_session_feedback(self, message, owner) -> dict:
+        return self.sessions.feedback(
+            message["session_id"], owner, message["indices"], message["scores"]
+        )
+
+    def _op_session_close(self, message, owner):
+        return self.sessions.close(message["session_id"], owner)
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    """Thread-per-connection TCP front end bound to one serving instance."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # socketserver's default backlog is 5 — a burst of connecting clients
+    # (the C10K benchmark's idle swarm, or any thundering herd) would see
+    # refused connections.  The listen queue is cheap; make it deep.
+    request_queue_size = 1024
+
+    def __init__(self, address, serving: "RetrievalServer") -> None:
+        super().__init__(address, _ConnectionHandler)
+        self.serving = serving
+
+
+class _ConnectionHandler(socketserver.BaseRequestHandler):
+    """One client connection: handshake, then a strict frame loop."""
+
+    def handle(self) -> None:
+        serving: "RetrievalServer" = self.server.serving
+        core = serving._core
+        config = core.config
+        sock = self.request
+        owner = object()  # unique ownership token of this connection
+        serving._register_connection(sock)
+        core.connection_opened()
+        codec = None
+        chunk_items: "int | None" = None
+        try:
+            # Responses are many small frames; never wait for Nagle.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if config.idle_timeout is not None:
+                # A stalled or half-open peer trips this and is dropped —
+                # it can never pin the handler thread forever.
+                sock.settimeout(config.idle_timeout)
+            while True:
+                try:
+                    payload = recv_payload(sock)
+                except ConnectionClosed:
+                    break
+                if codec is None:
+                    # The first frame is fully consumed here either way —
+                    # as a handshake, or (legacy) served as the first
+                    # pickle request inside _open_conversation.
+                    codec, chunk_items = self._open_conversation(sock, core, payload, owner)
+                    if codec is None:
+                        break
+                    continue
+                # The response leaves inside the in-flight window so a
+                # draining close() never cuts a connection mid-answer.
+                core.begin_request()
+                try:
+                    for frame_payload in core.serve_frames(
+                        codec, payload, owner, chunk_items=chunk_items
+                    ):
+                        send_payload(sock, frame_payload)
+                finally:
+                    core.end_request()
+        except (ProtocolError, OSError):
+            # Torn-down, timed-out or misbehaving connection; per-connection
+            # state is dropped below and the server keeps serving the rest.
+            pass
+        finally:
+            core.connection_closed(owner)
+            serving._unregister_connection(sock)
+
+    @staticmethod
+    def _open_conversation(sock, core: ServingCore, payload, owner):
+        """Resolve the connection's codec from its first frame.
+
+        Returns ``(codec, chunk_items)`` — the codec is ``None`` when the
+        connection must be dropped.  The first frame is fully consumed:
+        either it was the handshake (answered with accept/reject), or the
+        legacy no-handshake shape, in which case it was already a pickle
+        request and is served here.
+        """
+        config = core.config
+        try:
+            offered = parse_hello(payload)
+        except CodecError as error:
+            send_payload(sock, pack_reject(str(error)))
+            return None, None
+        if offered is None:
+            # No handshake: a legacy version-1 peer speaking raw pickle.
+            if not config.allow_pickle:
+                # The peer evidently speaks pickle; answer in kind once so
+                # the refusal is diagnosable, then drop.
+                send_message(
+                    sock,
+                    {
+                        "ok": False,
+                        "error": "codec",
+                        "message": "this server requires the codec handshake "
+                        "(legacy pickle is disabled; enable allow_pickle to serve it)",
+                    },
+                )
+                return None, None
+            # Serve the first request right away; no streaming on v1.
+            core.begin_request()
+            try:
+                for frame_payload in core.serve_frames(
+                    PICKLE, payload, owner, chunk_items=None
+                ):
+                    send_payload(sock, frame_payload)
+            finally:
+                core.end_request()
+            return PICKLE, None
+        codec = choose_codec(offered, allow_pickle=config.allow_pickle)
+        if codec is None:
+            send_payload(
+                sock,
+                pack_reject(
+                    f"no codec overlap (offered {offered!r}; pickle "
+                    f"{'enabled' if config.allow_pickle else 'disabled'})"
+                ),
+            )
+            return None, None
+        send_payload(sock, pack_accept(codec.name))
+        return codec, config.stream_chunk_items
+
+
+class RetrievalServer:
+    """Serve one shared engine to many connections, with request coalescing.
+
+    Parameters
+    ----------
+    engine:
+        The engine to front — a
+        :class:`~repro.database.engine.RetrievalEngine` or a
+        :class:`~repro.database.sharding.ShardedEngine` (any backend).
+    config:
+        A :class:`ServerConfig`; defaults throughout.
+    own_engine:
+        When true, :meth:`close` also closes the engine — worker pools,
+        worker processes and shared-memory segments are released as part of
+        the server's own teardown (the deployment shape where the server is
+        the engine's only user).
+    """
+
+    def __init__(self, engine, config: "ServerConfig | None" = None, *, own_engine: bool = False) -> None:
+        self._core = ServingCore(engine, config)
+        self._own_engine = bool(own_engine)
+        self._tcp: "_TCPServer | None" = None
+        self._acceptor: "threading.Thread | None" = None
+        self._closed = False
+        self._connection_lock = threading.Lock()
+        self._open_sockets: "set" = set()
+
+    # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     @property
     def engine(self):
         """The shared engine behind every connection."""
-        return self._engine
+        return self._core.engine
 
     @property
     def config(self) -> ServerConfig:
         """The server configuration."""
-        return self._config
+        return self._core.config
 
     @property
     def feedback_engine(self) -> FeedbackEngine:
         """The feedback engine loops and sessions run under."""
-        return self._feedback
+        return self._core.feedback
 
     @property
     def address(self) -> "tuple[str, int]":
@@ -217,7 +552,7 @@ class RetrievalServer:
         if self._closed:
             raise ValidationError("the server is closed")
         if self._tcp is None:
-            self._tcp = _TCPServer((self._config.host, self._config.port), self)
+            self._tcp = _TCPServer((self.config.host, self.config.port), self)
             self._acceptor = threading.Thread(
                 target=self._tcp.serve_forever,
                 kwargs={"poll_interval": 0.05},
@@ -243,10 +578,9 @@ class RetrievalServer:
         if self._tcp is not None:
             self._tcp.shutdown()
             self._tcp.server_close()
-        self._frontier.close()
+        self._core.shutdown(own_engine=False)
         with self._connection_lock:
-            self._idle.wait_for(lambda: self._in_flight == 0, timeout=10.0)
-            lingering = list(self._open_connections)
+            lingering = list(self._open_sockets)
         for connection in lingering:
             try:
                 connection.close()
@@ -254,9 +588,8 @@ class RetrievalServer:
                 pass
         if self._acceptor is not None:
             self._acceptor.join(timeout=5.0)
-        self._sessions.clear()
         if self._own_engine:
-            close = getattr(self._engine, "close", None)
+            close = getattr(self._core.engine, "close", None)
             if close is not None:
                 close()
 
@@ -268,133 +601,16 @@ class RetrievalServer:
         self.close()
 
     # ------------------------------------------------------------------ #
-    # Connection bookkeeping and dispatch
+    # Connection bookkeeping
     # ------------------------------------------------------------------ #
-    def _track_connection(self, connection, owner, *, opened: bool) -> None:
+    def _register_connection(self, sock) -> None:
         with self._connection_lock:
-            if opened:
-                self._open_connections[connection] = owner
-                self._n_connections += 1
-            else:
-                self._open_connections.pop(connection, None)
-        if not opened:
-            self._sessions.drop_owner(owner)
+            self._open_sockets.add(sock)
 
-    def _begin_request(self) -> None:
+    def _unregister_connection(self, sock) -> None:
         with self._connection_lock:
-            self._in_flight += 1
-
-    def _end_request(self) -> None:
-        with self._connection_lock:
-            self._in_flight -= 1
-            if self._in_flight == 0:
-                self._idle.notify_all()
-
-    def _respond(self, message, owner) -> dict:
-        """Serve one request; failures become error responses, not crashes."""
-        try:
-            if not isinstance(message, dict) or "op" not in message:
-                raise ValidationError("requests must be dicts with an 'op' key")
-            handler = self._ops.get(message["op"])
-            if handler is None:
-                raise ValidationError(f"unknown op {message['op']!r}")
-            return {"ok": True, "result": handler(message, owner)}
-        except ValidationError as error:
-            return {"ok": False, "error": "validation", "message": str(error)}
-        except Exception as error:  # noqa: BLE001 - shipped to the client
-            return {"ok": False, "error": type(error).__name__, "message": str(error)}
+            self._open_sockets.discard(sock)
 
     def stats(self) -> dict:
         """One aggregated snapshot of every serving-layer counter."""
-        with self._connection_lock:
-            connections = {
-                "open": len(self._open_connections),
-                "accepted": self._n_connections,
-            }
-        return {
-            "engine": self._engine.stats(),
-            "coalescer": self._coalescer.stats(),
-            "frontier": self._frontier.stats(),
-            "sessions": self._sessions.stats(),
-            "connections": connections,
-        }
-
-    # ------------------------------------------------------------------ #
-    # Ops
-    # ------------------------------------------------------------------ #
-    def _op_ping(self, message, owner) -> str:
-        return "pong"
-
-    def _op_info(self, message, owner) -> dict:
-        info = {
-            "protocol_version": PROTOCOL_VERSION,
-            "max_batch": self._config.max_batch,
-            "max_wait": self._config.max_wait,
-            "max_iterations": self._config.max_iterations,
-            "reweighting_rule": self._config.reweighting_rule.name,
-            "move_query_point": self._config.move_query_point,
-        }
-        info.update(self._engine.describe())
-        return info
-
-    def _op_stats(self, message, owner) -> dict:
-        return self.stats()
-
-    def _op_search(self, message, owner):
-        point = np.atleast_1d(np.asarray(message["query_point"], dtype=np.float64))
-        return self._coalescer.submit_search(point[None, :], message["k"])[0]
-
-    def _op_search_batch(self, message, owner):
-        return self._coalescer.submit_search(message["query_points"], message["k"])
-
-    def _op_run_batch(self, message, owner):
-        queries = [Query(point=point, k=k) for point, k in message["queries"]]
-        return run_grouped_by_k(
-            lambda points, k, distance: self._coalescer.submit_search(points, k), queries
-        )
-
-    def _op_search_with_parameters(self, message, owner):
-        point = np.atleast_1d(np.asarray(message["query_point"], dtype=np.float64))
-        delta = np.atleast_1d(np.asarray(message["delta"], dtype=np.float64))
-        weights = np.atleast_1d(np.asarray(message["weights"], dtype=np.float64))
-        return self._coalescer.submit_search_with_parameters(
-            point[None, :], message["k"], delta[None, :], weights[None, :]
-        )[0]
-
-    def _op_search_batch_with_parameters(self, message, owner):
-        return self._coalescer.submit_search_with_parameters(
-            message["query_points"], message["k"], message["deltas"], message["weights"]
-        )
-
-    def _op_feedback_loop(self, message, owner):
-        request = LoopRequest(
-            query_point=np.atleast_1d(np.asarray(message["query_point"], dtype=np.float64)),
-            k=message["k"],
-            judge=message["judge"],
-            initial_delta=message.get("initial_delta"),
-            initial_weights=message.get("initial_weights"),
-        )
-        return self._frontier.run_loop(request)
-
-    def _op_session_open(self, message, owner) -> dict:
-        session = self._sessions.open(
-            owner,
-            message["query_point"],
-            message["k"],
-            message.get("initial_delta"),
-            message.get("initial_weights"),
-        )
-        return {
-            "session_id": session.session_id,
-            "results": session.results,
-            "iterations": 0,
-            "done": False,
-        }
-
-    def _op_session_feedback(self, message, owner) -> dict:
-        return self._sessions.feedback(
-            message["session_id"], owner, message["indices"], message["scores"]
-        )
-
-    def _op_session_close(self, message, owner):
-        return self._sessions.close(message["session_id"], owner)
+        return self._core.stats()

@@ -118,6 +118,16 @@ class TestGenerateFigures:
             "fast_qps": 1900.0,
             "speedup": 2.4,
         }
+        for n, e in enumerate(made[-2:], start=1):
+            e["connection_scaling"] = {
+                "n_idle": 2000,
+                "n_hot": 100,
+                "idle_alive": 2000,
+                "threaded_qps": 600.0 * n,
+                "async_qps": 590.0 * n,
+                "hot_qps": 900.0 * n,
+                "async_vs_threaded": 0.98,
+            }
         return made
 
     def test_all_figures_render_wellformed_svg(self, figures_dir, entries):
@@ -143,6 +153,7 @@ class TestGenerateFigures:
             "speedups",
             "latency_percentiles",
             "scale_lab",
+            "connection_scaling",
         }
         for name, (group, renderer) in generate_figures.FIGURES.items():
             assert group in ("trajectory", "latest")

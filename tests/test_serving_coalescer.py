@@ -225,6 +225,74 @@ class TestRequestCoalescerWindows:
         assert failures == ["engine down"] * n_threads
 
 
+class TestSoloGrace:
+    """The tunable solo-grace window (``ServerConfig.solo_grace``)."""
+
+    def test_default_and_override(self, engine):
+        assert RequestCoalescer(engine).solo_grace == RequestCoalescer.SOLO_GRACE
+        assert RequestCoalescer(engine, solo_grace=0.5).solo_grace == 0.5
+        assert RequestCoalescer(engine, solo_grace=0).solo_grace == 0.0
+
+    def test_negative_grace_is_rejected(self, engine):
+        with pytest.raises(ValidationError):
+            RequestCoalescer(engine, solo_grace=-0.001)
+
+    def test_zero_grace_keeps_the_lone_caller_exact_and_fast(self, engine, queries):
+        """solo_grace=0: a lone submitter never yields to the clock at all."""
+        import time
+
+        coalescer = RequestCoalescer(engine, max_batch=8, max_wait=2.0, solo_grace=0.0)
+        reference = engine.search_batch(queries[:1], K)
+        start = time.perf_counter()
+        result = coalescer.submit_search(queries[:1], K)
+        elapsed = time.perf_counter() - start
+        assert result == reference
+        assert elapsed < 0.2  # nowhere near the 2 s window
+        assert coalescer.stats()["solo_dispatches"] == 1
+
+    def test_grace_is_bounded_by_the_window(self, engine, queries):
+        """A grace far above ``max_wait`` still dispatches within the window."""
+        import time
+
+        coalescer = RequestCoalescer(engine, max_batch=8, max_wait=0.01, solo_grace=30.0)
+        reference = engine.search_batch(queries[:1], K)
+        start = time.perf_counter()
+        result = coalescer.submit_search(queries[:1], K)
+        elapsed = time.perf_counter() - start
+        assert result == reference
+        assert elapsed < 1.0
+
+    def test_grace_still_coalesces_concurrent_arrivals(self, engine, queries):
+        """A generous grace lets near-simultaneous submitters share dispatches."""
+        n_threads = 4
+        coalescer = RequestCoalescer(
+            engine, max_batch=n_threads, max_wait=5.0, solo_grace=0.05
+        )
+        reference = engine.search_batch(queries[:n_threads], K)
+        results: dict = {}
+
+        def submit(thread_id):
+            (results[thread_id],) = coalescer.submit_search(
+                queries[thread_id][None, :], K
+            )
+
+        run_threads(n_threads, submit)
+        for thread_id in range(n_threads):
+            assert results[thread_id] == reference[thread_id]
+        assert coalescer.stats()["dispatches"] < n_threads
+
+    def test_server_config_plumbs_the_grace_through(self, engine):
+        from repro.serving import RetrievalServer, ServerConfig
+
+        server = RetrievalServer(engine, ServerConfig(solo_grace=0.25))
+        try:
+            assert server._core.coalescer.solo_grace == 0.25
+        finally:
+            server.close()
+        with pytest.raises(ValidationError):
+            ServerConfig(solo_grace=-1.0)
+
+
 class TestFrontierExternalAdmission:
     def test_admit_into_running_frontier_matches_sequential_loops(self, tiny_collection):
         """Entries admitted mid-flight reproduce run_loop bit for bit."""

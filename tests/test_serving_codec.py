@@ -1,0 +1,205 @@
+"""Round-trip contract of the versioned binary codec.
+
+The binary codec's promise (see ``src/repro/serving/codec.py``): every
+value the serving layer puts on the wire — scalars, containers, NumPy
+arrays, the five library value types — survives encode/decode **bit for
+bit**, floats and arrays included; anything it cannot carry fails loudly
+at encode time; malformed payloads fail loudly at decode time.  This suite
+pins that promise value by value, independent of any socket.
+"""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+
+from repro.database.query import ResultSet
+from repro.evaluation.simulated_user import CategoryJudge, SimulatedUser
+from repro.feedback.engine import FeedbackEngine
+from repro.feedback.engine import FeedbackState
+from repro.feedback.scores import JudgmentBatch
+from repro.database.engine import RetrievalEngine
+from repro.serving.codec import BINARY, PICKLE, CODECS, CodecError, choose_codec
+
+
+def roundtrip(value):
+    return BINARY.decode(BINARY.encode(value))
+
+
+class TestScalars:
+    def test_singletons_and_bools(self):
+        for value in (None, True, False):
+            assert roundtrip(value) is value
+        assert roundtrip(np.bool_(True)) is True
+
+    def test_int64_range_and_bigints(self):
+        for value in (0, 1, -1, 2**63 - 1, -(2**63), 2**200, -(2**200), 10**30):
+            result = roundtrip(value)
+            assert result == value and isinstance(result, int)
+        assert roundtrip(np.int32(-7)) == -7
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            0.0,
+            -0.0,
+            1.5,
+            math.pi,
+            float("inf"),
+            float("-inf"),
+            5e-324,  # smallest denormal
+            1.7976931348623157e308,
+        ],
+    )
+    def test_floats_are_bit_exact(self, value):
+        result = roundtrip(value)
+        assert struct.pack(">d", result) == struct.pack(">d", value)
+
+    def test_nan_payload_survives(self):
+        result = roundtrip(float("nan"))
+        assert math.isnan(result)
+        assert struct.pack(">d", result) == struct.pack(">d", float("nan"))
+
+    def test_strings_and_bytes(self):
+        for value in ("", "ascii", "ünïcøde ✓", b"", b"\x00\xff" * 10):
+            assert roundtrip(value) == value
+
+
+class TestContainers:
+    def test_lists_tuples_dicts_recurse(self):
+        value = {
+            "op": "search",
+            "nested": [1, (2.5, None), {"deep": [True, b"x"]}],
+            3: "int key",
+        }
+        result = roundtrip(value)
+        assert result == value
+        assert isinstance(result["nested"][1], tuple)
+
+    def test_empty_containers(self):
+        assert roundtrip([]) == []
+        assert roundtrip(()) == ()
+        assert roundtrip({}) == {}
+
+
+class TestArrays:
+    @pytest.mark.parametrize(
+        "array",
+        [
+            np.arange(12, dtype=np.float64).reshape(3, 4),
+            np.array([], dtype=np.float64),
+            np.array(5.0),  # 0-d
+            np.arange(6, dtype=np.int64),
+            np.arange(8, dtype=np.float32).reshape(2, 2, 2),
+            np.array([True, False, True]),
+        ],
+    )
+    def test_arrays_roundtrip_bit_exact(self, array):
+        result = roundtrip(array)
+        assert result.dtype == array.dtype
+        assert result.shape == array.shape
+        assert result.tobytes() == array.tobytes()
+
+    def test_zero_d_array_keeps_its_shape(self):
+        array = np.array(5.0)
+        result = roundtrip(array)
+        assert result.shape == ()
+        assert float(result) == 5.0
+
+    def test_non_contiguous_views_roundtrip(self):
+        base = np.arange(20, dtype=np.float64).reshape(4, 5)
+        view = base[::2, ::2]  # strided view
+        result = roundtrip(view)
+        assert np.array_equal(result, view)
+        assert result.shape == view.shape
+
+    def test_float64_bits_survive_in_arrays(self):
+        array = np.array([0.0, -0.0, np.nan, np.inf, 5e-324, 1 / 3])
+        assert roundtrip(array).tobytes() == array.tobytes()
+
+    def test_object_dtype_arrays_are_refused_at_encode(self):
+        with pytest.raises(CodecError, match="object-dtype"):
+            BINARY.encode(np.array(["a", object()], dtype=object))
+
+
+class TestLibraryValues:
+    @pytest.fixture(scope="class")
+    def loop(self, tiny_collection):
+        user = SimulatedUser(tiny_collection)
+        return FeedbackEngine(
+            RetrievalEngine(tiny_collection), max_iterations=4
+        ).run_loop(tiny_collection.vectors[2], 6, user.judge_for_query(2))
+
+    def test_result_set(self, tiny_collection):
+        result = RetrievalEngine(tiny_collection).search(tiny_collection.vectors[0], 5)
+        assert roundtrip(result) == result
+
+    def test_feedback_state_and_loop_result(self, loop):
+        state = roundtrip(loop.final_state)
+        assert isinstance(state, FeedbackState)
+        assert np.array_equal(state.query_point, loop.final_state.query_point)
+        assert np.array_equal(state.weights, loop.final_state.weights)
+        assert roundtrip(loop).identical_to(loop)
+
+    def test_judgment_batch(self):
+        batch = JudgmentBatch(
+            indices=np.array([3, 1, 4]), scores=np.array([1.0, 0.5, 0.0])
+        )
+        result = roundtrip(batch)
+        assert np.array_equal(result.indices, batch.indices)
+        assert np.array_equal(result.scores, batch.scores)
+
+    def test_category_judge(self, tiny_collection):
+        user = SimulatedUser(tiny_collection)
+        judge = user.judge_for_query(0)
+        result = roundtrip(judge)
+        assert isinstance(result, CategoryJudge)
+        assert result.category == judge.category
+        assert result.scale == judge.scale
+        assert result.labels.dtype == np.dtype(object)
+        assert list(result.labels) == list(judge.labels)
+
+    def test_arbitrary_objects_are_refused_with_a_pointer_to_pickle(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(CodecError, match="pickle"):
+            BINARY.encode({"judge": Opaque()})
+
+
+class TestDecodeFailures:
+    def test_unknown_tag(self):
+        with pytest.raises(CodecError, match="unknown binary tag"):
+            BINARY.decode(b"Zjunk")
+
+    def test_truncated_payload(self):
+        encoded = BINARY.encode({"op": "ping", "data": np.arange(4.0)})
+        for cut in (1, len(encoded) // 2, len(encoded) - 1):
+            with pytest.raises(CodecError):
+                BINARY.decode(encoded[:cut])
+
+    def test_trailing_bytes(self):
+        with pytest.raises(CodecError, match="trailing"):
+            BINARY.decode(BINARY.encode(1) + b"extra")
+
+    def test_empty_payload(self):
+        with pytest.raises(CodecError):
+            BINARY.decode(b"")
+
+
+class TestCodecChoice:
+    def test_registry_names(self):
+        assert CODECS[BINARY.name] is BINARY
+        assert CODECS[PICKLE.name] is PICKLE
+
+    def test_choose_prefers_the_clients_order(self):
+        assert choose_codec([BINARY.name, PICKLE.name], allow_pickle=True) is BINARY
+        assert choose_codec([PICKLE.name, BINARY.name], allow_pickle=True) is PICKLE
+
+    def test_pickle_needs_the_gate(self):
+        assert choose_codec([PICKLE.name], allow_pickle=False) is None
+        assert choose_codec([PICKLE.name], allow_pickle=True) is PICKLE
+
+    def test_no_overlap(self):
+        assert choose_codec(["msgpack.9"], allow_pickle=True) is None

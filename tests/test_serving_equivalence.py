@@ -29,7 +29,7 @@ from repro.distances.weighted_euclidean import WeightedEuclideanDistance
 from repro.evaluation.session import InteractiveSession, SessionConfig
 from repro.evaluation.simulated_user import SimulatedUser
 from repro.feedback.engine import FeedbackEngine
-from repro.serving import RetrievalServer, ServerConfig, ServingClient
+from repro.serving import AsyncRetrievalServer, RetrievalServer, ServerConfig, ServingClient
 from repro.utils.validation import ValidationError
 
 DIMENSION = 6
@@ -311,6 +311,110 @@ class TestServedFeedbackEquivalence:
             _hammer(len(plan), server.address, work)
         for client_id, expected in enumerate(references):
             assert results[client_id].identical_to(expected)
+
+
+class TestFrontEndCodecGrid:
+    """Byte identity over front end x codec: the PR 7 contract.
+
+    Both front ends (thread-per-connection and asyncio) serve the same
+    :class:`~repro.serving.server.ServingCore`, and both codecs (the
+    length-prefixed binary format and opt-in pickle, plus the
+    handshake-less legacy mode) carry the same values — so every cell of
+    the grid must reproduce the local engine and the sequential feedback
+    loop bit for bit, across searches, chunk-streamed batches,
+    judge-shipped loops and client-driven sessions.
+    """
+
+    FRONT_ENDS = {"threaded": RetrievalServer, "async": AsyncRetrievalServer}
+
+    GRID = [
+        (front_end, codec)
+        for front_end in ("threaded", "async")
+        for codec in ("binary", "pickle", "legacy")
+    ]
+
+    @pytest.mark.parametrize("front_end,codec", GRID)
+    def test_search_paths_identical(self, collection, queries, front_end, codec):
+        engine = RetrievalEngine(collection)
+        direct = RetrievalEngine(collection)
+        rng = np.random.default_rng(41)
+        ks = [int(rng.integers(1, 12)) for _ in range(queries.shape[0])]
+        single_reference = [direct.search(point, k) for point, k in zip(queries, ks)]
+        mixed = [Query(point=point, k=k) for point, k in zip(queries, ks)]
+        run_batch_reference = direct.run_batch(mixed)
+        # stream_chunk_items=3 forces the chunked sub-frame path for the
+        # binary cells (10 results -> a header plus four slices).
+        config = ServerConfig(
+            max_batch=8, max_wait=0.002, allow_pickle=True, stream_chunk_items=3
+        )
+        server_cls = self.FRONT_ENDS[front_end]
+        with server_cls(engine, config) as server:
+            host, port = server.address
+            with ServingClient(host, port, codec=codec) as client:
+                for position, k in enumerate(ks):
+                    assert client.search(queries[position], k) == single_reference[position]
+                assert client.search_batch(queries, 5) == direct.search_batch(queries, 5)
+                assert client.run_batch(mixed) == run_batch_reference
+
+    @pytest.mark.parametrize("front_end,codec", GRID)
+    def test_feedback_paths_identical(self, tiny_collection, front_end, codec):
+        user = SimulatedUser(tiny_collection)
+        engine = RetrievalEngine(tiny_collection)
+        judge = user.judge_for_query(7)
+        reference = FeedbackEngine(
+            RetrievalEngine(tiny_collection), max_iterations=6
+        ).run_loop(tiny_collection.vectors[7], 8, judge)
+        config = ServerConfig(max_iterations=6, allow_pickle=True)
+        server_cls = self.FRONT_ENDS[front_end]
+        with server_cls(engine, config) as server:
+            host, port = server.address
+            with ServingClient(host, port, codec=codec) as client:
+                # Judge-shipped loop (the judge object travels the wire;
+                # the binary codec carries CategoryJudge natively).
+                loop = client.run_feedback_loop(tiny_collection.vectors[7], 8, judge)
+                assert loop.identical_to(reference)
+                # Client-driven session (judgments travel per round).
+                session = client.run_feedback_session(
+                    tiny_collection.vectors[7], 8, judge
+                )
+                assert session.identical_to(reference)
+
+    @pytest.mark.parametrize("front_end", ["threaded", "async"])
+    def test_concurrent_mixed_codec_clients(self, collection, queries, front_end):
+        """Binary, pickle and legacy connections coalesce into shared windows."""
+        engine = RetrievalEngine(collection)
+        direct = RetrievalEngine(collection)
+        reference = [direct.search(point, 6) for point in queries]
+        codecs = ["binary", "pickle", "legacy"]
+        results: dict = {}
+        errors: list = []
+        config = ServerConfig(max_batch=8, max_wait=0.002, allow_pickle=True)
+        server_cls = self.FRONT_ENDS[front_end]
+        with server_cls(engine, config) as server:
+            host, port = server.address
+            barrier = threading.Barrier(len(codecs))
+
+            def main(client_id):
+                try:
+                    with ServingClient(host, port, codec=codecs[client_id]) as client:
+                        barrier.wait()
+                        results[client_id] = [
+                            client.search(point, 6) for point in queries
+                        ]
+                except BaseException as error:  # noqa: BLE001 - surfaced below
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=main, args=(i,)) for i in range(len(codecs))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        if errors:
+            raise errors[0]
+        for client_id in range(len(codecs)):
+            assert results[client_id] == reference
 
 
 class TestSessionOps:

@@ -1,0 +1,284 @@
+"""Error paths of the wire protocol and the codec handshake.
+
+The PR 7 contract for misbehaving peers: a malformed frame, a garbage
+handshake, a wrong wire version, an oversized length prefix, a half-sent
+request or a mid-stream disconnect must never crash or hang a front end —
+the offending connection is answered (where a reject or an error frame is
+possible) or dropped, and the server keeps serving everyone else.  Every
+scenario here runs against both front ends (thread-per-connection and
+asyncio) through raw sockets, and every test ends by proving the server
+still answers a fresh well-behaved client.
+"""
+
+import socket
+import struct
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.database.engine import RetrievalEngine
+from repro.serving import (
+    AsyncRetrievalServer,
+    CodecError,
+    RetrievalServer,
+    ServerConfig,
+    ServingClient,
+)
+from repro.serving.codec import (
+    BINARY,
+    MAGIC,
+    WIRE_VERSION,
+    pack_hello,
+    parse_hello,
+    parse_reply,
+)
+from repro.serving.protocol import (
+    MAX_FRAME_BYTES,
+    ConnectionClosed,
+    ProtocolError,
+    frame,
+    recv_payload,
+    send_payload,
+)
+
+FRONT_ENDS = {"threaded": RetrievalServer, "async": AsyncRetrievalServer}
+
+pytestmark = pytest.mark.parametrize("front_end", ["threaded", "async"])
+
+
+@pytest.fixture()
+def server(front_end, tiny_collection):
+    config = ServerConfig(max_wait=0.0, allow_pickle=True, idle_timeout=30.0)
+    with FRONT_ENDS[front_end](RetrievalEngine(tiny_collection), config) as srv:
+        yield srv
+
+
+def _connect(server) -> socket.socket:
+    sock = socket.create_connection(server.address, timeout=5.0)
+    sock.settimeout(5.0)
+    return sock
+
+
+def _handshake(sock) -> None:
+    send_payload(sock, pack_hello([BINARY.name]))
+    assert parse_reply(recv_payload(sock)) == BINARY.name
+
+
+def _closed_by_server(sock) -> bool:
+    """True when the next read hits EOF (or a reset) instead of data."""
+    try:
+        recv_payload(sock)
+    except (ConnectionClosed, ConnectionError, TimeoutError):
+        return True
+    return False
+
+
+def _assert_still_serving(server, tiny_collection) -> None:
+    """The survival check every scenario ends with."""
+    host, port = server.address
+    with ServingClient(host, port) as client:
+        assert client.ping() == "pong"
+        result = client.search(tiny_collection.vectors[0], 3)
+        assert result == RetrievalEngine(tiny_collection).search(
+            tiny_collection.vectors[0], 3
+        )
+
+
+class TestMalformedFrames:
+    def test_truncated_header_then_eof(self, server, tiny_collection):
+        with _connect(server) as sock:
+            _handshake(sock)
+            sock.sendall(b"\x00\x00")  # two of the four header bytes
+        _assert_still_serving(server, tiny_collection)
+
+    def test_mid_frame_eof(self, server, tiny_collection):
+        with _connect(server) as sock:
+            _handshake(sock)
+            sock.sendall(struct.pack(">I", 100) + b"only ten b")
+        _assert_still_serving(server, tiny_collection)
+
+    def test_oversized_frame_is_dropped(self, server, tiny_collection):
+        with _connect(server) as sock:
+            _handshake(sock)
+            sock.sendall(struct.pack(">I", min(MAX_FRAME_BYTES + 1, 0xFFFFFFFF)))
+            # The server refuses to allocate for the announced length and
+            # drops the connection without reading the (never-sent) body.
+            assert _closed_by_server(sock)
+        _assert_still_serving(server, tiny_collection)
+
+    def test_undecodable_request_gets_error_frame(self, server, tiny_collection):
+        with _connect(server) as sock:
+            _handshake(sock)
+            send_payload(sock, b"\xffgarbage that is not a binary-codec message")
+            response = BINARY.decode(recv_payload(sock))
+            assert response["ok"] is False
+            assert response["error"] == "codec"
+            # The connection survives a bad request: the next one works.
+            send_payload(sock, BINARY.encode({"op": "ping"}))
+            assert BINARY.decode(recv_payload(sock))["result"] == "pong"
+        _assert_still_serving(server, tiny_collection)
+
+
+class TestHandshakeRejections:
+    def test_garbage_after_magic(self, server, tiny_collection):
+        with _connect(server) as sock:
+            send_payload(sock, MAGIC + struct.pack(">HB", WIRE_VERSION, 3) + b"\x05ab")
+            with pytest.raises(CodecError, match="rejected"):
+                parse_reply(recv_payload(sock))
+            assert _closed_by_server(sock)
+        _assert_still_serving(server, tiny_collection)
+
+    def test_version_mismatch(self, server, tiny_collection):
+        hello = bytearray(pack_hello([BINARY.name]))
+        struct.pack_into(">H", hello, len(MAGIC), WIRE_VERSION + 7)
+        with _connect(server) as sock:
+            send_payload(sock, bytes(hello))
+            with pytest.raises(CodecError, match="wire version"):
+                parse_reply(recv_payload(sock))
+        _assert_still_serving(server, tiny_collection)
+
+    def test_no_codec_overlap(self, server, tiny_collection):
+        with _connect(server) as sock:
+            send_payload(sock, pack_hello(["msgpack.9", "capnp.1"]))
+            with pytest.raises(CodecError, match="no codec overlap"):
+                parse_reply(recv_payload(sock))
+        _assert_still_serving(server, tiny_collection)
+
+    def test_empty_offer_is_a_codec_error(self, server, tiny_collection):
+        # parse_hello itself refuses an empty offer; over the wire the
+        # server answers with a reject carrying that reason.
+        with pytest.raises(CodecError, match="no codecs"):
+            parse_hello(pack_hello([]))
+        with _connect(server) as sock:
+            send_payload(sock, pack_hello([]))
+            with pytest.raises(CodecError, match="rejected"):
+                parse_reply(recv_payload(sock))
+        _assert_still_serving(server, tiny_collection)
+
+
+class TestLegacyGate:
+    @pytest.fixture()
+    def strict_server(self, front_end, tiny_collection):
+        config = ServerConfig(max_wait=0.0, allow_pickle=False)
+        with FRONT_ENDS[front_end](RetrievalEngine(tiny_collection), config) as srv:
+            yield srv
+
+    def test_legacy_pickle_refused_when_disabled(self, strict_server, tiny_collection):
+        import pickle
+
+        with _connect(strict_server) as sock:
+            send_payload(sock, pickle.dumps({"op": "ping"}, protocol=pickle.HIGHEST_PROTOCOL))
+            response = pickle.loads(bytes(recv_payload(sock)))
+            assert response["ok"] is False
+            assert "handshake" in response["message"]
+            assert _closed_by_server(sock)
+        _assert_still_serving(strict_server, tiny_collection)
+
+    def test_pickle_offer_rejected_when_disabled(self, strict_server, tiny_collection):
+        with _connect(strict_server) as sock:
+            send_payload(sock, pack_hello(["pickle.1"]))
+            with pytest.raises(CodecError, match="no codec overlap"):
+                parse_reply(recv_payload(sock))
+        _assert_still_serving(strict_server, tiny_collection)
+
+
+class TestStreamingAndStalls:
+    @pytest.fixture()
+    def chunking_server(self, front_end, tiny_collection):
+        config = ServerConfig(max_wait=0.0, stream_chunk_items=2, idle_timeout=30.0)
+        with FRONT_ENDS[front_end](RetrievalEngine(tiny_collection), config) as srv:
+            yield srv
+
+    def test_disconnect_mid_chunked_stream(self, chunking_server, tiny_collection):
+        """A client that walks away mid-stream costs only its own socket."""
+        queries = tiny_collection.vectors[:9]
+        with _connect(chunking_server) as sock:
+            _handshake(sock)
+            message = {"op": "search_batch", "query_points": np.asarray(queries), "k": 3}
+            send_payload(sock, BINARY.encode(message))
+            header = BINARY.decode(recv_payload(sock))
+            assert header["ok"] and header["chunked"] > 1
+            recv_payload(sock)  # take one chunk ...
+            # ... and vanish with the rest of the stream unread.
+        _assert_still_serving(chunking_server, tiny_collection)
+
+    def test_idle_timeout_reaps_stalled_connections(self, front_end, tiny_collection):
+        config = ServerConfig(max_wait=0.0, idle_timeout=0.3)
+        with FRONT_ENDS[front_end](RetrievalEngine(tiny_collection), config) as server:
+            with _connect(server) as sock:
+                _handshake(sock)
+                # Half-open behaviour: send nothing and hold the socket.
+                deadline = time.monotonic() + 5.0
+                closed = False
+                while time.monotonic() < deadline and not closed:
+                    closed = _closed_by_server(sock)
+                assert closed, "the stalled connection was never reaped"
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    if server.stats()["connections"]["open"] == 0:
+                        break
+                    time.sleep(0.02)
+                assert server.stats()["connections"]["open"] == 0
+            _assert_still_serving(server, tiny_collection)
+
+    def test_slow_loris_header_is_reaped(self, front_end, tiny_collection):
+        """A byte-at-a-time header cannot pin a handler past the timeout."""
+        config = ServerConfig(max_wait=0.0, idle_timeout=0.3)
+        with FRONT_ENDS[front_end](RetrievalEngine(tiny_collection), config) as server:
+            with _connect(server) as sock:
+                _handshake(sock)
+                sock.sendall(b"\x00")  # one header byte, then stall
+                deadline = time.monotonic() + 5.0
+                closed = False
+                while time.monotonic() < deadline and not closed:
+                    closed = _closed_by_server(sock)
+                assert closed
+            _assert_still_serving(server, tiny_collection)
+
+
+class TestConcurrentAbuse:
+    def test_many_abusive_connections_do_not_starve_service(
+        self, server, tiny_collection
+    ):
+        """A burst of malformed peers while a real client keeps working."""
+        host, port = server.address
+        abuse_payloads = [
+            b"\x00\x00",  # truncated header
+            struct.pack(">I", 50) + b"short",  # mid-frame EOF
+            MAGIC + b"\xff\xff\xff",  # garbage handshake
+        ]
+        stop = threading.Event()
+        errors = []
+
+        def abuser(payload):
+            try:
+                for _ in range(10):
+                    if stop.is_set():
+                        return
+                    with socket.create_connection((host, port), timeout=5.0) as sock:
+                        sock.sendall(payload)
+            except OSError:
+                pass  # the server tearing us down mid-send is expected
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=abuser, args=(payload,))
+            for payload in abuse_payloads * 3
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            reference = RetrievalEngine(tiny_collection).search(
+                tiny_collection.vectors[1], 4
+            )
+            with ServingClient(host, port) as client:
+                for _ in range(20):
+                    assert client.search(tiny_collection.vectors[1], 4) == reference
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not errors

@@ -157,7 +157,10 @@ class TestDisconnectMidFrontier:
             RetrievalEngine(tiny_collection), max_iterations=MAX_ITERATIONS
         ).run_loop(tiny_collection.vectors[17], K, slow_b)
 
-        config = ServerConfig(max_wait=0.05, max_iterations=MAX_ITERATIONS)
+        # SlowJudge is an arbitrary callable: it needs the pickle codec,
+        # and the doomed raw socket below speaks the legacy no-handshake
+        # pickle wire — both require the explicit opt-in.
+        config = ServerConfig(max_wait=0.05, max_iterations=MAX_ITERATIONS, allow_pickle=True)
         with RetrievalServer(engine, config) as server:
             host, port = server.address
 
@@ -177,7 +180,7 @@ class TestDisconnectMidFrontier:
             result_b = {}
 
             def run_b():
-                with ServingClient(host, port) as client:
+                with ServingClient(host, port, codec="pickle") as client:
                     result_b["loop"] = client.run_feedback_loop(
                         tiny_collection.vectors[17], K, slow_b
                     )
@@ -212,9 +215,11 @@ class TestDrainAndClose:
             RetrievalEngine(tiny_collection), max_iterations=MAX_ITERATIONS
         ).run_loop(tiny_collection.vectors[9], K, slow)
 
-        server = RetrievalServer(engine, ServerConfig(max_iterations=MAX_ITERATIONS))
+        server = RetrievalServer(
+            engine, ServerConfig(max_iterations=MAX_ITERATIONS, allow_pickle=True)
+        )
         host, port = server.start()
-        client = ServingClient(host, port)
+        client = ServingClient(host, port, codec="pickle")
         outcome = {}
 
         def run_loop():
