@@ -332,6 +332,55 @@ def figure_connection_scaling(entries: "list[dict]") -> "str | None":
     return path
 
 
+def figure_bypass_amortization(entries: "list[dict]") -> "str | None":
+    """Cold-vs-warm feedback iterations of the shared served bypass."""
+    charted = [entry for entry in entries if "bypass_amortization" in entry]
+    if not charted:
+        return None
+    canvas = Canvas(
+        "Shared served bypass: mean feedback iterations per cohort (per commit)"
+    )
+    x0, x1, y0, y1 = plot_area()
+    series = (
+        ("cold_iterations", "#1f77b4"),
+        ("warm_iterations", "#d62728"),
+    )
+    top = max(entry["bypass_amortization"][key] for entry in charted for key, _ in series)
+    ticks = draw_axes(canvas, top, "mean feedback iterations")
+    span = ticks[-1] or 1.0
+    step = (x1 - x0) / max(len(charted), 2)
+    positions = [x0 + step * (index + 0.5) for index in range(len(charted))]
+    for key, color in series:
+        canvas.polyline(
+            [
+                (x, y1 - (entry["bypass_amortization"][key] / span) * (y1 - y0))
+                for entry, x in zip(charted, positions)
+            ],
+            color,
+        )
+    for entry, x in zip(charted, positions):
+        section = entry["bypass_amortization"]
+        canvas.text(
+            x,
+            y0 + 6,
+            f"{section['saved_iterations']:g} saved · "
+            f"{section['amortization']:g}x · {section['trained_nodes']} nodes",
+            size=9,
+            anchor="middle",
+        )
+    commit_labels(canvas, charted, positions)
+    legend(
+        canvas,
+        [
+            ("cold cohort", "#1f77b4"),
+            ("warm cohort", "#d62728"),
+        ],
+    )
+    path = os.path.join(FIGURES_DIR, "bypass_amortization.svg")
+    canvas.write(path)
+    return path
+
+
 #: name -> (group, renderer).  Renderers return the written path, or None
 #: when the trajectory has no data for that figure yet.
 FIGURES = {
@@ -340,6 +389,7 @@ FIGURES = {
     "latency_percentiles": ("latest", figure_latency_percentiles),
     "scale_lab": ("trajectory", figure_scale_lab),
     "connection_scaling": ("trajectory", figure_connection_scaling),
+    "bypass_amortization": ("trajectory", figure_bypass_amortization),
 }
 
 

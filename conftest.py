@@ -31,3 +31,13 @@ for _threads_var in (
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    # Every socket-serving suite is tagged ``serving`` (module-level
+    # ``pytestmark``), so ``-m "not serving"`` is the fast socket-free
+    # tier-1 slice.
+    config.addinivalue_line(
+        "markers",
+        "serving: tests that open real sockets against a serving front end",
+    )

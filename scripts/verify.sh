@@ -27,6 +27,13 @@
 #              byte-identity enforced; scale via REPRO_C10K_IDLE /
 #              REPRO_C10K_HOT), which merges a connection_scaling section
 #              into BENCH_throughput.json, then the SVG rendering
+#   --bypass   the shared served bypass: the served-tree equivalence grid
+#              (N clients x both front ends x both codecs, tenant
+#              isolation, warm-start persistence), the bypass concurrency
+#              stress suite, then the amortization benchmark (later
+#              cohorts' feedback_iterations must drop; merges a
+#              bypass_amortization section into BENCH_throughput.json)
+#              and the SVG rendering
 #   --scale    just the raw-speed layer: the fast-precision equivalence
 #              grid, k-selection autotuning and clustered-corpus suites,
 #              the 50k-row precision-speedup benchmark (enforced 1.5x
@@ -45,6 +52,7 @@ cd "$(dirname "$0")/.."
 record_trajectory=0
 run_scale_lab=0
 run_c10k_figures=0
+run_bypass_figures=0
 targets=()
 case "${1:-}" in
     --fast)
@@ -89,6 +97,15 @@ case "${1:-}" in
             benchmarks/test_throughput_c10k.py
         )
         ;;
+    --bypass)
+        shift
+        run_bypass_figures=1
+        targets=(
+            tests/test_serving_bypass.py
+            tests/test_serving_bypass_stress.py
+            benchmarks/test_throughput_bypass.py
+        )
+        ;;
     --scale)
         shift
         run_scale_lab=1
@@ -131,4 +148,10 @@ if [[ "$run_c10k_figures" == 1 ]]; then
     # The C10K benchmark itself merged its connection_scaling section
     # into BENCH_throughput.json; render the trajectory figure.
     python benchmarks/generate_figures.py connection_scaling
+fi
+
+if [[ "$run_bypass_figures" == 1 ]]; then
+    # The amortization benchmark merged its bypass_amortization section
+    # into BENCH_throughput.json; render the trajectory figure.
+    python benchmarks/generate_figures.py bypass_amortization
 fi

@@ -177,6 +177,23 @@ Quickstart::
                 session.collection.vectors[0], 20,
                 SimulatedUser(session.collection).judge_for_query(0))
         print(server.stats()["coalescer"]["rows_per_dispatch"])
+
+    # The shared served bypass: every connection's retiring loops train
+    # one multi-tenant Simplex Tree behind the server, so a second client
+    # starts its loop from the first one's learning and converges faster.
+    user = SimulatedUser(session.collection)
+    with RetrievalServer(engine, ServerConfig(bypass=True)) as server:
+        host, port = server.address
+        with ServingClient(host, port) as first:
+            cold = first.run_feedback_loop(
+                session.collection.vectors[2], 20, user.judge_for_query(2))
+        with ServingClient(host, port) as second:
+            prediction = second.bypass_mopt(session.collection.vectors[2])
+            warm = second.run_feedback_loop(
+                session.collection.vectors[2], 20, user.judge_for_query(2),
+                initial_delta=prediction.delta,
+                initial_weights=prediction.weights)
+        assert warm.iterations <= cold.iterations
 """
 
 from repro.core import (
@@ -222,6 +239,7 @@ from repro.evaluation import (
 )
 from repro.serving import (
     AsyncRetrievalServer,
+    BypassRegistry,
     PooledServingClient,
     RetrievalServer,
     ServerConfig,
@@ -268,6 +286,7 @@ __all__ = [
     "precision",
     "recall",
     "AsyncRetrievalServer",
+    "BypassRegistry",
     "PooledServingClient",
     "RetrievalServer",
     "ServerConfig",

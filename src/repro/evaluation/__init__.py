@@ -49,6 +49,7 @@ from repro.evaluation.experiments import (
 from repro.evaluation.efficiency import EfficiencyResult, saved_cycles_experiment
 from repro.evaluation.throughput import (
     BackendThroughputResult,
+    BypassAmortizationResult,
     ConnectionScalingResult,
     FeedbackThroughputResult,
     LatencySummary,
@@ -58,6 +59,7 @@ from repro.evaluation.throughput import (
     ThroughputResult,
     measure_backend_speedup,
     measure_batch_speedup,
+    measure_bypass_amortization,
     measure_connection_scaling,
     measure_feedback_speedup,
     measure_precision_speedup,
@@ -75,6 +77,7 @@ from repro.evaluation.workloads import (
 from repro.evaluation.reporting import (
     format_series_table,
     render_backend_throughput,
+    render_bypass_amortization,
     render_category_robustness,
     render_connection_scaling,
     render_efficiency,
@@ -112,6 +115,7 @@ __all__ = [
     "EfficiencyResult",
     "saved_cycles_experiment",
     "BackendThroughputResult",
+    "BypassAmortizationResult",
     "ConnectionScalingResult",
     "FeedbackThroughputResult",
     "LatencySummary",
@@ -121,6 +125,7 @@ __all__ = [
     "ThroughputResult",
     "measure_backend_speedup",
     "measure_batch_speedup",
+    "measure_bypass_amortization",
     "measure_connection_scaling",
     "measure_feedback_speedup",
     "measure_precision_speedup",
@@ -134,6 +139,7 @@ __all__ = [
     "uniform_workload",
     "format_series_table",
     "render_backend_throughput",
+    "render_bypass_amortization",
     "render_category_robustness",
     "render_connection_scaling",
     "render_efficiency",

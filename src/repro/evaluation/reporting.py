@@ -22,6 +22,7 @@ from repro.evaluation.experiments import (
 if TYPE_CHECKING:
     from repro.evaluation.throughput import (
         BackendThroughputResult,
+        BypassAmortizationResult,
         ConnectionScalingResult,
         FeedbackThroughputResult,
         ServingThroughputResult,
@@ -335,4 +336,28 @@ def render_connection_scaling(result: "ConnectionScalingResult") -> str:
         f"{result.n_compare_clients} clients, {result.idle_alive}/{result.n_idle} idle "
         f"sustained, {result.dispatch_share:.3f} dispatches/request, results {identical})\n"
         + format_series_table(header, rows)
+    )
+
+
+def render_bypass_amortization(result: "BypassAmortizationResult") -> str:
+    """Cohort-by-cohort iteration economy of the shared served bypass."""
+    rows = [
+        [
+            "cold",
+            result.n_clients,
+            result.n_queries,
+            result.cold_iterations,
+            result.cold_seconds,
+        ]
+    ]
+    for position, iterations in enumerate(result.cohort_iterations, start=1):
+        seconds = result.warm_seconds if position == len(result.cohort_iterations) else ""
+        rows.append([f"warm-{position}", result.n_clients, result.n_queries, iterations, seconds])
+    header = ["cohort", "clients", "queries", "mean iterations", "seconds"]
+    identical = "identical" if result.identical_results else "DIVERGENT"
+    return (
+        f"Bypass amortization (cold {result.cold_iterations:.2f} -> warm "
+        f"{result.warm_iterations:.2f} iterations, {result.saved_iterations:.2f} saved "
+        f"per query, {result.amortization:.2f}x, {result.trained_nodes} trained nodes, "
+        f"results {identical})\n" + format_series_table(header, rows)
     )

@@ -427,11 +427,7 @@ class InteractiveSession:
         self, query_index: int, loop_default: FeedbackLoopResult
     ) -> OptimalQueryParameters:
         """The OQPs a default-start loop converged to for ``query_index``."""
-        query_point = self._query_vectors[query_index]
-        return OptimalQueryParameters(
-            delta=loop_default.final_state.query_point - query_point,
-            weights=loop_default.final_state.weights,
-        )
+        return loop_default.optimal_parameters(self._query_vectors[query_index])
 
     @staticmethod
     def _wants_insert(loop_default: FeedbackLoopResult, optimal: OptimalQueryParameters) -> bool:

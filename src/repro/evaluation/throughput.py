@@ -46,6 +46,14 @@ disabled (``max_batch=1`` — every request is its own engine dispatch, the
 serial per-connection baseline) and once with the shared micro-batch window
 on, with every served result checked byte-identical against the local
 engine.
+
+:func:`measure_bypass_amortization` measures the shared served bypass — the
+paper's headline economy at serving scale: a cold cohort of default-start
+served loops trains the shared multi-tenant Simplex Tree as its loops
+retire, and later cohorts of the same queries start from ``bypass_mopt``
+predictions, so their measured ``feedback_iterations`` drop because earlier
+clients paid for the learning; every measured loop is checked
+byte-identical to the local reference given the same starting parameters.
 """
 
 from __future__ import annotations
@@ -65,6 +73,7 @@ from repro.distances.base import DistanceFunction
 from repro.feedback.engine import FeedbackEngine
 from repro.feedback.scheduler import LoopRequest, LoopScheduler
 from repro.serving.async_server import AsyncRetrievalServer
+from repro.serving.bypass_registry import DEFAULT_TENANT
 from repro.serving.client import ServingClient
 from repro.serving.codec import BINARY, pack_hello, parse_reply
 from repro.serving.protocol import recv_message, recv_payload, send_message, send_payload
@@ -1161,4 +1170,213 @@ def measure_precision_speedup(
         fast_seconds=timings["fast"],
         identical_results=_identical(results["exact"], results["fast"]),
         latencies=_summarize_latencies(samples),
+    )
+
+
+@dataclass(frozen=True)
+class BypassAmortizationResult:
+    """The shared served bypass amortizing feedback loops across clients.
+
+    Attributes
+    ----------
+    n_queries, k, n_clients, n_cohorts:
+        Workload shape: ``n_queries`` interactive queries spread round-robin
+        over ``n_clients`` concurrent connections, repeated as ``n_cohorts``
+        warm cohorts after the cold one.
+    cold_iterations:
+        Mean ``feedback_iterations`` of the cold cohort: default-start
+        served loops over an empty shared tree — the baseline every client
+        pays without the bypass, and the cohort that trains the tree.
+    warm_iterations:
+        Mean iterations of the *final* cohort, where every client first
+        asks ``bypass_mopt`` and starts its loop from the shared tree's
+        prediction — the paper's headline economy at serving scale.
+    cohort_iterations:
+        Mean iterations per warm cohort, in order — the trajectory from
+        cold tree to trained tree.
+    cold_seconds, warm_seconds:
+        Wall-clock time of the cold and final cohorts.
+    identical_results:
+        Whether every measured served loop (cold *and* final cohort) is
+        byte-identical to the local
+        :meth:`~repro.feedback.engine.FeedbackEngine.run_loop` given the
+        same starting parameters — the serving contract under training
+        traffic.  Callers should assert it.
+    trained_nodes:
+        Stored points in the shared tree after the workload.
+    latencies:
+        :class:`LatencySummary` per mode (``"cold"`` / ``"warm"``) over
+        client-side per-request samples (the warm samples include the
+        ``bypass_mopt`` round-trip — the prediction is not free, it just
+        costs less than the iterations it saves).
+    """
+
+    n_queries: int
+    k: int
+    n_clients: int
+    n_cohorts: int
+    cold_iterations: float
+    warm_iterations: float
+    cohort_iterations: "list[float]"
+    cold_seconds: float
+    warm_seconds: float
+    identical_results: bool
+    trained_nodes: int
+    latencies: "dict[str, LatencySummary]" = field(default_factory=dict)
+
+    @property
+    def saved_iterations(self) -> float:
+        """Mean feedback iterations the shared tree saves per query."""
+        return self.cold_iterations - self.warm_iterations
+
+    @property
+    def amortization(self) -> float:
+        """Cold-over-warm iteration ratio (>1 = the tree pays for itself)."""
+        return self.cold_iterations / max(self.warm_iterations, 1e-12)
+
+
+def measure_bypass_amortization(
+    engine,
+    query_points,
+    judges,
+    k: int,
+    *,
+    n_clients: int = 4,
+    n_cohorts: int = 2,
+    max_iterations: int = 10,
+    max_batch: int = 64,
+    tenant: "str | None" = None,
+) -> BypassAmortizationResult:
+    """Measure later clients' loops shortening on a shared served tree.
+
+    One bypass-enabled :class:`~repro.serving.server.RetrievalServer`
+    fronts ``engine``; ``n_clients`` concurrent connections issue the same
+    interactive workload (one judge per query) in cohorts:
+
+    * the **cold** cohort runs default-start ``feedback_loop`` requests —
+      measuring the no-bypass baseline while its retiring loops train the
+      shared tree automatically;
+    * each **warm** cohort replays the same queries, but every client first
+      calls ``bypass_mopt`` and starts its loop from the shared prediction
+      — so the iterations measured for later cohorts drop because *earlier
+      clients* paid for the learning (the paper's repeated-query economy).
+
+    Iteration counts are algorithmic, not timing: a cold default-start loop
+    is byte-identical to the local engine's, and a warm query's prediction
+    is the value its own cold loop stored at that exact tree vertex, so the
+    cold-vs-warm gap is deterministic for a fixed workload.  Byte-identity
+    of every measured loop against the local reference (given the same
+    starting parameters) is checked and reported.
+    """
+    check_dimension(k, "k")
+    check_dimension(n_clients, "n_clients")
+    check_dimension(n_cohorts, "n_cohorts")
+    query_points = as_float_matrix(
+        query_points, name="query_points", shape=(None, engine.collection.dimension)
+    )
+    judges = list(judges)
+    n_queries = query_points.shape[0]
+    if n_queries == 0:
+        raise ValidationError("throughput measurement needs at least one query")
+    if len(judges) != n_queries:
+        raise ValidationError("measure_bypass_amortization needs one judge per query")
+
+    config = ServerConfig(bypass=True, max_iterations=max_iterations, max_batch=max_batch)
+    reference = FeedbackEngine(
+        engine,
+        reweighting_rule=config.reweighting_rule,
+        move_query_point=config.move_query_point,
+        max_iterations=config.max_iterations,
+        variance_floor=config.variance_floor,
+    )
+
+    with RetrievalServer(engine, config) as server:
+        host, port = server.address
+        clients = [ServingClient(host, port) for _ in range(n_clients)]
+        try:
+
+            def run_cohort(warm: bool):
+                loops: list = [None] * n_queries
+                predictions: list = [None] * n_queries
+                samples: "list[float]" = []
+                barrier = threading.Barrier(n_clients + 1)
+
+                def client_main(client_id: int, client: ServingClient) -> None:
+                    barrier.wait()
+                    for position in range(client_id, n_queries, n_clients):
+                        request_start = time.perf_counter()
+                        if warm:
+                            prediction = client.bypass_mopt(
+                                query_points[position], tenant=tenant
+                            )
+                            predictions[position] = prediction
+                            loops[position] = client.run_feedback_loop(
+                                query_points[position],
+                                k,
+                                judges[position],
+                                initial_delta=prediction.delta,
+                                initial_weights=prediction.weights,
+                                tenant=tenant,
+                            )
+                        else:
+                            loops[position] = client.run_feedback_loop(
+                                query_points[position], k, judges[position], tenant=tenant
+                            )
+                        samples.append(time.perf_counter() - request_start)
+
+                threads = [
+                    threading.Thread(target=client_main, args=(client_id, client))
+                    for client_id, client in enumerate(clients)
+                ]
+                for thread in threads:
+                    thread.start()
+                barrier.wait()
+                start = time.perf_counter()
+                for thread in threads:
+                    thread.join()
+                seconds = time.perf_counter() - start
+                return loops, predictions, seconds, samples
+
+            cold_loops, _, cold_seconds, cold_samples = run_cohort(warm=False)
+            cohorts = [run_cohort(warm=True) for _ in range(n_cohorts)]
+            warm_loops, warm_predictions, warm_seconds, warm_samples = cohorts[-1]
+            registry = server.bypass_registry
+            tenant_stats = registry.stats(tenant if tenant is not None else DEFAULT_TENANT)
+            trained_nodes = int(tenant_stats["n_stored_queries"])
+        finally:
+            for client in clients:
+                client.close()
+
+    identical = all(
+        served.identical_to(reference.run_loop(query_points[position], k, judges[position]))
+        for position, served in enumerate(cold_loops)
+    ) and all(
+        served.identical_to(
+            reference.run_loop(
+                query_points[position],
+                k,
+                judges[position],
+                initial_delta=warm_predictions[position].delta,
+                initial_weights=warm_predictions[position].weights,
+            )
+        )
+        for position, served in enumerate(warm_loops)
+    )
+
+    cohort_iterations = [
+        float(np.mean([loop.iterations for loop in loops])) for loops, _, _, _ in cohorts
+    ]
+    return BypassAmortizationResult(
+        n_queries=int(n_queries),
+        k=int(k),
+        n_clients=int(n_clients),
+        n_cohorts=int(n_cohorts),
+        cold_iterations=float(np.mean([loop.iterations for loop in cold_loops])),
+        warm_iterations=cohort_iterations[-1],
+        cohort_iterations=cohort_iterations,
+        cold_seconds=cold_seconds,
+        warm_seconds=warm_seconds,
+        identical_results=bool(identical),
+        trained_nodes=trained_nodes,
+        latencies=_summarize_latencies({"cold": cold_samples, "warm": warm_samples}),
     )

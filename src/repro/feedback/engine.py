@@ -24,6 +24,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.oqp import OptimalQueryParameters
 from repro.database.engine import RetrievalEngine
 from repro.database.query import ResultSet
 from repro.distances.parameters import default_weight_vector, pack_oqp_vector
@@ -92,6 +93,19 @@ class FeedbackLoopResult:
     final_results: ResultSet
     iterations: int
     converged: bool
+
+    def optimal_parameters(self, query_point) -> OptimalQueryParameters:
+        """The OQPs this loop converged to, relative to ``query_point``.
+
+        This is the pair the Simplex Tree stores: the offset from the
+        original query point to the loop's final query point, plus the final
+        distance weights.
+        """
+        query_point = as_float_vector(query_point, name="query_point")
+        return OptimalQueryParameters(
+            delta=self.final_state.query_point - query_point,
+            weights=self.final_state.weights.copy(),
+        )
 
     def identical_to(self, other: "FeedbackLoopResult") -> bool:
         """Byte-level equality with another loop result.

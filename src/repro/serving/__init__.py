@@ -12,6 +12,10 @@ the sharded multi-worker engines — behind a TCP service whose core is
 * :mod:`repro.serving.coalescer` — the shared micro-batch window for k-NN
   queries (:class:`RequestCoalescer`) and the shared feedback frontier for
   relevance-feedback loops (:class:`FrontierCoalescer`),
+* :mod:`repro.serving.bypass_registry` — :class:`BypassRegistry`, the
+  shared served bypass: one persistent, multi-tenant Simplex Tree per
+  (collection, distance-family), trained by every connection's retired
+  loops and served through the ``bypass_*`` ops,
 * :mod:`repro.serving.sessions` — server-held state of client-driven
   multi-round feedback sessions,
 * :mod:`repro.serving.server` — :class:`ServingCore` (the shared
@@ -33,6 +37,7 @@ directly, whichever front end and codec carried it.  See
 """
 
 from repro.serving.async_server import AsyncRetrievalServer
+from repro.serving.bypass_registry import DEFAULT_TENANT, BypassRegistry
 from repro.serving.client import ServingClient, ServingError
 from repro.serving.coalescer import FrontierCoalescer, RequestCoalescer
 from repro.serving.codec import BinaryCodec, CodecError, PickleCodec
@@ -49,8 +54,10 @@ from repro.serving.sessions import ServingSession, SessionManager
 __all__ = [
     "AsyncRetrievalServer",
     "BinaryCodec",
+    "BypassRegistry",
     "CodecError",
     "ConnectionClosed",
+    "DEFAULT_TENANT",
     "FrontierCoalescer",
     "PickleCodec",
     "PoolTimeout",

@@ -99,6 +99,11 @@ class AsyncRetrievalServer:
         return self._core.feedback
 
     @property
+    def bypass_registry(self):
+        """The shared served bypass (``None`` unless ``config.bypass``)."""
+        return self._core.bypass
+
+    @property
     def address(self) -> "tuple[str, int]":
         """The bound ``(host, port)`` — call :meth:`start` first."""
         if self._address is None:

@@ -230,7 +230,14 @@ class ServingClient:
     # Feedback loops
     # ------------------------------------------------------------------ #
     def run_feedback_loop(
-        self, query_point, k: int, judge: Judge, *, initial_delta=None, initial_weights=None
+        self,
+        query_point,
+        k: int,
+        judge: Judge,
+        *,
+        initial_delta=None,
+        initial_weights=None,
+        tenant: "str | None" = None,
     ) -> FeedbackLoopResult:
         """Run one relevance-feedback loop on the server's shared frontier.
 
@@ -241,6 +248,8 @@ class ServingClient:
         modes (and a server that allows them).  Byte-identical to the
         local :meth:`~repro.feedback.engine.FeedbackEngine.run_loop`,
         however many other connections' loops share the frontier rounds.
+        On a bypass-enabled server the retired loop trains ``tenant``'s
+        shared tree (the public namespace when omitted).
         """
         return self._call(
             "feedback_loop",
@@ -251,7 +260,53 @@ class ServingClient:
             initial_weights=None
             if initial_weights is None
             else np.asarray(initial_weights, dtype=np.float64),
+            tenant=tenant,
         )
+
+    # ------------------------------------------------------------------ #
+    # The shared served bypass
+    # ------------------------------------------------------------------ #
+    def bypass_mopt(self, query_point, *, tenant: "str | None" = None):
+        """Predict optimal parameters from the server's shared Simplex Tree.
+
+        Returns the tenant's tree's
+        :class:`~repro.core.oqp.OptimalQueryParameters` for ``query_point``
+        — byte-identical to a local ``FeedbackBypass.mopt`` over the same
+        ordered insert log.  Requires ``ServerConfig(bypass=True)``.
+        """
+        return self._call(
+            "bypass_mopt",
+            query_point=np.asarray(query_point, dtype=np.float64),
+            tenant=tenant,
+        )
+
+    def bypass_insert(self, query_point, parameters, *, tenant: "str | None" = None):
+        """Train the shared tree with one converged loop's parameters.
+
+        ``parameters`` is an
+        :class:`~repro.core.oqp.OptimalQueryParameters`; the server returns
+        the tree's :class:`~repro.core.simplex_tree.InsertOutcome`
+        (``"capped"`` when the tree hit its node cap).
+        """
+        return self._call(
+            "bypass_insert",
+            query_point=np.asarray(query_point, dtype=np.float64),
+            parameters=parameters,
+            tenant=tenant,
+        )
+
+    def bypass_insert_batch(self, query_points, parameters, *, tenant: "str | None" = None):
+        """Ordered batch insert into the shared tree, atomic in log order."""
+        return self._call(
+            "bypass_insert_batch",
+            query_points=np.asarray(query_points, dtype=np.float64),
+            parameters=list(parameters),
+            tenant=tenant,
+        )
+
+    def bypass_stats(self, *, tenant: "str | None" = None) -> dict:
+        """Registry-wide stats, or one tenant's tree stats when given."""
+        return self._call("bypass_stats", tenant=tenant)
 
     # ------------------------------------------------------------------ #
     # Interactive multi-round sessions

@@ -392,14 +392,25 @@ class FrontierCoalescer:
     submissions are refused.
     """
 
-    def __init__(self, feedback_engine: FeedbackEngine, *, max_wait: float = 0.0) -> None:
+    def __init__(
+        self,
+        feedback_engine: FeedbackEngine,
+        *,
+        max_wait: float = 0.0,
+        on_retire=None,
+    ) -> None:
         self._feedback = feedback_engine
         self._max_wait = float(max_wait)
         if self._max_wait < 0:
             raise ValidationError("max_wait must be non-negative")
+        # Optional sink called as ``on_retire(request, result, context)`` on
+        # the driver thread the moment a loop retires, before its waiter is
+        # released — the hook the shared served bypass trains through.  A
+        # failing sink never breaks delivery.
+        self._on_retire = on_retire
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
-        self._pending: "list[tuple[LoopRequest, _LoopWaiter]]" = []
+        self._pending: "list[tuple[LoopRequest, _LoopWaiter, object]]" = []
         self._closed = False
         # Stats (under the lock).
         self._n_loops = 0
@@ -429,14 +440,16 @@ class FrontierCoalescer:
     # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
-    def run_loop(self, request: LoopRequest) -> FeedbackLoopResult:
+    def run_loop(self, request: LoopRequest, context=None) -> FeedbackLoopResult:
         """Run one feedback loop on the shared frontier; blocks until done.
 
         Byte-identical to ``feedback_engine.run_loop(request.query_point,
         request.k, request.judge, ...)`` — the scheduler contract, with the
         frontier's composition decided by whoever else is looping right now.
         Validation errors (wrong dimensionality, negative weights) surface
-        here, before the request ever reaches the driver.
+        here, before the request ever reaches the driver.  ``context`` is an
+        opaque value handed to the ``on_retire`` sink alongside the result
+        (the server passes the connection's tenant name).
         """
         # Shared prologue of run_loop and the frontier: reject exactly the
         # inputs the sequential loop would, on the submitting thread.
@@ -447,7 +460,7 @@ class FrontierCoalescer:
         with self._lock:
             if self._closed:
                 raise ValidationError("the serving frontier is closed")
-            self._pending.append((request, waiter))
+            self._pending.append((request, waiter, context))
             self._n_loops += 1
             self._wake.notify_all()
         waiter.event.wait()
@@ -472,7 +485,7 @@ class FrontierCoalescer:
     # ------------------------------------------------------------------ #
     # The driver
     # ------------------------------------------------------------------ #
-    def _take_pending(self) -> "list[tuple[LoopRequest, _LoopWaiter]]":
+    def _take_pending(self) -> "list[tuple[LoopRequest, _LoopWaiter, object]]":
         with self._lock:
             batch, self._pending = self._pending, []
             return batch
@@ -482,24 +495,30 @@ class FrontierCoalescer:
         if not batch:
             return
         try:
-            positions = frontier.admit([request for request, _ in batch])
+            positions = frontier.admit([request for request, _, _ in batch])
         except BaseException as error:  # noqa: BLE001 - fanned back to submitters
-            for _, waiter in batch:
+            for _, waiter, _ in batch:
                 waiter.error = error
                 waiter.event.set()
             return
-        for position, (_, waiter) in zip(positions, batch):
-            waiters[position] = waiter
+        for position, entry in zip(positions, batch):
+            waiters[position] = entry
 
-    @staticmethod
-    def _deliver_retired(frontier: FeedbackFrontier, waiters: dict) -> None:
+    def _deliver_retired(self, frontier: FeedbackFrontier, waiters: dict) -> None:
         for position in [p for p in waiters if frontier.is_done(p)]:
-            waiter = waiters.pop(position)
+            request, waiter, context = waiters.pop(position)
             waiter.result = frontier.result_at(position)
             # Collected means collectable garbage: under sustained traffic
             # the same frontier lives for as long as loops keep overlapping,
             # so retired entries must not accumulate in it.
             frontier.discard(position)
+            if self._on_retire is not None:
+                try:
+                    # Before the event: a waiter that immediately consults
+                    # the shared tree reads its own loop's training.
+                    self._on_retire(request, waiter.result, context)
+                except Exception:  # noqa: BLE001 - training never breaks delivery
+                    pass
             waiter.event.set()
 
     def _drive(self) -> None:
@@ -532,6 +551,6 @@ class FrontierCoalescer:
                     # round join the live frontier for the next one.
                     self._admit(frontier, self._take_pending(), waiters)
             except BaseException as error:  # noqa: BLE001 - engine failure mid-frontier
-                for waiter in waiters.values():
+                for _, waiter, _ in waiters.values():
                     waiter.error = error
                     waiter.event.set()

@@ -19,7 +19,9 @@ codec layer:
   :class:`~repro.feedback.engine.FeedbackState`,
   :class:`~repro.feedback.engine.FeedbackLoopResult`,
   :class:`~repro.feedback.scores.JudgmentBatch`,
-  :class:`~repro.evaluation.simulated_user.CategoryJudge`).  Decoding
+  :class:`~repro.evaluation.simulated_user.CategoryJudge`,
+  :class:`~repro.core.oqp.OptimalQueryParameters`,
+  :class:`~repro.core.simplex_tree.InsertOutcome`).  Decoding
   never constructs anything but these — a hostile peer can at worst make
   the decoder raise :class:`CodecError`.
 * :class:`PickleCodec` (``pickle.1``) is the legacy trusted-network mode.
@@ -43,6 +45,8 @@ import numpy as np
 
 from repro.database.query import ResultSet
 from repro.evaluation.simulated_user import CategoryJudge
+from repro.core.oqp import OptimalQueryParameters
+from repro.core.simplex_tree import InsertOutcome
 from repro.feedback.engine import FeedbackLoopResult, FeedbackState
 from repro.feedback.scores import JudgmentBatch, RelevanceScale
 from repro.serving.protocol import ProtocolError
@@ -184,8 +188,8 @@ class BinaryCodec:
     and arrays as ``dtype.str`` + shape + ``tobytes()``, so **every**
     ``float64`` bit — distances, query points, weights — survives the
     round-trip exactly (the serving layer's byte-identity contract).
-    Decoding builds only plain Python values, NumPy arrays and the five
-    library value types; anything else raises :class:`CodecError` at
+    Decoding builds only plain Python values, NumPy arrays and the
+    library's own value types; anything else raises :class:`CodecError` at
     *encode* time on the sending side, never surprising the receiver.
     """
 
@@ -256,6 +260,14 @@ class BinaryCodec:
             out += b"R"
             self._encode_array(value.indices(), out)
             self._encode_array(value.distances(), out)
+        elif isinstance(value, OptimalQueryParameters):
+            out += b"O"
+            self._encode_array(value.delta, out)
+            self._encode_array(value.weights, out)
+        elif isinstance(value, InsertOutcome):
+            out += b"o"
+            self._encode(value.action, out)
+            self._encode(float(value.prediction_error), out)
         elif isinstance(value, FeedbackState):
             out += b"S"
             self._encode_array(value.query_point, out)
@@ -364,6 +376,16 @@ class BinaryCodec:
             indices, offset = self._decode_tagged_array(data, offset)
             distances, offset = self._decode_tagged_array(data, offset)
             return ResultSet.from_arrays(indices, distances), offset
+        if tag == b"O":
+            delta, offset = self._decode_tagged_array(data, offset)
+            weights, offset = self._decode_tagged_array(data, offset)
+            return OptimalQueryParameters(delta=delta, weights=weights), offset
+        if tag == b"o":
+            action, offset = self._decode(data, offset)
+            prediction_error, offset = self._decode(data, offset)
+            if not isinstance(action, str) or not isinstance(prediction_error, float):
+                raise CodecError("malformed insert-outcome payload")
+            return InsertOutcome(action=action, prediction_error=prediction_error), offset
         if tag == b"S":
             query_point, offset = self._decode_tagged_array(data, offset)
             weights, offset = self._decode_tagged_array(data, offset)

@@ -363,12 +363,22 @@ class PooledServingClient:
     # Feedback
     # ------------------------------------------------------------------ #
     def run_feedback_loop(
-        self, query_point, k: int, judge: Judge, *, initial_delta=None, initial_weights=None
+        self,
+        query_point,
+        k: int,
+        judge: Judge,
+        *,
+        initial_delta=None,
+        initial_weights=None,
+        tenant: "str | None" = None,
     ) -> FeedbackLoopResult:
         """Judge-shipped feedback loop on the server's shared frontier.
 
         Idempotent (a pure function of the request over a read-only
-        corpus), so transport failures retry within the budget.
+        corpus), so transport failures retry within the budget.  A retry
+        on a bypass-training server re-deposits the same converged
+        parameters — a geometric duplicate the tree folds into the same
+        vertex, so the served answers stay identical.
         """
         return self._call(
             "run_feedback_loop",
@@ -378,7 +388,31 @@ class PooledServingClient:
             idempotent=True,
             initial_delta=initial_delta,
             initial_weights=initial_weights,
+            tenant=tenant,
         )
+
+    # ------------------------------------------------------------------ #
+    # The shared served bypass
+    # ------------------------------------------------------------------ #
+    def bypass_mopt(self, query_point, *, tenant: "str | None" = None):
+        """Predict from the shared tree (idempotent — retried)."""
+        return self._call("bypass_mopt", query_point, idempotent=True, tenant=tenant)
+
+    def bypass_insert(self, query_point, parameters, *, tenant: "str | None" = None):
+        """Train the shared tree (not retried: a lost ack must not double-count)."""
+        return self._call(
+            "bypass_insert", query_point, parameters, idempotent=False, tenant=tenant
+        )
+
+    def bypass_insert_batch(self, query_points, parameters, *, tenant: "str | None" = None):
+        """Ordered batch insert (not retried, same as :meth:`bypass_insert`)."""
+        return self._call(
+            "bypass_insert_batch", query_points, parameters, idempotent=False, tenant=tenant
+        )
+
+    def bypass_stats(self, *, tenant: "str | None" = None) -> dict:
+        """Shared-tree statistics (idempotent — retried)."""
+        return self._call("bypass_stats", idempotent=True, tenant=tenant)
 
     def run_feedback_session(
         self, query_point, k: int, judge: Judge, *, initial_delta=None, initial_weights=None

@@ -43,11 +43,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.oqp import OptimalQueryParameters
 from repro.database.engine import run_grouped_by_k
 from repro.database.query import Query
 from repro.feedback.engine import FeedbackEngine
 from repro.feedback.reweighting import ReweightingRule
 from repro.feedback.scheduler import LoopRequest
+from repro.serving.bypass_registry import DEFAULT_TENANT, BypassRegistry
 from repro.serving.coalescer import FrontierCoalescer, RequestCoalescer
 from repro.serving.codec import (
     PICKLE,
@@ -121,6 +123,25 @@ class ServerConfig:
         Size of the async front end's dispatch pool — the number of
         requests that can *block* in the coalescers concurrently.  Ignored
         by the threaded front end (each connection brings its own thread).
+    bypass:
+        Enable the shared served bypass: one multi-tenant
+        :class:`~repro.serving.bypass_registry.BypassRegistry` of Simplex
+        Trees served through the ``bypass_*`` ops and (by default) trained
+        by every retired ``feedback_loop``.
+    bypass_epsilon, bypass_margin:
+        The shared trees' insert ε-gate and the bounding-simplex margin
+        around the corpus (see ``BypassRegistry.for_engine``).
+    bypass_train_on_loops:
+        When on (default), every loop retired by the frontier coalescer
+        inserts its converged parameters into the requesting tenant's tree
+        — later clients' loops start from the prediction and shorten.
+    bypass_snapshot_dir, bypass_snapshot_every:
+        Warm-start persistence: directory for per-tenant snapshots +
+        insert logs (``None`` disables), and the applied-insert cadence of
+        periodic snapshots (``0`` = only on close/evict).
+    bypass_max_nodes, bypass_max_tenants:
+        The size/eviction policy: cap stored points per tree, cap resident
+        tenant trees (least-recently-trained is evicted, snapshot first).
     """
 
     host: str = "127.0.0.1"
@@ -136,16 +157,33 @@ class ServerConfig:
     allow_pickle: bool = False
     stream_chunk_items: int = 1024
     executor_threads: int = 32
+    bypass: bool = False
+    bypass_epsilon: float = 0.0
+    bypass_margin: float = 0.25
+    bypass_train_on_loops: bool = True
+    bypass_snapshot_dir: "str | None" = None
+    bypass_snapshot_every: int = 256
+    bypass_max_nodes: "int | None" = None
+    bypass_max_tenants: int = 64
 
     def __post_init__(self) -> None:
         check_dimension(self.max_batch, "max_batch")
         check_dimension(self.max_iterations, "max_iterations")
         check_dimension(self.stream_chunk_items, "stream_chunk_items")
         check_dimension(self.executor_threads, "executor_threads")
+        check_dimension(self.bypass_max_tenants, "bypass_max_tenants")
+        if self.bypass_max_nodes is not None:
+            check_dimension(self.bypass_max_nodes, "bypass_max_nodes")
         if self.max_wait < 0:
             raise ValidationError("max_wait must be non-negative")
         if self.solo_grace < 0:
             raise ValidationError("solo_grace must be non-negative")
+        if self.bypass_epsilon < 0:
+            raise ValidationError("bypass_epsilon must be non-negative")
+        if self.bypass_margin < 0:
+            raise ValidationError("bypass_margin must be non-negative")
+        if self.bypass_snapshot_every < 0:
+            raise ValidationError("bypass_snapshot_every must be non-negative")
         if self.idle_timeout is not None and self.idle_timeout <= 0:
             raise ValidationError("idle_timeout must be positive (or None to disable)")
 
@@ -177,7 +215,23 @@ class ServingCore:
             max_wait=self.config.max_wait,
             solo_grace=self.config.solo_grace,
         )
-        self.frontier = FrontierCoalescer(self.feedback, max_wait=self.config.max_wait)
+        self.bypass: "BypassRegistry | None" = None
+        if self.config.bypass:
+            self.bypass = BypassRegistry.for_engine(
+                engine,
+                margin=self.config.bypass_margin,
+                epsilon=self.config.bypass_epsilon,
+                snapshot_dir=self.config.bypass_snapshot_dir,
+                snapshot_every=self.config.bypass_snapshot_every,
+                max_nodes=self.config.bypass_max_nodes,
+                max_tenants=self.config.bypass_max_tenants,
+            )
+        on_retire = None
+        if self.bypass is not None and self.config.bypass_train_on_loops:
+            on_retire = self._train_from_loop
+        self.frontier = FrontierCoalescer(
+            self.feedback, max_wait=self.config.max_wait, on_retire=on_retire
+        )
         self.sessions = SessionManager(self.feedback, self.coalescer)
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
@@ -197,6 +251,10 @@ class ServingCore:
             "session_open": self._op_session_open,
             "session_feedback": self._op_session_feedback,
             "session_close": self._op_session_close,
+            "bypass_mopt": self._op_bypass_mopt,
+            "bypass_insert": self._op_bypass_insert,
+            "bypass_insert_batch": self._op_bypass_insert_batch,
+            "bypass_stats": self._op_bypass_stats,
         }
 
     # ------------------------------------------------------------------ #
@@ -280,6 +338,7 @@ class ServingCore:
             "frontier": self.frontier.stats(),
             "sessions": self.sessions.stats(),
             "connections": connections,
+            "bypass": None if self.bypass is None else self.bypass.stats(),
         }
 
     def shutdown(self, *, own_engine: bool, drain_timeout: float = 10.0) -> None:
@@ -287,6 +346,10 @@ class ServingCore:
         self.frontier.close()
         self.wait_idle(drain_timeout)
         self.sessions.clear()
+        if self.bypass is not None:
+            # After the frontier drained: the last retired loop has trained,
+            # so the final snapshot captures everything served.
+            self.bypass.close()
         if own_engine:
             close = getattr(self.engine, "close", None)
             if close is not None:
@@ -306,6 +369,7 @@ class ServingCore:
             "max_iterations": self.config.max_iterations,
             "reweighting_rule": self.config.reweighting_rule.name,
             "move_query_point": self.config.move_query_point,
+            "bypass": self.bypass is not None,
         }
         info.update(self.engine.describe())
         return info
@@ -347,7 +411,7 @@ class ServingCore:
             initial_delta=message.get("initial_delta"),
             initial_weights=message.get("initial_weights"),
         )
-        return self.frontier.run_loop(request)
+        return self.frontier.run_loop(request, context=self._tenant_of(message))
 
     def _op_session_open(self, message, owner) -> dict:
         session = self.sessions.open(
@@ -371,6 +435,74 @@ class ServingCore:
 
     def _op_session_close(self, message, owner):
         return self.sessions.close(message["session_id"], owner)
+
+    # ------------------------------------------------------------------ #
+    # The shared served bypass
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _tenant_of(message) -> str:
+        """The request envelope's tenant namespace (``None`` → public)."""
+        tenant = message.get("tenant")
+        return DEFAULT_TENANT if tenant is None else tenant
+
+    def _require_bypass(self) -> BypassRegistry:
+        if self.bypass is None:
+            raise ValidationError(
+                "the shared served bypass is disabled on this server "
+                "(enable it with ServerConfig(bypass=True))"
+            )
+        return self.bypass
+
+    def _train_from_loop(self, request, result, tenant) -> None:
+        """Frontier retirement sink: deposit a converged loop in the tree.
+
+        Mirrors the evaluation session's insert policy — a loop that
+        produced no feedback signal at all (zero iterations and default
+        parameters) stores nothing.  Runs on the frontier driver thread;
+        failures (e.g. a query outside the root simplex, or a closing
+        registry) are swallowed by the coalescer so delivery never breaks.
+        """
+        optimal = result.optimal_parameters(request.query_point)
+        if result.iterations == 0 and optimal.is_default():
+            return
+        self.bypass.insert(
+            tenant if tenant is not None else DEFAULT_TENANT,
+            request.query_point,
+            optimal,
+        )
+
+    def _op_bypass_mopt(self, message, owner) -> OptimalQueryParameters:
+        registry = self._require_bypass()
+        point = np.atleast_1d(np.asarray(message["query_point"], dtype=np.float64))
+        return registry.mopt(self._tenant_of(message), point)
+
+    def _op_bypass_insert(self, message, owner):
+        registry = self._require_bypass()
+        parameters = message["parameters"]
+        if not isinstance(parameters, OptimalQueryParameters):
+            raise ValidationError(
+                "bypass_insert needs OptimalQueryParameters in 'parameters'"
+            )
+        point = np.atleast_1d(np.asarray(message["query_point"], dtype=np.float64))
+        return registry.insert(self._tenant_of(message), point, parameters)
+
+    def _op_bypass_insert_batch(self, message, owner):
+        registry = self._require_bypass()
+        parameters = message["parameters"]
+        if not isinstance(parameters, (list, tuple)) or not all(
+            isinstance(item, OptimalQueryParameters) for item in parameters
+        ):
+            raise ValidationError(
+                "bypass_insert_batch needs a list of OptimalQueryParameters "
+                "in 'parameters'"
+            )
+        return registry.insert_batch(
+            self._tenant_of(message), message["query_points"], parameters
+        )
+
+    def _op_bypass_stats(self, message, owner) -> dict:
+        registry = self._require_bypass()
+        return registry.stats(message.get("tenant"))
 
 
 class _TCPServer(socketserver.ThreadingTCPServer):
@@ -538,6 +670,11 @@ class RetrievalServer:
     def feedback_engine(self) -> FeedbackEngine:
         """The feedback engine loops and sessions run under."""
         return self._core.feedback
+
+    @property
+    def bypass_registry(self) -> "BypassRegistry | None":
+        """The shared served bypass (``None`` unless ``config.bypass``)."""
+        return self._core.bypass
 
     @property
     def address(self) -> "tuple[str, int]":

@@ -128,6 +128,13 @@ class TestGenerateFigures:
                 "hot_qps": 900.0 * n,
                 "async_vs_threaded": 0.98,
             }
+            e["bypass_amortization"] = {
+                "cold_iterations": 3.0,
+                "warm_iterations": 1.0 / n,
+                "saved_iterations": 3.0 - 1.0 / n,
+                "amortization": 3.0 * n,
+                "trained_nodes": 24 * n,
+            }
         return made
 
     def test_all_figures_render_wellformed_svg(self, figures_dir, entries):
@@ -154,6 +161,7 @@ class TestGenerateFigures:
             "latency_percentiles",
             "scale_lab",
             "connection_scaling",
+            "bypass_amortization",
         }
         for name, (group, renderer) in generate_figures.FIGURES.items():
             assert group in ("trajectory", "latest")

@@ -135,6 +135,72 @@ class TestFeedbackBypassProperties:
         probe = rng.dirichlet(np.ones(n_bins))[:-1]
         assert bypass.mopt(probe).is_default()
 
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=8),
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=0, max_value=10_000),
+        st.data(),
+    )
+    def test_insert_log_batch_splits_commute(self, n_bins, n_inserts, seed, data):
+        """The same ordered insert log builds a bit-identical tree however
+        it is split into batches.
+
+        This is the invariant the serving registry's warm start rests on:
+        replaying a tenant's ordered log — one row at a time, in one big
+        ``insert_batch``, or in whatever chunks the write-ahead log happened
+        to group — must reconstruct the exact same tree, because the tree's
+        growth depends only on the *sequence* of applied inserts, not on
+        how callers packaged them.
+        """
+        rng = np.random.default_rng(seed)
+        dimension = n_bins - 1
+        log = []
+        for _ in range(n_inserts):
+            query = rng.dirichlet(np.ones(n_bins))[:-1]
+            parameters = OptimalQueryParameters(
+                delta=rng.normal(scale=0.05, size=dimension),
+                weights=rng.random(dimension) * 3.0,
+            )
+            log.append((query, parameters))
+
+        def fresh():
+            return FeedbackBypass(
+                standard_simplex_vertices(dimension, margin=1e-6), dimension, epsilon=0.0
+            )
+
+        # Hypothesis chooses the split points of the second replay.
+        cut_points = sorted(
+            data.draw(
+                st.sets(st.integers(min_value=1, max_value=n_inserts), max_size=5),
+                label="cut_points",
+            )
+        )
+        bounds = [0, *cut_points, n_inserts]
+
+        one_at_a_time = fresh()
+        for query, parameters in log:
+            one_at_a_time.insert(query, parameters)
+
+        chunked = fresh()
+        for start, stop in zip(bounds, bounds[1:]):
+            if stop == start:
+                continue
+            chunk = log[start:stop]
+            chunked.insert_batch(
+                np.asarray([query for query, _ in chunk]),
+                [parameters for _, parameters in chunk],
+            )
+
+        assert chunked.n_stored_queries == one_at_a_time.n_stored_queries
+        assert chunked.statistics() == one_at_a_time.statistics()
+        for _ in range(10):
+            probe = rng.dirichlet(np.ones(n_bins))[:-1]
+            first = one_at_a_time.mopt(probe)
+            second = chunked.mopt(probe)
+            assert np.array_equal(first.delta, second.delta)
+            assert np.array_equal(first.weights, second.weights)
+
 
 class TestHistogramEmbeddingProperties:
     @settings(max_examples=40, deadline=None)

@@ -281,6 +281,7 @@ class TestSoloGrace:
             assert results[thread_id] == reference[thread_id]
         assert coalescer.stats()["dispatches"] < n_threads
 
+    @pytest.mark.serving
     def test_server_config_plumbs_the_grace_through(self, engine):
         from repro.serving import RetrievalServer, ServerConfig
 

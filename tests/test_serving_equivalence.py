@@ -32,6 +32,8 @@ from repro.feedback.engine import FeedbackEngine
 from repro.serving import AsyncRetrievalServer, RetrievalServer, ServerConfig, ServingClient
 from repro.utils.validation import ValidationError
 
+pytestmark = pytest.mark.serving
+
 DIMENSION = 6
 SIZE = 149  # prime: uneven shard ranges, and ties spread across shards
 

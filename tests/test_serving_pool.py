@@ -28,6 +28,8 @@ from repro.serving import (
 )
 from repro.utils.validation import ValidationError
 
+pytestmark = pytest.mark.serving
+
 FRONT_ENDS = {"threaded": RetrievalServer, "async": AsyncRetrievalServer}
 
 

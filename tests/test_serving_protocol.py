@@ -45,7 +45,10 @@ from repro.serving.protocol import (
 
 FRONT_ENDS = {"threaded": RetrievalServer, "async": AsyncRetrievalServer}
 
-pytestmark = pytest.mark.parametrize("front_end", ["threaded", "async"])
+pytestmark = [
+    pytest.mark.serving,
+    pytest.mark.parametrize("front_end", ["threaded", "async"]),
+]
 
 
 @pytest.fixture()

@@ -23,8 +23,19 @@ from repro.feedback.engine import FeedbackEngine
 from repro.serving import RetrievalServer, ServerConfig, ServingClient
 from repro.serving.protocol import send_message
 
+pytestmark = pytest.mark.serving
+
 K = 6
 MAX_ITERATIONS = 6
+
+
+def _wait_until(predicate, timeout: float = 10.0, interval: float = 0.005) -> None:
+    """Bounded poll until ``predicate()`` is true (replaces blind sleeps)."""
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition not reached within the deadline")
+        time.sleep(interval)
 
 
 class SlowJudge:
@@ -187,7 +198,9 @@ class TestDisconnectMidFrontier:
 
             thread = threading.Thread(target=run_b)
             thread.start()
-            time.sleep(0.1)  # both loops are on the frontier now
+            # Both loops are on the frontier once the submission counter
+            # says so (SlowJudge keeps the rounds alive meanwhile).
+            _wait_until(lambda: server.stats()["frontier"]["loops"] == 2)
             doomed.close()  # A disconnects mid-frontier
             thread.join(timeout=30.0)
             assert not thread.is_alive()
@@ -229,7 +242,9 @@ class TestDrainAndClose:
 
         thread = threading.Thread(target=run_loop)
         thread.start()
-        time.sleep(0.05)  # the loop is admitted and iterating
+        # The loop is submitted (and close() drains submitted loops) once
+        # the frontier's counter sees it; SlowJudge keeps it iterating.
+        _wait_until(lambda: server.stats()["frontier"]["loops"] == 1)
         server.close()
         thread.join(timeout=30.0)
         client.close()
