@@ -381,6 +381,56 @@ def figure_bypass_amortization(entries: "list[dict]") -> "str | None":
     return path
 
 
+def figure_live_mutation(entries: "list[dict]") -> "str | None":
+    """Frozen-vs-mixed read throughput of the live mutable corpus."""
+    charted = [entry for entry in entries if "live_mutation" in entry]
+    if not charted:
+        return None
+    canvas = Canvas(
+        "Live corpus: read qps, frozen read-only vs 90/10 mixed traffic (per commit)"
+    )
+    x0, x1, y0, y1 = plot_area()
+    series = (
+        ("frozen_qps", "#1f77b4"),
+        ("mixed_qps", "#d62728"),
+    )
+    top = max(entry["live_mutation"][key] for entry in charted for key, _ in series)
+    ticks = draw_axes(canvas, top, "read queries / second")
+    span = ticks[-1] or 1.0
+    step = (x1 - x0) / max(len(charted), 2)
+    positions = [x0 + step * (index + 0.5) for index in range(len(charted))]
+    for key, color in series:
+        canvas.polyline(
+            [
+                (x, y1 - (entry["live_mutation"][key] / span) * (y1 - y0))
+                for entry, x in zip(charted, positions)
+            ],
+            color,
+        )
+    for entry, x in zip(charted, positions):
+        section = entry["live_mutation"]
+        canvas.text(
+            x,
+            y0 + 6,
+            f"insert {section['insert_speedup']:g}x · "
+            f"{section['queries_during_compaction']} reads mid-fold · "
+            f"{section['compaction_ms']:g} ms",
+            size=9,
+            anchor="middle",
+        )
+    commit_labels(canvas, charted, positions)
+    legend(
+        canvas,
+        [
+            ("frozen read-only", "#1f77b4"),
+            ("live mixed 90/10", "#d62728"),
+        ],
+    )
+    path = os.path.join(FIGURES_DIR, "live_mutation.svg")
+    canvas.write(path)
+    return path
+
+
 #: name -> (group, renderer).  Renderers return the written path, or None
 #: when the trajectory has no data for that figure yet.
 FIGURES = {
@@ -390,6 +440,7 @@ FIGURES = {
     "scale_lab": ("trajectory", figure_scale_lab),
     "connection_scaling": ("trajectory", figure_connection_scaling),
     "bypass_amortization": ("trajectory", figure_bypass_amortization),
+    "live_mutation": ("trajectory", figure_live_mutation),
 }
 
 

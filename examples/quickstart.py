@@ -150,6 +150,37 @@ def main(scale: float = 0.1, *, n_queries: int = 150, batch_size: int = 16, k: i
             f"{window['requests']} requests -> {window['dispatches']} engine dispatches"
         )
 
+    # A live corpus under serving traffic: the same collection wrapped in a
+    # LiveCollection (one immutable base segment plus append-only deltas and
+    # tombstones) accepts inserts and deletes over the wire in O(delta),
+    # every query merges exact across the segments — byte-identical to a
+    # frozen rebuild at that instant — and compaction folds the deltas into
+    # a fresh base off the hot path.  See docs/mutability.md.
+    from repro import LiveCollection
+
+    live = LiveCollection(
+        session.collection.vectors, labels=list(session.collection.labels)
+    )
+    live_engine = RetrievalEngine(live)
+    with RetrievalServer(live_engine, ServerConfig(max_batch=16)) as server:
+        host, port = server.address
+        with ServingClient(host, port) as client:
+            probe = session.collection.vectors[int(query_indices[0])] + 0.01
+            inserted = client.insert(probe[None, :], labels=["fresh"])
+            hit = client.search(probe, 1)
+            folded = client.compact()
+            still = client.search(probe, 1)  # stable ids survive the fold
+            client.delete([int(inserted[0])])
+            corpus = client.corpus_stats()
+        print()
+        print(
+            f"Live corpus: inserted id {int(inserted[0])} found itself = "
+            f"{int(hit.indices()[0]) == int(inserted[0])}, survived compaction = "
+            f"{hit.indices()[0] == still.indices()[0]} "
+            f"(epoch {folded['epoch']}); after delete: {corpus['size']} alive of "
+            f"{corpus['total_inserted']} inserted, {corpus['tombstones']} tombstones"
+        )
+
 
 if __name__ == "__main__":
     main()

@@ -34,6 +34,13 @@
 #              cohorts' feedback_iterations must drop; merges a
 #              bypass_amortization section into BENCH_throughput.json)
 #              and the SVG rendering
+#   --live     the live mutable corpus: the segment-composition suites
+#              (byte-identity to a frozen rebuild, compaction lifecycle,
+#              hypothesis interleavings), the served-mutation grid and
+#              writes-under-coalescing stress test, then the mutation
+#              benchmark (insert vs rebuild-per-write, mixed-traffic qps
+#              floor, reads mid-fold; merges a live_mutation section into
+#              BENCH_throughput.json) and the SVG rendering
 #   --scale    just the raw-speed layer: the fast-precision equivalence
 #              grid, k-selection autotuning and clustered-corpus suites,
 #              the 50k-row precision-speedup benchmark (enforced 1.5x
@@ -53,6 +60,7 @@ record_trajectory=0
 run_scale_lab=0
 run_c10k_figures=0
 run_bypass_figures=0
+run_live_figures=0
 targets=()
 case "${1:-}" in
     --fast)
@@ -106,6 +114,16 @@ case "${1:-}" in
             benchmarks/test_throughput_bypass.py
         )
         ;;
+    --live)
+        shift
+        run_live_figures=1
+        targets=(
+            tests/test_live_collection.py
+            tests/test_properties_live.py
+            tests/test_serving_live.py
+            benchmarks/test_throughput_live.py
+        )
+        ;;
     --scale)
         shift
         run_scale_lab=1
@@ -154,4 +172,10 @@ if [[ "$run_bypass_figures" == 1 ]]; then
     # The amortization benchmark merged its bypass_amortization section
     # into BENCH_throughput.json; render the trajectory figure.
     python benchmarks/generate_figures.py bypass_amortization
+fi
+
+if [[ "$run_live_figures" == 1 ]]; then
+    # The mutation benchmark merged its live_mutation section into
+    # BENCH_throughput.json; render the trajectory figure.
+    python benchmarks/generate_figures.py live_mutation
 fi

@@ -144,6 +144,20 @@ budgets each request's deadline, retries idempotent ops on transport
 failure with exponential backoff, and health-checks pooled sockets before
 reuse.
 
+When the corpus itself must change under that traffic, swap the
+collection: a :class:`~repro.database.segments.LiveCollection` composes an
+immutable indexed base segment with append-only delta segments and
+tombstones, so inserts and deletes cost O(delta) instead of a rebuild,
+every query remains byte-identical to a frozen rebuild at that snapshot
+(stable ids across compactions keep the feedback and bypass layers
+working unchanged), and a background
+:class:`~repro.database.segments.Compactor` folds deltas into a fresh
+base off the hot path under an atomic epoch swap — queries in flight
+never block (``docs/mutability.md``;
+``benchmarks/test_throughput_live.py`` holds the O(delta)-insert and
+no-dispatch-stall bars).  The serving layer exposes it as ``insert`` /
+``delete`` / ``compact`` / ``corpus_stats`` ops on both front ends.
+
 Quickstart::
 
     from repro import build_imsi_like_dataset, InteractiveSession, SessionConfig
@@ -194,6 +208,25 @@ Quickstart::
                 initial_delta=prediction.delta,
                 initial_weights=prediction.weights)
         assert warm.iterations <= cold.iterations
+
+    # Live mutable corpus: a segment-composed collection takes inserts
+    # and deletes in O(delta) under serving traffic — every answer
+    # byte-identical to a frozen rebuild at that instant — and compaction
+    # folds the deltas into a fresh base off the hot path; stable ids
+    # survive the fold.
+    from repro import LiveCollection
+
+    live = LiveCollection(session.collection.vectors)
+    with RetrievalServer(RetrievalEngine(live), ServerConfig()) as server:
+        host, port = server.address
+        with ServingClient(host, port) as client:
+            ids = client.insert(session.collection.vectors[:4] + 0.01)
+            before = client.search(session.collection.vectors[0], 20)
+            client.compact()
+            after = client.search(session.collection.vectors[0], 20)
+            assert after.indices().tolist() == before.indices().tolist()
+            client.delete(ids[:2])
+            print(client.corpus_stats()["size"], "vectors live")
 """
 
 from repro.core import (
@@ -207,10 +240,12 @@ from repro.core import (
     save_simplex_tree,
 )
 from repro.database import (
+    Compactor,
     CorpusWorkspace,
     FeatureCollection,
     KNNIndex,
     LinearScanIndex,
+    LiveCollection,
     MTreeIndex,
     Query,
     ResultSet,
@@ -257,10 +292,12 @@ __all__ = [
     "bypass_for_unit_cube",
     "load_simplex_tree",
     "save_simplex_tree",
+    "Compactor",
     "CorpusWorkspace",
     "FeatureCollection",
     "KNNIndex",
     "LinearScanIndex",
+    "LiveCollection",
     "MTreeIndex",
     "Query",
     "ResultSet",

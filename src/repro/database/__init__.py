@@ -21,7 +21,13 @@ service:
   with pluggable thread/process backends, a shared-memory corpus host
   (:class:`SharedCorpus`), and the :class:`ShardedEngine` fanning queries
   out to per-shard engines — in threads or in long-lived worker processes —
-  and merging the per-shard top-k exactly.
+  and merging the per-shard top-k exactly,
+* :mod:`repro.database.segments` — the mutability layer: a
+  :class:`LiveCollection` composes an immutable indexed base segment with
+  append-only delta segments and tombstones (inserts/deletes in O(delta),
+  queries byte-identical to a frozen rebuild at every snapshot, stable ids
+  across compactions), and a background :class:`Compactor` folds deltas
+  into a new base off the hot path under an atomic epoch swap.
 """
 
 from repro.database.collection import CorpusWorkspace, FeatureCollection
@@ -30,6 +36,7 @@ from repro.database.index import KNNIndex, NeighborHeap, k_smallest
 from repro.database.knn import LinearScanIndex
 from repro.database.mtree import MTreeIndex
 from repro.database.query import Query, ResultItem, ResultSet
+from repro.database.segments import Compactor, LiveCollection, LiveSnapshot, SegmentUnit
 from repro.database.sharding import (
     SharedCorpus,
     SharedCorpusHandle,
@@ -40,8 +47,12 @@ from repro.database.sharding import (
 from repro.database.vptree import VPTreeIndex
 
 __all__ = [
+    "Compactor",
     "CorpusWorkspace",
     "FeatureCollection",
+    "LiveCollection",
+    "LiveSnapshot",
+    "SegmentUnit",
     "RetrievalEngine",
     "KNNIndex",
     "NeighborHeap",

@@ -31,19 +31,12 @@ import threading
 import numpy as np
 
 from repro.database.collection import FeatureCollection
-from repro.database.index import KNNIndex, k_smallest
-from repro.database.knn import LinearScanIndex
+from repro.database.index import KNNIndex
+from repro.database.knn import LinearScanIndex, parameter_scan_pairs
 from repro.database.query import Query, ResultSet
-from repro.distances.base import (
-    EXACT_MARGIN_SCALE,
-    FAST_MARGIN_SCALE,
-    DistanceFunction,
-    check_precision,
-)
-from repro.distances.weighted_euclidean import (
-    WeightedEuclideanDistance,
-    pairwise_per_query_weights,
-)
+from repro.database.segments import LiveCollection
+from repro.distances.base import DistanceFunction, check_precision
+from repro.distances.weighted_euclidean import WeightedEuclideanDistance
 from repro.utils.validation import ValidationError, as_float_matrix, check_dimension
 
 
@@ -89,20 +82,39 @@ class RetrievalEngine:
 
     def __init__(
         self,
-        collection: FeatureCollection,
+        collection: "FeatureCollection | LiveCollection",
         default_distance: DistanceFunction | None = None,
         metric_index: KNNIndex | None = None,
     ) -> None:
         self._collection = collection
+        self._live = isinstance(collection, LiveCollection)
         if default_distance is None:
-            default_distance = WeightedEuclideanDistance.default(collection.dimension)
+            if self._live:
+                # Metric indexes serve a distance by identity; defaulting to
+                # the instance the live collection's index factory was built
+                # with makes base-index hits work out of the box.
+                default_distance = collection.index_distance
+            else:
+                default_distance = WeightedEuclideanDistance.default(collection.dimension)
         if default_distance.dimension != collection.dimension:
             raise ValidationError("default distance dimensionality does not match the collection")
         self._default_distance = default_distance
-        self._scan = LinearScanIndex(collection)
-        if metric_index is not None and metric_index.collection is not collection:
-            raise ValidationError("metric index was built for a different collection")
-        self._metric_index = metric_index
+        if self._live:
+            # A live collection owns its own segments, scans and base index
+            # (rebuilt by every compaction through its ``index_factory``); an
+            # engine-level index would go stale at the first insert.
+            if metric_index is not None:
+                raise ValidationError(
+                    "a live collection manages its own base index; "
+                    "pass index_factory to LiveCollection instead of metric_index"
+                )
+            self._scan = None
+            self._metric_index = None
+        else:
+            self._scan = LinearScanIndex(collection)
+            if metric_index is not None and metric_index.collection is not collection:
+                raise ValidationError("metric index was built for a different collection")
+            self._metric_index = metric_index
         # Counter updates are guarded by a lock so an engine shared by a
         # worker pool (see :mod:`repro.database.sharding`) never loses an
         # update: a bare ``+= 1`` is a read-modify-write that can interleave
@@ -116,14 +128,30 @@ class RetrievalEngine:
         self._scan_fallbacks = 0
         self._feedback_iterations = 0
         self._frontier_batches = 0
+        self._delta_hits = 0
 
     # ------------------------------------------------------------------ #
     # Accessors
     # ------------------------------------------------------------------ #
     @property
-    def collection(self) -> FeatureCollection:
-        """The underlying feature collection."""
+    def collection(self) -> "FeatureCollection | LiveCollection":
+        """The underlying feature collection (frozen or live)."""
         return self._collection
+
+    @property
+    def is_live(self) -> bool:
+        """True when the engine serves a mutable :class:`LiveCollection`."""
+        return self._live
+
+    @property
+    def delta_hits(self) -> int:
+        """Searches that had to consult at least one delta segment.
+
+        Always zero on a frozen collection; on a live one it tracks how
+        much query traffic runs while mutations are resident outside the
+        base (compaction drives it back to zero-growth).
+        """
+        return self._delta_hits
 
     @property
     def default_distance(self) -> DistanceFunction:
@@ -178,6 +206,16 @@ class RetrievalEngine:
         whether a metric index is mounted.  The serving layer's ``info`` op
         returns it so clients can sanity-check what they connected to.
         """
+        if self._live:
+            base_index = self._collection.base_index
+            return {
+                "engine": type(self).__name__,
+                "corpus_size": self._collection.size,
+                "dimension": self._collection.dimension,
+                "default_distance": type(self._default_distance).__name__,
+                "metric_index": None if base_index is None else type(base_index).__name__,
+                "live": True,
+            }
         return {
             "engine": type(self).__name__,
             "corpus_size": self._collection.size,
@@ -199,7 +237,7 @@ class RetrievalEngine:
         while worker threads are searching.
         """
         with self._counter_lock:
-            return {
+            snapshot = {
                 "n_searches": self._n_searches,
                 "n_batches": self._n_batches,
                 "n_objects_retrieved": self._n_objects_retrieved,
@@ -208,6 +246,13 @@ class RetrievalEngine:
                 "feedback_iterations": self._feedback_iterations,
                 "frontier_batches": self._frontier_batches,
             }
+            delta_hits = self._delta_hits
+        if self._live:
+            # Gated on live collections so frozen engines keep their exact
+            # historical stats shape (asserted by the serving grids).
+            snapshot["delta_hits"] = delta_hits
+            snapshot["compactions"] = self._collection.n_compactions
+        return snapshot
 
     def reset_counters(self) -> None:
         """Reset the search / retrieved-object / dispatch counters.
@@ -224,6 +269,7 @@ class RetrievalEngine:
             self._scan_fallbacks = 0
             self._feedback_iterations = 0
             self._frontier_batches = 0
+            self._delta_hits = 0
 
     def record_feedback_iterations(self, count: int = 1) -> None:
         """Account ``count`` feedback-loop iterations (re-searches).
@@ -256,6 +302,7 @@ class RetrievalEngine:
             self._scan_fallbacks += int(counters.get("scan_fallbacks", 0))
             self._feedback_iterations += int(counters.get("feedback_iterations", 0))
             self._frontier_batches += int(counters.get("frontier_batches", 0))
+            self._delta_hits += int(counters.get("delta_hits", 0))
 
     # ------------------------------------------------------------------ #
     # Dispatch
@@ -281,6 +328,22 @@ class RetrievalEngine:
             self._n_objects_retrieved += retrieved
             self._n_batches += batches
 
+    def _count_live_dispatch(self, snapshot, distance: DistanceFunction, count: int) -> None:
+        """Account ``count`` dispatch decisions against a live snapshot.
+
+        The base segment's index serves the base scan when it supports the
+        distance (``index_hits``), otherwise the whole composition runs on
+        linear scans (``scan_fallbacks``); any resident delta segment also
+        counts as a ``delta_hits`` consultation.
+        """
+        with self._counter_lock:
+            if snapshot.base_index_supports(distance):
+                self._index_hits += count
+            else:
+                self._scan_fallbacks += count
+            if snapshot.n_delta_segments:
+                self._delta_hits += count
+
     # ------------------------------------------------------------------ #
     # Query processing
     # ------------------------------------------------------------------ #
@@ -294,6 +357,12 @@ class RetrievalEngine:
         """
         if distance is None:
             distance = self._default_distance
+        if self._live:
+            snapshot = self._collection.snapshot()
+            self._count_live_dispatch(snapshot, distance, 1)
+            result = snapshot.search(query_point, k, distance)
+            self._account([result])
+            return result
         engine = self._select_engine(distance)
         if engine is self._scan:
             result = engine.search(query_point, k, distance)
@@ -328,6 +397,12 @@ class RetrievalEngine:
         query_points = as_float_matrix(
             query_points, name="query_points", shape=(None, self._collection.dimension)
         )
+        if self._live:
+            snapshot = self._collection.snapshot()
+            self._count_live_dispatch(snapshot, distance, query_points.shape[0])
+            results = snapshot.search_batch(query_points, k, distance, precision)
+            self._account(results, batches=1)
+            return results
         engine = self._select_engine(distance, count=query_points.shape[0])
         if engine is self._scan:
             results = engine.search_batch(query_points, k, distance, precision)
@@ -393,76 +468,24 @@ class RetrievalEngine:
         deltas = as_float_matrix(deltas, name="deltas", shape=(n_queries, dimension))
         weights = np.clip(as_float_matrix(weights, name="weights", shape=(n_queries, None)), 0.0, None)
 
-        shifted = query_points + deltas
-        n_points = self._collection.size
-        effective_k = min(k, n_points)
-        workspace = self._collection.workspace
-        block_rows = self._scan.block_rows
-        if n_points <= block_rows:
-            pairs = self._parameter_scan_block(
-                shifted, weights, effective_k, workspace, 0, precision
+        if self._live:
+            snapshot = self._collection.snapshot()
+            results = snapshot.search_batch_with_parameters(
+                query_points, k, deltas, weights, precision
             )
-        else:
-            pairs = None
-            for start in range(0, n_points, block_rows):
-                stop = min(start + block_rows, n_points)
-                view = workspace.block(start, stop)
-                block_pairs = self._parameter_scan_block(
-                    shifted, weights, effective_k, view, start, precision
-                )
-                if pairs is None:
-                    pairs = block_pairs
-                else:
-                    pairs = [
-                        k_smallest(
-                            np.concatenate((held_distances, new_distances)),
-                            effective_k,
-                            labels=np.concatenate((held_labels, new_labels)),
-                        )
-                        for (held_labels, held_distances), (new_labels, new_distances) in zip(
-                            pairs, block_pairs
-                        )
-                    ]
+            with self._counter_lock:
+                self._scan_fallbacks += n_queries
+                if snapshot.n_delta_segments:
+                    self._delta_hits += n_queries
+            self._account(results, batches=1)
+            return results
+
+        shifted = query_points + deltas
+        pairs = parameter_scan_pairs(
+            shifted, weights, k, self._collection.workspace, self._scan.block_rows, precision
+        )
         results = [ResultSet.from_arrays(labels, ordered) for labels, ordered in pairs]
         with self._counter_lock:
             self._scan_fallbacks += n_queries
         self._account(results, batches=1)
         return results
-
-    def _parameter_scan_block(
-        self, shifted, weights, k: int, workspace, base: int, precision: str
-    ) -> list:
-        """Per-query-weight top-k over one corpus block (global labels)."""
-        block_points = workspace.matrix
-        n_block = block_points.shape[0]
-        block_k = min(k, n_block)
-        approximate = pairwise_per_query_weights(
-            shifted, weights, block_points, workspace=workspace, precision=precision
-        )
-
-        # Candidate thresholds for the whole batch at once — the same values
-        # candidate_pool computes per row (the k-th approximate distance plus
-        # the precision's error margin), with the partition and row maxima
-        # vectorised over the query axis.
-        margin_scale = FAST_MARGIN_SCALE if precision == "fast" else EXACT_MARGIN_SCALE
-        if block_k == n_block:
-            thresholds = np.full(shifted.shape[0], np.inf)
-        else:
-            # Values-only partition: position block_k-1 is the k-th smallest
-            # approximate value, with no (Q, N) index array materialised.
-            kth_values = np.partition(approximate, block_k - 1, axis=1)[:, block_k - 1]
-            margins = margin_scale * np.maximum(1.0, approximate.max(axis=1))
-            thresholds = kth_values + margins
-
-        pairs = []
-        for query_point, weight_row, row, threshold in zip(shifted, weights, approximate, thresholds):
-            candidates = np.flatnonzero(row <= threshold)
-            # Exact re-evaluation of the candidates: the same expression as
-            # WeightedEuclideanDistance.distances_to, with the per-query
-            # distance-object construction and re-validation skipped (the
-            # batch inputs were validated above).
-            candidate_deltas = block_points[candidates] - query_point
-            exact = np.sqrt(np.sum(weight_row * candidate_deltas * candidate_deltas, axis=1))
-            labels, ordered = k_smallest(exact, block_k, labels=candidates)
-            pairs.append((labels + base if base else labels, ordered))
-        return pairs

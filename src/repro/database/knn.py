@@ -39,6 +39,7 @@ from repro.distances.base import (
     DistanceFunction,
     check_precision,
 )
+from repro.distances.weighted_euclidean import pairwise_per_query_weights
 from repro.utils.validation import ValidationError, as_float_matrix, check_dimension
 
 #: Corpus rows per scan block.  64k rows × 64 queries of float64 distances is
@@ -232,3 +233,89 @@ class LinearScanIndex(KNNIndex):
         hits = np.flatnonzero(distances <= radius)
         order = hits[np.lexsort((hits, distances[hits]))]
         return ResultSet.from_arrays(order, distances[order])
+
+
+# ---------------------------------------------------------------------- #
+# Per-query-weight parameterised scan (shared machinery)
+# ---------------------------------------------------------------------- #
+def _parameter_scan_block(
+    shifted: np.ndarray, weights: np.ndarray, k: int, workspace, base: int, precision: str
+) -> list:
+    """Per-query-weight top-k over one corpus block (labels offset by ``base``)."""
+    block_points = workspace.matrix
+    n_block = block_points.shape[0]
+    block_k = min(k, n_block)
+    approximate = pairwise_per_query_weights(
+        shifted, weights, block_points, workspace=workspace, precision=precision
+    )
+
+    # Candidate thresholds for the whole batch at once — the same values
+    # candidate_pool computes per row (the k-th approximate distance plus
+    # the precision's error margin), with the partition and row maxima
+    # vectorised over the query axis.
+    margin_scale = FAST_MARGIN_SCALE if precision == "fast" else EXACT_MARGIN_SCALE
+    if block_k == n_block:
+        thresholds = np.full(shifted.shape[0], np.inf)
+    else:
+        # Values-only partition: position block_k-1 is the k-th smallest
+        # approximate value, with no (Q, N) index array materialised.
+        kth_values = np.partition(approximate, block_k - 1, axis=1)[:, block_k - 1]
+        margins = margin_scale * np.maximum(1.0, approximate.max(axis=1))
+        thresholds = kth_values + margins
+
+    pairs = []
+    for query_point, weight_row, row, threshold in zip(shifted, weights, approximate, thresholds):
+        candidates = np.flatnonzero(row <= threshold)
+        # Exact re-evaluation of the candidates: the same expression as
+        # WeightedEuclideanDistance.distances_to, with the per-query
+        # distance-object construction and re-validation skipped (the
+        # batch inputs were validated by the caller).
+        candidate_deltas = block_points[candidates] - query_point
+        exact = np.sqrt(np.sum(weight_row * candidate_deltas * candidate_deltas, axis=1))
+        labels, ordered = k_smallest(exact, block_k, labels=candidates)
+        pairs.append((labels + base if base else labels, ordered))
+    return pairs
+
+
+def parameter_scan_pairs(
+    shifted: np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    workspace,
+    block_rows: int,
+    precision: str,
+) -> list:
+    """Exact per-query ``(Δ, W)`` top-k over one workspace, blocked.
+
+    The candidate-selection + exact-re-scoring pipeline behind
+    :meth:`~repro.database.engine.RetrievalEngine.search_batch_with_parameters`,
+    factored out so segment-composed collections
+    (:mod:`repro.database.segments`) can run the identical computation per
+    segment: the exact candidate distances are element-wise per object, so
+    the bits do not depend on how the corpus was split into workspaces.
+    Returns one ``(labels, distances)`` pair per query row, labels local to
+    the workspace, in the library-wide (distance, ascending label) order.
+    """
+    n_points = int(workspace.matrix.shape[0])
+    k = min(k, n_points)
+    if n_points <= block_rows:
+        return _parameter_scan_block(shifted, weights, k, workspace, 0, precision)
+    pairs = None
+    for start in range(0, n_points, block_rows):
+        stop = min(start + block_rows, n_points)
+        view = workspace.block(start, stop)
+        block_pairs = _parameter_scan_block(shifted, weights, k, view, start, precision)
+        if pairs is None:
+            pairs = block_pairs
+        else:
+            pairs = [
+                k_smallest(
+                    np.concatenate((held_distances, new_distances)),
+                    k,
+                    labels=np.concatenate((held_labels, new_labels)),
+                )
+                for (held_labels, held_distances), (new_labels, new_distances) in zip(
+                    pairs, block_pairs
+                )
+            ]
+    return pairs

@@ -62,6 +62,7 @@ from repro.database.collection import FeatureCollection
 from repro.database.engine import RetrievalEngine, run_grouped_by_k
 from repro.database.index import KNNIndex, k_smallest
 from repro.database.query import Query, ResultSet
+from repro.database.segments import LiveCollection
 from repro.distances.base import DistanceFunction, check_precision
 from repro.distances.weighted_euclidean import WeightedEuclideanDistance
 from repro.utils.validation import ValidationError, as_float_matrix, check_dimension
@@ -706,7 +707,7 @@ class ShardedEngine:
 
     def __init__(
         self,
-        collection: "FeatureCollection | ShardedCollection",
+        collection: "FeatureCollection | ShardedCollection | LiveCollection",
         n_shards: int | None = None,
         *,
         n_workers: int = 1,
@@ -714,6 +715,51 @@ class ShardedEngine:
         default_distance: DistanceFunction | None = None,
         index_factory: IndexFactory | None = None,
     ) -> None:
+        self._live = isinstance(collection, LiveCollection)
+        if self._live:
+            # A live collection already *is* a partition — base + delta
+            # segments — and the partition changes with every insert and
+            # compaction, so a static index-range ShardedCollection cannot
+            # exist over it.  The engine fans the per-segment scans of each
+            # snapshot over its worker pool instead.
+            if n_shards is not None:
+                raise ValidationError(
+                    "a live collection shards by segment; n_shards must be None"
+                )
+            if _check_backend(backend) == "process":
+                raise ValidationError(
+                    "a live collection mutates in place and cannot be hosted in "
+                    "shared memory; use backend='thread'"
+                )
+            if index_factory is not None:
+                raise ValidationError(
+                    "a live collection manages its own base index; "
+                    "pass index_factory to LiveCollection instead"
+                )
+            self._live_collection = collection
+            if default_distance is None:
+                default_distance = collection.index_distance
+            if default_distance.dimension != collection.dimension:
+                raise ValidationError(
+                    "default distance dimensionality does not match the collection"
+                )
+            self._default_distance = default_distance
+            self._backend = "thread"
+            self._pool = WorkerPool(n_workers)
+            self._process_backend = None
+            self._shard_engines = ()
+            self._sharded = None
+            self._counter_lock = threading.Lock()
+            self._n_searches = 0
+            self._n_batches = 0
+            self._n_objects_retrieved = 0
+            self._feedback_iterations = 0
+            self._frontier_batches = 0
+            self._index_hits = 0
+            self._scan_fallbacks = 0
+            self._delta_hits = 0
+            return
+        self._live_collection = None
         if isinstance(collection, ShardedCollection):
             if n_shards is not None and n_shards != collection.n_shards:
                 raise ValidationError(
@@ -759,13 +805,21 @@ class ShardedEngine:
     # Accessors
     # ------------------------------------------------------------------ #
     @property
-    def collection(self) -> FeatureCollection:
+    def collection(self) -> "FeatureCollection | LiveCollection":
         """The full (unpartitioned) collection — the view feedback code sees."""
+        if self._live:
+            return self._live_collection
         return self._sharded.collection
 
     @property
-    def sharded_collection(self) -> ShardedCollection:
-        """The shard layout this engine serves."""
+    def is_live(self) -> bool:
+        """True when the engine serves a mutable :class:`LiveCollection`."""
+        return self._live
+
+    @property
+    def sharded_collection(self) -> "ShardedCollection | None":
+        """The shard layout this engine serves (``None`` for live collections,
+        whose partition is the segment composition of the current snapshot)."""
         return self._sharded
 
     @property
@@ -789,7 +843,10 @@ class ShardedEngine:
 
     @property
     def n_shards(self) -> int:
-        """Number of shards."""
+        """Number of shards (for a live collection: segments in the current
+        snapshot, which changes with inserts and compactions)."""
+        if self._live:
+            return self._live_collection.snapshot().n_segments
         return self._sharded.n_shards
 
     @property
@@ -852,7 +909,7 @@ class ShardedEngine:
         :class:`~repro.serving.server.RetrievalServer` can answer ``info``
         requests without touching the worker processes.
         """
-        return {
+        info = {
             "engine": type(self).__name__,
             "corpus_size": self.collection.size,
             "dimension": self.collection.dimension,
@@ -861,6 +918,9 @@ class ShardedEngine:
             "n_workers": self.n_workers,
             "backend": self._backend,
         }
+        if self._live:
+            info["live"] = True
+        return info
 
     def stats(self) -> dict:
         """Aggregate counters across the worker pool and every shard.
@@ -874,6 +934,26 @@ class ShardedEngine:
         per-shard dispatch stats for drill-down; with ``backend="process"``
         they are fetched from the worker processes.
         """
+        if self._live:
+            # Live collections have no shard engines: the dispatch decision
+            # is made once per query against the snapshot's base index, so
+            # the counters live at the top level and ``per_shard`` is empty.
+            with self._counter_lock:
+                return {
+                    "shard_count": self.n_shards,
+                    "n_workers": self.n_workers,
+                    "backend": self._backend,
+                    "n_searches": self._n_searches,
+                    "n_batches": self._n_batches,
+                    "n_objects_retrieved": self._n_objects_retrieved,
+                    "index_hits": self._index_hits,
+                    "scan_fallbacks": self._scan_fallbacks,
+                    "feedback_iterations": self._feedback_iterations,
+                    "frontier_batches": self._frontier_batches,
+                    "delta_hits": self._delta_hits,
+                    "compactions": self._live_collection.n_compactions,
+                    "per_shard": (),
+                }
         per_shard = self._shard_stats()
         with self._counter_lock:
             return {
@@ -898,6 +978,10 @@ class ShardedEngine:
             self._n_objects_retrieved = 0
             self._feedback_iterations = 0
             self._frontier_batches = 0
+            if self._live:
+                self._index_hits = 0
+                self._scan_fallbacks = 0
+                self._delta_hits = 0
         if self._process_backend is not None:
             self._process_backend.reset()
         else:
@@ -936,6 +1020,15 @@ class ShardedEngine:
             self._n_searches += count
             self._n_objects_retrieved += retrieved
             self._n_batches += batches
+
+    def _count_live_dispatch(self, snapshot, distance: DistanceFunction, count: int) -> None:
+        with self._counter_lock:
+            if snapshot.base_index_supports(distance):
+                self._index_hits += count
+            else:
+                self._scan_fallbacks += count
+            if snapshot.n_delta_segments:
+                self._delta_hits += count
 
     # ------------------------------------------------------------------ #
     # Fan-out
@@ -998,6 +1091,16 @@ class ShardedEngine:
         """
         k = check_dimension(k, "k")
         query_point = self.collection.validate_query_point(query_point)
+        if self._live:
+            if distance is None:
+                distance = self._default_distance
+            snapshot = self._live_collection.snapshot()
+            self._count_live_dispatch(snapshot, distance, 1)
+            merged = snapshot.search_batch(
+                query_point[None, :], k, distance, mapper=self._pool.map
+            )[0]
+            self._account([merged], count=1, batches=0)
+            return merged
         shard_results = self._fan_out("search", (query_point, k, distance))
         merged = self._merge(shard_results, k)
         self._account([merged], count=1, batches=0)
@@ -1030,6 +1133,16 @@ class ShardedEngine:
         query_points = as_float_matrix(
             query_points, name="query_points", shape=(None, self.collection.dimension)
         )
+        if self._live:
+            if distance is None:
+                distance = self._default_distance
+            snapshot = self._live_collection.snapshot()
+            self._count_live_dispatch(snapshot, distance, query_points.shape[0])
+            merged = snapshot.search_batch(
+                query_points, k, distance, precision, mapper=self._pool.map
+            )
+            self._account(merged, count=len(merged), batches=1)
+            return merged
         per_shard = self._fan_out("search_batch", (query_points, k, distance, precision))
         merged = self._merge_batch(per_shard, query_points.shape[0], k)
         self._account(merged, count=len(merged), batches=1)
@@ -1083,6 +1196,17 @@ class ShardedEngine:
         n_queries = query_points.shape[0]
         deltas = as_float_matrix(deltas, name="deltas", shape=(n_queries, dimension))
         weights = as_float_matrix(weights, name="weights", shape=(n_queries, None))
+        if self._live:
+            snapshot = self._live_collection.snapshot()
+            merged = snapshot.search_batch_with_parameters(
+                query_points, k, deltas, weights, precision, mapper=self._pool.map
+            )
+            with self._counter_lock:
+                self._scan_fallbacks += n_queries
+                if snapshot.n_delta_segments:
+                    self._delta_hits += n_queries
+            self._account(merged, count=len(merged), batches=1)
+            return merged
         per_shard = self._fan_out(
             "search_batch_with_parameters", (query_points, k, deltas, weights, precision)
         )

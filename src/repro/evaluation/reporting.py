@@ -25,6 +25,7 @@ if TYPE_CHECKING:
         BypassAmortizationResult,
         ConnectionScalingResult,
         FeedbackThroughputResult,
+        LiveMutationResult,
         ServingThroughputResult,
         ShardedThroughputResult,
         ThroughputResult,
@@ -360,4 +361,48 @@ def render_bypass_amortization(result: "BypassAmortizationResult") -> str:
         f"{result.warm_iterations:.2f} iterations, {result.saved_iterations:.2f} saved "
         f"per query, {result.amortization:.2f}x, {result.trained_nodes} trained nodes, "
         f"results {identical})\n" + format_series_table(header, rows)
+    )
+
+
+def render_live_mutation(result: "LiveMutationResult") -> str:
+    """Write cost, mixed-traffic throughput and compaction of a live corpus."""
+    header = ["phase", "ops", "seconds", "per-op ms", "qps"]
+    rows = [
+        [
+            "insert (live)",
+            result.n_inserts,
+            result.insert_seconds * result.n_inserts,
+            result.insert_seconds * 1e3,
+            1.0 / result.insert_seconds,
+        ],
+        [
+            "rebuild-per-write",
+            result.n_rebuilds,
+            result.rebuild_seconds * result.n_rebuilds,
+            result.rebuild_seconds * 1e3,
+            1.0 / result.rebuild_seconds,
+        ],
+        [
+            "frozen read-only",
+            result.read_queries,
+            result.frozen_seconds,
+            result.frozen_seconds * 1e3 / result.read_queries,
+            result.frozen_qps,
+        ],
+        [
+            "live mixed r/w",
+            result.read_queries + result.write_ops,
+            result.mixed_seconds,
+            result.mixed_seconds * 1e3 / result.read_queries,
+            result.mixed_qps,
+        ],
+    ]
+    identical = "identical" if result.identical_results else "DIVERGENT"
+    return (
+        f"Live mutation (corpus = {result.n_rows} x {result.dimension}, k = {result.k}: "
+        f"insert {result.insert_speedup:.1f}x cheaper than rebuild-per-write, "
+        f"mixed traffic at {result.mixed_ratio:.2f}x frozen qps, "
+        f"{result.queries_during_compaction} reads completed during the "
+        f"{result.compaction_seconds * 1e3:.1f} ms compaction, results {identical})\n"
+        + format_series_table(header, rows)
     )

@@ -54,6 +54,13 @@ retire, and later cohorts of the same queries start from ``bypass_mopt``
 predictions, so their measured ``feedback_iterations`` drop because earlier
 clients paid for the learning; every measured loop is checked
 byte-identical to the local reference given the same starting parameters.
+
+:func:`measure_live_mutation` measures the mutability layer: single-row
+inserts into a :class:`~repro.database.segments.LiveCollection` against
+the rebuild-per-write a frozen corpus forces, mixed read/write traffic
+against the frozen read-only baseline, and reads completing *during* a
+background compaction — with every read of every phase checked
+byte-identical to the frozen reference.
 """
 
 from __future__ import annotations
@@ -68,6 +75,7 @@ import numpy as np
 
 from repro.database.collection import FeatureCollection
 from repro.database.engine import RetrievalEngine
+from repro.database.segments import LiveCollection
 from repro.database.sharding import IndexFactory, ShardedEngine
 from repro.distances.base import DistanceFunction
 from repro.feedback.engine import FeedbackEngine
@@ -1379,4 +1387,257 @@ def measure_bypass_amortization(
         identical_results=bool(identical),
         trained_nodes=trained_nodes,
         latencies=_summarize_latencies({"cold": cold_samples, "warm": warm_samples}),
+    )
+
+
+@dataclass(frozen=True)
+class LiveMutationResult:
+    """Mutation economics of a :class:`~repro.database.segments.LiveCollection`.
+
+    Three claims, three sections.  **Write cost**: a live insert lands in an
+    append-only delta in O(delta), versus the rebuild-per-write a frozen
+    corpus forces (re-copying the matrix and re-materialising the
+    workspace); ``insert_speedup`` is the measured ratio.  **Read cost
+    under writes**: the same query stream runs once against the frozen
+    engine (read-only) and once against the live engine with writes
+    interleaved at ``write_fraction`` of the operation mix;
+    ``mixed_qps / frozen_qps`` is what mutability costs the readers.
+    **Compaction**: a background fold runs while queries keep dispatching;
+    ``queries_during_compaction`` counts reads completed strictly inside
+    the fold's wall-clock window (zero would mean the fold stalls
+    dispatch).  Every read in every phase is checked byte-identical to the
+    frozen reference — the written rows are placed far from the query
+    cluster, so the reference answer never changes.
+
+    Attributes
+    ----------
+    n_rows, dimension, k:
+        Corpus and query shape.
+    n_inserts, n_rebuilds:
+        Timed single-row inserts, and timed rebuild-per-write baselines
+        (each one rebuilds the full collection + workspace).
+    insert_seconds, rebuild_seconds:
+        Mean seconds per insert / per rebuild-per-write.
+    read_queries:
+        Queries timed in each read phase (frozen and mixed).
+    write_ops:
+        Writes interleaved into the mixed phase (per timing repeat).
+    frozen_seconds, mixed_seconds:
+        Best wall-clock time (over ``repeats``) of the read-only frozen
+        phase and of the mixed read/write phase.
+    compaction_seconds:
+        Wall-clock time of the measured background fold.
+    queries_during_compaction:
+        Reads completed while the fold was running.
+    identical_results:
+        Whether every read of every phase matched the frozen reference
+        byte for byte.
+    latencies:
+        :class:`LatencySummary` per mode: ``"insert"`` (per insert),
+        ``"rebuild"`` (per rebuild-per-write), ``"read"`` (per query block
+        in the mixed phase).
+    """
+
+    n_rows: int
+    dimension: int
+    k: int
+    n_inserts: int
+    n_rebuilds: int
+    insert_seconds: float
+    rebuild_seconds: float
+    read_queries: int
+    write_ops: int
+    frozen_seconds: float
+    mixed_seconds: float
+    compaction_seconds: float
+    queries_during_compaction: int
+    identical_results: bool
+    latencies: "dict[str, LatencySummary]" = field(default_factory=dict)
+
+    @property
+    def insert_speedup(self) -> float:
+        """How many times cheaper a live insert is than a rebuild-per-write."""
+        return self.rebuild_seconds / self.insert_seconds
+
+    @property
+    def frozen_qps(self) -> float:
+        """Read-only queries per second of the frozen engine."""
+        return self.read_queries / self.frozen_seconds
+
+    @property
+    def mixed_qps(self) -> float:
+        """Queries per second of the live engine with writes interleaved."""
+        return self.read_queries / self.mixed_seconds
+
+    @property
+    def mixed_ratio(self) -> float:
+        """Mixed-traffic read throughput as a fraction of the frozen engine's."""
+        return self.mixed_qps / self.frozen_qps
+
+
+def measure_live_mutation(
+    vectors,
+    query_points,
+    k: int,
+    *,
+    n_inserts: int = 200,
+    n_rebuilds: int = 5,
+    block_queries: int = 16,
+    writes_per_block: int = 2,
+    repeats: int = 3,
+    far_offset: float = 100.0,
+    seed: int = 0,
+) -> LiveMutationResult:
+    """Measure the live-corpus claims against their frozen baselines.
+
+    The corpus is frozen once as the reference engine; a
+    :class:`~repro.database.segments.LiveCollection` over the same rows
+    carries all mutation phases.  Written rows are offset by ``far_offset``
+    outside the corpus range, so no insert can enter any query's top-k and
+    every phase's reads must stay byte-identical to the frozen reference —
+    mutability is measured, never allowed to change an answer.
+
+    Three timed phases: (1) ``n_inserts`` single-row live inserts against
+    ``n_rebuilds`` full rebuild-per-write baselines (matrix copy +
+    collection + workspace, what a frozen corpus pays per write); (2) the
+    query stream in blocks of ``block_queries``, once read-only on the
+    frozen engine and once with ``writes_per_block`` writes (inserts, with
+    every fourth write a tombstone delete of an earlier insert) interleaved
+    after each block — best wall time over ``repeats`` each; (3) one
+    background :meth:`~repro.database.segments.LiveCollection.compact`
+    folding all accumulated deltas while the main thread keeps issuing
+    single-query reads, counting how many complete inside the fold.
+    """
+    check_dimension(k, "k")
+    check_dimension(n_inserts, "n_inserts")
+    check_dimension(n_rebuilds, "n_rebuilds")
+    check_dimension(block_queries, "block_queries")
+    check_dimension(repeats, "repeats")
+    vectors = as_float_matrix(vectors, name="vectors", shape=(None, None))
+    n_rows, dimension = vectors.shape
+    query_points = as_float_matrix(query_points, name="query_points", shape=(None, dimension))
+    n_queries = query_points.shape[0]
+    if n_queries == 0:
+        raise ValidationError("throughput measurement needs at least one query")
+    rng = np.random.default_rng(seed)
+
+    frozen_engine = RetrievalEngine(FeatureCollection(vectors))
+    frozen_engine.collection.workspace  # materialise outside the timed phases
+    reference = frozen_engine.search_batch(query_points, k)
+
+    live = LiveCollection(vectors)
+    live_engine = RetrievalEngine(live, default_distance=frozen_engine.default_distance)
+
+    def far_rows(count: int) -> np.ndarray:
+        return far_offset + rng.random((count, dimension))
+
+    # ------------------------------------------------------------------ #
+    # Phase 1 — write cost: live insert vs rebuild-per-write.
+    # ------------------------------------------------------------------ #
+    insert_samples: "list[float]" = []
+    for row in far_rows(n_inserts):
+        start = time.perf_counter()
+        live.insert(row[None, :])
+        insert_samples.append(time.perf_counter() - start)
+
+    rebuild_samples: "list[float]" = []
+    for row in far_rows(n_rebuilds):
+        start = time.perf_counter()
+        rebuilt = FeatureCollection(np.vstack([vectors, row[None, :]]), copy=False)
+        rebuilt.workspace
+        rebuild_samples.append(time.perf_counter() - start)
+
+    # ------------------------------------------------------------------ #
+    # Phase 2 — read throughput: frozen read-only vs live mixed traffic.
+    # ------------------------------------------------------------------ #
+    blocks = [
+        query_points[start : start + block_queries]
+        for start in range(0, n_queries, block_queries)
+    ]
+    reference_blocks = [
+        reference[start : start + block_queries]
+        for start in range(0, n_queries, block_queries)
+    ]
+
+    frozen_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for block in blocks:
+            frozen_engine.search_batch(block, k)
+        frozen_seconds = min(frozen_seconds, time.perf_counter() - start)
+
+    identical = True
+    mixed_seconds = float("inf")
+    read_samples: "list[float]" = []
+    write_ops = 0
+    inserted_ids: "list[int]" = []
+    for repeat in range(repeats):
+        mixed_results: "list[list]" = []
+        pending_writes = [far_rows(writes_per_block) for _ in blocks]
+        start = time.perf_counter()
+        for block, writes in zip(blocks, pending_writes):
+            block_start = time.perf_counter()
+            mixed_results.append(live_engine.search_batch(block, k))
+            read_samples.append(time.perf_counter() - block_start)
+            ids = live.insert(writes)
+            inserted_ids.extend(int(i) for i in ids)
+            write_ops += int(ids.size)
+            if len(inserted_ids) % 4 == 0:
+                live.delete([inserted_ids.pop(0)])
+                write_ops += 1
+        mixed_seconds = min(mixed_seconds, time.perf_counter() - start)
+        for served, expected in zip(mixed_results, reference_blocks):
+            identical = identical and _identical(served, expected)
+
+    # ------------------------------------------------------------------ #
+    # Phase 3 — compaction off the hot path: reads never stall.
+    # ------------------------------------------------------------------ #
+    compacting = threading.Event()
+    done = threading.Event()
+    fold_seconds = [0.0]
+
+    def fold() -> None:
+        compacting.set()
+        start = time.perf_counter()
+        live.compact()
+        fold_seconds[0] = time.perf_counter() - start
+        done.set()
+
+    folder = threading.Thread(target=fold, name="repro-bench-compactor")
+    folder.start()
+    compacting.wait()
+    queries_during = 0
+    position = 0
+    while not done.is_set():
+        point = query_points[position % n_queries]
+        result = live_engine.search(point, k)
+        if done.is_set():
+            break  # completed after the fold; do not count it
+        identical = identical and result == reference[position % n_queries]
+        queries_during += 1
+        position += 1
+    folder.join()
+
+    return LiveMutationResult(
+        n_rows=int(n_rows),
+        dimension=int(dimension),
+        k=int(k),
+        n_inserts=int(n_inserts),
+        n_rebuilds=int(n_rebuilds),
+        insert_seconds=float(np.mean(insert_samples)),
+        rebuild_seconds=float(np.mean(rebuild_samples)),
+        read_queries=int(n_queries),
+        write_ops=int(write_ops // repeats),
+        frozen_seconds=frozen_seconds,
+        mixed_seconds=mixed_seconds,
+        compaction_seconds=fold_seconds[0],
+        queries_during_compaction=int(queries_during),
+        identical_results=bool(identical),
+        latencies=_summarize_latencies(
+            {
+                "insert": insert_samples,
+                "rebuild": rebuild_samples,
+                "read": read_samples,
+            }
+        ),
     )

@@ -309,6 +309,43 @@ class ServingClient:
         return self._call("bypass_stats", tenant=tenant)
 
     # ------------------------------------------------------------------ #
+    # Live-corpus mutation (requires a server over a LiveCollection)
+    # ------------------------------------------------------------------ #
+    def insert(self, vectors, labels=None) -> np.ndarray:
+        """Append vectors to the served live corpus; returns their stable ids.
+
+        The vectors travel as one float64 matrix frame on the binary codec;
+        queries dispatched after the response sees them.  Raises a server
+        error when the served corpus is frozen.
+        """
+        return self._call(
+            "insert",
+            vectors=np.asarray(vectors, dtype=np.float64),
+            labels=None if labels is None else [str(label) for label in labels],
+        )
+
+    def delete(self, ids) -> int:
+        """Tombstone stable ids in the served live corpus; returns the count."""
+        return int(self._call("delete", ids=np.asarray(ids, dtype=np.int64)))
+
+    def compact(self) -> dict:
+        """Fold the served corpus's deltas into a fresh base segment.
+
+        Queries keep dispatching while the fold runs (its heavy phase holds
+        no lock the query path needs); the response carries the composition
+        stats after the fold.
+        """
+        return self._call("compact")
+
+    def corpus_stats(self) -> dict:
+        """Segment/tombstone/compaction counters of the served corpus.
+
+        Answers on frozen corpora too (``live: False`` + size), so clients
+        can probe mutability without an error round-trip.
+        """
+        return self._call("corpus_stats")
+
+    # ------------------------------------------------------------------ #
     # Interactive multi-round sessions
     # ------------------------------------------------------------------ #
     def open_session(self, query_point, k: int, *, initial_delta=None, initial_weights=None) -> dict:

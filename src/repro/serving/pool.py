@@ -414,6 +414,24 @@ class PooledServingClient:
         """Shared-tree statistics (idempotent — retried)."""
         return self._call("bypass_stats", idempotent=True, tenant=tenant)
 
+    def insert(self, vectors, labels=None):
+        """Append vectors to the served live corpus (not retried: a lost ack
+        must not insert the rows twice under fresh ids)."""
+        return self._call("insert", vectors, labels, idempotent=False)
+
+    def delete(self, ids) -> int:
+        """Tombstone stable ids (not retried: deleting a dead id raises, so
+        a replay of a half-acknowledged delete would surface as an error)."""
+        return self._call("delete", ids, idempotent=False)
+
+    def compact(self) -> dict:
+        """Fold the served corpus (idempotent — a repeated fold is a no-op)."""
+        return self._call("compact", idempotent=True)
+
+    def corpus_stats(self) -> dict:
+        """Segment/tombstone/compaction counters (idempotent — retried)."""
+        return self._call("corpus_stats", idempotent=True)
+
     def run_feedback_session(
         self, query_point, k: int, judge: Judge, *, initial_delta=None, initial_weights=None
     ) -> FeedbackLoopResult:

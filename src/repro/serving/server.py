@@ -46,6 +46,7 @@ import numpy as np
 from repro.core.oqp import OptimalQueryParameters
 from repro.database.engine import run_grouped_by_k
 from repro.database.query import Query
+from repro.database.segments import Compactor
 from repro.feedback.engine import FeedbackEngine
 from repro.feedback.reweighting import ReweightingRule
 from repro.feedback.scheduler import LoopRequest
@@ -142,6 +143,13 @@ class ServerConfig:
     bypass_max_nodes, bypass_max_tenants:
         The size/eviction policy: cap stored points per tree, cap resident
         tenant trees (least-recently-trained is evicted, snapshot first).
+    autocompact_delta_rows:
+        When the engine serves a live collection, start a server-owned
+        :class:`~repro.database.segments.Compactor` thread that folds the
+        delta segments into a new base whenever this many rows accumulate
+        outside it (``None``, the default, leaves compaction to explicit
+        ``compact`` ops).  The fold's heavy phase runs off the mutation
+        lock, so coalesced query windows keep dispatching while it runs.
     """
 
     host: str = "127.0.0.1"
@@ -165,8 +173,11 @@ class ServerConfig:
     bypass_snapshot_every: int = 256
     bypass_max_nodes: "int | None" = None
     bypass_max_tenants: int = 64
+    autocompact_delta_rows: "int | None" = None
 
     def __post_init__(self) -> None:
+        if self.autocompact_delta_rows is not None:
+            check_dimension(self.autocompact_delta_rows, "autocompact_delta_rows")
         check_dimension(self.max_batch, "max_batch")
         check_dimension(self.max_iterations, "max_iterations")
         check_dimension(self.stream_chunk_items, "stream_chunk_items")
@@ -233,6 +244,16 @@ class ServingCore:
             self.feedback, max_wait=self.config.max_wait, on_retire=on_retire
         )
         self.sessions = SessionManager(self.feedback, self.coalescer)
+        self.compactor: "Compactor | None" = None
+        if self.config.autocompact_delta_rows is not None:
+            live = getattr(engine, "collection", None)
+            if not getattr(engine, "is_live", False):
+                raise ValidationError(
+                    "autocompact_delta_rows requires an engine over a LiveCollection"
+                )
+            self.compactor = Compactor(
+                live, min_delta_rows=self.config.autocompact_delta_rows
+            ).start()
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
         self._n_open = 0
@@ -255,6 +276,10 @@ class ServingCore:
             "bypass_insert": self._op_bypass_insert,
             "bypass_insert_batch": self._op_bypass_insert_batch,
             "bypass_stats": self._op_bypass_stats,
+            "insert": self._op_insert,
+            "delete": self._op_delete,
+            "compact": self._op_compact,
+            "corpus_stats": self._op_corpus_stats,
         }
 
     # ------------------------------------------------------------------ #
@@ -332,7 +357,7 @@ class ServingCore:
         """One aggregated snapshot of every serving-layer counter."""
         with self._lock:
             connections = {"open": self._n_open, "accepted": self._n_accepted}
-        return {
+        snapshot = {
             "engine": self.engine.stats(),
             "coalescer": self.coalescer.stats(),
             "frontier": self.frontier.stats(),
@@ -340,9 +365,16 @@ class ServingCore:
             "connections": connections,
             "bypass": None if self.bypass is None else self.bypass.stats(),
         }
+        if getattr(self.engine, "is_live", False):
+            # Gated on live corpora so frozen servers keep their exact
+            # historical stats shape.
+            snapshot["corpus"] = self.engine.collection.corpus_stats()
+        return snapshot
 
     def shutdown(self, *, own_engine: bool, drain_timeout: float = 10.0) -> None:
         """Drain the frontier and in-flight requests, then release state."""
+        if self.compactor is not None:
+            self.compactor.close()
         self.frontier.close()
         self.wait_idle(drain_timeout)
         self.sessions.clear()
@@ -503,6 +535,53 @@ class ServingCore:
     def _op_bypass_stats(self, message, owner) -> dict:
         registry = self._require_bypass()
         return registry.stats(message.get("tenant"))
+
+    # ------------------------------------------------------------------ #
+    # Live-corpus mutation ops
+    # ------------------------------------------------------------------ #
+    def _require_live(self):
+        if not getattr(self.engine, "is_live", False):
+            raise ValidationError(
+                "the server's corpus is frozen (serve an engine over a "
+                "LiveCollection to enable mutation ops)"
+            )
+        return self.engine.collection
+
+    def _op_insert(self, message, owner) -> np.ndarray:
+        """Append vectors to the live corpus; returns their stable ids.
+
+        The vectors travel on the binary codec as one float64 matrix frame;
+        every query dispatched after this op returns (coalesced windows
+        included) sees them.
+        """
+        live = self._require_live()
+        return live.insert(message["vectors"], message.get("labels"))
+
+    def _op_delete(self, message, owner) -> int:
+        """Tombstone stable ids; returns how many were deleted."""
+        live = self._require_live()
+        return live.delete(message["ids"])
+
+    def _op_compact(self, message, owner) -> dict:
+        """Fold deltas + tombstones into a fresh base, off the query path.
+
+        Runs on this request's handler thread, but the fold's heavy phase
+        holds no lock the query path needs, so coalesced windows keep
+        dispatching while it runs.
+        """
+        live = self._require_live()
+        return live.compact()
+
+    def _op_corpus_stats(self, message, owner) -> dict:
+        """Deterministic segment/tombstone/compaction counters of the corpus.
+
+        For a frozen corpus this still answers (``live: False`` plus the
+        static size) so clients can probe mutability without an error
+        round-trip; every other mutation op raises on frozen corpora.
+        """
+        if not getattr(self.engine, "is_live", False):
+            return {"live": False, "size": int(self.engine.collection.size)}
+        return self.engine.collection.corpus_stats()
 
 
 class _TCPServer(socketserver.ThreadingTCPServer):

@@ -7,6 +7,8 @@ while still exercising the real code paths end-to-end.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -14,6 +16,30 @@ from repro.database.collection import FeatureCollection
 from repro.evaluation.session import InteractiveSession, SessionConfig
 from repro.features.datasets import build_imsi_like_dataset
 from repro.features.normalization import drop_last_bin
+
+
+def bounded_wait(predicate, timeout: float = 10.0, interval: float = 0.005, *, strict: bool = True) -> None:
+    """Bounded poll until ``predicate()`` is true (replaces blind sleeps).
+
+    Shared by the serving stress suites — anywhere a test must wait for a
+    counter maintained by another thread.  ``strict`` (default) raises when
+    the deadline passes; ``strict=False`` just stops waiting, for call
+    sites that only use the poll to de-flake a later assertion.
+    """
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            if strict:
+                raise AssertionError("condition not reached within the deadline")
+            return
+        time.sleep(interval)
+
+
+@pytest.fixture(scope="session")
+def wait_until():
+    """The bounded-poll helper as a fixture (importable-from-conftest is
+    ambiguous with two conftests on ``sys.path``; a fixture is not)."""
+    return bounded_wait
 
 
 @pytest.fixture(scope="session")

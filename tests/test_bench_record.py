@@ -135,6 +135,14 @@ class TestGenerateFigures:
                 "amortization": 3.0 * n,
                 "trained_nodes": 24 * n,
             }
+            e["live_mutation"] = {
+                "insert_speedup": 100.0 * n,
+                "frozen_qps": 800.0 * n,
+                "mixed_qps": 750.0 * n,
+                "mixed_ratio": 0.94,
+                "compaction_ms": 250.0,
+                "queries_during_compaction": 4 * n,
+            }
         return made
 
     def test_all_figures_render_wellformed_svg(self, figures_dir, entries):
@@ -162,6 +170,7 @@ class TestGenerateFigures:
             "scale_lab",
             "connection_scaling",
             "bypass_amortization",
+            "live_mutation",
         }
         for name, (group, renderer) in generate_figures.FIGURES.items():
             assert group in ("trajectory", "latest")

@@ -268,7 +268,7 @@ class TestDisconnectMidInsert:
                 )
 
     def test_vanishing_before_the_reply_still_counts_exactly_once(
-        self, tiny_collection
+        self, tiny_collection, wait_until
     ):
         """A full insert whose sender never reads the reply applies once."""
         engine = RetrievalEngine(tiny_collection)
@@ -292,9 +292,12 @@ class TestDisconnectMidInsert:
             registry = server.bypass_registry
             # Wait for the handler to observe the EOF before snapshotting
             # counters, so no half-processed request skews the read.
-            deadline = time.monotonic() + 5.0
-            while server.stats()["connections"]["open"] and time.monotonic() < deadline:
-                time.sleep(0.01)
+            wait_until(
+                lambda: not server.stats()["connections"]["open"],
+                timeout=5.0,
+                interval=0.01,
+                strict=False,
+            )
             # The request was complete on the wire, so it lands exactly once
             # (the sender's death only loses the *reply*), or — if the close
             # raced the read — not at all.  Either way the accounting and

@@ -29,15 +29,6 @@ K = 6
 MAX_ITERATIONS = 6
 
 
-def _wait_until(predicate, timeout: float = 10.0, interval: float = 0.005) -> None:
-    """Bounded poll until ``predicate()`` is true (replaces blind sleeps)."""
-    deadline = time.monotonic() + timeout
-    while not predicate():
-        if time.monotonic() > deadline:
-            raise AssertionError("condition not reached within the deadline")
-        time.sleep(interval)
-
-
 class SlowJudge:
     """A category judge that stalls each round (picklable, deterministic).
 
@@ -80,7 +71,7 @@ class TestConcurrentHammering:
     N_SINGLES = 8
     BATCH_ROWS = 10
 
-    def test_mixed_traffic_is_exact_and_fully_accounted(self, tiny_collection):
+    def test_mixed_traffic_is_exact_and_fully_accounted(self, tiny_collection, wait_until):
         """Byte-identical results and exact counter totals under contention."""
         user = SimulatedUser(tiny_collection)
         engine = ShardedEngine(tiny_collection, 3, n_workers=2)
@@ -127,9 +118,12 @@ class TestConcurrentHammering:
             _run_threads(self.N_CLIENTS, work)
             # Handler threads observe their clients' EOFs asynchronously;
             # wait for the connection count to quiesce before snapshotting.
-            deadline = time.time() + 5.0
-            while server.stats()["connections"]["open"] and time.time() < deadline:
-                time.sleep(0.01)
+            wait_until(
+                lambda: not server.stats()["connections"]["open"],
+                timeout=5.0,
+                interval=0.01,
+                strict=False,
+            )
             stats = server.stats()
 
         for client_id in range(self.N_CLIENTS):
@@ -158,7 +152,7 @@ class TestConcurrentHammering:
 
 
 class TestDisconnectMidFrontier:
-    def test_other_sessions_survive_a_mid_loop_disconnect(self, tiny_collection):
+    def test_other_sessions_survive_a_mid_loop_disconnect(self, tiny_collection, wait_until):
         """A vanished client's loop never corrupts its frontier neighbours."""
         user = SimulatedUser(tiny_collection)
         engine = RetrievalEngine(tiny_collection)
@@ -200,7 +194,7 @@ class TestDisconnectMidFrontier:
             thread.start()
             # Both loops are on the frontier once the submission counter
             # says so (SlowJudge keeps the rounds alive meanwhile).
-            _wait_until(lambda: server.stats()["frontier"]["loops"] == 2)
+            wait_until(lambda: server.stats()["frontier"]["loops"] == 2)
             doomed.close()  # A disconnects mid-frontier
             thread.join(timeout=30.0)
             assert not thread.is_alive()
@@ -219,7 +213,7 @@ class TestDisconnectMidFrontier:
 
 
 class TestDrainAndClose:
-    def test_close_drains_an_in_flight_loop(self, tiny_collection):
+    def test_close_drains_an_in_flight_loop(self, tiny_collection, wait_until):
         """close() lets an admitted loop finish and its response leave."""
         user = SimulatedUser(tiny_collection)
         engine = RetrievalEngine(tiny_collection)
@@ -244,7 +238,7 @@ class TestDrainAndClose:
         thread.start()
         # The loop is submitted (and close() drains submitted loops) once
         # the frontier's counter sees it; SlowJudge keeps it iterating.
-        _wait_until(lambda: server.stats()["frontier"]["loops"] == 1)
+        wait_until(lambda: server.stats()["frontier"]["loops"] == 1)
         server.close()
         thread.join(timeout=30.0)
         client.close()
