@@ -432,6 +432,80 @@ def figure_live_mutation(entries: "list[dict]") -> "str | None":
 
 
 #: name -> (group, renderer).  Renderers return the written path, or None
+
+def figure_anytime_recall(entries: "list[dict]") -> "str | None":
+    charted = [entry for entry in entries if "anytime_recall" in entry]
+    if not charted:
+        return None
+    # A recall-vs-budget curve is per-run, not per-commit: chart the most
+    # recent recorded curve, with the acceptance floor drawn in.
+    latest = charted[-1]
+    section = latest["anytime_recall"]
+    points = section["points"]
+    if not points:
+        return None
+    canvas = Canvas(
+        f"Anytime recall vs work budget ({section['n_rows']} rows, "
+        f"k={section['k']}, commit {latest.get('commit', '?')})"
+    )
+    x0, x1, y0, y1 = plot_area()
+    ticks = draw_axes(canvas, 1.0, "recall vs exact top-k")
+    span = ticks[-1] or 1.0
+    # Budget fractions span three decades; place them on a log axis.
+    fractions = [max(point["fraction"], 1e-6) for point in points]
+    lo, hi = math.log10(min(fractions)), math.log10(max(fractions))
+    width = (hi - lo) or 1.0
+
+    def x_at(fraction: float) -> float:
+        return x0 + ((math.log10(max(fraction, 1e-6)) - lo) / width) * (x1 - x0)
+
+    def y_at(recall: float) -> float:
+        return y1 - (recall / span) * (y1 - y0)
+
+    floor_y = y_at(0.9)
+    canvas.line(x0, floor_y, x1, floor_y, "#d62728", 1.0)
+    canvas.text(x1 - 4, floor_y - 5, "0.9 floor", size=9, anchor="end", color="#d62728")
+    exact_x = x_at(section["exact_fraction"])
+    canvas.line(exact_x, y0, exact_x, y1, "#2ca02c", 1.0)
+    canvas.text(
+        exact_x + 4,
+        y0 + 12,
+        f"exact work {section['exact_fraction']:.2%}",
+        size=9,
+        color="#2ca02c",
+    )
+    canvas.polyline(
+        [(x_at(point["fraction"]), y_at(point["recall"])) for point in points],
+        "#1f77b4",
+    )
+    for point in points:
+        canvas.text(
+            x_at(point["fraction"]),
+            y1 + 14,
+            f"{point['fraction']:g}",
+            size=9,
+            anchor="middle",
+        )
+    canvas.text(
+        (x0 + x1) / 2,
+        y1 + 32,
+        "work budget (fraction of full-scan rows, log scale)",
+        size=11,
+        anchor="middle",
+    )
+    legend(
+        canvas,
+        [
+            ("recall", "#1f77b4"),
+            ("0.9 @ 50% floor", "#d62728"),
+            ("exact traversal", "#2ca02c"),
+        ],
+    )
+    path = os.path.join(FIGURES_DIR, "anytime_recall.svg")
+    canvas.write(path)
+    return path
+
+
 #: when the trajectory has no data for that figure yet.
 FIGURES = {
     "qps_trajectory": ("trajectory", figure_qps_trajectory),
@@ -441,6 +515,7 @@ FIGURES = {
     "connection_scaling": ("trajectory", figure_connection_scaling),
     "bypass_amortization": ("trajectory", figure_bypass_amortization),
     "live_mutation": ("trajectory", figure_live_mutation),
+    "anytime_recall": ("trajectory", figure_anytime_recall),
 }
 
 

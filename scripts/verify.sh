@@ -41,6 +41,17 @@
 #              benchmark (insert vs rebuild-per-write, mixed-traffic qps
 #              floor, reads mid-fold; merges a live_mutation section into
 #              BENCH_throughput.json) and the SVG rendering
+#   --anytime  the anytime budget layer: the budget byte-identity grid
+#              (index x distance x shards x backend x precision x
+#              live/frozen), the hypothesis monotonicity/coverage/zero
+#              suites, the budgeted serving ops, then the recall-vs-budget
+#              benchmark on the 50k clustered corpus (monotone curve,
+#              recall >= 0.9 at a 50% work budget; merges an
+#              anytime_recall section into BENCH_throughput.json) and the
+#              SVG rendering; scale via REPRO_ANYTIME_N /
+#              REPRO_ANYTIME_QUERIES
+#   --anytime-fast  the same suites without the benchmark or figures —
+#              the push-CI slice of the anytime contract
 #   --scale    just the raw-speed layer: the fast-precision equivalence
 #              grid, k-selection autotuning and clustered-corpus suites,
 #              the 50k-row precision-speedup benchmark (enforced 1.5x
@@ -61,6 +72,7 @@ run_scale_lab=0
 run_c10k_figures=0
 run_bypass_figures=0
 run_live_figures=0
+run_anytime_figures=0
 targets=()
 case "${1:-}" in
     --fast)
@@ -124,6 +136,24 @@ case "${1:-}" in
             benchmarks/test_throughput_live.py
         )
         ;;
+    --anytime)
+        shift
+        run_anytime_figures=1
+        targets=(
+            tests/test_anytime_equivalence.py
+            tests/test_properties_anytime.py
+            tests/test_serving_equivalence.py
+            benchmarks/test_throughput_anytime.py
+        )
+        ;;
+    --anytime-fast)
+        shift
+        targets=(
+            tests/test_anytime_equivalence.py
+            tests/test_properties_anytime.py
+            tests/test_serving_equivalence.py::TestBudgetedServing
+        )
+        ;;
     --scale)
         shift
         run_scale_lab=1
@@ -172,6 +202,12 @@ if [[ "$run_bypass_figures" == 1 ]]; then
     # The amortization benchmark merged its bypass_amortization section
     # into BENCH_throughput.json; render the trajectory figure.
     python benchmarks/generate_figures.py bypass_amortization
+fi
+
+if [[ "$run_anytime_figures" == 1 ]]; then
+    # The anytime benchmark merged its anytime_recall section into
+    # BENCH_throughput.json; render the recall-vs-budget figure.
+    python benchmarks/generate_figures.py anytime_recall
 fi
 
 if [[ "$run_live_figures" == 1 ]]; then

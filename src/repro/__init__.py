@@ -227,6 +227,20 @@ Quickstart::
             assert after.indices().tolist() == before.indices().tolist()
             client.delete(ids[:2])
             print(client.corpus_stats()["size"], "vectors live")
+
+    # Anytime retrieval under a budget: cap the work (metric evaluations)
+    # and/or wall-clock of any search and get the best-so-far top-k plus
+    # a coverage report.  Absent, unlimited or merely *sufficient*
+    # budgets are byte-identical to the exact path.
+    from repro import Budget
+
+    with RetrievalServer(engine, ServerConfig()) as server:
+        host, port = server.address
+        with ServingClient(host, port) as client:
+            result, coverage = client.search(
+                session.collection.vectors[0], 20,
+                budget=Budget(max_rows=10_000))
+            print(coverage.fraction, coverage.complete)
 """
 
 from repro.core import (
@@ -240,8 +254,10 @@ from repro.core import (
     save_simplex_tree,
 )
 from repro.database import (
+    Budget,
     Compactor,
     CorpusWorkspace,
+    Coverage,
     FeatureCollection,
     KNNIndex,
     LinearScanIndex,
@@ -292,8 +308,10 @@ __all__ = [
     "bypass_for_unit_cube",
     "load_simplex_tree",
     "save_simplex_tree",
+    "Budget",
     "Compactor",
     "CorpusWorkspace",
+    "Coverage",
     "FeatureCollection",
     "KNNIndex",
     "LinearScanIndex",

@@ -30,6 +30,7 @@ service:
   into a new base off the hot path under an atomic epoch swap.
 """
 
+from repro.database.budget import Budget, Coverage
 from repro.database.collection import CorpusWorkspace, FeatureCollection
 from repro.database.engine import RetrievalEngine
 from repro.database.index import KNNIndex, NeighborHeap, k_smallest
@@ -47,7 +48,9 @@ from repro.database.sharding import (
 from repro.database.vptree import VPTreeIndex
 
 __all__ = [
+    "Budget",
     "Compactor",
+    "Coverage",
     "CorpusWorkspace",
     "FeatureCollection",
     "LiveCollection",

@@ -30,6 +30,7 @@ import threading
 
 import numpy as np
 
+from repro.database.budget import Budget, effective_budget
 from repro.database.collection import FeatureCollection
 from repro.database.index import KNNIndex
 from repro.database.knn import LinearScanIndex, parameter_scan_pairs
@@ -347,14 +348,30 @@ class RetrievalEngine:
     # ------------------------------------------------------------------ #
     # Query processing
     # ------------------------------------------------------------------ #
-    def search(self, query_point, k: int, distance: DistanceFunction | None = None) -> ResultSet:
+    def search(
+        self,
+        query_point,
+        k: int,
+        distance: DistanceFunction | None = None,
+        *,
+        budget: "Budget | None" = None,
+    ) -> ResultSet:
         """Return the ``k`` objects closest to ``query_point``.
 
         When ``distance`` is omitted the default distance applies.  The
         metric index serves the query whenever it supports the distance;
         otherwise the exact linear scan answers it (feedback may have changed
         the distance parameters arbitrarily).
+
+        A ``budget`` (see :class:`~repro.database.budget.Budget`) makes this
+        an anytime query: a finite budget routes through the budgeted batch
+        path and may return fewer than ``k`` neighbours, accumulating its
+        coverage on the budget object; an absent or unlimited budget is the
+        exact path verbatim.
         """
+        if budget is not None:
+            query_point = self._collection.validate_query_point(query_point)
+            return self.search_batch(query_point[None, :], k, distance, budget=budget)[0]
         if distance is None:
             distance = self._default_distance
         if self._live:
@@ -377,6 +394,8 @@ class RetrievalEngine:
         k: int,
         distance: DistanceFunction | None = None,
         precision: str = "exact",
+        *,
+        budget: "Budget | None" = None,
     ) -> list[ResultSet]:
         """Return the ``k`` nearest neighbours of every row of ``query_points``.
 
@@ -390,6 +409,12 @@ class RetrievalEngine:
         float64 re-scoring); the results stay byte-identical to the default
         ``"exact"`` path.  Metric-index dispatch is unaffected — the trees
         are exact by construction.
+
+        A ``budget`` is forwarded to whichever engine answers the batch:
+        each one charges its own work, opens its own coverage scope and
+        records what the budget could not afford (see
+        :class:`~repro.database.budget.Budget`).  Absent or unlimited
+        budgets take every exact path verbatim.
         """
         check_precision(precision)
         if distance is None:
@@ -400,14 +425,14 @@ class RetrievalEngine:
         if self._live:
             snapshot = self._collection.snapshot()
             self._count_live_dispatch(snapshot, distance, query_points.shape[0])
-            results = snapshot.search_batch(query_points, k, distance, precision)
+            results = snapshot.search_batch(query_points, k, distance, precision, budget=budget)
             self._account(results, batches=1)
             return results
         engine = self._select_engine(distance, count=query_points.shape[0])
         if engine is self._scan:
-            results = engine.search_batch(query_points, k, distance, precision)
+            results = engine.search_batch(query_points, k, distance, precision, budget=budget)
         else:
-            results = engine.search_batch(query_points, k)
+            results = engine.search_batch(query_points, k, budget=budget)
         self._account(results, batches=1)
         return results
 
@@ -426,23 +451,40 @@ class RetrievalEngine:
         """
         return run_grouped_by_k(self.search_batch, queries, distance)
 
-    def search_with_parameters(self, query_point, k: int, delta, weights) -> ResultSet:
+    def search_with_parameters(
+        self, query_point, k: int, delta, weights, *, budget: "Budget | None" = None
+    ) -> ResultSet:
         """Search with explicit query-parameter overrides.
 
         ``delta`` shifts the query point (``q_opt = q + Δ``) and ``weights``
         parameterises the weighted Euclidean distance — exactly how the
         optimal query parameters stored by FeedbackBypass are applied.
+        With a ``budget`` the request routes through the batched
+        parameterised path (where the budget accounting lives).
         """
         query_point = self._collection.validate_query_point(query_point)
         delta = np.asarray(delta, dtype=np.float64)
         if delta.shape != query_point.shape:
             raise ValidationError("delta must have the same shape as the query point")
         weights = np.asarray(weights, dtype=np.float64)
+        if budget is not None:
+            if weights.shape != query_point.shape:
+                raise ValidationError("weights must have the same shape as the query point")
+            return self.search_batch_with_parameters(
+                query_point[None, :], k, delta[None, :], weights[None, :], budget=budget
+            )[0]
         distance = WeightedEuclideanDistance(self._collection.dimension, weights=np.clip(weights, 0.0, None))
         return self.search(query_point + delta, k, distance=distance)
 
     def search_batch_with_parameters(
-        self, query_points, k: int, deltas, weights, precision: str = "exact"
+        self,
+        query_points,
+        k: int,
+        deltas,
+        weights,
+        precision: str = "exact",
+        *,
+        budget: "Budget | None" = None,
     ) -> list[ResultSet]:
         """Batched :meth:`search_with_parameters`: one (Δ, W) row per query.
 
@@ -471,7 +513,7 @@ class RetrievalEngine:
         if self._live:
             snapshot = self._collection.snapshot()
             results = snapshot.search_batch_with_parameters(
-                query_points, k, deltas, weights, precision
+                query_points, k, deltas, weights, precision, budget=budget
             )
             with self._counter_lock:
                 self._scan_fallbacks += n_queries
@@ -482,7 +524,7 @@ class RetrievalEngine:
 
         shifted = query_points + deltas
         pairs = parameter_scan_pairs(
-            shifted, weights, k, self._collection.workspace, self._scan.block_rows, precision
+            shifted, weights, k, self._collection.workspace, self._scan.block_rows, precision, budget
         )
         results = [ResultSet.from_arrays(labels, ordered) for labels, ordered in pairs]
         with self._counter_lock:

@@ -28,8 +28,11 @@ retrieval engine.  Two scale features live here:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
+from repro.database.budget import Budget, effective_budget
 from repro.database.collection import FeatureCollection
 from repro.database.index import KNNIndex, k_smallest
 from repro.database.query import ResultSet
@@ -113,6 +116,8 @@ class LinearScanIndex(KNNIndex):
         k: int,
         distance: DistanceFunction = None,
         precision: str = "exact",
+        *,
+        budget: "Budget | None" = None,
     ) -> list[ResultSet]:
         """Answer every query row with pairwise matrices + top-k selection.
 
@@ -123,6 +128,14 @@ class LinearScanIndex(KNNIndex):
         the exact row-wise computation before the final selection.  Corpora
         taller than :attr:`block_rows` are scanned in row blocks with
         per-block top-k merging — same results, bounded peak memory.
+
+        A finite ``budget`` clamps the scan: blocks are charged at
+        ``rows × queries`` metric evaluations before being scanned, the
+        last admissible block is shortened to exactly what the budget
+        grants, and the unscanned tail is recorded as an unbounded skip in
+        the budget's coverage.  Because per-(sub-)block top-k lists merge
+        associatively, a budget large enough to scan everything is
+        byte-identical to no budget at all.
         """
         k = check_dimension(k, "k")
         check_precision(precision)
@@ -138,6 +151,14 @@ class LinearScanIndex(KNNIndex):
         # only trusted row-wise when the kernel says so.
         rowwise_exact = precision == "exact" and distance.pairwise_matches_rowwise
         workspace = self._collection.workspace
+        effective = effective_budget(budget)
+        if effective is not None:
+            with effective.scope(n_points * query_points.shape[0]):
+                return self._search_batch_budgeted(
+                    query_points, k, distance, precision, workspace, rowwise_exact, effective
+                )
+        if budget is not None:
+            budget.note_exact(n_points * query_points.shape[0])
         if n_points <= self._block_rows:
             return self._scan_block(
                 query_points, k, distance, precision, workspace, rowwise_exact, base=0
@@ -224,6 +245,67 @@ class LinearScanIndex(KNNIndex):
             return [ResultSet.from_arrays(labels, ordered) for labels, ordered in selected]
         return selected
 
+    def _search_batch_budgeted(
+        self,
+        query_points: np.ndarray,
+        k: int,
+        distance: DistanceFunction,
+        precision: str,
+        workspace,
+        rowwise_exact: bool,
+        budget: Budget,
+    ) -> list[ResultSet]:
+        """The blocked scan under a finite budget: charge, clamp, merge.
+
+        Every block is granted at ``per_row = n_queries`` evaluations per
+        corpus row, so the number of rows scanned is a deterministic
+        function of the remaining work cap — execution under a smaller cap
+        is a strict prefix of execution under a larger one, which is what
+        the anytime monotonicity property rests on.
+        """
+        n_queries = query_points.shape[0]
+        n_points = self._collection.size
+        if n_queries == 0:
+            return []
+        empty = ResultSet.from_arrays(
+            np.array([], dtype=np.intp), np.array([], dtype=np.float64)
+        )
+        running: list[tuple[np.ndarray, np.ndarray]] | None = None
+        for start in range(0, n_points, self._block_rows):
+            stop = min(start + self._block_rows, n_points)
+            granted = budget.grant_rows(stop - start, per_row=n_queries)
+            truncated = granted < stop - start
+            if granted:
+                view = workspace.block(start, start + granted)
+                block_results = self._scan_block(
+                    query_points, k, distance, precision, view, rowwise_exact, base=start
+                )
+                if block_results and isinstance(block_results[0], ResultSet):
+                    # Whole corpus granted in one shot: _scan_block already
+                    # materialised the exact single-block answer.
+                    return block_results
+                if running is None:
+                    running = block_results
+                else:
+                    running = [
+                        k_smallest(
+                            np.concatenate((held_distances, new_distances)),
+                            min(k, held_labels.shape[0] + new_labels.shape[0]),
+                            labels=np.concatenate((held_labels, new_labels)),
+                        )
+                        for (held_labels, held_distances), (new_labels, new_distances) in zip(
+                            running, block_results
+                        )
+                    ]
+            if truncated:
+                # The rest of the corpus is unscanned and a scan carries no
+                # geometry to bound it: record an unbounded skip.
+                budget.note_skip(None)
+                break
+        if running is None:
+            return [empty] * n_queries
+        return [ResultSet.from_arrays(labels, ordered) for labels, ordered in running]
+
     def range_search(self, query_point, radius: float, distance: DistanceFunction) -> ResultSet:
         """Return every vector within ``radius`` of ``query_point``."""
         query_point = self._collection.validate_query_point(query_point)
@@ -284,6 +366,7 @@ def parameter_scan_pairs(
     workspace,
     block_rows: int,
     precision: str,
+    budget: "Budget | None" = None,
 ) -> list:
     """Exact per-query ``(Δ, W)`` top-k over one workspace, blocked.
 
@@ -295,27 +378,54 @@ def parameter_scan_pairs(
     the bits do not depend on how the corpus was split into workspaces.
     Returns one ``(labels, distances)`` pair per query row, labels local to
     the workspace, in the library-wide (distance, ascending label) order.
+
+    A finite ``budget`` clamps the blocks exactly like
+    :meth:`LinearScanIndex.search_batch` — per-(sub-)block pairs merge
+    associatively, the unscanned tail is an unbounded skip.
     """
     n_points = int(workspace.matrix.shape[0])
+    n_queries = int(shifted.shape[0])
     k = min(k, n_points)
-    if n_points <= block_rows:
-        return _parameter_scan_block(shifted, weights, k, workspace, 0, precision)
+    effective = effective_budget(budget)
+    if effective is None:
+        if budget is not None:
+            budget.note_exact(n_points * n_queries)
+        if n_points <= block_rows:
+            return _parameter_scan_block(shifted, weights, k, workspace, 0, precision)
+    if effective is not None and n_queries == 0:
+        return []
     pairs = None
-    for start in range(0, n_points, block_rows):
-        stop = min(start + block_rows, n_points)
-        view = workspace.block(start, stop)
-        block_pairs = _parameter_scan_block(shifted, weights, k, view, start, precision)
-        if pairs is None:
-            pairs = block_pairs
-        else:
-            pairs = [
-                k_smallest(
-                    np.concatenate((held_distances, new_distances)),
-                    k,
-                    labels=np.concatenate((held_labels, new_labels)),
-                )
-                for (held_labels, held_distances), (new_labels, new_distances) in zip(
-                    pairs, block_pairs
-                )
-            ]
+    scope = nullcontext() if effective is None else effective.scope(n_points * n_queries)
+    with scope:
+        for start in range(0, n_points, block_rows):
+            stop = min(start + block_rows, n_points)
+            if effective is not None:
+                granted = effective.grant_rows(stop - start, per_row=n_queries)
+                truncated = granted < stop - start
+                stop = start + granted
+            else:
+                truncated = False
+            if stop > start:
+                view = workspace.block(start, stop)
+                block_pairs = _parameter_scan_block(shifted, weights, k, view, start, precision)
+                if pairs is None:
+                    pairs = block_pairs
+                else:
+                    pairs = [
+                        k_smallest(
+                            np.concatenate((held_distances, new_distances)),
+                            min(k, held_labels.shape[0] + new_labels.shape[0]),
+                            labels=np.concatenate((held_labels, new_labels)),
+                        )
+                        for (held_labels, held_distances), (new_labels, new_distances) in zip(
+                            pairs, block_pairs
+                        )
+                    ]
+            if truncated:
+                effective.note_skip(None)
+                break
+    if pairs is None:
+        empty_labels = np.array([], dtype=np.intp)
+        empty_distances = np.array([], dtype=np.float64)
+        return [(empty_labels, empty_distances)] * n_queries
     return pairs

@@ -49,6 +49,7 @@ import threading
 
 import numpy as np
 
+from repro.database.budget import Budget, effective_budget
 from repro.database.collection import FeatureCollection
 from repro.database.index import KNNIndex, k_smallest
 from repro.database.knn import DEFAULT_BLOCK_ROWS, LinearScanIndex, parameter_scan_pairs
@@ -216,14 +217,15 @@ class LiveSnapshot:
         k: int,
         distance: DistanceFunction,
         precision: str,
+        budget: "Budget | None" = None,
     ) -> list:
         """One segment's per-query ``(ids, distances)`` pairs, dead rows dropped."""
         unit = segment.unit
         k_eff = min(k + segment.n_dead, len(unit))
         if unit.index is not None and unit.index.supports(distance):
-            results = unit.index.search_batch(query_points, k_eff)
+            results = unit.index.search_batch(query_points, k_eff, budget=budget)
         else:
-            results = unit.scan.search_batch(query_points, k_eff, distance, precision)
+            results = unit.scan.search_batch(query_points, k_eff, distance, precision, budget=budget)
         pairs = []
         for result in results:
             local = result.indices()
@@ -237,6 +239,12 @@ class LiveSnapshot:
 
     def _merge(self, per_segment: list, n_queries: int, k: int) -> "list[ResultSet]":
         """Global top-k per query from the per-segment candidate pairs."""
+        if not per_segment:
+            # A zero budget can skip every segment; the contract is
+            # well-formed (empty) results, never an exception.
+            empty_ids = np.array([], dtype=np.intp)
+            empty_distances = np.array([], dtype=np.float64)
+            return [ResultSet.from_arrays(empty_ids, empty_distances) for _ in range(n_queries)]
         if len(per_segment) == 1:
             # Single segment, already filtered and in (distance, id) order
             # (ids ascend with local position, so the orders coincide), and
@@ -261,28 +269,67 @@ class LiveSnapshot:
         precision: str = "exact",
         *,
         mapper=None,
+        budget: "Budget | None" = None,
     ) -> "list[ResultSet]":
         """The ``k`` nearest alive vectors of every query row, by stable id.
 
         Byte-identical to ``FeatureCollection(alive rows)`` queried through
         the same engine configuration, with positions mapped to ids.
+
+        A finite ``budget`` runs the segments serially (base first, then
+        deltas in admission order, ignoring ``mapper``): each segment the
+        budget reaches is consulted through the budgeted per-engine path
+        and counted ``segments_answered``; segments the exhausted budget
+        never reaches are unbounded skips counted ``segments_skipped``.
         """
         k = check_dimension(k, "k")
         check_precision(precision)
         query_points = as_float_matrix(
             query_points, name="query_points", shape=(None, self._dimension)
         )
+        n_queries = query_points.shape[0]
+        effective = effective_budget(budget)
+        if effective is not None:
+            per_segment = []
+            with effective.scope(self._rows_resident() * n_queries):
+                for segment in self._segments:
+                    if effective.exhausted():
+                        effective.note_skip(None)
+                        effective.note_segment(answered=False)
+                        continue
+                    per_segment.append(
+                        self._segment_pairs(segment, query_points, k, distance, precision, effective)
+                    )
+                    effective.note_segment(answered=True)
+            return self._merge(per_segment, n_queries, k)
+        if budget is not None:
+            budget.note_exact(self._rows_resident() * n_queries)
         run = _serial_map if mapper is None else mapper
         per_segment = run(
             lambda segment: self._segment_pairs(segment, query_points, k, distance, precision),
             self._segments,
         )
-        return self._merge(per_segment, query_points.shape[0], k)
+        return self._merge(per_segment, n_queries, k)
 
-    def search(self, query_point, k: int, distance: DistanceFunction) -> ResultSet:
+    def _rows_resident(self) -> int:
+        """Resident rows across all segments (dead rows included).
+
+        The budget charges what a scan actually evaluates, and scans see
+        tombstoned rows too — liveness is filtered after the distances.
+        """
+        return sum(len(segment.unit) for segment in self._segments)
+
+    def search(
+        self,
+        query_point,
+        k: int,
+        distance: DistanceFunction,
+        *,
+        budget: "Budget | None" = None,
+    ) -> ResultSet:
         """Single-query front end to :meth:`search_batch` (identical bits)."""
         query_point = np.atleast_1d(np.asarray(query_point, dtype=np.float64))
-        return self.search_batch(query_point[None, :], k, distance)[0]
+        return self.search_batch(query_point[None, :], k, distance, budget=budget)[0]
 
     def search_batch_with_parameters(
         self,
@@ -293,6 +340,7 @@ class LiveSnapshot:
         precision: str = "exact",
         *,
         mapper=None,
+        budget: "Budget | None" = None,
     ) -> "list[ResultSet]":
         """Per-query ``(Δ, W)`` search across the segments (exact merge).
 
@@ -301,7 +349,9 @@ class LiveSnapshot:
         with the ``k + dead`` widening, then merges like
         :meth:`search_batch` — the exact candidate distances are
         element-wise per object, so segment membership never shows in the
-        bits.
+        bits.  A finite ``budget`` degrades exactly like
+        :meth:`search_batch`: serial segments, budget-clamped blocks,
+        per-segment completeness in the coverage report.
         """
         k = check_dimension(k, "k")
         check_precision(precision)
@@ -315,7 +365,7 @@ class LiveSnapshot:
         )
         shifted = query_points + deltas
 
-        def scan_segment(segment: _SnapshotSegment) -> list:
+        def scan_segment(segment: _SnapshotSegment, segment_budget: "Budget | None" = None) -> list:
             unit = segment.unit
             k_eff = min(k + segment.n_dead, len(unit))
             pairs = parameter_scan_pairs(
@@ -325,6 +375,7 @@ class LiveSnapshot:
                 unit.collection.workspace,
                 unit.scan.block_rows,
                 precision,
+                segment_budget,
             )
             mapped = []
             for local, ordered in pairs:
@@ -335,6 +386,20 @@ class LiveSnapshot:
                 mapped.append((unit.ids[local], ordered))
             return mapped
 
+        effective = effective_budget(budget)
+        if effective is not None:
+            per_segment = []
+            with effective.scope(self._rows_resident() * n_queries):
+                for segment in self._segments:
+                    if effective.exhausted():
+                        effective.note_skip(None)
+                        effective.note_segment(answered=False)
+                        continue
+                    per_segment.append(scan_segment(segment, effective))
+                    effective.note_segment(answered=True)
+            return self._merge(per_segment, n_queries, k)
+        if budget is not None:
+            budget.note_exact(self._rows_resident() * n_queries)
         run = _serial_map if mapper is None else mapper
         per_segment = run(scan_segment, self._segments)
         return self._merge(per_segment, n_queries, k)

@@ -58,6 +58,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.database.budget import Budget, effective_budget
 from repro.database.collection import FeatureCollection
 from repro.database.engine import RetrievalEngine, run_grouped_by_k
 from repro.database.index import KNNIndex, k_smallest
@@ -1080,17 +1081,88 @@ class ShardedEngine:
             for position in range(n_queries)
         ]
 
+    def _merge_partial(self, shard_results: "list[tuple[int, ResultSet]]", k: int) -> ResultSet:
+        """Merge one query's answers from the shards a budget reached.
+
+        Like :meth:`_merge`, but over explicit ``(shard_id, result)`` pairs
+        because a budget-cut fan-out may have skipped shards entirely.  Zero
+        answered shards merge to a well-formed empty result.
+        """
+        if not shard_results:
+            empty_indices = np.array([], dtype=np.intp)
+            empty_distances = np.array([], dtype=np.float64)
+            return ResultSet.from_arrays(empty_indices, empty_distances)
+        distances = np.concatenate([result.distances() for _, result in shard_results])
+        global_indices = np.concatenate(
+            [
+                self._sharded.to_global(shard_id, result.indices())
+                for shard_id, result in shard_results
+            ]
+        )
+        indices, ordered = k_smallest(distances, min(k, distances.shape[0]), labels=global_indices)
+        return ResultSet.from_arrays(indices, ordered)
+
+    def _merge_batch_partial(
+        self, answered: "list[tuple[int, list[ResultSet]]]", n_queries: int, k: int
+    ) -> list[ResultSet]:
+        """Query-by-query :meth:`_merge_partial` over the answered shards."""
+        return [
+            self._merge_partial(
+                [(shard_id, shard_lists[position]) for shard_id, shard_lists in answered], k
+            )
+            for position in range(n_queries)
+        ]
+
+    def _budgeted_fan_out(
+        self, budget: Budget, n_queries: int, call
+    ) -> "list[tuple[int, list[ResultSet]]]":
+        """Serial budget-cut fan-out: consult shards in shard-id order.
+
+        ``call(engine)`` answers the batch on one shard engine with the
+        budget threaded through; shards the exhausted budget never reaches
+        are unbounded skips counted ``shards_skipped``.  Requires the
+        thread backend — a live :class:`Budget` (lock, clock) cannot cross
+        the process boundary, and a shared cap drained from another process
+        would not be deterministic anyway.
+        """
+        if self._process_backend is not None:
+            raise ValidationError(
+                "finite budgets need backend='thread': a live Budget cannot "
+                "cross the process boundary"
+            )
+        answered: "list[tuple[int, list[ResultSet]]]" = []
+        with budget.scope(self.collection.size * n_queries):
+            for shard_id, engine in enumerate(self._shard_engines):
+                if budget.exhausted():
+                    budget.note_skip(None)
+                    budget.note_shard(answered=False)
+                    continue
+                answered.append((shard_id, call(engine)))
+                budget.note_shard(answered=True)
+        return answered
+
     # ------------------------------------------------------------------ #
     # Query processing
     # ------------------------------------------------------------------ #
-    def search(self, query_point, k: int, distance: DistanceFunction | None = None) -> ResultSet:
+    def search(
+        self,
+        query_point,
+        k: int,
+        distance: DistanceFunction | None = None,
+        *,
+        budget: "Budget | None" = None,
+    ) -> ResultSet:
         """Return the ``k`` objects closest to ``query_point``.
 
         The query fans out to every shard engine (in parallel when the
         backend has workers) and the per-shard top-k lists merge exactly.
+        A finite ``budget`` cuts the fan-out short (see
+        :meth:`search_batch`).
         """
         k = check_dimension(k, "k")
         query_point = self.collection.validate_query_point(query_point)
+        if budget is not None:
+            return self.search_batch(query_point[None, :], k, distance, budget=budget)[0]
         if self._live:
             if distance is None:
                 distance = self._default_distance
@@ -1112,8 +1184,18 @@ class ShardedEngine:
         k: int,
         distance: DistanceFunction | None = None,
         precision: str = "exact",
+        *,
+        budget: "Budget | None" = None,
     ) -> list[ResultSet]:
         """Return the ``k`` nearest neighbours of every row of ``query_points``.
+
+        A finite ``budget`` consults the shards serially in shard-id order
+        and stops when the budget runs dry: shards it reached are counted
+        ``shards_answered`` (possibly partially scanned, through each shard
+        engine's own budgeted path), the rest ``shards_skipped``, and the
+        merged results carry whatever the answered shards returned.
+        Requires the thread backend.  Absent or unlimited budgets take the
+        parallel exact fan-out verbatim.
 
         Each worker answers the whole batch for one shard through the shard
         engine's batched path (one pairwise matrix per shard for the linear
@@ -1139,10 +1221,26 @@ class ShardedEngine:
             snapshot = self._live_collection.snapshot()
             self._count_live_dispatch(snapshot, distance, query_points.shape[0])
             merged = snapshot.search_batch(
-                query_points, k, distance, precision, mapper=self._pool.map
+                query_points, k, distance, precision, mapper=self._pool.map, budget=budget
             )
             self._account(merged, count=len(merged), batches=1)
             return merged
+        effective = effective_budget(budget)
+        if effective is not None:
+            answered = self._budgeted_fan_out(
+                effective,
+                query_points.shape[0],
+                lambda engine: engine.search_batch(
+                    query_points, k, distance, precision, budget=effective
+                ),
+            )
+            merged = self._merge_batch_partial(answered, query_points.shape[0], k)
+            self._account(merged, count=len(merged), batches=1)
+            return merged
+        if budget is not None:
+            budget.note_exact(self.collection.size * query_points.shape[0])
+            for _ in self._shard_engines:
+                budget.note_shard(answered=True)
         per_shard = self._fan_out("search_batch", (query_points, k, distance, precision))
         merged = self._merge_batch(per_shard, query_points.shape[0], k)
         self._account(merged, count=len(merged), batches=1)
@@ -1177,7 +1275,14 @@ class ShardedEngine:
         )[0]
 
     def search_batch_with_parameters(
-        self, query_points, k: int, deltas, weights, precision: str = "exact"
+        self,
+        query_points,
+        k: int,
+        deltas,
+        weights,
+        precision: str = "exact",
+        *,
+        budget: "Budget | None" = None,
     ) -> list[ResultSet]:
         """Batched per-query (Δ, W) search — the FeedbackBypass / frontier arm.
 
@@ -1199,7 +1304,7 @@ class ShardedEngine:
         if self._live:
             snapshot = self._live_collection.snapshot()
             merged = snapshot.search_batch_with_parameters(
-                query_points, k, deltas, weights, precision, mapper=self._pool.map
+                query_points, k, deltas, weights, precision, mapper=self._pool.map, budget=budget
             )
             with self._counter_lock:
                 self._scan_fallbacks += n_queries
@@ -1207,6 +1312,22 @@ class ShardedEngine:
                     self._delta_hits += n_queries
             self._account(merged, count=len(merged), batches=1)
             return merged
+        effective = effective_budget(budget)
+        if effective is not None:
+            answered = self._budgeted_fan_out(
+                effective,
+                n_queries,
+                lambda engine: engine.search_batch_with_parameters(
+                    query_points, k, deltas, weights, precision, budget=effective
+                ),
+            )
+            merged = self._merge_batch_partial(answered, n_queries, k)
+            self._account(merged, count=len(merged), batches=1)
+            return merged
+        if budget is not None:
+            budget.note_exact(self.collection.size * n_queries)
+            for _ in self._shard_engines:
+                budget.note_shard(answered=True)
         per_shard = self._fan_out(
             "search_batch_with_parameters", (query_points, k, deltas, weights, precision)
         )

@@ -48,6 +48,7 @@ from repro.evaluation.experiments import (
 )
 from repro.evaluation.efficiency import EfficiencyResult, saved_cycles_experiment
 from repro.evaluation.throughput import (
+    AnytimeRecallResult,
     BackendThroughputResult,
     BypassAmortizationResult,
     ConnectionScalingResult,
@@ -57,6 +58,7 @@ from repro.evaluation.throughput import (
     ServingThroughputResult,
     ShardedThroughputResult,
     ThroughputResult,
+    measure_anytime_recall,
     measure_backend_speedup,
     measure_batch_speedup,
     measure_bypass_amortization,
@@ -76,6 +78,7 @@ from repro.evaluation.workloads import (
 )
 from repro.evaluation.reporting import (
     format_series_table,
+    render_anytime_recall,
     render_backend_throughput,
     render_bypass_amortization,
     render_category_robustness,
@@ -114,6 +117,7 @@ __all__ = [
     "tree_growth",
     "EfficiencyResult",
     "saved_cycles_experiment",
+    "AnytimeRecallResult",
     "BackendThroughputResult",
     "BypassAmortizationResult",
     "ConnectionScalingResult",
@@ -123,6 +127,7 @@ __all__ = [
     "ServingThroughputResult",
     "ShardedThroughputResult",
     "ThroughputResult",
+    "measure_anytime_recall",
     "measure_backend_speedup",
     "measure_batch_speedup",
     "measure_bypass_amortization",
@@ -138,6 +143,7 @@ __all__ = [
     "run_workload",
     "uniform_workload",
     "format_series_table",
+    "render_anytime_recall",
     "render_backend_throughput",
     "render_bypass_amortization",
     "render_category_robustness",

@@ -25,6 +25,7 @@ if TYPE_CHECKING:
         BypassAmortizationResult,
         ConnectionScalingResult,
         FeedbackThroughputResult,
+        AnytimeRecallResult,
         LiveMutationResult,
         ServingThroughputResult,
         ShardedThroughputResult,
@@ -405,4 +406,27 @@ def render_live_mutation(result: "LiveMutationResult") -> str:
         f"{result.queries_during_compaction} reads completed during the "
         f"{result.compaction_seconds * 1e3:.1f} ms compaction, results {identical})\n"
         + format_series_table(header, rows)
+    )
+
+
+def render_anytime_recall(result: "AnytimeRecallResult") -> str:
+    """Recall trajectory of budgeted retrieval as the work cap grows."""
+    header = ["budget frac", "max rows", "recall", "coverage", "complete", "seconds"]
+    rows = [
+        [
+            f"{point['fraction']:g}",
+            point["max_rows"],
+            f"{point['recall']:.4f}",
+            f"{point['coverage']:.4f}",
+            "yes" if point["complete"] else "no",
+            f"{point['seconds']:.4f}",
+        ]
+        for point in result.points
+    ]
+    exact_fraction = result.exact_rows / max(result.full_scan_rows, 1)
+    monotone = "monotone" if result.monotone else "NON-MONOTONE"
+    return (
+        f"Anytime recall ({result.n_rows} rows x {result.n_queries} queries, "
+        f"k={result.k}, exact work {exact_fraction:.2%} of full scan, "
+        f"curve {monotone})\n" + format_series_table(header, rows)
     )

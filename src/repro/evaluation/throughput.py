@@ -1641,3 +1641,142 @@ def measure_live_mutation(
             }
         ),
     )
+
+
+@dataclass(frozen=True)
+class AnytimeRecallResult:
+    """Recall-vs-work-budget trajectory of one engine on one query set.
+
+    Attributes
+    ----------
+    n_rows, dimension, n_queries, k:
+        Size and shape of the measured workload.
+    exact_rows:
+        Metric evaluations the *exact* (unbudgeted) traversal spends on the
+        whole batch — for a metric index this is usually a small fraction
+        of ``full_scan_rows``, which is why tight budgets can still reach
+        full recall.
+    full_scan_rows:
+        ``n_rows * n_queries`` — the work a linear scan would spend, and
+        the denominator the ``fractions`` knob of
+        :func:`measure_anytime_recall` is expressed in.
+    points:
+        One dict per measured budget, ascending by budget::
+
+            {"fraction": float,   # of full_scan_rows granted
+             "max_rows": int,     # the literal Budget cap
+             "recall": float,     # mean per-query recall vs exact top-k
+             "coverage": float,   # Coverage.fraction reported by the run
+             "complete": bool,    # budget turned out sufficient
+             "seconds": float}    # wall time of the budgeted batch
+    """
+
+    n_rows: int
+    dimension: int
+    n_queries: int
+    k: int
+    exact_rows: int
+    full_scan_rows: int
+    points: "list[dict]" = field(default_factory=list)
+
+    @property
+    def monotone(self) -> bool:
+        """Whether recall never decreased as the budget grew."""
+        recalls = [point["recall"] for point in self.points]
+        return all(later >= earlier for earlier, later in zip(recalls, recalls[1:]))
+
+    def recall_at(self, fraction: float) -> float:
+        """Recall of the smallest measured budget at or above ``fraction``."""
+        for point in self.points:
+            if point["fraction"] >= fraction - 1e-12:
+                return float(point["recall"])
+        raise ValidationError(
+            f"no measured budget at or above fraction {fraction!r}"
+        )
+
+
+def measure_anytime_recall(
+    collection: FeatureCollection,
+    query_points,
+    k: int,
+    *,
+    fractions: "tuple[float, ...]" = (0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0),
+    distance: DistanceFunction | None = None,
+    metric_index=None,
+) -> AnytimeRecallResult:
+    """Chart recall as a function of the anytime work budget.
+
+    The exact (unbudgeted) batch answer is the ground truth; each entry of
+    ``fractions`` is turned into a :class:`~repro.database.budget.Budget`
+    work cap of ``fraction * n_rows * n_queries`` metric evaluations — the
+    full-scan-equivalent denominator, so ``1.0`` always suffices even for
+    a plain scan — and the budgeted answer's mean per-query recall against
+    the exact top-k is recorded.  ``exact_rows`` additionally reports what
+    the exact traversal actually spends, measured by running it under a
+    cap far above the full-scan bound: with a metric index this is the
+    small number that explains why the recall curve saturates early.
+
+    When ``metric_index`` is given, pass the *same* distance instance as
+    ``distance`` — index capability negotiation is per-instance, and a
+    mismatch silently benchmarks the fallback scan.
+    """
+    from repro.database.budget import Budget
+
+    check_dimension(k, "k")
+    query_points = as_float_matrix(
+        query_points, name="query_points", shape=(None, collection.dimension)
+    )
+    n_queries = int(query_points.shape[0])
+    if n_queries == 0:
+        raise ValidationError("anytime measurement needs at least one query")
+    if not fractions:
+        raise ValidationError("anytime measurement needs at least one budget fraction")
+    ordered = sorted(float(fraction) for fraction in fractions)
+    if ordered[0] < 0.0:
+        raise ValidationError("budget fractions must be non-negative")
+
+    engine = RetrievalEngine(
+        collection, default_distance=distance, metric_index=metric_index
+    )
+    exact = engine.search_batch(query_points, k)
+    exact_ids = [set(result.indices().tolist()) for result in exact]
+
+    full_scan_rows = int(collection.size) * n_queries
+    # What the exact traversal really costs: a cap comfortably above the
+    # full-scan bound never truncates, so ``spent`` is the true work.
+    probe = Budget(max_rows=full_scan_rows * 2 + 1)
+    engine.search_batch(query_points, k, budget=probe)
+    exact_rows = int(probe.spent)
+
+    points: "list[dict]" = []
+    for fraction in ordered:
+        budget = Budget(max_rows=int(round(fraction * full_scan_rows)))
+        start = time.perf_counter()
+        results = engine.search_batch(query_points, k, budget=budget)
+        elapsed = time.perf_counter() - start
+        coverage = budget.coverage()
+        hits = sum(
+            len(exact_ids[row] & set(results[row].indices().tolist()))
+            for row in range(n_queries)
+        )
+        denominator = sum(len(ids) for ids in exact_ids) or 1
+        points.append(
+            {
+                "fraction": float(fraction),
+                "max_rows": int(budget.max_rows),
+                "recall": hits / denominator,
+                "coverage": float(coverage.fraction),
+                "complete": bool(coverage.complete),
+                "seconds": float(elapsed),
+            }
+        )
+
+    return AnytimeRecallResult(
+        n_rows=int(collection.size),
+        dimension=int(collection.dimension),
+        n_queries=n_queries,
+        k=int(k),
+        exact_rows=exact_rows,
+        full_scan_rows=full_scan_rows,
+        points=points,
+    )

@@ -60,6 +60,12 @@ class LoopRequest:
     the result-set size, the judge producing its relevance judgments, and
     the optional starting parameters (FeedbackBypass passes its predictions
     here).
+
+    ``max_iterations`` is the per-request iteration budget of the anytime
+    layer: the loop retires after at most that many feedback iterations,
+    never exceeding the engine's own cap (the effective cap is the minimum
+    of the two).  ``None`` leaves the engine cap alone; ``0`` admits the
+    query for its first-round search only.
     """
 
     query_point: "np.ndarray"
@@ -67,6 +73,7 @@ class LoopRequest:
     judge: Judge
     initial_delta: "np.ndarray | None" = None
     initial_weights: "np.ndarray | None" = None
+    max_iterations: "int | None" = None
 
 
 class _FrontierEntry:
@@ -86,6 +93,7 @@ class _FrontierEntry:
         "converged",
         "done",
         "proposed",
+        "max_iterations",
     )
 
     def __init__(
@@ -95,12 +103,14 @@ class _FrontierEntry:
         initial_delta: np.ndarray,
         k: int,
         judge: Judge,
+        max_iterations: int,
     ) -> None:
         self.position = position
         self.query_point = query_point
         self.initial_delta = initial_delta
         self.k = k
         self.judge = judge
+        self.max_iterations = max_iterations
         self.state: FeedbackState | None = None
         self.results: ResultSet | None = None
         self.initial_state: FeedbackState | None = None
@@ -171,8 +181,18 @@ class FeedbackFrontier:
             query_point, initial_delta, initial_weights, k = self._feedback.prepare_loop(
                 request.query_point, request.k, request.initial_delta, request.initial_weights
             )
+            cap = self._feedback.max_iterations
+            if request.max_iterations is not None:
+                if request.max_iterations < 0:
+                    raise ValidationError("max_iterations must be non-negative (or None)")
+                cap = min(cap, int(request.max_iterations))
             entry = _FrontierEntry(
-                self._next_position + len(staged), query_point, initial_delta, k, request.judge
+                self._next_position + len(staged),
+                query_point,
+                initial_delta,
+                k,
+                request.judge,
+                cap,
             )
             entry.state = FeedbackState(
                 query_point=query_point + initial_delta, weights=initial_weights
@@ -246,7 +266,7 @@ class FeedbackFrontier:
     # ------------------------------------------------------------------ #
     # One frontier iteration
     # ------------------------------------------------------------------ #
-    def advance(self) -> int:
+    def advance(self, limit: "int | None" = None) -> int:
         """Run one loop iteration for every active query.
 
         Judges the active queries' current results, computes the frontier's
@@ -254,10 +274,27 @@ class FeedbackFrontier:
         signal ran out, re-searches the rest in batched dispatches, and
         retires the queries that converged or exhausted the iteration
         budget.  Returns the number of queries still active afterwards.
+
+        ``limit`` caps how many active queries iterate this turn (the
+        anytime degradation knob): under load the frontier advances only
+        the ``limit`` oldest active entries, in admission order, and the
+        rest simply wait for a later turn.  Each entry's loop only ever
+        reads its own state, so deferral changes *when* an iteration runs,
+        never its bits — every loop stays byte-identical to its sequential
+        reference, it just retires later.
         """
+        # A zero per-request iteration budget retires the entry before it is
+        # ever judged: the loop is its first-round search, nothing more.
+        for entry in self._entries.values():
+            if not entry.done and entry.iterations >= entry.max_iterations:
+                entry.done = True
         active = [entry for entry in self._entries.values() if not entry.done]
+        if limit is not None:
+            if limit < 0:
+                raise ValidationError("advance limit must be non-negative (or None)")
+            active = active[:limit]
         if not active:
-            return 0
+            return 0 if limit is None else self.active_count
 
         judgments = [entry.judge(entry.results) for entry in active]
         proposals = self._feedback.compute_new_states(
@@ -285,7 +322,7 @@ class FeedbackFrontier:
                 entry.state = entry.proposed
                 entry.results = new_results
                 entry.proposed = None
-                if entry.iterations >= self._feedback.max_iterations:
+                if entry.iterations >= entry.max_iterations:
                     entry.done = True
         return self.active_count
 

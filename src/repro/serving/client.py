@@ -31,6 +31,7 @@ import threading
 
 import numpy as np
 
+from repro.database.budget import Budget, Coverage
 from repro.database.query import Query, ResultSet
 from repro.feedback.engine import FeedbackLoopResult, Judge
 from repro.feedback.scores import JudgmentBatch
@@ -189,15 +190,62 @@ class ServingClient:
     # ------------------------------------------------------------------ #
     # The query contract
     # ------------------------------------------------------------------ #
-    def search(self, query_point, k: int) -> ResultSet:
-        """k-NN search of one query point (coalesced server-side)."""
-        return self._call("search", query_point=np.asarray(query_point, dtype=np.float64), k=int(k))
+    @staticmethod
+    def _budget_spec(budget) -> "dict | None":
+        """Normalise a budget argument into its wire dict (or ``None``).
 
-    def search_batch(self, query_points, k: int) -> "list[ResultSet]":
-        """k-NN search of a query matrix, one result list per row."""
-        return self._call(
-            "search_batch", query_points=np.asarray(query_points, dtype=np.float64), k=int(k)
+        Accepts a :class:`~repro.database.budget.Budget` or a plain spec
+        dict (``{"max_rows": ..., "deadline": ...}``).  The deadline is a
+        duration: the server's allowance restarts when the request arrives.
+        """
+        if budget is None:
+            return None
+        if isinstance(budget, Budget):
+            return budget.to_wire()
+        if not isinstance(budget, dict):
+            raise ValidationError("budget must be a Budget, a spec dict, or None")
+        return budget
+
+    def search(self, query_point, k: int, *, budget=None):
+        """k-NN search of one query point (coalesced server-side).
+
+        With a ``budget`` the request is anytime: the server answers with
+        whatever the budget could afford and the call returns a
+        ``(result, coverage)`` pair — the
+        :class:`~repro.database.budget.Coverage` report says how much of
+        the corpus was consulted.  Without one, just the result.
+        """
+        spec = self._budget_spec(budget)
+        if spec is None:
+            return self._call(
+                "search", query_point=np.asarray(query_point, dtype=np.float64), k=int(k)
+            )
+        payload = self._call(
+            "search",
+            query_point=np.asarray(query_point, dtype=np.float64),
+            k=int(k),
+            budget=spec,
         )
+        return payload["result"], Coverage.from_dict(payload["coverage"])
+
+    def search_batch(self, query_points, k: int, *, budget=None):
+        """k-NN search of a query matrix, one result list per row.
+
+        With a ``budget``: returns ``(results, coverage)`` (see
+        :meth:`search`); without one, just the result list.
+        """
+        spec = self._budget_spec(budget)
+        if spec is None:
+            return self._call(
+                "search_batch", query_points=np.asarray(query_points, dtype=np.float64), k=int(k)
+            )
+        payload = self._call(
+            "search_batch",
+            query_points=np.asarray(query_points, dtype=np.float64),
+            k=int(k),
+            budget=spec,
+        )
+        return payload["results"], Coverage.from_dict(payload["coverage"])
 
     def run_batch(self, queries: "list[Query]") -> "list[ResultSet]":
         """Execute :class:`~repro.database.query.Query` objects (mixed ``k`` fine)."""
@@ -206,25 +254,39 @@ class ServingClient:
             queries=[(np.asarray(query.point, dtype=np.float64), int(query.k)) for query in queries],
         )
 
-    def search_with_parameters(self, query_point, k: int, delta, weights) -> ResultSet:
-        """Parameterised search (``q + Δ``, weights ``W``) of one query."""
-        return self._call(
-            "search_with_parameters",
-            query_point=np.asarray(query_point, dtype=np.float64),
-            k=int(k),
-            delta=np.asarray(delta, dtype=np.float64),
-            weights=np.asarray(weights, dtype=np.float64),
-        )
+    def search_with_parameters(self, query_point, k: int, delta, weights, *, budget=None):
+        """Parameterised search (``q + Δ``, weights ``W``) of one query.
 
-    def search_batch_with_parameters(self, query_points, k: int, deltas, weights) -> "list[ResultSet]":
-        """Batched parameterised search, one ``(Δ, W)`` row per query."""
-        return self._call(
-            "search_batch_with_parameters",
-            query_points=np.asarray(query_points, dtype=np.float64),
-            k=int(k),
-            deltas=np.asarray(deltas, dtype=np.float64),
-            weights=np.asarray(weights, dtype=np.float64),
-        )
+        With a ``budget``: returns ``(result, coverage)`` (see :meth:`search`).
+        """
+        message = {
+            "query_point": np.asarray(query_point, dtype=np.float64),
+            "k": int(k),
+            "delta": np.asarray(delta, dtype=np.float64),
+            "weights": np.asarray(weights, dtype=np.float64),
+        }
+        spec = self._budget_spec(budget)
+        if spec is None:
+            return self._call("search_with_parameters", **message)
+        payload = self._call("search_with_parameters", budget=spec, **message)
+        return payload["result"], Coverage.from_dict(payload["coverage"])
+
+    def search_batch_with_parameters(self, query_points, k: int, deltas, weights, *, budget=None):
+        """Batched parameterised search, one ``(Δ, W)`` row per query.
+
+        With a ``budget``: returns ``(results, coverage)`` (see :meth:`search`).
+        """
+        message = {
+            "query_points": np.asarray(query_points, dtype=np.float64),
+            "k": int(k),
+            "deltas": np.asarray(deltas, dtype=np.float64),
+            "weights": np.asarray(weights, dtype=np.float64),
+        }
+        spec = self._budget_spec(budget)
+        if spec is None:
+            return self._call("search_batch_with_parameters", **message)
+        payload = self._call("search_batch_with_parameters", budget=spec, **message)
+        return payload["results"], Coverage.from_dict(payload["coverage"])
 
     # ------------------------------------------------------------------ #
     # Feedback loops
@@ -238,6 +300,7 @@ class ServingClient:
         initial_delta=None,
         initial_weights=None,
         tenant: "str | None" = None,
+        budget: "int | dict | None" = None,
     ) -> FeedbackLoopResult:
         """Run one relevance-feedback loop on the server's shared frontier.
 
@@ -250,18 +313,29 @@ class ServingClient:
         however many other connections' loops share the frontier rounds.
         On a bypass-enabled server the retired loop trains ``tenant``'s
         shared tree (the public namespace when omitted).
+
+        ``budget`` caps this loop's feedback iterations (an int, or
+        ``{"max_iterations": n}``), never exceeding the server's own cap —
+        the anytime knob for one loop; the returned result simply reports
+        fewer iterations.
         """
-        return self._call(
-            "feedback_loop",
-            query_point=np.asarray(query_point, dtype=np.float64),
-            k=int(k),
-            judge=judge,
-            initial_delta=None if initial_delta is None else np.asarray(initial_delta, dtype=np.float64),
-            initial_weights=None
+        message = {
+            "query_point": np.asarray(query_point, dtype=np.float64),
+            "k": int(k),
+            "judge": judge,
+            "initial_delta": None
+            if initial_delta is None
+            else np.asarray(initial_delta, dtype=np.float64),
+            "initial_weights": None
             if initial_weights is None
             else np.asarray(initial_weights, dtype=np.float64),
-            tenant=tenant,
-        )
+            "tenant": tenant,
+        }
+        if budget is not None:
+            if isinstance(budget, bool) or not isinstance(budget, (int, dict)):
+                raise ValidationError("feedback budget must be an int, a dict, or None")
+            message["budget"] = {"max_iterations": budget} if isinstance(budget, int) else budget
+        return self._call("feedback_loop", **message)
 
     # ------------------------------------------------------------------ #
     # The shared served bypass

@@ -390,6 +390,14 @@ class FrontierCoalescer:
     already-admitted and already-queued loops finish (bounded by
     ``max_iterations`` rounds) — then the driver exits and later
     submissions are refused.
+
+    ``turn_limit`` is the anytime degradation knob: each driver round
+    advances at most that many active loops (oldest first, in admission
+    order) instead of the whole frontier, so one round's latency stays
+    bounded however many sessions pile on — overload defers iterations
+    instead of growing the dispatch.  Deferral never changes any loop's
+    bits (frontier entries are independent); loops just retire over more
+    rounds.  ``None`` (default) advances everything every round.
     """
 
     def __init__(
@@ -398,11 +406,17 @@ class FrontierCoalescer:
         *,
         max_wait: float = 0.0,
         on_retire=None,
+        turn_limit: "int | None" = None,
     ) -> None:
         self._feedback = feedback_engine
         self._max_wait = float(max_wait)
         if self._max_wait < 0:
             raise ValidationError("max_wait must be non-negative")
+        if turn_limit is not None:
+            turn_limit = int(turn_limit)
+            if turn_limit < 1:
+                raise ValidationError("turn_limit must be positive (or None)")
+        self._turn_limit = turn_limit
         # Optional sink called as ``on_retire(request, result, context)`` on
         # the driver thread the moment a loop retires, before its waiter is
         # released — the hook the shared served bypass trains through.  A
@@ -426,6 +440,11 @@ class FrontierCoalescer:
     def feedback_engine(self) -> FeedbackEngine:
         """The feedback engine whose loops the shared frontier runs."""
         return self._feedback
+
+    @property
+    def turn_limit(self) -> "int | None":
+        """Active loops advanced per driver round (``None`` = the whole frontier)."""
+        return self._turn_limit
 
     def stats(self) -> dict:
         """Sharing counters: loops served, frontier rounds, peak frontier size."""
@@ -543,7 +562,7 @@ class FrontierCoalescer:
                 while waiters:
                     with self._lock:
                         self._peak_active = max(self._peak_active, frontier.active_count)
-                    frontier.advance()
+                    frontier.advance(limit=self._turn_limit)
                     with self._lock:
                         self._n_rounds += 1
                     self._deliver_retired(frontier, waiters)

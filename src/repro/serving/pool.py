@@ -335,28 +335,62 @@ class PooledServingClient:
     # ------------------------------------------------------------------ #
     # The query contract (idempotent — pure functions of the request)
     # ------------------------------------------------------------------ #
-    def search(self, query_point, k: int) -> ResultSet:
-        """k-NN search of one query point (coalesced server-side)."""
-        return self._call("search", query_point, k, idempotent=True)
+    def search(self, query_point, k: int, *, budget=None) -> ResultSet:
+        """k-NN search of one query point (coalesced server-side).
 
-    def search_batch(self, query_points, k: int) -> "list[ResultSet]":
+        With ``budget`` set the server answers anytime-style and the call
+        returns ``(result, coverage)`` — see :meth:`ServingClient.search`.
+        """
+        if budget is None:
+            return self._call("search", query_point, k, idempotent=True)
+        return self._call("search", query_point, k, idempotent=True, budget=budget)
+
+    def search_batch(self, query_points, k: int, *, budget=None) -> "list[ResultSet]":
         """k-NN search of a query matrix, one result list per row."""
-        return self._call("search_batch", query_points, k, idempotent=True)
+        if budget is None:
+            return self._call("search_batch", query_points, k, idempotent=True)
+        return self._call(
+            "search_batch", query_points, k, idempotent=True, budget=budget
+        )
 
     def run_batch(self, queries: "list[Query]") -> "list[ResultSet]":
         """Execute :class:`~repro.database.query.Query` objects (mixed ``k`` fine)."""
         return self._call("run_batch", queries, idempotent=True)
 
-    def search_with_parameters(self, query_point, k: int, delta, weights) -> ResultSet:
+    def search_with_parameters(
+        self, query_point, k: int, delta, weights, *, budget=None
+    ) -> ResultSet:
         """Parameterised search (``q + Δ``, weights ``W``) of one query."""
+        if budget is None:
+            return self._call(
+                "search_with_parameters", query_point, k, delta, weights, idempotent=True
+            )
         return self._call(
-            "search_with_parameters", query_point, k, delta, weights, idempotent=True
+            "search_with_parameters",
+            query_point,
+            k,
+            delta,
+            weights,
+            idempotent=True,
+            budget=budget,
         )
 
-    def search_batch_with_parameters(self, query_points, k: int, deltas, weights) -> "list[ResultSet]":
+    def search_batch_with_parameters(
+        self, query_points, k: int, deltas, weights, *, budget=None
+    ) -> "list[ResultSet]":
         """Batched parameterised search, one ``(Δ, W)`` row per query."""
+        if budget is None:
+            return self._call(
+                "search_batch_with_parameters", query_points, k, deltas, weights, idempotent=True
+            )
         return self._call(
-            "search_batch_with_parameters", query_points, k, deltas, weights, idempotent=True
+            "search_batch_with_parameters",
+            query_points,
+            k,
+            deltas,
+            weights,
+            idempotent=True,
+            budget=budget,
         )
 
     # ------------------------------------------------------------------ #
@@ -371,6 +405,7 @@ class PooledServingClient:
         initial_delta=None,
         initial_weights=None,
         tenant: "str | None" = None,
+        budget: "int | dict | None" = None,
     ) -> FeedbackLoopResult:
         """Judge-shipped feedback loop on the server's shared frontier.
 
@@ -389,6 +424,7 @@ class PooledServingClient:
             initial_delta=initial_delta,
             initial_weights=initial_weights,
             tenant=tenant,
+            budget=budget,
         )
 
     # ------------------------------------------------------------------ #

@@ -44,6 +44,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.oqp import OptimalQueryParameters
+from repro.database.budget import Budget
 from repro.database.engine import run_grouped_by_k
 from repro.database.query import Query
 from repro.database.segments import Compactor
@@ -150,6 +151,13 @@ class ServerConfig:
         outside it (``None``, the default, leaves compaction to explicit
         ``compact`` ops).  The fold's heavy phase runs off the mutation
         lock, so coalesced query windows keep dispatching while it runs.
+    frontier_turn_searches:
+        Anytime degradation of the shared feedback frontier: each driver
+        round advances at most this many active loops (oldest first)
+        instead of the whole frontier, bounding one round's dispatch under
+        load — overload defers iterations instead of queueing bigger
+        batches, and deferral never changes any loop's bits.  ``None``
+        (default) advances every active loop every round.
     """
 
     host: str = "127.0.0.1"
@@ -174,10 +182,13 @@ class ServerConfig:
     bypass_max_nodes: "int | None" = None
     bypass_max_tenants: int = 64
     autocompact_delta_rows: "int | None" = None
+    frontier_turn_searches: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.autocompact_delta_rows is not None:
             check_dimension(self.autocompact_delta_rows, "autocompact_delta_rows")
+        if self.frontier_turn_searches is not None:
+            check_dimension(self.frontier_turn_searches, "frontier_turn_searches")
         check_dimension(self.max_batch, "max_batch")
         check_dimension(self.max_iterations, "max_iterations")
         check_dimension(self.stream_chunk_items, "stream_chunk_items")
@@ -241,7 +252,10 @@ class ServingCore:
         if self.bypass is not None and self.config.bypass_train_on_loops:
             on_retire = self._train_from_loop
         self.frontier = FrontierCoalescer(
-            self.feedback, max_wait=self.config.max_wait, on_retire=on_retire
+            self.feedback,
+            max_wait=self.config.max_wait,
+            on_retire=on_retire,
+            turn_limit=self.config.frontier_turn_searches,
         )
         self.sessions = SessionManager(self.feedback, self.coalescer)
         self.compactor: "Compactor | None" = None
@@ -409,11 +423,32 @@ class ServingCore:
     def _op_stats(self, message, owner) -> dict:
         return self.stats()
 
+    @staticmethod
+    def _wire_budget(message) -> "Budget | None":
+        """The request's budget, rebuilt server-side (deadline restarts here)."""
+        spec = message.get("budget")
+        if spec is None:
+            return None
+        return Budget.from_wire(spec)
+
     def _op_search(self, message, owner):
         point = np.atleast_1d(np.asarray(message["query_point"], dtype=np.float64))
+        budget = self._wire_budget(message)
+        if budget is not None:
+            # Budgeted requests bypass the coalescer: a budget is one
+            # request's private accounting, so its dispatch cannot share a
+            # window with unbudgeted peers.
+            result = self.engine.search_batch(point[None, :], message["k"], budget=budget)[0]
+            return {"result": result, "coverage": budget.coverage().to_dict()}
         return self.coalescer.submit_search(point[None, :], message["k"])[0]
 
     def _op_search_batch(self, message, owner):
+        budget = self._wire_budget(message)
+        if budget is not None:
+            results = self.engine.search_batch(
+                message["query_points"], message["k"], budget=budget
+            )
+            return {"results": results, "coverage": budget.coverage().to_dict()}
         return self.coalescer.submit_search(message["query_points"], message["k"])
 
     def _op_run_batch(self, message, owner):
@@ -426,14 +461,43 @@ class ServingCore:
         point = np.atleast_1d(np.asarray(message["query_point"], dtype=np.float64))
         delta = np.atleast_1d(np.asarray(message["delta"], dtype=np.float64))
         weights = np.atleast_1d(np.asarray(message["weights"], dtype=np.float64))
+        budget = self._wire_budget(message)
+        if budget is not None:
+            result = self.engine.search_batch_with_parameters(
+                point[None, :], message["k"], delta[None, :], weights[None, :], budget=budget
+            )[0]
+            return {"result": result, "coverage": budget.coverage().to_dict()}
         return self.coalescer.submit_search_with_parameters(
             point[None, :], message["k"], delta[None, :], weights[None, :]
         )[0]
 
     def _op_search_batch_with_parameters(self, message, owner):
+        budget = self._wire_budget(message)
+        if budget is not None:
+            results = self.engine.search_batch_with_parameters(
+                message["query_points"],
+                message["k"],
+                message["deltas"],
+                message["weights"],
+                budget=budget,
+            )
+            return {"results": results, "coverage": budget.coverage().to_dict()}
         return self.coalescer.submit_search_with_parameters(
             message["query_points"], message["k"], message["deltas"], message["weights"]
         )
+
+    @staticmethod
+    def _loop_budget(message) -> "int | None":
+        """The feedback op's budget: an iteration cap for this one loop."""
+        spec = message.get("budget")
+        if spec is None:
+            return None
+        if not isinstance(spec, dict):
+            raise ValidationError("feedback budget must be a dict")
+        unknown = set(spec) - {"max_iterations"}
+        if unknown:
+            raise ValidationError(f"unknown feedback budget keys {sorted(unknown)!r}")
+        return spec.get("max_iterations")
 
     def _op_feedback_loop(self, message, owner):
         request = LoopRequest(
@@ -442,6 +506,7 @@ class ServingCore:
             judge=message["judge"],
             initial_delta=message.get("initial_delta"),
             initial_weights=message.get("initial_weights"),
+            max_iterations=self._loop_budget(message),
         )
         return self.frontier.run_loop(request, context=self._tenant_of(message))
 

@@ -143,6 +143,21 @@ class TestGenerateFigures:
                 "compaction_ms": 250.0,
                 "queries_during_compaction": 4 * n,
             }
+            e["anytime_recall"] = {
+                "n_rows": 50_000,
+                "dimension": 8,
+                "n_queries": 64,
+                "k": 10,
+                "exact_rows": 85_000 * n,
+                "exact_fraction": 0.027 * n,
+                "monotone": True,
+                "recall_at_floor": 1.0,
+                "points": [
+                    {"fraction": 0.005, "recall": 0.2 * n, "coverage": 0.005, "complete": False},
+                    {"fraction": 0.05, "recall": 0.9, "coverage": 0.05, "complete": False},
+                    {"fraction": 1.0, "recall": 1.0, "coverage": 0.03, "complete": True},
+                ],
+            }
         return made
 
     def test_all_figures_render_wellformed_svg(self, figures_dir, entries):
@@ -171,6 +186,7 @@ class TestGenerateFigures:
             "connection_scaling",
             "bypass_amortization",
             "live_mutation",
+            "anytime_recall",
         }
         for name, (group, renderer) in generate_figures.FIGURES.items():
             assert group in ("trajectory", "latest")

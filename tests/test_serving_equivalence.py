@@ -484,3 +484,201 @@ class TestSessionOps:
                 assert info["engine"] == "RetrievalEngine"
                 with pytest.raises(ValidationError):
                     client._call("no_such_op")
+
+
+class TestBudgetedServing:
+    """The anytime budget over the wire: front end x codec, both directions.
+
+    The budget spec travels as a plain dict (``{"max_rows": ..,
+    "deadline": ..}``), restarts server-side, and the reply carries the
+    coverage report back — so every cell of the grid must (a) reproduce
+    the local budgeted engine bit for bit, (b) round-trip the coverage
+    accounting, and (c) under a *sufficient* budget reproduce the
+    unbudgeted answer exactly.  Budgeted ops bypass the coalescer (a
+    budget is per-request private accounting), which must not be
+    observable in the bits.
+    """
+
+    FRONT_ENDS = {"threaded": RetrievalServer, "async": AsyncRetrievalServer}
+    GRID = [
+        (front_end, codec)
+        for front_end in ("threaded", "async")
+        for codec in ("binary", "pickle", "legacy")
+    ]
+
+    @pytest.mark.parametrize("front_end,codec", GRID)
+    def test_budget_survives_wire(self, collection, queries, front_end, codec):
+        from repro.database.budget import Budget, Coverage
+
+        direct = RetrievalEngine(collection)
+        exact = direct.search_batch(queries, 7)
+        rows_total = SIZE * queries.shape[0]
+        config = ServerConfig(max_batch=8, max_wait=0.002, allow_pickle=True)
+        server_cls = self.FRONT_ENDS[front_end]
+        with server_cls(RetrievalEngine(collection), config) as server:
+            host, port = server.address
+            with ServingClient(host, port, codec=codec) as client:
+                # Sufficient cap: byte-identical to the unbudgeted answer,
+                # coverage reports completion.
+                results, coverage = client.search_batch(
+                    queries, 7, budget=Budget(max_rows=rows_total * 2)
+                )
+                assert results == exact
+                assert isinstance(coverage, Coverage)
+                assert coverage.complete and coverage.fraction == 1.0
+                assert coverage.rows_total == rows_total
+
+                # Truncating cap: matches the local budgeted engine bit for
+                # bit, and the accounting round-trips through the codec.
+                cap = rows_total // 3
+                local_budget = Budget(max_rows=cap)
+                local = direct.search_batch(queries, 7, budget=local_budget)
+                results, coverage = client.search_batch(
+                    queries, 7, budget={"max_rows": cap}
+                )
+                assert results == local
+                assert coverage == local_budget.coverage()
+                assert not coverage.complete
+                assert coverage.rows_scanned <= cap
+
+                # Single-query path agrees with its batch row.
+                single, single_cov = client.search(
+                    queries[1], 7, budget=Budget(max_rows=SIZE * 2)
+                )
+                assert single == exact[1] if queries.shape[0] else True
+                assert single_cov.complete
+
+    @pytest.mark.parametrize("front_end,codec", GRID)
+    def test_budgeted_parameterised_ops(self, collection, queries, front_end, codec):
+        from repro.database.budget import Budget
+
+        rng = np.random.default_rng(17)
+        deltas = rng.normal(0.0, 0.02, queries.shape)
+        weights = rng.random(queries.shape) + 0.2
+        direct = RetrievalEngine(collection)
+        rows_total = SIZE * queries.shape[0]
+        cap = rows_total // 2
+        local_budget = Budget(max_rows=cap)
+        local = direct.search_batch_with_parameters(
+            queries, 6, deltas, weights, budget=local_budget
+        )
+        config = ServerConfig(allow_pickle=True)
+        server_cls = self.FRONT_ENDS[front_end]
+        with server_cls(RetrievalEngine(collection), config) as server:
+            host, port = server.address
+            with ServingClient(host, port, codec=codec) as client:
+                results, coverage = client.search_batch_with_parameters(
+                    queries, 6, deltas, weights, budget={"max_rows": cap}
+                )
+                assert results == local
+                assert coverage == local_budget.coverage()
+                single_local_budget = Budget(max_rows=SIZE)
+                single_local = direct.search_with_parameters(
+                    queries[0], 6, deltas[0], weights[0], budget=single_local_budget
+                )
+                single, single_cov = client.search_with_parameters(
+                    queries[0], 6, deltas[0], weights[0], budget={"max_rows": SIZE}
+                )
+                assert single == single_local
+                assert single_cov == single_local_budget.coverage()
+
+    @pytest.mark.parametrize("front_end", ["threaded", "async"])
+    def test_feedback_iteration_budget(self, tiny_collection, front_end):
+        """A wire iteration cap reproduces the sequential loop at that cap."""
+        user = SimulatedUser(tiny_collection)
+        judge = user.judge_for_query(7)
+        query_point = tiny_collection.vectors[7]
+        reference = FeedbackEngine(
+            RetrievalEngine(tiny_collection), max_iterations=2
+        ).run_loop(query_point, 8, judge)
+        config = ServerConfig(max_iterations=6)
+        server_cls = self.FRONT_ENDS[front_end]
+        with server_cls(RetrievalEngine(tiny_collection), config) as server:
+            host, port = server.address
+            with ServingClient(host, port) as client:
+                loop = client.run_feedback_loop(query_point, 8, judge, budget=2)
+                assert loop.identical_to(reference)
+                assert loop.iterations <= 2
+                # The dict form of the spec works too.
+                loop = client.run_feedback_loop(
+                    query_point, 8, judge, budget={"max_iterations": 2}
+                )
+                assert loop.identical_to(reference)
+                # Budget zero: first-round-only.  The engine cannot even be
+                # *configured* that low, so check it structurally — the
+                # first round matches every other loop's first round, and
+                # no feedback iteration ran.
+                loop = client.run_feedback_loop(query_point, 8, judge, budget=0)
+                assert loop.iterations == 0
+                assert loop.initial_results == reference.initial_results
+                assert loop.final_results == loop.initial_results
+                # Negative caps are rejected server-side.
+                with pytest.raises(ValidationError):
+                    client.run_feedback_loop(query_point, 8, judge, budget=-1)
+
+    @pytest.mark.parametrize("front_end", ["threaded", "async"])
+    def test_frontier_degradation_is_invisible_in_the_bits(
+        self, tiny_collection, front_end
+    ):
+        """``frontier_turn_searches=1`` defers neighbours, never changes them.
+
+        Under load the frontier advances only the oldest N entries per
+        dispatch turn — graceful degradation trades latency, and the loops
+        must still match the sequential reference bit for bit.
+        """
+        user = SimulatedUser(tiny_collection)
+        rows = [3, 7, 11, 15]
+        judges = {row: user.judge_for_query(row) for row in rows}
+        references = {
+            row: FeedbackEngine(
+                RetrievalEngine(tiny_collection), max_iterations=6
+            ).run_loop(tiny_collection.vectors[row], 8, judges[row])
+            for row in rows
+        }
+        config = ServerConfig(max_iterations=6, frontier_turn_searches=1)
+        server_cls = self.FRONT_ENDS[front_end]
+        with server_cls(RetrievalEngine(tiny_collection), config) as server:
+            host, port = server.address
+            results: dict = {}
+            errors: list = []
+            barrier = threading.Barrier(len(rows))
+
+            def main(row):
+                try:
+                    with ServingClient(host, port) as client:
+                        barrier.wait()
+                        results[row] = client.run_feedback_loop(
+                            tiny_collection.vectors[row], 8, judges[row]
+                        )
+                except BaseException as error:  # noqa: BLE001 - surfaced below
+                    errors.append(error)
+
+            threads = [threading.Thread(target=main, args=(row,)) for row in rows]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if errors:
+                raise errors[0]
+            for row in rows:
+                assert results[row].identical_to(references[row]), f"row={row}"
+
+    def test_pooled_client_forwards_budget(self, collection, queries):
+        from repro.database.budget import Budget
+        from repro.serving import PooledServingClient
+
+        direct = RetrievalEngine(collection)
+        rows_total = SIZE * queries.shape[0]
+        cap = rows_total // 2
+        local_budget = Budget(max_rows=cap)
+        local = direct.search_batch(queries, 5, budget=local_budget)
+        with RetrievalServer(RetrievalEngine(collection), ServerConfig()) as server:
+            host, port = server.address
+            with PooledServingClient(host, port) as client:
+                results, coverage = client.search_batch(
+                    queries, 5, budget={"max_rows": cap}
+                )
+                assert results == local
+                assert coverage == local_budget.coverage()
+                unbudgeted = client.search_batch(queries, 5)
+                assert unbudgeted == direct.search_batch(queries, 5)
